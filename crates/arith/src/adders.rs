@@ -1,0 +1,172 @@
+//! Ripple-carry adders and in-builder addition helpers.
+
+use apx_gates::{Netlist, NetlistBuilder, SignalId};
+
+/// Adds two bit vectors inside an existing builder (LSB first).
+///
+/// Operand widths may differ; missing bits are treated as constant 0 and the
+/// corresponding adder cells degenerate (no gates are wasted on them). The
+/// result has `max(len_a, len_b) + 1` bits, the last being the carry-out.
+///
+/// `cin` optionally injects a carry into bit 0.
+pub fn add_ripple(
+    b: &mut NetlistBuilder,
+    a_bits: &[SignalId],
+    b_bits: &[SignalId],
+    cin: Option<SignalId>,
+) -> Vec<SignalId> {
+    let width = a_bits.len().max(b_bits.len());
+    let mut result = Vec::with_capacity(width + 1);
+    let mut carry = cin;
+    for i in 0..width {
+        let x = a_bits.get(i).copied();
+        let y = b_bits.get(i).copied();
+        let (sum, cout) = match (x, y, carry) {
+            (Some(x), Some(y), Some(c)) => {
+                let (s, co) = b.full_adder(x, y, c);
+                (Some(s), Some(co))
+            }
+            (Some(x), Some(y), None) => {
+                let (s, co) = b.half_adder(x, y);
+                (Some(s), Some(co))
+            }
+            (Some(x), None, Some(c)) | (None, Some(x), Some(c)) => {
+                let (s, co) = b.half_adder(x, c);
+                (Some(s), Some(co))
+            }
+            (Some(x), None, None) | (None, Some(x), None) => (Some(x), None),
+            (None, None, c) => (c, None),
+        };
+        let zero_needed = sum.is_none();
+        let bit = match sum {
+            Some(s) => s,
+            None => {
+                debug_assert!(zero_needed);
+                b.const0()
+            }
+        };
+        result.push(bit);
+        carry = cout;
+    }
+    let last = match carry {
+        Some(c) => c,
+        None => b.const0(),
+    };
+    result.push(last);
+    result
+}
+
+/// Standalone `width`-bit ripple-carry adder.
+///
+/// Inputs: `a[0..width]` then `b[0..width]` (LSB first).
+/// Outputs: `width + 1` sum bits including the carry-out.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn ripple_carry_adder(width: u32) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let a_bits: Vec<SignalId> = (0..w).map(|i| b.input(i)).collect();
+    let b_bits: Vec<SignalId> = (0..w).map(|i| b.input(w + i)).collect();
+    let sum = add_ripple(&mut b, &a_bits, &b_bits, None);
+    b.outputs(&sum);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+/// `width`-bit wrap-around adder (carry-out discarded): the accumulator of
+/// a MAC processing element.
+///
+/// Inputs: `a[0..width]` then `b[0..width]`; outputs: `width` bits,
+/// computing `(a + b) mod 2^width` — which is two's-complement addition.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn ripple_carry_adder_wrap(width: u32) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let a_bits: Vec<SignalId> = (0..w).map(|i| b.input(i)).collect();
+    let b_bits: Vec<SignalId> = (0..w).map(|i| b.input(w + i)).collect();
+    let mut sum = add_ripple(&mut b, &a_bits, &b_bits, None);
+    sum.truncate(w);
+    b.outputs(&sum);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_gates::Exhaustive;
+
+    #[test]
+    fn ripple_adder_is_exhaustively_correct() {
+        for w in 1..=5u32 {
+            let nl = ripple_carry_adder(w);
+            let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+            let mask = (1u64 << w) - 1;
+            for v in 0..table.len() as u64 {
+                let a = v & mask;
+                let b = (v >> w) & mask;
+                assert_eq!(table[v as usize], a + b, "w={w} {a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_adder_discards_carry() {
+        let w = 4u32;
+        let nl = ripple_carry_adder_wrap(w);
+        assert_eq!(nl.num_outputs(), 4);
+        let table = Exhaustive::new(8).output_table(&nl);
+        for v in 0..256u64 {
+            let a = v & 15;
+            let b = (v >> 4) & 15;
+            assert_eq!(table[v as usize], (a + b) & 15);
+        }
+    }
+
+    #[test]
+    fn add_ripple_handles_uneven_widths() {
+        // 3-bit + 1-bit.
+        let mut b = NetlistBuilder::new(4);
+        let a_bits = vec![b.input(0), b.input(1), b.input(2)];
+        let b_bits = vec![b.input(3)];
+        let sum = add_ripple(&mut b, &a_bits, &b_bits, None);
+        assert_eq!(sum.len(), 4);
+        b.outputs(&sum);
+        let nl = b.finish().unwrap();
+        let table = Exhaustive::new(4).output_table(&nl);
+        for v in 0..16u64 {
+            let a = v & 7;
+            let c = (v >> 3) & 1;
+            assert_eq!(table[v as usize], a + c);
+        }
+    }
+
+    #[test]
+    fn add_ripple_with_carry_in() {
+        let mut b = NetlistBuilder::new(3);
+        let a_bits = vec![b.input(0)];
+        let b_bits = vec![b.input(1)];
+        let cin = b.input(2);
+        let sum = add_ripple(&mut b, &a_bits, &b_bits, Some(cin));
+        b.outputs(&sum);
+        let nl = b.finish().unwrap();
+        let table = Exhaustive::new(3).output_table(&nl);
+        for v in 0..8u64 {
+            let total = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+            assert_eq!(table[v as usize], total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_adder_panics() {
+        let _ = ripple_carry_adder(0);
+    }
+}

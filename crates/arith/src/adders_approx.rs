@@ -1,0 +1,177 @@
+//! Conventionally approximated adders.
+//!
+//! The paper's method targets combinational components in general (§III);
+//! adders are the second component class of the EvoApprox library it
+//! builds on. Two classic families are provided as baselines/seeds:
+//!
+//! * [`lower_or_adder`] — LOA (Mahdiani et al.): the low `k` result bits
+//!   are computed as plain OR (no carry chain), the high part adds
+//!   exactly with a carry-in derived from the top approximate column;
+//! * [`truncated_adder`] — the low `k` result bits are constant 0 and no
+//!   carry enters the upper exact adder.
+
+use crate::adders::add_ripple;
+use apx_gates::{Netlist, NetlistBuilder, SignalId};
+
+/// Lower-part-OR adder (LOA): result bits `0..k` are `a_i | b_i`; bits
+/// `k..` come from an exact ripple adder whose carry-in is
+/// `a_{k-1} & b_{k-1}` (the standard LOA carry estimate).
+///
+/// `k == 0` yields the exact ripple-carry adder. Inputs/outputs follow
+/// the crate's adder conventions (`a[0..w] b[0..w]` → `w+1` sum bits).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `k > width`.
+#[must_use]
+pub fn lower_or_adder(width: u32, k: u32) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    assert!(k <= width, "approximate part wider than the adder");
+    let w = width as usize;
+    let k = k as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let a_bits: Vec<SignalId> = (0..w).map(|i| b.input(i)).collect();
+    let b_bits: Vec<SignalId> = (0..w).map(|i| b.input(w + i)).collect();
+    let mut outputs = Vec::with_capacity(w + 1);
+    for i in 0..k {
+        let or = b.or(a_bits[i], b_bits[i]);
+        outputs.push(or);
+    }
+    let cin = if k > 0 {
+        Some(b.and(a_bits[k - 1], b_bits[k - 1]))
+    } else {
+        None
+    };
+    let upper = add_ripple(&mut b, &a_bits[k..], &b_bits[k..], cin);
+    outputs.extend(upper);
+    b.outputs(&outputs);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+/// Truncated adder: result bits `0..k` are constant 0, the upper bits add
+/// exactly with no carry-in.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `k > width`.
+#[must_use]
+pub fn truncated_adder(width: u32, k: u32) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    assert!(k <= width, "approximate part wider than the adder");
+    let w = width as usize;
+    let k = k as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let a_bits: Vec<SignalId> = (0..w).map(|i| b.input(i)).collect();
+    let b_bits: Vec<SignalId> = (0..w).map(|i| b.input(w + i)).collect();
+    let mut outputs = Vec::with_capacity(w + 1);
+    if k > 0 {
+        let zero = b.const0();
+        outputs.extend(std::iter::repeat(zero).take(k));
+    }
+    let upper = add_ripple(&mut b, &a_bits[k..], &b_bits[k..], None);
+    outputs.extend(upper);
+    b.outputs(&outputs);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+/// Functional golden model of [`lower_or_adder`].
+#[must_use]
+pub fn loa_model(width: u32, k: u32, a: u64, b: u64) -> u64 {
+    let mask_k = if k == 0 { 0 } else { (1u64 << k) - 1 };
+    let low = (a | b) & mask_k;
+    let cin = if k > 0 { ((a >> (k - 1)) & 1) & ((b >> (k - 1)) & 1) } else { 0 };
+    let high = (a >> k) + (b >> k) + cin;
+    (low | (high << k)) & ((1u64 << (width + 1)) - 1)
+}
+
+/// Functional golden model of [`truncated_adder`].
+#[must_use]
+pub fn truncated_adder_model(k: u32, a: u64, b: u64) -> u64 {
+    let high = (a >> k) + (b >> k);
+    high << k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_gates::Exhaustive;
+
+    #[test]
+    fn loa_matches_model_exhaustively() {
+        for w in 2..=5u32 {
+            for k in 0..=w {
+                let nl = lower_or_adder(w, k);
+                assert_eq!(nl.num_outputs(), w as usize + 1);
+                let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+                let mask = (1u64 << w) - 1;
+                for v in 0..table.len() as u64 {
+                    let a = v & mask;
+                    let b = (v >> w) & mask;
+                    assert_eq!(table[v as usize], loa_model(w, k, a, b), "w={w} k={k} {a}+{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loa_with_k0_is_exact() {
+        let nl = lower_or_adder(6, 0);
+        let table = Exhaustive::new(12).output_table(&nl);
+        for v in 0..table.len() as u64 {
+            let a = v & 63;
+            let b = (v >> 6) & 63;
+            assert_eq!(table[v as usize], a + b);
+        }
+    }
+
+    #[test]
+    fn truncated_adder_matches_model_exhaustively() {
+        for w in 2..=5u32 {
+            for k in 0..=w {
+                let nl = truncated_adder(w, k);
+                let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+                let mask = (1u64 << w) - 1;
+                for v in 0..table.len() as u64 {
+                    let a = v & mask;
+                    let b = (v >> w) & mask;
+                    assert_eq!(
+                        table[v as usize],
+                        truncated_adder_model(k, a, b),
+                        "w={w} k={k} {a}+{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loa_is_cheaper_than_exact_and_better_than_truncation() {
+        let exact = lower_or_adder(8, 0);
+        let loa = lower_or_adder(8, 4);
+        let trunc = truncated_adder(8, 4);
+        assert!(loa.active_gate_count() < exact.active_gate_count());
+        // LOA spends a few gates on the OR estimate; truncation is cheaper
+        // but loses more accuracy.
+        let err = |nl: &apx_gates::Netlist| -> u64 {
+            let table = Exhaustive::new(16).output_table(nl);
+            (0..table.len() as u64)
+                .map(|v| {
+                    let a = v & 255;
+                    let b = (v >> 8) & 255;
+                    table[v as usize].abs_diff(a + b)
+                })
+                .sum()
+        };
+        assert!(err(&loa) < err(&trunc), "LOA must be more accurate");
+        assert!(
+            trunc.active_gate_count() <= loa.active_gate_count(),
+            "truncation must be at most as large"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the adder")]
+    fn oversized_k_panics() {
+        let _ = lower_or_adder(4, 5);
+    }
+}

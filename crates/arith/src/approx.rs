@@ -1,0 +1,200 @@
+//! Conventionally designed approximate multipliers (the paper's baselines).
+
+use crate::columns::reduce_columns_sequential;
+use crate::multipliers::baugh_wooley_columns;
+use apx_gates::{Netlist, NetlistBuilder, SignalId};
+
+/// Truncated array multiplier: all partial products in columns below
+/// `trunc_cols` are removed, so the low `trunc_cols` output bits are
+/// constant 0 (Jiang et al., "truncated array multiplier").
+///
+/// `trunc_cols == 0` yields the exact array multiplier;
+/// `trunc_cols == 2·width` removes everything.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `trunc_cols > 2 * width`.
+#[must_use]
+pub fn truncated_multiplier(width: u32, trunc_cols: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    assert!(trunc_cols <= 2 * width, "cannot truncate beyond the product");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); 2 * w];
+    for j in 0..w {
+        for i in 0..w {
+            if (i + j) < trunc_cols as usize {
+                continue;
+            }
+            let ai = b.input(i);
+            let bj = b.input(w + j);
+            let pp = b.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    let bits = reduce_columns_sequential(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+/// Broken-array multiplier (BAM, Mahdiani et al.).
+///
+/// A partial product `a_i · b_j` survives iff its carry-save row is above
+/// the horizontal break level (`j < hbl`) **and** its column is at or left
+/// of the vertical break level (`i + j >= vbl`). `hbl = width`, `vbl = 0`
+/// is the exact array multiplier; decreasing `hbl` / increasing `vbl`
+/// trades accuracy for area.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `hbl > width` or `vbl > 2 * width`.
+#[must_use]
+pub fn broken_array_multiplier(width: u32, hbl: u32, vbl: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    assert!(hbl <= width, "horizontal break beyond operand width");
+    assert!(vbl <= 2 * width, "vertical break beyond the product");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); 2 * w];
+    for j in 0..(hbl as usize) {
+        for i in 0..w {
+            if i + j < vbl as usize {
+                continue;
+            }
+            let ai = b.input(i);
+            let bj = b.input(w + j);
+            let pp = b.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    let bits = reduce_columns_sequential(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+/// Signed broken Baugh-Wooley multiplier: the BAM break rule applied to
+/// the partial products of [`crate::baugh_wooley_multiplier`] (correction
+/// constants are fixed wiring and always kept).
+///
+/// Exactly matches [`crate::golden::mul_bw_broken`]. `hbl = width`,
+/// `vbl = 0` reproduces the exact signed multiplier.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `hbl > width` or `vbl > 2 * width`.
+#[must_use]
+pub fn baugh_wooley_broken(width: u32, hbl: u32, vbl: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    assert!(hbl <= width, "horizontal break beyond operand width");
+    assert!(vbl <= 2 * width, "vertical break beyond the product");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let columns = baugh_wooley_columns(&mut b, width, |col, row| row < hbl && col >= vbl);
+    let bits = reduce_columns_sequential(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden;
+    use crate::sign_extend;
+    use apx_gates::Exhaustive;
+
+    #[test]
+    fn truncated_matches_golden_model() {
+        for w in 2..=5u32 {
+            for k in 0..=2 * w {
+                let nl = truncated_multiplier(w, k);
+                let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+                let mask = (1u64 << w) - 1;
+                for v in 0..table.len() as u64 {
+                    let a = v & mask;
+                    let b = (v >> w) & mask;
+                    assert_eq!(
+                        table[v as usize],
+                        golden::mul_truncated(w, k, a, b),
+                        "w={w} k={k} {a}*{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_zero_is_exact() {
+        let nl = truncated_multiplier(4, 0);
+        let table = Exhaustive::new(8).output_table(&nl);
+        for v in 0..256u64 {
+            assert_eq!(table[v as usize], (v & 15) * ((v >> 4) & 15));
+        }
+    }
+
+    #[test]
+    fn broken_matches_golden_model() {
+        for w in 2..=4u32 {
+            for hbl in 0..=w {
+                for vbl in [0, 1, w, 2 * w - 1] {
+                    let nl = broken_array_multiplier(w, hbl, vbl);
+                    let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+                    let mask = (1u64 << w) - 1;
+                    for v in 0..table.len() as u64 {
+                        let a = v & mask;
+                        let b = (v >> w) & mask;
+                        assert_eq!(
+                            table[v as usize],
+                            golden::mul_broken(w, hbl, vbl, a, b),
+                            "w={w} hbl={hbl} vbl={vbl} {a}*{b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broken_full_levels_is_exact() {
+        let nl = broken_array_multiplier(5, 5, 0);
+        let table = Exhaustive::new(10).output_table(&nl);
+        for v in 0..1024u64 {
+            assert_eq!(table[v as usize], (v & 31) * ((v >> 5) & 31));
+        }
+    }
+
+    #[test]
+    fn bw_broken_matches_golden_model() {
+        for w in 2..=4u32 {
+            for (hbl, vbl) in [(w, 0), (w, 2), (w - 1, 0), (w - 1, 3), (1, 1)] {
+                let nl = baugh_wooley_broken(w, hbl, vbl);
+                let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+                let mask = (1u64 << w) - 1;
+                for v in 0..table.len() as u64 {
+                    let a = sign_extend(v & mask, w);
+                    let b = sign_extend((v >> w) & mask, w);
+                    let got = sign_extend(table[v as usize], 2 * w);
+                    assert_eq!(
+                        got,
+                        golden::mul_bw_broken(w, hbl, vbl, a, b),
+                        "w={w} hbl={hbl} vbl={vbl} {a}*{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_breaks_are_smaller() {
+        let exact = broken_array_multiplier(8, 8, 0);
+        let broken = broken_array_multiplier(8, 6, 6);
+        assert!(broken.active_gate_count() < exact.active_gate_count());
+        let very_broken = broken_array_multiplier(8, 4, 10);
+        assert!(very_broken.active_gate_count() < broken.active_gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "horizontal break")]
+    fn broken_rejects_bad_hbl() {
+        let _ = broken_array_multiplier(4, 5, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Partial-product column reduction.
+//!
+//! Multiplier generators produce a *column matrix*: `columns[c]` holds the
+//! signals whose weights are `2^c`. The reducers below compress the matrix
+//! into one bit per column using half/full adders, discarding any carry
+//! that would land at or beyond `max_width` (i.e. arithmetic modulo
+//! `2^max_width`, which is exactly what a fixed-width datapath does).
+
+use apx_gates::{NetlistBuilder, SignalId};
+
+/// Sequentially reduces each column to a single bit (carry-ripple style).
+///
+/// Produces the gate structure of a classic array multiplier: column `c` is
+/// fully compressed (FAs for triples, an HA for the final pair) before
+/// column `c + 1` is visited, so carries ripple left. Returns exactly
+/// `max_width` product bits (missing columns are filled with constant 0).
+pub fn reduce_columns_sequential(
+    b: &mut NetlistBuilder,
+    mut columns: Vec<Vec<SignalId>>,
+    max_width: usize,
+) -> Vec<SignalId> {
+    columns.resize(max_width, Vec::new());
+    columns.truncate(max_width);
+    let mut result = Vec::with_capacity(max_width);
+    let mut zero: Option<SignalId> = None;
+    for c in 0..max_width {
+        while columns[c].len() > 1 {
+            if columns[c].len() >= 3 {
+                let z = columns[c].pop().unwrap();
+                let y = columns[c].pop().unwrap();
+                let x = columns[c].pop().unwrap();
+                let (sum, carry) = {
+                    let axb = b.xor(x, y);
+                    let sum = b.xor(axb, z);
+                    let ab = b.and(x, y);
+                    let cc = b.and(axb, z);
+                    (sum, b.or(ab, cc))
+                };
+                columns[c].push(sum);
+                if c + 1 < max_width {
+                    columns[c + 1].push(carry);
+                }
+            } else {
+                let y = columns[c].pop().unwrap();
+                let x = columns[c].pop().unwrap();
+                let (sum, carry) = b.half_adder(x, y);
+                columns[c].push(sum);
+                if c + 1 < max_width {
+                    columns[c + 1].push(carry);
+                }
+            }
+        }
+        let bit = match columns[c].pop() {
+            Some(s) => s,
+            None => *zero.get_or_insert_with(|| b.const0()),
+        };
+        result.push(bit);
+    }
+    result
+}
+
+/// Wallace-style staged reduction: all columns are compressed in parallel
+/// stages (3:2 counters) until at most two bits remain per column, then a
+/// final carry-propagate ripple produces the result.
+///
+/// Shallower than [`reduce_columns_sequential`] — used for the
+/// low-latency multiplier seed.
+pub fn reduce_columns_wallace(
+    b: &mut NetlistBuilder,
+    mut columns: Vec<Vec<SignalId>>,
+    max_width: usize,
+) -> Vec<SignalId> {
+    columns.resize(max_width, Vec::new());
+    columns.truncate(max_width);
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<SignalId>> = vec![Vec::new(); max_width];
+        for c in 0..max_width {
+            let bits = std::mem::take(&mut columns[c]);
+            let mut iter = bits.into_iter().peekable();
+            loop {
+                let remaining = iter.len();
+                if remaining >= 3 {
+                    let x = iter.next().unwrap();
+                    let y = iter.next().unwrap();
+                    let z = iter.next().unwrap();
+                    let axb = b.xor(x, y);
+                    let sum = b.xor(axb, z);
+                    let ab = b.and(x, y);
+                    let cc = b.and(axb, z);
+                    let carry = b.or(ab, cc);
+                    next[c].push(sum);
+                    if c + 1 < max_width {
+                        next[c + 1].push(carry);
+                    }
+                } else if remaining == 2 {
+                    let x = iter.next().unwrap();
+                    let y = iter.next().unwrap();
+                    let (sum, carry) = b.half_adder(x, y);
+                    next[c].push(sum);
+                    if c + 1 < max_width {
+                        next[c + 1].push(carry);
+                    }
+                } else {
+                    next[c].extend(iter);
+                    break;
+                }
+            }
+        }
+        columns = next;
+    }
+    // Final carry-propagate addition over the (≤ 2)-bit columns.
+    let mut result = Vec::with_capacity(max_width);
+    let mut carry: Option<SignalId> = None;
+    let mut zero: Option<SignalId> = None;
+    for col in columns.into_iter() {
+        let mut bits: Vec<SignalId> = col;
+        if let Some(cy) = carry.take() {
+            bits.push(cy);
+        }
+        let (sum, cout) = match bits.len() {
+            0 => (None, None),
+            1 => (Some(bits[0]), None),
+            2 => {
+                let (s, cy) = b.half_adder(bits[0], bits[1]);
+                (Some(s), Some(cy))
+            }
+            3 => {
+                let axb = b.xor(bits[0], bits[1]);
+                let s = b.xor(axb, bits[2]);
+                let ab = b.and(bits[0], bits[1]);
+                let cc = b.and(axb, bits[2]);
+                (Some(s), Some(b.or(ab, cc)))
+            }
+            _ => unreachable!("columns reduced to <= 2 bits plus carry"),
+        };
+        let bit = match sum {
+            Some(s) => s,
+            None => *zero.get_or_insert_with(|| b.const0()),
+        };
+        result.push(bit);
+        carry = cout;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_gates::{Exhaustive, NetlistBuilder};
+
+    /// Reduce a 4-bit popcount-style column stack and check the sum.
+    fn check_reducer(reduce: fn(&mut NetlistBuilder, Vec<Vec<SignalId>>, usize) -> Vec<SignalId>) {
+        // columns: col0 gets inputs {0,1,2}, col1 gets input {3}
+        // value = in0 + in1 + in2 + 2*in3, max 5 -> 3 bits
+        let mut b = NetlistBuilder::new(4);
+        let cols = vec![
+            vec![b.input(0), b.input(1), b.input(2)],
+            vec![b.input(3)],
+        ];
+        let bits = reduce(&mut b, cols, 3);
+        b.outputs(&bits);
+        let nl = b.finish().unwrap();
+        let table = Exhaustive::new(4).output_table(&nl);
+        for v in 0..16u64 {
+            let expect = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1) + 2 * ((v >> 3) & 1);
+            assert_eq!(table[v as usize], expect, "v={v}");
+        }
+    }
+
+    #[test]
+    fn sequential_reduction_sums_columns() {
+        check_reducer(reduce_columns_sequential);
+    }
+
+    #[test]
+    fn wallace_reduction_sums_columns() {
+        check_reducer(reduce_columns_wallace);
+    }
+
+    #[test]
+    fn overflow_carries_are_dropped() {
+        // Two bits in the top column: their carry must vanish (mod 2^2).
+        let mut b = NetlistBuilder::new(2);
+        let cols = vec![vec![], vec![b.input(0), b.input(1)]];
+        let bits = reduce_columns_sequential(&mut b, cols, 2);
+        b.outputs(&bits);
+        let nl = b.finish().unwrap();
+        let table = Exhaustive::new(2).output_table(&nl);
+        for v in 0..4u64 {
+            let expect = (2 * ((v & 1) + ((v >> 1) & 1))) & 3;
+            assert_eq!(table[v as usize], expect);
+        }
+    }
+
+    #[test]
+    fn empty_columns_yield_constant_zero() {
+        let mut b = NetlistBuilder::new(1);
+        let cols = vec![vec![], vec![b.input(0)], vec![]];
+        let bits = reduce_columns_wallace(&mut b, cols, 3);
+        b.outputs(&bits);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.eval_bool(&[true]), vec![false, true, false]);
+    }
+}

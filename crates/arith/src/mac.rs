@@ -1,0 +1,152 @@
+//! Multiply-and-accumulate (MAC) processing elements.
+//!
+//! The paper's case study 2 evaluates approximate multipliers inside the
+//! MAC units of a TPU-like systolic array (§V-B): each processing element
+//! is an 8-bit multiplier plus an `n`-bit accumulator adder with
+//! `n = 2·w + log2(d)` guard bits, `d` being the number of products summed
+//! per output.
+
+use crate::{add_ripple, OpTable};
+use apx_gates::{GateKind, Netlist, NetlistBuilder, SignalId};
+
+/// Accumulator width for a `width`-bit MAC summing up to `depth` products.
+///
+/// Mirrors the paper's `n = 8 + log2(d)` sizing rule (§V-B), generalized to
+/// `2·width + ceil(log2(depth))`.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+#[must_use]
+pub fn accumulator_width(width: u32, depth: usize) -> u32 {
+    assert!(depth > 0, "a MAC must accumulate at least one product");
+    let guard = usize::BITS - (depth - 1).leading_zeros();
+    2 * width + guard.max(1)
+}
+
+/// Composes a multiplier netlist and a ripple accumulator into a MAC unit.
+///
+/// Inputs: `a[0..w]`, `b[0..w]`, `acc[0..acc_width]` (all LSB first);
+/// outputs: `acc_width` bits of `acc + a·b` (wrap-around two's-complement
+/// arithmetic). The product is sign-extended when `signed`, zero-extended
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics if the multiplier does not follow the `2·width`-input /
+/// `2·width`-output convention or `acc_width < 2·width`.
+#[must_use]
+pub fn mac_unit(multiplier: &Netlist, width: u32, acc_width: u32, signed: bool) -> Netlist {
+    let w = width as usize;
+    let n = acc_width as usize;
+    assert_eq!(multiplier.num_inputs(), 2 * w, "multiplier input arity");
+    assert_eq!(multiplier.num_outputs(), 2 * w, "multiplier output arity");
+    assert!(n >= 2 * w, "accumulator narrower than the product");
+
+    let mut bld = NetlistBuilder::new(2 * w + n);
+    let mul_inputs: Vec<SignalId> = (0..2 * w).map(|i| bld.input(i)).collect();
+    let mut product = bld.embed(multiplier, &mul_inputs);
+    // Extend the product to the accumulator width.
+    if signed {
+        let msb = *product.last().expect("multiplier has outputs");
+        let ext = bld.push(GateKind::Buf, msb, msb);
+        product.extend(std::iter::repeat(ext).take(n - 2 * w));
+    } else {
+        let zero = bld.const0();
+        product.extend(std::iter::repeat(zero).take(n - 2 * w));
+    }
+    let acc_bits: Vec<SignalId> = (0..n).map(|i| bld.input(2 * w + i)).collect();
+    let mut sum = add_ripple(&mut bld, &product, &acc_bits, None);
+    sum.truncate(n);
+    bld.outputs(&sum);
+    bld.finish().expect("generated MAC is structurally valid")
+}
+
+/// Functional model of one MAC step on interpreted values: returns
+/// `(acc + table(a, b)) mod 2^acc_width`, two's complement when the table
+/// is signed.
+#[must_use]
+pub fn mac_model(table: &OpTable, a: i64, b: i64, acc: i64, acc_width: u32) -> i64 {
+    let product = table.get(a, b);
+    let raw = (acc.wrapping_add(product)) as u64 & ((1u64 << acc_width) - 1);
+    if table.is_signed() {
+        crate::sign_extend(raw, acc_width)
+    } else {
+        raw as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array_multiplier, baugh_wooley_multiplier, sign_extend, to_raw};
+    use apx_gates::Exhaustive;
+
+    #[test]
+    fn accumulator_width_rule() {
+        assert_eq!(accumulator_width(8, 2), 17);
+        assert_eq!(accumulator_width(8, 9), 20); // paper: conv kernel 3x3
+        assert_eq!(accumulator_width(8, 784), 26); // paper: MLP fan-in
+        assert_eq!(accumulator_width(8, 1), 17);
+    }
+
+    #[test]
+    fn unsigned_mac_exhaustive_small() {
+        let w = 2u32;
+        let n = 5u32;
+        let mac = mac_unit(&array_multiplier(w), w, n, false);
+        let total_inputs = (2 * w + n) as usize;
+        let table = Exhaustive::new(total_inputs).output_table(&mac);
+        let opt = OpTable::exact_mul(w, false);
+        for v in 0..table.len() as u64 {
+            let a = v & 3;
+            let b = (v >> 2) & 3;
+            let acc = (v >> 4) & 31;
+            let expect = mac_model(&opt, a as i64, b as i64, acc as i64, n);
+            assert_eq!(table[v as usize] as i64, expect, "a={a} b={b} acc={acc}");
+        }
+    }
+
+    #[test]
+    fn signed_mac_exhaustive_small() {
+        let w = 2u32;
+        let n = 6u32;
+        let mac = mac_unit(&baugh_wooley_multiplier(w), w, n, true);
+        let table = Exhaustive::new((2 * w + n) as usize).output_table(&mac);
+        let opt = OpTable::exact_mul(w, true);
+        for v in 0..table.len() as u64 {
+            let a = sign_extend(v & 3, 2);
+            let b = sign_extend((v >> 2) & 3, 2);
+            let acc = sign_extend((v >> 4) & 63, 6);
+            let expect = mac_model(&opt, a, b, acc, n);
+            let got = sign_extend(table[v as usize], n);
+            assert_eq!(got, expect, "a={a} b={b} acc={acc}");
+        }
+    }
+
+    #[test]
+    fn mac_model_wraps() {
+        let opt = OpTable::exact_mul(4, false);
+        // 15*15 = 225; acc_width 8 -> (225 + 200) mod 256
+        assert_eq!(mac_model(&opt, 15, 15, 200, 8), (225 + 200) % 256);
+    }
+
+    #[test]
+    fn signed_mac_model_sign_extends() {
+        let opt = OpTable::exact_mul(4, true);
+        let v = mac_model(&opt, -8, 7, 0, 8);
+        assert_eq!(v, -56);
+        // wrap: -8 * -8 = 64 repeatedly overflows an 8-bit accumulator
+        let mut acc = 0i64;
+        for _ in 0..3 {
+            acc = mac_model(&opt, -8, -8, acc, 8);
+        }
+        assert_eq!(acc, sign_extend(to_raw(192, 8), 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulator narrower")]
+    fn mac_rejects_narrow_accumulator() {
+        let _ = mac_unit(&array_multiplier(4), 4, 7, false);
+    }
+}

@@ -1,0 +1,225 @@
+//! Exact multiplier generators (the CGP seeds of the paper, §IV).
+
+use crate::columns::{reduce_columns_sequential, reduce_columns_wallace};
+use apx_gates::{Netlist, NetlistBuilder, SignalId};
+
+/// Partial-product matrix of an unsigned multiplier: `columns[c]` holds all
+/// `a_i & b_j` with `i + j = c`.
+fn unsigned_pp_columns(b: &mut NetlistBuilder, width: u32) -> Vec<Vec<SignalId>> {
+    let w = width as usize;
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); 2 * w];
+    for j in 0..w {
+        for i in 0..w {
+            let ai = b.input(i);
+            let bj = b.input(w + j);
+            let pp = b.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+    columns
+}
+
+/// Classic unsigned array multiplier (`width`×`width` → `2·width` bits).
+///
+/// Inputs: `a[0..w]` then `b[0..w]`, LSB first; outputs `2w` product bits.
+/// Built with ripple-style sequential column compression, which reproduces
+/// the gate structure (and long carry chains) of the textbook carry-ripple
+/// array — the default seed for the CGP runs in the paper.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn array_multiplier(width: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let columns = unsigned_pp_columns(&mut b, width);
+    let bits = reduce_columns_sequential(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+/// Unsigned Wallace-tree multiplier: same function as
+/// [`array_multiplier`], but the partial products are compressed in
+/// parallel 3:2 stages, giving logarithmic depth — the low-latency seed.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn wallace_multiplier(width: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let columns = unsigned_pp_columns(&mut b, width);
+    let bits = reduce_columns_wallace(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+/// Baugh-Wooley partial-product columns for a signed multiplier, shared
+/// with the broken (approximate) variant.
+///
+/// `keep(col, row)` decides whether an individual partial product survives
+/// (always `true` for the exact multiplier). The correction constants
+/// (`+2^w`, `+2^(2w-1)`) are part of the fixed wiring and always included.
+pub(crate) fn baugh_wooley_columns<F>(
+    b: &mut NetlistBuilder,
+    width: u32,
+    mut keep: F,
+) -> Vec<Vec<SignalId>>
+where
+    F: FnMut(u32, u32) -> bool,
+{
+    let w = width as usize;
+    let mut columns: Vec<Vec<SignalId>> = vec![Vec::new(); 2 * w];
+    let wi = width;
+    if wi == 1 {
+        if keep(0, 0) {
+            let a0 = b.input(0);
+            let b0 = b.input(1);
+            let pp = b.and(a0, b0);
+            columns[0].push(pp);
+        }
+    } else {
+        for j in 0..wi - 1 {
+            for i in 0..wi - 1 {
+                if keep(i + j, j) {
+                    let ai = b.input(i as usize);
+                    let bj = b.input(w + j as usize);
+                    let pp = b.and(ai, bj);
+                    columns[(i + j) as usize].push(pp);
+                }
+            }
+        }
+        for i in 0..wi - 1 {
+            if keep(i + wi - 1, wi - 1) {
+                let ai = b.input(i as usize);
+                let bm = b.input(w + w - 1);
+                let pp = b.nand(ai, bm);
+                columns[(i + wi - 1) as usize].push(pp);
+            }
+        }
+        for j in 0..wi - 1 {
+            if keep(j + wi - 1, j) {
+                let am = b.input(w - 1);
+                let bj = b.input(w + j as usize);
+                let pp = b.nand(am, bj);
+                columns[(j + wi - 1) as usize].push(pp);
+            }
+        }
+        if keep(2 * wi - 2, wi - 1) {
+            let am = b.input(w - 1);
+            let bm = b.input(w + w - 1);
+            let pp = b.and(am, bm);
+            columns[2 * w - 2].push(pp);
+        }
+    }
+    // Correction constants: +2^w and +2^(2w-1); for w == 1 they coincide
+    // modulo 2^(2w) and cancel (2 + 2 = 4 ≡ 0 mod 4), so skip them there.
+    if wi > 1 {
+        let one_a = b.const1();
+        columns[w].push(one_a);
+        let one_b = b.const1();
+        columns[2 * w - 1].push(one_b);
+    }
+    columns
+}
+
+/// Exact signed (two's-complement) Baugh-Wooley multiplier
+/// (`width`×`width` → `2·width` bits, LSB first).
+///
+/// Uses the standard Baugh-Wooley recoding: partial products touching
+/// exactly one sign bit are inverted (NAND instead of AND) and two
+/// correction constants are injected at columns `w` and `2w-1`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn baugh_wooley_multiplier(width: u32) -> Netlist {
+    assert!(width > 0, "multiplier width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let columns = baugh_wooley_columns(&mut b, width, |_, _| true);
+    let bits = reduce_columns_sequential(&mut b, columns, 2 * w);
+    b.outputs(&bits);
+    b.finish().expect("generated multiplier is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign_extend;
+    use apx_gates::Exhaustive;
+
+    fn check_unsigned(nl: &Netlist, w: u32) {
+        let table = Exhaustive::new(2 * w as usize).output_table(nl);
+        let mask = (1u64 << w) - 1;
+        for v in 0..table.len() as u64 {
+            let a = v & mask;
+            let b = (v >> w) & mask;
+            assert_eq!(table[v as usize], a * b, "w={w} {a}*{b}");
+        }
+    }
+
+    #[test]
+    fn array_multiplier_exhaustive() {
+        for w in 1..=6u32 {
+            check_unsigned(&array_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn wallace_multiplier_exhaustive() {
+        for w in 1..=6u32 {
+            check_unsigned(&wallace_multiplier(w), w);
+        }
+    }
+
+    #[test]
+    fn array_multiplier_8bit_spot_checks() {
+        let nl = array_multiplier(8);
+        let table = Exhaustive::new(16).output_table(&nl);
+        for (a, b) in [(0u64, 0u64), (255, 255), (127, 2), (200, 113), (1, 254)] {
+            assert_eq!(table[(a | (b << 8)) as usize], a * b);
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let arr = array_multiplier(8);
+        let wal = wallace_multiplier(8);
+        assert!(
+            wal.depth() < arr.depth(),
+            "wallace depth {} should beat array depth {}",
+            wal.depth(),
+            arr.depth()
+        );
+    }
+
+    #[test]
+    fn baugh_wooley_exhaustive() {
+        for w in 1..=6u32 {
+            let nl = baugh_wooley_multiplier(w);
+            let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+            let mask = (1u64 << w) - 1;
+            for v in 0..table.len() as u64 {
+                let a = sign_extend(v & mask, w);
+                let b = sign_extend((v >> w) & mask, w);
+                let got = sign_extend(table[v as usize], 2 * w);
+                assert_eq!(got, a * b, "w={w} {a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_gate_counts_are_reasonable() {
+        // Exact 8-bit array multiplier needs at least 64 AND gates for
+        // partial products and a few hundred gates overall.
+        let nl = array_multiplier(8);
+        let active = nl.active_gate_count();
+        assert!(active > 200 && active < 600, "active gates {active}");
+    }
+}

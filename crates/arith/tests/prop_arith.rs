@@ -1,0 +1,112 @@
+//! Property-based tests on arithmetic generators and tables.
+
+use apx_arith::{
+    array_multiplier, baugh_wooley_multiplier, broken_array_multiplier, golden, mac::mac_model,
+    sign_extend, to_raw, truncated_multiplier, wallace_multiplier, OpTable,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_multipliers_are_commutative_and_correct(
+        w in 2u32..=5,
+        a in 0u64..32,
+        b in 0u64..32,
+    ) {
+        let mask = (1u64 << w) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let arr = OpTable::from_netlist(&array_multiplier(w), w, false).unwrap();
+        let wal = OpTable::from_netlist(&wallace_multiplier(w), w, false).unwrap();
+        prop_assert_eq!(arr.get(a as i64, b as i64), (a * b) as i64);
+        prop_assert_eq!(arr.get(a as i64, b as i64), arr.get(b as i64, a as i64));
+        prop_assert_eq!(arr.get(a as i64, b as i64), wal.get(a as i64, b as i64));
+    }
+
+    #[test]
+    fn signed_multiplier_matches_reference(
+        w in 2u32..=5,
+        a_raw in any::<u64>(),
+        b_raw in any::<u64>(),
+    ) {
+        let mask = (1u64 << w) - 1;
+        let a = sign_extend(a_raw & mask, w);
+        let b = sign_extend(b_raw & mask, w);
+        let bw = OpTable::from_netlist(&baugh_wooley_multiplier(w), w, true).unwrap();
+        prop_assert_eq!(bw.get(a, b), a * b);
+    }
+
+    #[test]
+    fn truncation_is_monotone_in_error(
+        w in 3u32..=5,
+        k in 1u32..=4,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        // More truncation never reduces the (non-negative) error.
+        let mask = (1u64 << w) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let less = golden::mul_truncated(w, k, a, b);
+        let more = golden::mul_truncated(w, k + 1, a, b);
+        let exact = a * b;
+        prop_assert!(exact - more >= exact - less || more >= less);
+        prop_assert!(less <= exact && more <= less);
+    }
+
+    #[test]
+    fn broken_array_only_underestimates(
+        w in 2u32..=5,
+        hbl_off in 0u32..3,
+        vbl in 0u32..6,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let mask = (1u64 << w) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let hbl = w.saturating_sub(hbl_off).max(1);
+        let vbl = vbl.min(2 * w);
+        let t = OpTable::from_netlist(&broken_array_multiplier(w, hbl, vbl), w, false).unwrap();
+        let approx = t.get(a as i64, b as i64);
+        prop_assert!(approx >= 0);
+        prop_assert!(approx <= (a * b) as i64, "BAM drops partial products only");
+    }
+
+    #[test]
+    fn raw_encoding_round_trips(w in 1u32..=16, v_raw in any::<u64>()) {
+        let mask = (1u64 << w) - 1;
+        let raw = v_raw & mask;
+        prop_assert_eq!(to_raw(sign_extend(raw, w), w), raw);
+    }
+
+    #[test]
+    fn zero_guard_never_changes_nonzero_products(
+        a in -8i64..8,
+        b in -8i64..8,
+        vbl in 0u32..6,
+    ) {
+        let base = OpTable::from_netlist(
+            &apx_arith::baugh_wooley_broken(4, 4, vbl.min(8)),
+            4,
+            true,
+        )
+        .unwrap();
+        let guarded = base.with_zero_guard();
+        if a == 0 || b == 0 {
+            prop_assert_eq!(guarded.get(a, b), 0);
+        } else {
+            prop_assert_eq!(guarded.get(a, b), base.get(a, b));
+        }
+    }
+
+    #[test]
+    fn mac_model_is_linear_in_accumulator(
+        a in -8i64..8,
+        b in -8i64..8,
+        acc in -100i64..100,
+    ) {
+        // With a wide-enough accumulator there is no wrap: model == math.
+        let t = OpTable::exact_mul(4, true);
+        prop_assert_eq!(mac_model(&t, a, b, acc, 16), acc + a * b);
+    }
+}

@@ -1,0 +1,36 @@
+//! Throughput of the bit-parallel netlist simulator — the primitive that
+//! makes evolutionary circuit approximation feasible.
+
+use apx_arith::{array_multiplier, wallace_multiplier};
+use apx_gates::{BlockSim, Exhaustive};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_bitsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitsim");
+    group.sample_size(20);
+
+    let array = array_multiplier(8);
+    let wallace = wallace_multiplier(8);
+    let ex = Exhaustive::new(16);
+
+    group.bench_function("exhaustive_8bit_array_multiplier", |b| {
+        b.iter(|| black_box(ex.output_table(black_box(&array))))
+    });
+    group.bench_function("exhaustive_8bit_wallace_multiplier", |b| {
+        b.iter(|| black_box(ex.output_table(black_box(&wallace))))
+    });
+    group.bench_function("single_block_64_vectors", |b| {
+        let mut sim = BlockSim::new(&array);
+        let mut inputs = vec![0u64; 16];
+        ex.fill_inputs(17, &mut inputs);
+        b.iter(|| {
+            let out = sim.run(black_box(&array), black_box(&inputs));
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitsim);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! CGP machinery: mutation, decoding and whole fitness evaluations — the
+//! per-candidate cost that bounds how many designs a run can explore.
+
+use apx_arith::array_multiplier;
+use apx_cgp::{mutate, Chromosome, FunctionSet};
+use apx_core::Eq1Fitness;
+use apx_dist::Pmf;
+use apx_rng::Xoshiro256;
+use apx_techlib::TechLibrary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cgp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cgp");
+    group.sample_size(20);
+
+    let seed_nl = array_multiplier(8);
+    let funcs = FunctionSet::extended();
+    let seed =
+        Chromosome::from_netlist(&seed_nl, &funcs, seed_nl.gate_count() + 60).unwrap();
+
+    group.bench_function("mutate_h5", |b| {
+        let mut rng = Xoshiro256::from_seed(1);
+        let mut chrom = seed.clone();
+        b.iter(|| {
+            mutate(&mut chrom, 5, &mut rng);
+            black_box(chrom.len())
+        })
+    });
+    group.bench_function("decode_active_8bit_multiplier", |b| {
+        b.iter(|| black_box(seed.decode_active()))
+    });
+    group.bench_function("eq1_fitness_accepting_candidate", |b| {
+        let fitness =
+            Eq1Fitness::new(8, false, &Pmf::uniform(8), TechLibrary::nangate45(), 0.5).unwrap();
+        b.iter(|| black_box(fitness.of(black_box(&seed))))
+    });
+    group.bench_function("eq1_fitness_rejecting_candidate", |b| {
+        // Tight budget + mutated candidate: exercises the early abort.
+        let fitness =
+            Eq1Fitness::new(8, false, &Pmf::uniform(8), TechLibrary::nangate45(), 1e-7).unwrap();
+        let mut rng = Xoshiro256::from_seed(2);
+        let mut chrom = seed.clone();
+        for _ in 0..50 {
+            mutate(&mut chrom, 5, &mut rng);
+        }
+        b.iter(|| black_box(fitness.of(black_box(&chrom))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cgp);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Gaussian-filter pipeline throughput (Fig. 5 machinery).
+
+use apx_arith::{truncated_multiplier, OpTable};
+use apx_imgproc::{convolve3x3, convolve3x3_exact, psnr, synth, Kernel3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    group.sample_size(20);
+
+    let img = synth::test_images(1, 64, 64, 9).pop().unwrap();
+    let kernel = Kernel3::gaussian(1.0);
+    let table = OpTable::from_netlist(&truncated_multiplier(8, 6), 8, false).unwrap();
+
+    group.bench_function("convolve3x3_table_64x64", |b| {
+        b.iter(|| black_box(convolve3x3(black_box(&img), &kernel, &table)))
+    });
+    group.bench_function("convolve3x3_exact_64x64", |b| {
+        b.iter(|| black_box(convolve3x3_exact(black_box(&img), &kernel)))
+    });
+    group.bench_function("psnr_64x64", |b| {
+        let filtered = convolve3x3_exact(&img, &kernel);
+        b.iter(|| black_box(psnr(black_box(&img), black_box(&filtered))))
+    });
+    group.bench_function("scene_synthesis_64x64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(synth::test_images(1, 64, 64, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

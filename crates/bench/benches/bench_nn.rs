@@ -1,0 +1,49 @@
+//! Neural-network substrate throughput: float forward, quantized forward
+//! through a multiplier table, and dataset synthesis (case-study-2
+//! machinery).
+
+use apx_arith::OpTable;
+use apx_datasets::mnist_like;
+use apx_nn::{train, Network, QuantizedNetwork, TrainConfig};
+use apx_rng::Xoshiro256;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+
+    let data = mnist_like(96, 4242);
+    let mut rng = Xoshiro256::from_seed(7);
+    let mut net = Network::mlp(784, 48, 10, &mut rng);
+    train(
+        &mut net,
+        &data,
+        &TrainConfig { epochs: 2, ..Default::default() },
+    );
+    let (calib, _) = data.split(32);
+    let qnet = QuantizedNetwork::quantize(&net, &calib);
+    let exact = OpTable::exact_mul(8, true);
+    let img = data.image(0).to_vec();
+
+    group.bench_function("float_forward_mlp_784_48_10", |b| {
+        b.iter(|| black_box(net.forward(black_box(&img))))
+    });
+    group.bench_function("quantized_forward_with_table", |b| {
+        b.iter(|| black_box(qnet.forward_with(black_box(&img), &exact)))
+    });
+    group.bench_function("quantize_network", |b| {
+        b.iter(|| black_box(QuantizedNetwork::quantize(black_box(&net), &calib)))
+    });
+    group.bench_function("dataset_synthesis_32_images", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(mnist_like(32, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Cost of WMED evaluation — full, early-aborted, and with zero-weight
+//! block skipping (the fitness hot path of Eq. 1).
+
+use apx_arith::{array_multiplier, truncated_multiplier};
+use apx_dist::Pmf;
+use apx_metrics::MultEvaluator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_wmed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wmed");
+    group.sample_size(20);
+
+    let exact = array_multiplier(8);
+    let bad = truncated_multiplier(8, 12);
+    let uniform = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+
+    group.bench_function("full_pass_uniform", |b| {
+        b.iter(|| black_box(uniform.wmed(black_box(&exact))))
+    });
+    group.bench_function("early_abort_rejects_violator", |b| {
+        // The common CGP case: the offspring violates the budget and is
+        // rejected after a handful of blocks.
+        b.iter(|| black_box(uniform.wmed_bounded(black_box(&bad), 1e-6)))
+    });
+
+    // Concentrated distribution (like NN weights): most operand blocks
+    // carry zero probability and are skipped outright.
+    let mut weights = vec![0.0f64; 256];
+    for (w, v) in weights.iter_mut().zip(-16i64..16) {
+        let _ = v;
+        *w = 1.0;
+    }
+    let concentrated = Pmf::from_weights(8, weights).unwrap();
+    let sparse = MultEvaluator::new(8, false, &concentrated).unwrap();
+    group.bench_function("sparse_support_skips_blocks", |b| {
+        b.iter(|| black_box(sparse.wmed(black_box(&exact))))
+    });
+    group.bench_function("full_stats_pass", |b| {
+        b.iter(|| black_box(uniform.stats(black_box(&exact))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wmed);
+criterion_main!(benches);

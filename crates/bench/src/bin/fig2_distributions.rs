@@ -1,0 +1,48 @@
+//! Fig. 2: the probability mass functions D1 and D2 (and the uniform Du).
+//!
+//! Prints ASCII histograms and writes the full PMFs to
+//! `results/fig2_distributions.csv`.
+
+use apx_bench::{d1, d2, du, results_dir};
+use apx_core::report::TextTable;
+
+fn histogram(name: &str, pmf: &apx_dist::Pmf) {
+    println!("Function {name} (frequency per 16-value bin):");
+    let bins = 16;
+    let per = pmf.len() / bins;
+    let max: f64 = (0..bins)
+        .map(|b| (0..per).map(|i| pmf.prob(b * per + i)).sum::<f64>())
+        .fold(0.0, f64::max);
+    for b in 0..bins {
+        let mass: f64 = (0..per).map(|i| pmf.prob(b * per + i)).sum();
+        let bar = "#".repeat(((mass / max) * 48.0).round() as usize);
+        println!("  x in [{:>3}, {:>3}]  {:6.2} %  {bar}", b * per, (b + 1) * per - 1, mass * 100.0);
+    }
+    println!(
+        "  entropy {:.2} bits, mean {:.1}, support {}\n",
+        pmf.entropy(),
+        pmf.mean_raw(),
+        pmf.support_size()
+    );
+}
+
+fn main() {
+    println!("=== Fig. 2: operand distributions D1, D2 (and reference Du) ===\n");
+    let (d1, d2, du) = (d1(), d2(), du());
+    histogram("D1 (normal, mean 127, sigma 32)", &d1);
+    histogram("D2 (half-normal, sigma 48)", &d2);
+    histogram("Du (uniform)", &du);
+
+    let mut table = TextTable::new(vec!["x", "D1", "D2", "Du"]);
+    for x in 0..256 {
+        table.row(vec![
+            x.to_string(),
+            format!("{:.8}", d1.prob(x)),
+            format!("{:.8}", d2.prob(x)),
+            format!("{:.8}", du.prob(x)),
+        ]);
+    }
+    let path = results_dir().join("fig2_distributions.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("full PMFs written to {}", path.display());
+}

@@ -1,0 +1,128 @@
+//! Fig. 3: power vs WMED Pareto fronts.
+//!
+//! Evolves 8-bit multipliers under D1, D2 and Du across the paper's 14
+//! WMED targets, cross-evaluates every circuit under all three metrics,
+//! adds the truncated and broken-array baselines, and prints one series
+//! table per metric panel. CSV mirror: `results/fig3_pareto.csv`.
+//!
+//! Scale knobs: `APX_ITERS` (default 2000; paper ≈ 10^6), `APX_RUNS`.
+
+use apx_bench::{d1, d2, du, iterations, results_dir, runs};
+use apx_core::report::TextTable;
+use apx_core::{evolve_multipliers, pareto_indices, FlowConfig};
+use apx_metrics::MultEvaluator;
+use apx_rng::Xoshiro256;
+use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
+
+struct Point {
+    series: String,
+    name: String,
+    wmed: [f64; 3], // under D1, D2, Du
+    power_mw: f64,
+}
+
+fn main() {
+    let dists = [("D1", d1()), ("D2", d2()), ("Du", du())];
+    let iters = iterations();
+    let n_runs = runs(1);
+    println!(
+        "=== Fig. 3: Pareto fronts (iterations/run = {iters}, runs/level = {n_runs}) ===\n"
+    );
+
+    let evaluators: Vec<MultEvaluator> = dists
+        .iter()
+        .map(|(_, p)| MultEvaluator::new(8, false, p).expect("evaluator"))
+        .collect();
+    let tech = TechLibrary::nangate45();
+    let mut points: Vec<Point> = Vec::new();
+
+    // Proposed: evolve under each distribution.
+    for (name, pmf) in &dists {
+        let cfg = FlowConfig {
+            width: 8,
+            signed: false,
+            iterations: iters,
+            runs_per_threshold: n_runs,
+            seed: 0xF16_3,
+            ..FlowConfig::default()
+        };
+        let result = evolve_multipliers(pmf, &cfg).expect("flow");
+        for m in result.best_per_threshold() {
+            let wmed = [
+                evaluators[0].wmed(&m.netlist),
+                evaluators[1].wmed(&m.netlist),
+                evaluators[2].wmed(&m.netlist),
+            ];
+            points.push(Point {
+                series: format!("proposed ({name})"),
+                name: m.name.clone(),
+                wmed,
+                power_mw: m.estimate.power_mw(),
+            });
+        }
+        println!("evolved {} multipliers for {name}", result.multipliers.len());
+    }
+
+    // Baselines: truncated and broken-array multipliers.
+    let mut rng = Xoshiro256::from_seed(0xBA5E);
+    let mut add_baseline = |series: &str, name: String, netlist: &apx_gates::Netlist| {
+        let wmed = [
+            evaluators[0].wmed(netlist),
+            evaluators[1].wmed(netlist),
+            evaluators[2].wmed(netlist),
+        ];
+        // Baseline power is reported under the uniform distribution, as in
+        // the paper's library comparisons.
+        let est = estimate_under_pmf(netlist, &tech, &du(), DEFAULT_CLOCK_MHZ, 32, &mut rng);
+        points.push(Point { series: series.to_owned(), name, wmed, power_mw: est.power_mw() });
+    };
+    for k in 1..=12u32 {
+        add_baseline("truncated", format!("trunc_{k}"), &apx_arith::truncated_multiplier(8, k));
+    }
+    for (hbl, vbl) in [(8u32, 2u32), (8, 4), (8, 6), (8, 8), (8, 10), (7, 4), (7, 8), (6, 6), (6, 10), (5, 8)] {
+        add_baseline(
+            "broken-array",
+            format!("bam_h{hbl}_v{vbl}"),
+            &apx_arith::broken_array_multiplier(8, hbl, vbl),
+        );
+    }
+
+    // One panel per metric.
+    let mut csv = TextTable::new(vec!["panel", "series", "name", "wmed_pct", "power_mw"]);
+    for (panel, (dist_name, _)) in dists.iter().enumerate() {
+        println!("\n--- panel WMED_{dist_name} (power [mW] vs error) ---");
+        let mut table = TextTable::new(vec!["series", "name", "WMED %", "power mW", "pareto"]);
+        let panel_points: Vec<(f64, f64)> =
+            points.iter().map(|p| (p.wmed[panel], p.power_mw)).collect();
+        let front = pareto_indices(&panel_points);
+        for (i, p) in points.iter().enumerate() {
+            table.row(vec![
+                p.series.clone(),
+                p.name.clone(),
+                format!("{:.5}", p.wmed[panel] * 100.0),
+                format!("{:.4}", p.power_mw),
+                if front.contains(&i) { "*".to_owned() } else { String::new() },
+            ]);
+            csv.row(vec![
+                format!("WMED_{dist_name}"),
+                p.series.clone(),
+                p.name.clone(),
+                format!("{:.6}", p.wmed[panel] * 100.0),
+                format!("{:.5}", p.power_mw),
+            ]);
+        }
+        println!("{}", table.to_text());
+        // Headline check: who owns the front in this panel?
+        let proposed_on_front = front
+            .iter()
+            .filter(|&&i| points[i].series == format!("proposed ({dist_name})"))
+            .count();
+        println!(
+            "pareto points from `proposed ({dist_name})`: {proposed_on_front} of {}",
+            front.len()
+        );
+    }
+    let path = results_dir().join("fig3_pareto.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("\nCSV written to {}", path.display());
+}

@@ -1,0 +1,65 @@
+//! Fig. 4: error heat maps of multipliers evolved for D1, D2 and Du.
+//!
+//! Evolves one 8-bit multiplier per distribution at the same WMED budget
+//! (so they are comparable, like the paper's "similar power and WMED"
+//! selection), prints a 16×16 ASCII heat map of `|x·y − M̃(x,y)|` and the
+//! per-operand-band mean errors. CSV mirror: `results/fig4_heatmaps.csv`.
+
+use apx_bench::{d1, d2, du, iterations, results_dir};
+use apx_core::report::TextTable;
+use apx_core::{error_heatmap, evolve_multipliers, FlowConfig};
+
+fn main() {
+    let budget = 2e-3; // 0.2 % — a mid-range point of Fig. 3
+    let iters = iterations();
+    println!(
+        "=== Fig. 4: error heat maps (WMED budget {:.2} %, {iters} iterations) ===\n",
+        budget * 100.0
+    );
+    let dists = [("D1", d1()), ("D2", d2()), ("Du", du())];
+    let mut csv = TextTable::new(vec!["multiplier", "x_band", "mean_err_pct"]);
+    for (name, pmf) in &dists {
+        let cfg = FlowConfig {
+            width: 8,
+            thresholds: vec![budget],
+            iterations: iters,
+            seed: 0xF16_4,
+            ..FlowConfig::default()
+        };
+        let result = evolve_multipliers(pmf, &cfg).expect("flow");
+        let m = &result.multipliers[0];
+        let heat = error_heatmap(&m.netlist, 8, false).expect("heatmap");
+        println!(
+            "Multiplier {name} (WMED_{name} = {:.4} %, power {:.4} mW, {} gates)",
+            m.stats.wmed * 100.0,
+            m.estimate.power_mw(),
+            m.netlist.active_gate_count()
+        );
+        println!("x runs top-to-bottom, y left-to-right; darker = larger error:");
+        println!("{}", heat.to_ascii(16));
+        // Row-band means: the paper's observation is which x-bands stay
+        // accurate under each distribution.
+        let band = 32;
+        for b in 0..(256 / band) {
+            let mean: f64 =
+                (b * band..(b + 1) * band).map(|x| heat.row_mean(x)).sum::<f64>() / band as f64;
+            csv.row(vec![
+                format!("evolved_{name}"),
+                format!("{}..{}", b * band, (b + 1) * band - 1),
+                format!("{:.5}", mean * 100.0),
+            ]);
+        }
+        let low_band: f64 = (0..64).map(|x| heat.row_mean(x)).sum::<f64>() / 64.0;
+        let mid_band: f64 = (96..160).map(|x| heat.row_mean(x)).sum::<f64>() / 64.0;
+        let high_band: f64 = (192..256).map(|x| heat.row_mean(x)).sum::<f64>() / 64.0;
+        println!(
+            "mean error by x-band:  low {:.4} %   mid {:.4} %   high {:.4} %\n",
+            low_band * 100.0,
+            mid_band * 100.0,
+            high_band * 100.0
+        );
+    }
+    let path = results_dir().join("fig4_heatmaps.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("CSV written to {}", path.display());
+}

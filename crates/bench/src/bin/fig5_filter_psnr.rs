@@ -1,0 +1,90 @@
+//! Fig. 5: average PSNR of approximate Gaussian filters vs power.
+//!
+//! Takes the multipliers evolved for D1/D2/Du (as in Fig. 3) plus the
+//! conventional baselines, drops each into the 3×3 Gaussian filter and
+//! reports mean PSNR over 25 images against filter power.
+//! CSV mirror: `results/fig5_filter_psnr.csv`.
+
+use apx_bench::{d1, d2, du, iterations, results_dir};
+use apx_core::report::TextTable;
+use apx_core::{evolve_multipliers, FlowConfig};
+use apx_dist::Pmf;
+use apx_imgproc::{average_filter_psnr, synth, Kernel3};
+use apx_rng::Xoshiro256;
+use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
+
+fn main() {
+    let iters = iterations();
+    println!("=== Fig. 5: Gaussian-filter PSNR vs power ({iters} iterations/run) ===\n");
+    let kernel = Kernel3::gaussian(1.0);
+    println!("kernel (sum 256): {:?}", kernel.coeffs());
+    let images = synth::test_images(25, 64, 64, 555);
+
+    // The multiplier sees: x = coefficient (small values!), y = pixel.
+    let mut coeff_weights = vec![0.0f64; 256];
+    for &c in kernel.coeffs() {
+        coeff_weights[c as usize] += 1.0;
+    }
+    let coeff_pmf = Pmf::from_weights(8, coeff_weights).expect("kernel pmf");
+
+    let tech = TechLibrary::nangate45();
+    let mut rng = Xoshiro256::from_seed(0xF165);
+    let mut table = TextTable::new(vec!["series", "name", "PSNR dB", "power mW"]);
+    let mut csv = TextTable::new(vec!["series", "name", "psnr_db", "power_mw"]);
+
+    // Proposed multipliers from the three distributions, a few WMED levels.
+    let thresholds = vec![1e-5, 1e-4, 1e-3, 5e-3, 2e-2, 1e-1];
+    for (name, pmf) in [("D1", d1()), ("D2", d2()), ("Du", du())] {
+        let cfg = FlowConfig {
+            width: 8,
+            thresholds: thresholds.clone(),
+            iterations: iters,
+            seed: 0xF165,
+            ..FlowConfig::default()
+        };
+        let result = evolve_multipliers(&pmf, &cfg).expect("flow");
+        for m in result.best_per_threshold() {
+            let t = apx_arith::OpTable::from_netlist(&m.netlist, 8, false).expect("table");
+            let psnr = average_filter_psnr(&images, &kernel, &t, 80.0);
+            // Filter power: the multiplier operating on coefficient data.
+            let est =
+                estimate_under_pmf(&m.netlist, &tech, &coeff_pmf, DEFAULT_CLOCK_MHZ, 32, &mut rng);
+            let series = format!("proposed ({name})");
+            table.row(vec![
+                series.clone(),
+                m.name.clone(),
+                format!("{psnr:.2}"),
+                format!("{:.4}", est.power_mw()),
+            ]);
+            csv.row(vec![series, m.name.clone(), format!("{psnr:.3}"), format!("{:.5}", est.power_mw())]);
+        }
+    }
+    // Conventional baselines for context.
+    for k in [4u32, 6, 8, 10] {
+        let nl = apx_arith::truncated_multiplier(8, k);
+        let t = apx_arith::OpTable::from_netlist(&nl, 8, false).expect("table");
+        let psnr = average_filter_psnr(&images, &kernel, &t, 80.0);
+        let est = estimate_under_pmf(&nl, &tech, &coeff_pmf, DEFAULT_CLOCK_MHZ, 32, &mut rng);
+        table.row(vec![
+            "truncated".to_owned(),
+            format!("trunc_{k}"),
+            format!("{psnr:.2}"),
+            format!("{:.4}", est.power_mw()),
+        ]);
+        csv.row(vec![
+            "truncated".to_owned(),
+            format!("trunc_{k}"),
+            format!("{psnr:.3}"),
+            format!("{:.5}", est.power_mw()),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!(
+        "Expected shape (paper): the D2-evolved series dominates — its\n\
+         multipliers are exact for the small coefficient values the filter\n\
+         actually multiplies by."
+    );
+    let path = results_dir().join("fig5_filter_psnr.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("CSV written to {}", path.display());
+}

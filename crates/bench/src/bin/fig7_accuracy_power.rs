@@ -1,0 +1,111 @@
+//! Fig. 7: classification accuracy vs relative MAC power for the proposed
+//! multipliers against library baselines (EvoApprox-like, broken-array,
+//! zero-guarded).
+//!
+//! CSV mirror: `results/fig7_accuracy_power.csv`.
+//!
+//! Scale knobs: `APX_ITERS`, `APX_TRAIN_N`, `APX_TEST_N`, `APX_EPOCHS`.
+
+use apx_approxlib::MultiplierLibrary;
+use apx_arith::mac::accumulator_width;
+use apx_arith::{baugh_wooley_multiplier, OpTable};
+use apx_bench::{iterations, lenet_case, mlp_case, results_dir};
+use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
+use apx_core::report::TextTable;
+use apx_core::{evolve_multipliers, mac_metrics, pareto_indices, FlowConfig};
+use apx_gates::Netlist;
+
+fn run_case(
+    label: &str,
+    case: &CaseStudy,
+    fanin: usize,
+    csv: &mut TextTable,
+) {
+    println!("--- {label}: accuracy vs relative MAC power ---");
+    let exact_mult = baugh_wooley_multiplier(8);
+    let acc_width = accumulator_width(8, fanin);
+
+    // Candidates: evolved (proposed) + signed BAM + zero-guarded BAM.
+    let mut candidates: Vec<(String, Netlist)> = Vec::new();
+    let cfg = FlowConfig {
+        width: 8,
+        signed: true,
+        thresholds: vec![5e-4, 2e-3, 1e-2, 5e-2],
+        iterations: iterations(),
+        seed: 0xF167,
+        ..FlowConfig::default()
+    };
+    let evolved = evolve_multipliers(&case.weight_pmf, &cfg).expect("flow");
+    for m in evolved.best_per_threshold() {
+        candidates.push((format!("proposed {:.2}%", m.threshold * 100.0), m.netlist.clone()));
+    }
+    let bam = MultiplierLibrary::broken_family_signed(8);
+    for e in bam.iter().filter(|e| e.name != "exact_bw").step_by(3) {
+        candidates.push((format!("bam {}", e.name), e.netlist.clone()));
+    }
+    let zg = MultiplierLibrary::zero_guard_family_signed(8);
+    for e in zg.iter().filter(|e| e.name != "exact_bw").step_by(3) {
+        candidates.push((format!("zero-guard {}", e.name), e.netlist.clone()));
+    }
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (name, netlist) in &candidates {
+        let table = OpTable::from_netlist(netlist, 8, true).expect("table");
+        let acc = evaluate_multiplier(case, &table, 0);
+        let mac = mac_metrics(netlist, &exact_mult, 8, acc_width, true, &case.weight_pmf, 16, 3);
+        rows.push((name.clone(), acc.initial_delta, 1.0 + mac.rel_power));
+    }
+
+    // Pareto view: maximize accuracy (minimize -delta), minimize power.
+    let points: Vec<(f64, f64)> = rows.iter().map(|r| (-r.1, r.2)).collect();
+    let front = pareto_indices(&points);
+    let mut table = TextTable::new(vec!["multiplier", "acc delta", "rel power", "pareto"]);
+    for (i, (name, delta, rel_power)) in rows.iter().enumerate() {
+        table.row(vec![
+            name.clone(),
+            format!("{:+.2} %", delta * 100.0),
+            format!("{:.3}", rel_power),
+            if front.contains(&i) { "*".to_owned() } else { String::new() },
+        ]);
+        csv.row(vec![
+            label.to_owned(),
+            name.clone(),
+            format!("{:.5}", delta),
+            format!("{:.5}", rel_power),
+        ]);
+    }
+    println!("{}", table.to_text());
+    let proposed_on_front =
+        front.iter().filter(|&&i| rows[i].0.starts_with("proposed")).count();
+    println!(
+        "proposed multipliers on the accuracy/power front: {proposed_on_front} of {}\n",
+        front.len()
+    );
+}
+
+fn main() {
+    println!(
+        "=== Fig. 7: accuracy vs relative MAC power ({} iterations/run) ===\n",
+        iterations()
+    );
+    let mut csv = TextTable::new(vec!["case", "multiplier", "acc_delta", "rel_power"]);
+    let mlp = mlp_case();
+    println!(
+        "MLP reference accuracy: float {:.1} %, quantized {:.1} %\n",
+        mlp.float_accuracy * 100.0,
+        mlp.quantized_accuracy * 100.0
+    );
+    run_case("MLP / MNIST-like", &mlp, 784, &mut csv);
+
+    let lenet = lenet_case();
+    println!(
+        "LeNet reference accuracy: float {:.1} %, quantized {:.1} %\n",
+        lenet.float_accuracy * 100.0,
+        lenet.quantized_accuracy * 100.0
+    );
+    run_case("LeNet / SVHN-like", &lenet, 25, &mut csv);
+
+    let path = results_dir().join("fig7_accuracy_power.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("CSV written to {}", path.display());
+}

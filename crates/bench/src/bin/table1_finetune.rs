@@ -1,0 +1,105 @@
+//! Table I: WMED level vs classification accuracy (before / after
+//! fine-tuning) and relative MAC PDP / power / area, for both classifiers.
+//!
+//! CSV mirror: `results/table1.csv`.
+//!
+//! Scale knobs: `APX_ITERS` (CGP), `APX_FT_ITERS` (fine-tuning passes,
+//! paper: 10), `APX_TRAIN_N` / `APX_TEST_N` / `APX_EPOCHS` (classifier).
+
+use apx_arith::mac::accumulator_width;
+use apx_arith::{baugh_wooley_multiplier, OpTable};
+use apx_bench::{finetune_iters, iterations, lenet_case, mlp_case, results_dir};
+use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
+use apx_core::report::{signed_percent, TextTable};
+use apx_core::{evolve_multipliers, mac_metrics, table1_thresholds, FlowConfig};
+
+fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
+    let levels = table1_thresholds();
+    let iters = iterations();
+    let ft = finetune_iters();
+    println!(
+        "--- {label} (CGP {iters} iters/level, fine-tuning {ft} passes; paper: 10^6 / 10) ---"
+    );
+    let cfg = FlowConfig {
+        width: 8,
+        signed: true,
+        thresholds: levels.clone(),
+        iterations: iters,
+        seed: 0x7AB1,
+        ..FlowConfig::default()
+    };
+    let evolved = evolve_multipliers(&case.weight_pmf, &cfg).expect("flow");
+    let exact_mult = baugh_wooley_multiplier(8);
+    let acc_width = accumulator_width(8, fanin);
+
+    let mut table = TextTable::new(vec![
+        "WMED level %",
+        "initial acc",
+        "after finetuning",
+        "PDP",
+        "Power",
+        "Area",
+    ]);
+    for m in evolved.best_per_threshold() {
+        let op = OpTable::from_netlist(&m.netlist, 8, true).expect("table");
+        let acc = evaluate_multiplier(case, &op, ft);
+        let mac = mac_metrics(&m.netlist, &exact_mult, 8, acc_width, true, &case.weight_pmf, 16, 4);
+        table.row(vec![
+            format!("{:.3}", m.threshold * 100.0),
+            signed_percent(acc.initial_delta),
+            signed_percent(acc.finetuned_delta),
+            signed_percent(mac.rel_pdp),
+            signed_percent(mac.rel_power),
+            signed_percent(mac.rel_area),
+        ]);
+        csv.row(vec![
+            label.to_owned(),
+            format!("{:.4}", m.threshold * 100.0),
+            format!("{:.5}", acc.initial_delta),
+            format!("{:.5}", acc.finetuned_delta),
+            format!("{:.5}", mac.rel_pdp),
+            format!("{:.5}", mac.rel_power),
+            format!("{:.5}", mac.rel_area),
+        ]);
+    }
+    println!("{}", table.to_text());
+}
+
+fn main() {
+    println!("=== Table I: WMED level vs accuracy and MAC savings ===\n");
+    println!("(accuracy deltas are relative to the exact-multiplier quantized");
+    println!(" network; negative = degradation — the paper's convention)\n");
+    let mut csv = TextTable::new(vec![
+        "case",
+        "wmed_pct",
+        "initial_acc_delta",
+        "finetuned_acc_delta",
+        "rel_pdp",
+        "rel_power",
+        "rel_area",
+    ]);
+    let lenet = lenet_case();
+    println!(
+        "LeNet / SVHN-like reference: float {:.1} %, quantized {:.1} %",
+        lenet.float_accuracy * 100.0,
+        lenet.quantized_accuracy * 100.0
+    );
+    run_case("SVHN-like", &lenet, 25, &mut csv);
+
+    let mlp = mlp_case();
+    println!(
+        "MLP / MNIST-like reference: float {:.1} %, quantized {:.1} %",
+        mlp.float_accuracy * 100.0,
+        mlp.quantized_accuracy * 100.0
+    );
+    run_case("MNIST-like", &mlp, 784, &mut csv);
+
+    let path = results_dir().join("table1.csv");
+    csv.write_csv(&path).expect("write csv");
+    println!("CSV written to {}", path.display());
+    println!(
+        "\nExpected shape (paper): accuracy unchanged up to WMED 0.5 %, large\n\
+         initial drops at 5-10 % that fine-tuning mostly recovers, and MAC\n\
+         PDP/power/area savings growing monotonically with the WMED level."
+    );
+}

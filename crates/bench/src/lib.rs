@@ -1,0 +1,133 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! paper (see DESIGN.md §5 for the index). Experiment scale is controlled
+//! by environment variables so the same binaries serve quick smoke runs
+//! and overnight full-scale reproductions:
+//!
+//! | Variable | Meaning | Default |
+//! |----------|---------|---------|
+//! | `APX_ITERS` | CGP generations per run | 2000 |
+//! | `APX_RUNS` | independent CGP runs per error level | 1 (fig6: 5) |
+//! | `APX_TRAIN_N` | NN training samples | per-case |
+//! | `APX_TEST_N` | NN test samples | per-case |
+//! | `APX_EPOCHS` | NN training epochs | per-case |
+//! | `APX_FT_ITERS` | fine-tuning iterations (paper: 10) | 2 |
+//!
+//! Results are printed as paper-style rows and mirrored as CSV under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apx_core::nn_flow::{prepare_case, CaseConfig, CaseKind, CaseStudy};
+use apx_dist::Pmf;
+use std::path::PathBuf;
+
+/// Reads an integer environment knob.
+#[must_use]
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `usize` environment knob.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    env_u64(name, default as u64) as usize
+}
+
+/// CGP generations per run (`APX_ITERS`).
+#[must_use]
+pub fn iterations() -> u64 {
+    env_u64("APX_ITERS", 2_000)
+}
+
+/// Independent runs per error level (`APX_RUNS`).
+#[must_use]
+pub fn runs(default: usize) -> usize {
+    env_usize("APX_RUNS", default)
+}
+
+/// The paper's D1: a normal distribution centred mid-range (Fig. 2 left).
+#[must_use]
+pub fn d1() -> Pmf {
+    Pmf::normal(8, 127.0, 32.0)
+}
+
+/// The paper's D2: a half-normal distribution favouring small operands
+/// (Fig. 2 right).
+#[must_use]
+pub fn d2() -> Pmf {
+    Pmf::half_normal(8, 48.0)
+}
+
+/// The uniform reference distribution Du.
+#[must_use]
+pub fn du() -> Pmf {
+    Pmf::uniform(8)
+}
+
+/// Directory for CSV mirrors of the printed tables.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // crates/bench -> workspace root -> results/
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Prepares the MNIST-like MLP case at bench scale.
+#[must_use]
+pub fn mlp_case() -> CaseStudy {
+    prepare_case(&CaseConfig {
+        kind: CaseKind::Mlp { hidden: env_usize("APX_HIDDEN", 48) },
+        train_n: env_usize("APX_TRAIN_N", 1_200),
+        test_n: env_usize("APX_TEST_N", 300),
+        calib_n: 64,
+        epochs: env_usize("APX_EPOCHS", 15),
+        lr: 0.03,
+        seed: 1001,
+    })
+}
+
+/// Prepares the SVHN-like LeNet case at bench scale (conv nets are ~20×
+/// more expensive per sample; defaults are sized accordingly).
+#[must_use]
+pub fn lenet_case() -> CaseStudy {
+    prepare_case(&CaseConfig {
+        kind: CaseKind::LeNet,
+        train_n: env_usize("APX_TRAIN_N", 500),
+        test_n: env_usize("APX_TEST_N", 150),
+        calib_n: 32,
+        epochs: env_usize("APX_EPOCHS", 8),
+        lr: 0.015,
+        seed: 2002,
+    })
+}
+
+/// Fine-tuning iterations (`APX_FT_ITERS`; the paper uses 10).
+#[must_use]
+pub fn finetune_iters() -> usize {
+    env_usize("APX_FT_ITERS", 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_fall_back_to_defaults() {
+        assert_eq!(env_u64("APX_DEFINITELY_UNSET_VAR", 7), 7);
+        assert!(iterations() > 0);
+    }
+
+    #[test]
+    fn paper_distributions_have_the_right_shapes() {
+        let d1 = d1();
+        assert!(d1.prob(127) > d1.prob(20));
+        let d2 = d2();
+        assert!(d2.prob(0) > d2.prob(128));
+        assert_eq!(du().support_size(), 256);
+    }
+}

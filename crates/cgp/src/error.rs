@@ -1,0 +1,51 @@
+//! CGP error type.
+
+use apx_gates::GateKind;
+use std::fmt;
+
+/// Error raised by chromosome construction or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgpError {
+    /// A seed netlist uses a gate kind missing from the function set.
+    UnsupportedGate(GateKind),
+    /// The grid has fewer columns than the seed netlist has gates.
+    GridTooSmall {
+        /// Gates required by the seed.
+        needed: usize,
+        /// Columns available.
+        cols: usize,
+    },
+    /// The function set is empty.
+    EmptyFunctionSet,
+    /// A textual chromosome failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for CgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgpError::UnsupportedGate(kind) => {
+                write!(f, "gate kind `{kind}` is not in the function set")
+            }
+            CgpError::GridTooSmall { needed, cols } => {
+                write!(f, "seed needs {needed} columns but the grid has only {cols}")
+            }
+            CgpError::EmptyFunctionSet => write!(f, "function set is empty"),
+            CgpError::Parse(msg) => write!(f, "chromosome parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = CgpError::GridTooSmall { needed: 100, cols: 50 };
+        assert!(e.to_string().contains("100"));
+        assert!(CgpError::UnsupportedGate(GateKind::Xor).to_string().contains("xor"));
+    }
+}

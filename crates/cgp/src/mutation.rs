@@ -1,0 +1,96 @@
+//! Point mutation.
+
+use crate::Chromosome;
+use apx_rng::Xoshiro256;
+
+/// Mutates up to `h` randomly selected genes of `chromosome` in place
+/// (paper §III-C: "the mutation operator randomly modifies up to `h`
+/// randomly selected integers of the string").
+///
+/// Every mutated gene is redrawn uniformly from its legal interval, so the
+/// chromosome is valid afterwards by construction. Positions are drawn
+/// with replacement and a redraw may reproduce the old value — both
+/// standard CGP behaviour, which is why the effective number of changed
+/// genes is "up to" `h`.
+///
+/// # Panics
+///
+/// Panics if `h == 0`.
+pub fn mutate(chromosome: &mut Chromosome, h: usize, rng: &mut Xoshiro256) {
+    assert!(h > 0, "mutation rate h must be at least 1");
+    let len = chromosome.len();
+    for _ in 0..h {
+        let idx = rng.gen_range(len);
+        let bound = chromosome.gene_bound(idx);
+        let new = rng.gen_range(bound as usize) as u32;
+        chromosome.genes_mut()[idx] = new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionSet;
+    use proptest::prelude::*;
+
+    fn sample_chromosome(seed: u64) -> Chromosome {
+        let mut rng = Xoshiro256::from_seed(seed);
+        Chromosome::random(6, 4, 40, &FunctionSet::extended(), &mut rng)
+    }
+
+    #[test]
+    fn mutation_preserves_validity() {
+        let mut rng = Xoshiro256::from_seed(11);
+        let mut c = sample_chromosome(1);
+        for _ in 0..1000 {
+            mutate(&mut c, 5, &mut rng);
+            assert!(c.is_valid());
+        }
+    }
+
+    #[test]
+    fn mutation_changes_genes_eventually() {
+        let mut rng = Xoshiro256::from_seed(12);
+        let c0 = sample_chromosome(2);
+        let mut c = c0.clone();
+        for _ in 0..20 {
+            mutate(&mut c, 5, &mut rng);
+        }
+        assert_ne!(c0, c, "100 gene redraws should change something");
+    }
+
+    #[test]
+    fn mutated_chromosome_still_decodes() {
+        let mut rng = Xoshiro256::from_seed(13);
+        let mut c = sample_chromosome(3);
+        for _ in 0..200 {
+            mutate(&mut c, 3, &mut rng);
+            let nl = c.decode_active();
+            nl.validate().unwrap();
+            assert_eq!(nl.num_inputs(), 6);
+            assert_eq!(nl.num_outputs(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = sample_chromosome(4);
+        let mut b = a.clone();
+        let mut rng_a = Xoshiro256::from_seed(99);
+        let mut rng_b = Xoshiro256::from_seed(99);
+        mutate(&mut a, 5, &mut rng_a);
+        mutate(&mut b, 5, &mut rng_b);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mutation_always_valid(seed in 0u64..1000, h in 1usize..10) {
+            let mut rng = Xoshiro256::from_seed(seed);
+            let mut c = Chromosome::random(5, 3, 25, &FunctionSet::standard(), &mut rng);
+            mutate(&mut c, h, &mut rng);
+            prop_assert!(c.is_valid());
+            c.decode_active().validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The `(1 + λ)` evolution strategy.
+
+use crate::{mutate, Chromosome};
+use apx_rng::Xoshiro256;
+
+/// Parameters of a CGP run (paper defaults: `λ = 4`, `h = 5`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionConfig {
+    /// Offspring per generation (λ).
+    pub lambda: usize,
+    /// Maximum genes mutated per offspring (h).
+    pub mutations: usize,
+    /// Generations to run.
+    pub max_iterations: u64,
+    /// RNG seed; equal seeds reproduce the run exactly.
+    pub seed: u64,
+    /// Evaluate offspring on `λ` worker threads.
+    pub parallel: bool,
+    /// Stop early once fitness reaches this value.
+    pub target_fitness: Option<f64>,
+    /// Record `(iteration, fitness)` history points on every improvement.
+    pub keep_history: bool,
+}
+
+impl Default for EvolutionConfig {
+    /// Paper parameters: `λ = 4`, `h = 5`, sequential evaluation.
+    fn default() -> Self {
+        EvolutionConfig {
+            lambda: 4,
+            mutations: 5,
+            max_iterations: 10_000,
+            seed: 0,
+            parallel: false,
+            target_fitness: None,
+            keep_history: true,
+        }
+    }
+}
+
+/// Outcome of a CGP run.
+#[derive(Debug, Clone)]
+pub struct EvolutionResult {
+    /// The best chromosome found (the final parent).
+    pub best: Chromosome,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Generations executed.
+    pub iterations: u64,
+    /// Fitness evaluations spent (`1 + λ·iterations`).
+    pub evaluations: u64,
+    /// `(iteration, fitness)` at every strict improvement.
+    pub history: Vec<(u64, f64)>,
+}
+
+/// Runs the `(1 + λ)` strategy from `seed_parent`, minimizing `fitness`.
+///
+/// Each generation clones the parent λ times, mutates every clone with up
+/// to `h` gene redraws, evaluates all offspring (in parallel when
+/// requested) and promotes the best offspring whose fitness is **less than
+/// or equal to** the parent's — the neutral genetic drift that CGP's
+/// redundant representation is designed for (paper §III-C).
+///
+/// `fitness` may return `f64::INFINITY` to reject a candidate outright
+/// (Eq. 1 does exactly that when the WMED budget is violated).
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `mutations == 0`.
+pub fn evolve<F>(seed_parent: &Chromosome, fitness: F, config: &EvolutionConfig) -> EvolutionResult
+where
+    F: Fn(&Chromosome) -> f64 + Sync,
+{
+    assert!(config.lambda > 0, "lambda must be at least 1");
+    assert!(config.mutations > 0, "mutation rate must be at least 1");
+    let mut rng = Xoshiro256::from_seed(config.seed);
+    let mut parent = seed_parent.clone();
+    let mut parent_fit = fitness(&parent);
+    let mut evaluations = 1u64;
+    let mut history = Vec::new();
+    if config.keep_history {
+        history.push((0, parent_fit));
+    }
+    let mut offspring: Vec<Chromosome> = Vec::with_capacity(config.lambda);
+    let mut iterations = 0u64;
+    for iter in 1..=config.max_iterations {
+        iterations = iter;
+        if let Some(target) = config.target_fitness {
+            if parent_fit <= target {
+                iterations = iter - 1;
+                break;
+            }
+        }
+        offspring.clear();
+        for _ in 0..config.lambda {
+            let mut child = parent.clone();
+            mutate(&mut child, config.mutations, &mut rng);
+            offspring.push(child);
+        }
+        let fits: Vec<f64> = if config.parallel && config.lambda > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = offspring
+                    .iter()
+                    .map(|child| scope.spawn(|| fitness(child)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("fitness worker panicked")).collect()
+            })
+        } else {
+            offspring.iter().map(&fitness).collect()
+        };
+        evaluations += config.lambda as u64;
+        // Best offspring; ties broken toward the earliest (deterministic).
+        let (best_idx, &best_fit) = fits
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("lambda >= 1");
+        // Neutral drift: equal fitness replaces the parent.
+        if best_fit <= parent_fit {
+            if best_fit < parent_fit && config.keep_history {
+                history.push((iter, best_fit));
+            }
+            parent = offspring.swap_remove(best_idx);
+            parent_fit = best_fit;
+        }
+    }
+    EvolutionResult { best: parent, best_fitness: parent_fit, iterations, evaluations, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionSet;
+    use apx_arith::array_multiplier;
+    use apx_gates::Exhaustive;
+
+    /// Area-under-correctness fitness: enormous penalty per wrong output
+    /// bit plus gate count — a miniature of the paper's Eq. 1.
+    fn exactness_area_fitness(width: u32) -> impl Fn(&Chromosome) -> f64 + Sync {
+        let golden = Exhaustive::new(2 * width as usize).output_table(&array_multiplier(width));
+        move |c: &Chromosome| {
+            let nl = c.decode_active();
+            let table = Exhaustive::new(nl.num_inputs()).output_table(&nl);
+            let wrong: u64 = table
+                .iter()
+                .zip(&golden)
+                .map(|(a, b)| (a ^ b).count_ones() as u64)
+                .sum();
+            wrong as f64 * 1e6 + nl.active_gate_count() as f64
+        }
+    }
+
+    #[test]
+    fn evolution_reduces_multiplier_area_without_breaking_it() {
+        let nl = array_multiplier(2);
+        let funcs = FunctionSet::standard();
+        let seed = Chromosome::from_netlist(&nl, &funcs, nl.gate_count() + 12).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let start = fitness(&seed);
+        let result = evolve(
+            &seed,
+            &fitness,
+            &EvolutionConfig { max_iterations: 3000, seed: 7, ..Default::default() },
+        );
+        assert!(result.best_fitness <= start);
+        // Still exact (fitness < 1e6 means zero wrong bits).
+        assert!(
+            result.best_fitness < 1e6,
+            "evolved multiplier must stay exact, fitness {}",
+            result.best_fitness
+        );
+        // The textbook 2-bit array multiplier (8 gates here) is not
+        // minimal; evolution should shave at least one gate.
+        assert!(
+            result.best_fitness < start,
+            "expected improvement from {start}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let config = EvolutionConfig { max_iterations: 200, seed: 42, ..Default::default() };
+        let a = evolve(&seed, &fitness, &config);
+        let b = evolve(&seed, &fitness, &config);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let base = EvolutionConfig { max_iterations: 150, seed: 21, ..Default::default() };
+        let seq = evolve(&seed, &fitness, &base);
+        let par = evolve(&seed, &fitness, &EvolutionConfig { parallel: true, ..base });
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.best_fitness, par.best_fitness);
+    }
+
+    #[test]
+    fn target_fitness_stops_early() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let result = evolve(
+            &seed,
+            &fitness,
+            &EvolutionConfig {
+                max_iterations: 10_000,
+                target_fitness: Some(fitness(&seed)),
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.iterations, 0, "seed already meets the target");
+        assert_eq!(result.evaluations, 1);
+    }
+
+    #[test]
+    fn history_is_monotone_decreasing() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 10).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let result = evolve(
+            &seed,
+            &fitness,
+            &EvolutionConfig { max_iterations: 1500, seed: 3, ..Default::default() },
+        );
+        for pair in result.history.windows(2) {
+            assert!(pair[1].1 < pair[0].1, "history must strictly improve");
+            assert!(pair[1].0 > pair[0].0);
+        }
+        assert_eq!(result.evaluations, 1 + 4 * result.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_panics() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count()).unwrap();
+        let _ = evolve(
+            &seed,
+            |_| 0.0,
+            &EvolutionConfig { lambda: 0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Cross-distribution evaluation (Fig. 3's off-diagonal panels, Fig. 4).
+
+use apx_dist::Pmf;
+use apx_gates::Netlist;
+use apx_metrics::{ErrorMatrix, EvaluatorError, MultEvaluator};
+
+/// Evaluates one multiplier under several distributions: returns the WMED
+/// under each `pmf`, in order. This is how the paper shows that a
+/// multiplier evolved for `D1` is *not* competitive under `WMED_Du` and
+/// vice versa.
+///
+/// # Errors
+///
+/// Propagates [`EvaluatorError`] for PMF/width mismatches.
+pub fn cross_wmed(
+    netlist: &Netlist,
+    width: u32,
+    signed: bool,
+    pmfs: &[Pmf],
+) -> Result<Vec<f64>, EvaluatorError> {
+    pmfs.iter()
+        .map(|pmf| Ok(MultEvaluator::new(width, signed, pmf)?.wmed(netlist)))
+        .collect()
+}
+
+/// Per-input-pair error heat map of a multiplier (the data behind Fig. 4).
+///
+/// # Errors
+///
+/// Propagates [`EvaluatorError`] on unsupported widths.
+pub fn error_heatmap(
+    netlist: &Netlist,
+    width: u32,
+    signed: bool,
+) -> Result<ErrorMatrix, EvaluatorError> {
+    let eval = MultEvaluator::new(width, signed, &Pmf::uniform(width))?;
+    Ok(eval.error_matrix(netlist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_arith::{broken_array_multiplier, truncated_multiplier};
+
+    #[test]
+    fn cross_wmed_orders_match_table_construction() {
+        let nl = truncated_multiplier(6, 6);
+        let pmfs = vec![
+            Pmf::uniform(6),
+            Pmf::half_normal(6, 8.0),
+            Pmf::normal(6, 32.0, 8.0),
+        ];
+        let wmeds = cross_wmed(&nl, 6, false, &pmfs).unwrap();
+        assert_eq!(wmeds.len(), 3);
+        // Truncation errors grow with operand magnitude, so the
+        // low-concentrated half-normal must score best.
+        assert!(wmeds[1] < wmeds[0], "half-normal {} vs uniform {}", wmeds[1], wmeds[0]);
+        assert!(wmeds[1] < wmeds[2]);
+    }
+
+    #[test]
+    fn heatmap_reflects_break_structure() {
+        let nl = broken_array_multiplier(6, 4, 0); // drops high b rows
+        let m = error_heatmap(&nl, 6, false).unwrap();
+        // Rows are x (operand A): BAM's hbl drops b-rows, so errors grow
+        // with the *y* operand. Column means should grow with y.
+        let low_y: f64 = (0..16).map(|y| (0..64).map(|x| m.get(x, y)).sum::<f64>()).sum();
+        let high_y: f64 = (48..64).map(|y| (0..64).map(|x| m.get(x, y)).sum::<f64>()).sum();
+        assert!(high_y > low_y);
+    }
+}

@@ -1,0 +1,118 @@
+//! Eq. 1: area under a WMED budget.
+
+use apx_cgp::Chromosome;
+use apx_dist::Pmf;
+use apx_metrics::MultEvaluator;
+use apx_techlib::{area_of, TechLibrary};
+
+/// The paper's fitness function (Eq. 1):
+///
+/// ```text
+/// F(M̃) = area(M̃)   if WMED_D(M̃) ≤ E_i
+///        ∞          otherwise
+/// ```
+///
+/// Evaluation decodes only the chromosome's active cone, runs the
+/// early-abort WMED evaluator (most violating offspring are rejected after
+/// a handful of high-weight blocks) and prices the survivors with the
+/// technology library.
+#[derive(Debug, Clone)]
+pub struct Eq1Fitness {
+    evaluator: MultEvaluator,
+    tech: TechLibrary,
+    threshold: f64,
+}
+
+impl Eq1Fitness {
+    /// Builds the fitness for a `width`-bit (optionally signed) multiplier
+    /// under distribution `pmf` with WMED budget `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`apx_metrics::EvaluatorError`] for bad width/PMF
+    /// combinations.
+    pub fn new(
+        width: u32,
+        signed: bool,
+        pmf: &Pmf,
+        tech: TechLibrary,
+        threshold: f64,
+    ) -> Result<Self, apx_metrics::EvaluatorError> {
+        Ok(Eq1Fitness {
+            evaluator: MultEvaluator::new(width, signed, pmf)?,
+            tech,
+            threshold,
+        })
+    }
+
+    /// The WMED budget `E_i`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Evaluates a chromosome; `f64::INFINITY` marks a budget violation.
+    #[must_use]
+    pub fn of(&self, chromosome: &Chromosome) -> f64 {
+        let netlist = chromosome.decode_active();
+        match self.evaluator.wmed_bounded(&netlist, self.threshold) {
+            Some(_) => area_of(&netlist, &self.tech),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The underlying WMED evaluator (for post-hoc statistics).
+    #[must_use]
+    pub fn evaluator(&self) -> &MultEvaluator {
+        &self.evaluator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_arith::{array_multiplier, truncated_multiplier};
+    use apx_cgp::FunctionSet;
+
+    fn chrom_of(nl: &apx_gates::Netlist) -> Chromosome {
+        Chromosome::from_netlist(nl, &FunctionSet::extended(), nl.gate_count() + 10).unwrap()
+    }
+
+    #[test]
+    fn exact_seed_scores_its_area() {
+        let nl = array_multiplier(4);
+        let fit = Eq1Fitness::new(
+            4,
+            false,
+            &Pmf::uniform(4),
+            TechLibrary::unit(),
+            0.001,
+        )
+        .unwrap();
+        let f = fit.of(&chrom_of(&nl));
+        assert_eq!(f, nl.compact().gate_count() as f64);
+        assert_eq!(fit.threshold(), 0.001);
+    }
+
+    #[test]
+    fn violators_get_infinity() {
+        // Truncating 6 of 8 columns of a 4-bit multiplier far exceeds a
+        // 0.01% budget.
+        let nl = truncated_multiplier(4, 6);
+        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 1e-4)
+            .unwrap();
+        assert_eq!(fit.of(&chrom_of(&nl)), f64::INFINITY);
+    }
+
+    #[test]
+    fn loose_budget_admits_approximations() {
+        let exact = array_multiplier(4);
+        let approx = truncated_multiplier(4, 4);
+        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 0.05)
+            .unwrap();
+        let f_exact = fit.of(&chrom_of(&exact));
+        let f_approx = fit.of(&chrom_of(&approx));
+        assert!(f_approx < f_exact, "approximation must be cheaper");
+        assert!(f_approx.is_finite());
+    }
+}

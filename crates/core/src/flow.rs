@@ -1,0 +1,379 @@
+//! The end-to-end approximation flow (paper §IV / §V-D).
+
+use crate::{CoreError, Eq1Fitness};
+use apx_arith::{array_multiplier, baugh_wooley_multiplier};
+use apx_cgp::{evolve, Chromosome, EvolutionConfig, FunctionSet};
+use apx_dist::Pmf;
+use apx_gates::Netlist;
+use apx_metrics::ErrorStats;
+use apx_rng::Xoshiro256;
+use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+
+/// Configuration of a multiplier-approximation flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Operand width in bits (the paper uses 8).
+    pub width: u32,
+    /// Two's-complement operands (case study 2) or unsigned (case study 1).
+    pub signed: bool,
+    /// Target WMED levels `E_i` (fractions, not percent). A level of `0.0`
+    /// skips evolution and reports the exact seed — Table I's first row.
+    pub thresholds: Vec<f64>,
+    /// CGP generations per run (the paper runs ~10^6; scale to taste).
+    pub iterations: u64,
+    /// Offspring per generation (λ).
+    pub lambda: usize,
+    /// Max mutated genes per offspring (h).
+    pub mutations: usize,
+    /// Independent repetitions per threshold (paper: 10–25).
+    pub runs_per_threshold: usize,
+    /// Spare CGP columns added beyond the seed's gate count.
+    pub cols_slack: usize,
+    /// Master seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// Worker threads for the (threshold × run) task grid.
+    pub threads: usize,
+    /// Stimulus blocks for the power estimate of each result.
+    pub activity_blocks: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            width: 8,
+            signed: false,
+            thresholds: default_thresholds(),
+            iterations: 2_000,
+            lambda: 4,
+            mutations: 5,
+            runs_per_threshold: 1,
+            cols_slack: 60,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            activity_blocks: 48,
+        }
+    }
+}
+
+/// The paper's 14 target WMED levels for the Pareto sweeps (Fig. 3),
+/// log-spaced over the plotted range 0.0001 % … 20 %.
+#[must_use]
+pub fn default_thresholds() -> Vec<f64> {
+    vec![
+        5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1,
+    ]
+}
+
+/// Table I's WMED levels: `{0, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10} %`.
+#[must_use]
+pub fn table1_thresholds() -> Vec<f64> {
+    vec![0.0, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1]
+}
+
+/// One evolved approximate multiplier with its full evaluation.
+#[derive(Debug, Clone)]
+pub struct EvolvedMultiplier {
+    /// `"t<threshold-index>_r<run>"`, stable across reruns.
+    pub name: String,
+    /// The genotype (serializable via [`Chromosome::to_text`]).
+    pub chromosome: Chromosome,
+    /// The active-cone phenotype.
+    pub netlist: Netlist,
+    /// The WMED budget the run was constrained by.
+    pub threshold: f64,
+    /// Run index within the threshold.
+    pub run: usize,
+    /// Exhaustive error statistics under the flow's distribution.
+    pub stats: ErrorStats,
+    /// Physical estimate under the flow's distribution.
+    pub estimate: CircuitEstimate,
+    /// Fitness evaluations spent evolving it.
+    pub evaluations: u64,
+}
+
+/// Result of [`evolve_multipliers`].
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Every evolved multiplier (`thresholds × runs` entries).
+    pub multipliers: Vec<EvolvedMultiplier>,
+    /// The exact seed's physical estimate (the 100 % reference).
+    pub seed_estimate: CircuitEstimate,
+    /// The exact seed netlist.
+    pub seed_netlist: Netlist,
+}
+
+impl FlowResult {
+    /// `(error, power)` pairs for Pareto plotting: WMED vs. power in mW.
+    #[must_use]
+    pub fn error_power_points(&self) -> Vec<(f64, f64)> {
+        self.multipliers
+            .iter()
+            .map(|m| (m.stats.wmed, m.estimate.power_mw()))
+            .collect()
+    }
+
+    /// The best (lowest-area) multiplier per threshold, in threshold order.
+    #[must_use]
+    pub fn best_per_threshold(&self) -> Vec<&EvolvedMultiplier> {
+        let mut best: Vec<&EvolvedMultiplier> = Vec::new();
+        for m in &self.multipliers {
+            match best.iter_mut().find(|b| b.threshold == m.threshold) {
+                Some(b) => {
+                    if m.estimate.area_um2 < b.estimate.area_um2 {
+                        *b = m;
+                    }
+                }
+                None => best.push(m),
+            }
+        }
+        best
+    }
+}
+
+/// Runs the complete flow: for every threshold `E_i` and every run, evolve
+/// a multiplier minimizing area under `WMED_D ≤ E_i` (Eq. 1), then measure
+/// its exhaustive error statistics and physical cost under `pmf`.
+///
+/// Work items are distributed over `threads` workers; results are fully
+/// deterministic in `cfg.seed` regardless of thread count.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid configuration (zero width, empty
+/// thresholds, PMF/width mismatch, …).
+pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, CoreError> {
+    if cfg.thresholds.is_empty() {
+        return Err(CoreError::BadConfig("no thresholds given".into()));
+    }
+    if cfg.iterations == 0 {
+        return Err(CoreError::BadConfig("iterations must be positive".into()));
+    }
+    if pmf.width() != cfg.width {
+        return Err(CoreError::BadConfig(format!(
+            "pmf width {} does not match operand width {}",
+            pmf.width(),
+            cfg.width
+        )));
+    }
+    let tech = TechLibrary::nangate45();
+    let seed_netlist = if cfg.signed {
+        baugh_wooley_multiplier(cfg.width)
+    } else {
+        array_multiplier(cfg.width)
+    };
+    let funcs = FunctionSet::extended();
+    let seed_chrom = Chromosome::from_netlist(
+        &seed_netlist,
+        &funcs,
+        seed_netlist.gate_count() + cfg.cols_slack,
+    )?;
+    // Validate the evaluator configuration once up front.
+    let _probe = Eq1Fitness::new(cfg.width, cfg.signed, pmf, tech.clone(), 1.0)?;
+
+    let tasks: Vec<(usize, usize)> = cfg
+        .thresholds
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, _)| (0..cfg.runs_per_threshold).map(move |r| (ti, r)))
+        .collect();
+
+    let worker = |(ti, run): (usize, usize)| -> Result<EvolvedMultiplier, CoreError> {
+        let threshold = cfg.thresholds[ti];
+        // Decorrelate the per-task RNG streams deterministically.
+        let task_seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((ti as u64) << 32)
+            .wrapping_add(run as u64 + 1);
+        let (chromosome, evaluations) = if threshold == 0.0 {
+            (seed_chrom.clone(), 0)
+        } else {
+            let fitness = Eq1Fitness::new(cfg.width, cfg.signed, pmf, tech.clone(), threshold)?;
+            let result = evolve(
+                &seed_chrom,
+                |c| fitness.of(c),
+                &EvolutionConfig {
+                    lambda: cfg.lambda,
+                    mutations: cfg.mutations,
+                    max_iterations: cfg.iterations,
+                    seed: task_seed,
+                    parallel: false, // outer-level parallelism is in charge
+                    target_fitness: None,
+                    keep_history: false,
+                },
+            );
+            (result.best, result.evaluations)
+        };
+        let netlist = chromosome.decode_active();
+        let evaluator = apx_metrics::MultEvaluator::new(cfg.width, cfg.signed, pmf)?;
+        let stats = evaluator.stats(&netlist);
+        let mut est_rng = Xoshiro256::from_seed(task_seed ^ 0xE57);
+        let estimate = estimate_under_pmf(
+            &netlist,
+            &tech,
+            pmf,
+            DEFAULT_CLOCK_MHZ,
+            cfg.activity_blocks,
+            &mut est_rng,
+        );
+        Ok(EvolvedMultiplier {
+            name: format!("t{ti}_r{run}"),
+            chromosome,
+            netlist,
+            threshold,
+            run,
+            stats,
+            estimate,
+            evaluations,
+        })
+    };
+
+    let threads = cfg.threads.max(1);
+    let mut results: Vec<Option<Result<EvolvedMultiplier, CoreError>>> =
+        (0..tasks.len()).map(|_| None).collect();
+    if threads == 1 || tasks.len() <= 1 {
+        for (slot, &task) in results.iter_mut().zip(&tasks) {
+            *slot = Some(worker(task));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(tasks.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let out = worker(tasks[i]);
+                    slots.lock().expect("no poisoned worker")[i] = Some(out);
+                });
+            }
+        });
+    }
+    let multipliers: Result<Vec<EvolvedMultiplier>, CoreError> = results
+        .into_iter()
+        .map(|r| r.expect("every task was executed"))
+        .collect();
+
+    let mut est_rng = Xoshiro256::from_seed(cfg.seed ^ 0x5EED);
+    let seed_estimate = estimate_under_pmf(
+        &seed_netlist.compact(),
+        &tech,
+        pmf,
+        DEFAULT_CLOCK_MHZ,
+        cfg.activity_blocks,
+        &mut est_rng,
+    );
+    Ok(FlowResult { multipliers: multipliers?, seed_estimate, seed_netlist })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> FlowConfig {
+        FlowConfig {
+            width: 4,
+            thresholds: vec![0.0, 0.02],
+            iterations: 400,
+            runs_per_threshold: 2,
+            cols_slack: 20,
+            threads: 2,
+            activity_blocks: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flow_produces_constrained_smaller_circuits() {
+        let pmf = Pmf::half_normal(4, 3.0);
+        let result = evolve_multipliers(&pmf, &tiny_cfg()).unwrap();
+        assert_eq!(result.multipliers.len(), 4);
+        let seed_area = result.seed_estimate.area_um2;
+        for m in &result.multipliers {
+            assert!(
+                m.stats.wmed <= m.threshold + 1e-12,
+                "{}: wmed {} over budget {}",
+                m.name,
+                m.stats.wmed,
+                m.threshold
+            );
+            assert!(m.estimate.area_um2 <= seed_area + 1e-9, "{} grew", m.name);
+        }
+        // The relaxed-budget runs must actually shrink the circuit.
+        let relaxed: Vec<_> = result
+            .multipliers
+            .iter()
+            .filter(|m| m.threshold > 0.0)
+            .collect();
+        assert!(
+            relaxed.iter().any(|m| m.estimate.area_um2 < seed_area * 0.9),
+            "400 iterations should shave >10% area at WMED 2%"
+        );
+    }
+
+    #[test]
+    fn flow_is_deterministic_across_thread_counts() {
+        let pmf = Pmf::uniform(4);
+        let mut cfg = tiny_cfg();
+        cfg.thresholds = vec![0.01];
+        cfg.runs_per_threshold = 2;
+        cfg.iterations = 150;
+        let a = evolve_multipliers(&pmf, &cfg).unwrap();
+        cfg.threads = 1;
+        let b = evolve_multipliers(&pmf, &cfg).unwrap();
+        for (x, y) in a.multipliers.iter().zip(&b.multipliers) {
+            assert_eq!(x.chromosome, y.chromosome, "{} differs", x.name);
+            assert_eq!(x.stats.wmed, y.stats.wmed);
+        }
+    }
+
+    #[test]
+    fn signed_flow_uses_baugh_wooley_seed() {
+        let pmf = Pmf::signed_normal(4, 0.0, 3.0);
+        let cfg = FlowConfig {
+            width: 4,
+            signed: true,
+            thresholds: vec![0.0],
+            iterations: 10,
+            threads: 1,
+            activity_blocks: 4,
+            ..Default::default()
+        };
+        let result = evolve_multipliers(&pmf, &cfg).unwrap();
+        // Threshold 0 keeps the exact seed: zero error.
+        assert_eq!(result.multipliers[0].stats.max_abs_error, 0);
+        assert_eq!(result.multipliers[0].evaluations, 0);
+    }
+
+    #[test]
+    fn best_per_threshold_selects_minimum_area() {
+        let pmf = Pmf::uniform(4);
+        let result = evolve_multipliers(&pmf, &tiny_cfg()).unwrap();
+        let best = result.best_per_threshold();
+        assert_eq!(best.len(), 2);
+        for b in best {
+            for m in result.multipliers.iter().filter(|m| m.threshold == b.threshold) {
+                assert!(b.estimate.area_um2 <= m.estimate.area_um2);
+            }
+        }
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let pmf = Pmf::uniform(8);
+        let empty = FlowConfig { thresholds: vec![], ..Default::default() };
+        assert!(matches!(
+            evolve_multipliers(&pmf, &empty),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mismatch = FlowConfig { width: 4, ..Default::default() };
+        assert!(matches!(
+            evolve_multipliers(&pmf, &mismatch),
+            Err(CoreError::BadConfig(_))
+        ));
+        let zero_iters = FlowConfig { iterations: 0, ..Default::default() };
+        assert!(evolve_multipliers(&Pmf::uniform(8), &zero_iters).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's primary contribution: data-distribution-driven automated
+//! circuit approximation.
+//!
+//! Everything below composes the substrate crates into the method of
+//! Vasicek, Mrazek & Sekanina (DATE 2019):
+//!
+//! * [`Eq1Fitness`] — the fitness function of Eq. 1: minimize circuit
+//!   area subject to `WMED_D ≤ E_i`, with early-abort WMED evaluation;
+//! * [`evolve_multipliers`] / [`FlowConfig`] — the full design flow:
+//!   seed CGP with an exact multiplier, sweep the 14 target error levels,
+//!   repeat runs, and return every evolved multiplier with its error
+//!   statistics and physical estimate (Fig. 3 / Fig. 6 data);
+//! * [`pareto_indices`] — non-dominated filtering for the trade-off plots;
+//! * [`cross_wmed`] / [`error_heatmap`] — cross-distribution evaluation
+//!   (the off-diagonal panels of Fig. 3 and the heat maps of Fig. 4);
+//! * [`mac_metrics`] — MAC-unit integration and relative PDP/power/area
+//!   reporting (Table I columns);
+//! * [`nn_flow`] — case-study-2 orchestration: train → quantize → measure
+//!   the weight distribution → evaluate candidate multipliers with and
+//!   without fine-tuning (Fig. 7, Table I);
+//! * [`report`] — aligned text tables and CSV output for the bench
+//!   binaries that regenerate every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod evaluate;
+mod fitness;
+mod flow;
+mod mac_report;
+pub mod nn_flow;
+mod pareto;
+pub mod report;
+
+pub use error::CoreError;
+pub use evaluate::{cross_wmed, error_heatmap};
+pub use fitness::Eq1Fitness;
+pub use flow::{
+    default_thresholds, evolve_multipliers, table1_thresholds, EvolvedMultiplier, FlowConfig,
+    FlowResult,
+};
+pub use mac_report::{mac_metrics, MacMetrics};
+pub use pareto::pareto_indices;

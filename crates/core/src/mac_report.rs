@@ -1,0 +1,112 @@
+//! MAC-unit integration metrics (Table I's PDP/Power/Area columns).
+
+use apx_arith::mac::mac_unit;
+use apx_dist::Pmf;
+use apx_gates::Netlist;
+use apx_rng::Xoshiro256;
+use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+
+/// Physical metrics of a MAC unit built around an approximate multiplier,
+/// relative to the exact-multiplier MAC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacMetrics {
+    /// Absolute estimate of the approximate MAC.
+    pub estimate: CircuitEstimate,
+    /// Absolute estimate of the exact reference MAC.
+    pub reference: CircuitEstimate,
+    /// `(approx − exact) / exact` for the power-delay product (negative =
+    /// saving, the sign convention of Table I).
+    pub rel_pdp: f64,
+    /// Relative power delta.
+    pub rel_power: f64,
+    /// Relative area delta.
+    pub rel_area: f64,
+}
+
+/// Builds MAC units around `multiplier` and `exact` (both `width`-bit,
+/// accumulator `acc_width`), estimates both under the application's weight
+/// distribution (`pmf` drives operand A; activations and the accumulator
+/// are uniform) and reports the relative deltas.
+///
+/// # Panics
+///
+/// Panics if the multipliers do not follow the `2·width` conventions or
+/// `acc_width < 2·width`.
+#[must_use]
+pub fn mac_metrics(
+    multiplier: &Netlist,
+    exact: &Netlist,
+    width: u32,
+    acc_width: u32,
+    signed: bool,
+    pmf: &Pmf,
+    activity_blocks: usize,
+    seed: u64,
+) -> MacMetrics {
+    let tech = TechLibrary::nangate45();
+    let approx_mac = mac_unit(multiplier, width, acc_width, signed);
+    let exact_mac = mac_unit(exact, width, acc_width, signed);
+    let mut rng_a = Xoshiro256::from_seed(seed);
+    let mut rng_b = Xoshiro256::from_seed(seed);
+    let estimate = estimate_under_pmf(
+        &approx_mac,
+        &tech,
+        pmf,
+        DEFAULT_CLOCK_MHZ,
+        activity_blocks,
+        &mut rng_a,
+    );
+    let reference = estimate_under_pmf(
+        &exact_mac,
+        &tech,
+        pmf,
+        DEFAULT_CLOCK_MHZ,
+        activity_blocks,
+        &mut rng_b,
+    );
+    let rel = |a: f64, e: f64| (a - e) / e;
+    MacMetrics {
+        estimate,
+        reference,
+        rel_pdp: rel(estimate.pdp_fj(), reference.pdp_fj()),
+        rel_power: rel(estimate.power_uw(), reference.power_uw()),
+        rel_area: rel(estimate.area_um2, reference.area_um2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_arith::{baugh_wooley_broken, baugh_wooley_multiplier};
+
+    #[test]
+    fn exact_vs_exact_is_zero() {
+        let exact = baugh_wooley_multiplier(4);
+        let pmf = Pmf::signed_normal(4, 0.0, 3.0);
+        let m = mac_metrics(&exact, &exact, 4, 10, true, &pmf, 8, 1);
+        assert!(m.rel_pdp.abs() < 1e-12);
+        assert!(m.rel_power.abs() < 1e-12);
+        assert!(m.rel_area.abs() < 1e-12);
+    }
+
+    #[test]
+    fn broken_multiplier_saves_resources() {
+        let exact = baugh_wooley_multiplier(6);
+        let approx = baugh_wooley_broken(6, 5, 5);
+        let pmf = Pmf::signed_normal(6, 0.0, 8.0);
+        let m = mac_metrics(&approx, &exact, 6, 14, true, &pmf, 16, 2);
+        assert!(m.rel_area < 0.0, "area delta {}", m.rel_area);
+        assert!(m.rel_power < 0.05, "power delta {}", m.rel_power);
+        assert!(m.estimate.area_um2 < m.reference.area_um2);
+    }
+
+    #[test]
+    fn metrics_are_deterministic() {
+        let exact = baugh_wooley_multiplier(4);
+        let approx = baugh_wooley_broken(4, 3, 3);
+        let pmf = Pmf::signed_normal(4, 0.0, 3.0);
+        let a = mac_metrics(&approx, &exact, 4, 10, true, &pmf, 8, 7);
+        let b = mac_metrics(&approx, &exact, 4, 10, true, &pmf, 8, 7);
+        assert_eq!(a, b);
+    }
+}

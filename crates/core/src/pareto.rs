@@ -1,0 +1,101 @@
+//! Non-dominated (Pareto) filtering for 2-D minimization.
+
+/// Indices of the non-dominated points of `points` (both coordinates
+/// minimized), sorted by the first coordinate.
+///
+/// A point dominates another when it is no worse in both coordinates and
+/// strictly better in at least one. Duplicate points survive together.
+#[must_use]
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+    });
+    let mut front: Vec<usize> = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for &i in &order {
+        let (_, y) = points[i];
+        if y < best_y {
+            front.push(i);
+            best_y = y;
+        } else if y == best_y {
+            // Keep exact duplicates of the current frontier point.
+            if let Some(&last) = front.last() {
+                if points[last] == points[i] {
+                    front.push(i);
+                }
+            }
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dominates(p: (f64, f64), q: (f64, f64)) -> bool {
+        p.0 <= q.0 && p.1 <= q.1 && (p.0 < q.0 || p.1 < q.1)
+    }
+
+    #[test]
+    fn simple_front() {
+        let pts = vec![(1.0, 5.0), (2.0, 3.0), (3.0, 4.0), (4.0, 1.0)];
+        let front = pareto_indices(&pts);
+        assert_eq!(front, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let pts = vec![(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)];
+        let front = pareto_indices(&pts);
+        assert!(front.contains(&0));
+        assert!(!front.contains(&1));
+        assert!(front.contains(&2));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(pareto_indices(&[]).is_empty());
+        assert_eq!(pareto_indices(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        let front = pareto_indices(&pts);
+        assert!(front.contains(&0) && front.contains(&1) && front.contains(&2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_front_members_are_mutually_nondominated(
+            pts in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..40)
+        ) {
+            let front = pareto_indices(&pts);
+            for &i in &front {
+                for &j in &front {
+                    if i != j {
+                        prop_assert!(
+                            !dominates(pts[i], pts[j]) || pts[i] == pts[j],
+                            "{i} dominates {j}"
+                        );
+                    }
+                }
+            }
+            // Every non-front point is dominated by some front point.
+            for k in 0..pts.len() {
+                if !front.contains(&k) {
+                    prop_assert!(
+                        front.iter().any(|&i| dominates(pts[i], pts[k])),
+                        "{k} undominated but excluded"
+                    );
+                }
+            }
+        }
+    }
+}

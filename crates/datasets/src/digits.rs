@@ -1,0 +1,227 @@
+//! Vector-stroke digit glyphs and rasterization.
+
+/// Pose parameters for rendering a glyph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pose {
+    /// Glyph size relative to the canvas (1.0 fills it).
+    pub scale: f64,
+    /// Rotation in radians (positive = counter-clockwise).
+    pub rotation: f64,
+    /// Horizontal translation in pixels.
+    pub dx: f64,
+    /// Vertical translation in pixels.
+    pub dy: f64,
+    /// Stroke half-width relative to the canvas (e.g. 0.06).
+    pub thickness: f64,
+}
+
+impl Default for Pose {
+    fn default() -> Self {
+        Pose { scale: 0.8, rotation: 0.0, dx: 0.0, dy: 0.0, thickness: 0.06 }
+    }
+}
+
+/// Polyline strokes of the ten digits in the unit square
+/// (x right, y down, glyph roughly centred at (0.5, 0.5)).
+fn strokes(digit: u8) -> Vec<Vec<(f64, f64)>> {
+    let oval = |cx: f64, cy: f64, rx: f64, ry: f64| -> Vec<(f64, f64)> {
+        (0..=16)
+            .map(|i| {
+                let t = i as f64 / 16.0 * std::f64::consts::TAU;
+                (cx + rx * t.cos(), cy + ry * t.sin())
+            })
+            .collect()
+    };
+    let arc = |cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64| -> Vec<(f64, f64)> {
+        (0..=10)
+            .map(|i| {
+                let t = a0 + (a1 - a0) * i as f64 / 10.0;
+                (cx + rx * t.cos(), cy + ry * t.sin())
+            })
+            .collect()
+    };
+    match digit {
+        0 => vec![oval(0.5, 0.5, 0.26, 0.38)],
+        1 => vec![vec![(0.35, 0.28), (0.52, 0.12), (0.52, 0.88)]],
+        2 => vec![{
+            let mut s = arc(0.5, 0.30, 0.24, 0.19, -std::f64::consts::PI, 0.35);
+            s.extend([(0.26, 0.88), (0.76, 0.88)]);
+            s
+        }],
+        3 => vec![
+            arc(0.46, 0.31, 0.24, 0.20, -2.6, 1.25),
+            arc(0.46, 0.69, 0.26, 0.22, -1.25, 2.6),
+        ],
+        4 => vec![
+            vec![(0.62, 0.12), (0.24, 0.62), (0.80, 0.62)],
+            vec![(0.62, 0.12), (0.62, 0.88)],
+        ],
+        5 => vec![{
+            let mut s = vec![(0.72, 0.12), (0.30, 0.12), (0.28, 0.47)];
+            s.extend(arc(0.47, 0.65, 0.26, 0.24, -1.35, 2.5));
+            s
+        }],
+        6 => vec![{
+            let mut s = vec![(0.62, 0.10), (0.34, 0.48)];
+            s.extend(oval(0.5, 0.66, 0.22, 0.22));
+            s
+        }],
+        7 => vec![
+            vec![(0.24, 0.12), (0.78, 0.12), (0.42, 0.88)],
+            vec![(0.34, 0.50), (0.66, 0.50)],
+        ],
+        8 => vec![oval(0.5, 0.30, 0.20, 0.18), oval(0.5, 0.68, 0.24, 0.21)],
+        9 => vec![{
+            let mut s = oval(0.5, 0.34, 0.22, 0.22);
+            s.extend([(0.72, 0.34), (0.66, 0.88)]);
+            s
+        }],
+        _ => panic!("digit must be 0..=9"),
+    }
+}
+
+fn dist_to_segment(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (vx, vy) = (b.0 - a.0, b.1 - a.1);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 > 0.0 {
+        ((px * vx + py * vy) / len2).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let (ex, ey) = (px - t * vx, py - t * vy);
+    (ex * ex + ey * ey).sqrt()
+}
+
+/// Renders digit `digit` with `pose` onto a `width × height` canvas.
+///
+/// Returns row-major intensities in `0..=1` (1 = stroke core) with a soft
+/// anti-aliased edge.
+///
+/// # Panics
+///
+/// Panics if `digit > 9` or a canvas dimension is zero.
+#[must_use]
+pub fn render_digit_posed(digit: u8, width: usize, height: usize, pose: &Pose) -> Vec<f32> {
+    assert!(width > 0 && height > 0, "canvas dimensions must be positive");
+    let glyph = strokes(digit);
+    let (sin, cos) = pose.rotation.sin_cos();
+    let cx = width as f64 / 2.0 + pose.dx;
+    let cy = height as f64 / 2.0 + pose.dy;
+    let size = width.min(height) as f64 * pose.scale;
+    // Transform glyph points from unit space to canvas space.
+    let tf = |(gx, gy): (f64, f64)| -> (f64, f64) {
+        let (ux, uy) = (gx - 0.5, gy - 0.5);
+        let (rx, ry) = (ux * cos - uy * sin, ux * sin + uy * cos);
+        (cx + rx * size, cy + ry * size)
+    };
+    let segments: Vec<((f64, f64), (f64, f64))> = glyph
+        .iter()
+        .flat_map(|poly| {
+            poly.windows(2)
+                .map(|w| (tf(w[0]), tf(w[1])))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let half_width = pose.thickness * width.min(height) as f64;
+    let soft = half_width * 0.8 + 0.5;
+    let mut out = vec![0.0f32; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let p = (x as f64 + 0.5, y as f64 + 0.5);
+            let mut d = f64::INFINITY;
+            for &(a, b) in &segments {
+                d = d.min(dist_to_segment(p, a, b));
+                if d <= half_width {
+                    break;
+                }
+            }
+            let v = if d <= half_width {
+                1.0
+            } else if d < half_width + soft {
+                1.0 - (d - half_width) / soft
+            } else {
+                0.0
+            };
+            out[y * width + x] = v as f32;
+        }
+    }
+    out
+}
+
+/// Renders digit `digit` centred with the default pose.
+///
+/// # Panics
+///
+/// Panics if `digit > 9` or a canvas dimension is zero.
+#[must_use]
+pub fn render_digit(digit: u8, width: usize, height: usize) -> Vec<f32> {
+    render_digit_posed(digit, width, height, &Pose::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_digits_render_nonempty() {
+        for d in 0..10u8 {
+            let img = render_digit(d, 28, 28);
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 10.0, "digit {d} almost empty ({ink})");
+            assert!(
+                ink < (28 * 28) as f32 * 0.6,
+                "digit {d} floods the canvas ({ink})"
+            );
+        }
+    }
+
+    #[test]
+    fn digits_are_pairwise_distinct() {
+        let renders: Vec<Vec<f32>> = (0..10).map(|d| render_digit(d, 28, 28)).collect();
+        for i in 0..10 {
+            for j in i + 1..10 {
+                let diff: f32 = renders[i]
+                    .iter()
+                    .zip(&renders[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 20.0, "digits {i} and {j} too similar (diff {diff})");
+            }
+        }
+    }
+
+    #[test]
+    fn pose_translation_moves_ink() {
+        let centre = render_digit_posed(1, 28, 28, &Pose::default());
+        let shifted = render_digit_posed(
+            1,
+            28,
+            28,
+            &Pose { dx: 6.0, ..Pose::default() },
+        );
+        assert_ne!(centre, shifted);
+        let com = |img: &[f32]| -> f64 {
+            let total: f32 = img.iter().sum();
+            img.iter()
+                .enumerate()
+                .map(|(i, &v)| (i % 28) as f64 * v as f64)
+                .sum::<f64>()
+                / total as f64
+        };
+        assert!(com(&shifted) > com(&centre) + 3.0);
+    }
+
+    #[test]
+    fn rotation_changes_render() {
+        let a = render_digit_posed(7, 28, 28, &Pose::default());
+        let b = render_digit_posed(7, 28, 28, &Pose { rotation: 0.5, ..Pose::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=9")]
+    fn bad_digit_panics() {
+        let _ = render_digit(10, 28, 28);
+    }
+}

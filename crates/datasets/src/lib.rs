@@ -1,0 +1,339 @@
+//! Synthetic digit-classification datasets.
+//!
+//! The paper evaluates its approximate MAC units on MNIST (MLP) and SVHN
+//! (LeNet-5). Neither dataset can be downloaded in this offline
+//! reproduction, so this crate synthesizes equivalents (DESIGN.md §4):
+//! digits 0–9 are rendered from vector strokes with randomized pose,
+//! thickness and noise.
+//!
+//! * [`mnist_like`] — 28×28, clean white-on-black digits (easy, like
+//!   MNIST's ~98 % MLP accuracy regime);
+//! * [`svhn_like`] — 32×32, digits over cluttered backgrounds with
+//!   distractor fragments and heavier noise (harder, like SVHN's ~91 %
+//!   LeNet regime).
+//!
+//! Every image is deterministic in the seed, so experiments reproduce
+//! exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digits;
+
+use apx_rng::Xoshiro256;
+pub use digits::render_digit;
+
+/// A labelled image-classification dataset (pixels normalized to `0..=1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    width: usize,
+    height: usize,
+    images: Vec<Vec<f32>>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length or an image has the wrong
+    /// number of pixels.
+    #[must_use]
+    pub fn new(width: usize, height: usize, images: Vec<Vec<f32>>, labels: Vec<u8>) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        for img in &images {
+            assert_eq!(img.len(), width * height, "image size mismatch");
+        }
+        Dataset { width, height, images, labels }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Pixels of sample `i` (row-major, `0..=1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.images[i]
+    }
+
+    /// Label (0–9) of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn label(&self, i: usize) -> u8 {
+        self.labels[i]
+    }
+
+    /// Iterates over `(pixels, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], u8)> {
+        self.images
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Splits off the first `n` samples as a new dataset (train/test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    #[must_use]
+    pub fn split(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let head = Dataset {
+            width: self.width,
+            height: self.height,
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        };
+        let tail = Dataset {
+            width: self.width,
+            height: self.height,
+            images: self.images[n..].to_vec(),
+            labels: self.labels[n..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    /// Count of samples per class label.
+    #[must_use]
+    pub fn class_counts(&self) -> [usize; 10] {
+        let mut counts = [0usize; 10];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Generates an MNIST-like dataset: `n` samples of 28×28 white-on-black
+/// digits with randomized pose and light noise; labels cycle 0–9 so
+/// classes stay balanced.
+#[must_use]
+pub fn mnist_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256::from_seed(seed ^ 0x0A11CE);
+    let (w, h) = (28, 28);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = (i % 10) as u8;
+        let mut sub = rng.fork(i as u64);
+        let pose = digits::Pose {
+            scale: 0.62 + sub.f64() * 0.25,
+            rotation: (sub.f64() - 0.5) * 0.45,
+            dx: (sub.f64() - 0.5) * 4.0,
+            dy: (sub.f64() - 0.5) * 4.0,
+            thickness: 0.050 + sub.f64() * 0.045,
+        };
+        let mut img = digits::render_digit_posed(digit, w, h, &pose);
+        let sigma = 0.01 + sub.f64() * 0.03;
+        for p in &mut img {
+            *p = (*p + sub.normal(0.0, sigma) as f32).clamp(0.0, 1.0);
+        }
+        images.push(img);
+        labels.push(digit);
+    }
+    Dataset::new(w, h, images, labels)
+}
+
+/// Generates an SVHN-like dataset: `n` samples of 32×32 digits over
+/// cluttered gradient backgrounds with distractor digit fragments and
+/// heavier noise — measurably harder than [`mnist_like`], mirroring the
+/// MNIST-vs-SVHN difficulty gap of the paper.
+#[must_use]
+pub fn svhn_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = Xoshiro256::from_seed(seed ^ 0x54E11);
+    let (w, h) = (32, 32);
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = (i % 10) as u8;
+        let mut sub = rng.fork(i as u64);
+        // Background: oriented gradient with random intensity band.
+        let base = 0.15 + sub.f64() as f32 * 0.35;
+        let gx = (sub.f64() as f32 - 0.5) * 0.02;
+        let gy = (sub.f64() as f32 - 0.5) * 0.02;
+        let mut img: Vec<f32> = (0..w * h)
+            .map(|idx| {
+                let (x, y) = ((idx % w) as f32, (idx / w) as f32);
+                (base + gx * x + gy * y).clamp(0.0, 1.0)
+            })
+            .collect();
+        // Distractor fragment: a partial neighbouring digit at the edge.
+        let distractor = sub.gen_range(10) as u8;
+        let dpose = digits::Pose {
+            scale: 0.5 + sub.f64() * 0.2,
+            rotation: (sub.f64() - 0.5) * 0.4,
+            dx: if sub.bernoulli(0.5) { -13.0 } else { 13.0 },
+            dy: (sub.f64() - 0.5) * 6.0,
+            thickness: 0.05 + sub.f64() * 0.03,
+        };
+        let frag = digits::render_digit_posed(distractor, w, h, &dpose);
+        let frag_gain = 0.25 + sub.f64() as f32 * 0.25;
+        for (p, f) in img.iter_mut().zip(&frag) {
+            *p = (*p + frag_gain * f).clamp(0.0, 1.0);
+        }
+        // The labelled digit, centred, brighter than the background.
+        let pose = digits::Pose {
+            scale: 0.55 + sub.f64() * 0.2,
+            rotation: (sub.f64() - 0.5) * 0.35,
+            dx: (sub.f64() - 0.5) * 3.0,
+            dy: (sub.f64() - 0.5) * 3.0,
+            thickness: 0.055 + sub.f64() * 0.04,
+        };
+        let glyph = digits::render_digit_posed(digit, w, h, &pose);
+        let gain = 0.55 + sub.f64() as f32 * 0.35;
+        for (p, g) in img.iter_mut().zip(&glyph) {
+            *p = (*p + gain * g).clamp(0.0, 1.0);
+        }
+        // Heavier sensor noise.
+        let sigma = 0.04 + sub.f64() * 0.05;
+        for p in &mut img {
+            *p = (*p + sub.normal(0.0, sigma) as f32).clamp(0.0, 1.0);
+        }
+        images.push(img);
+        labels.push(digit);
+    }
+    Dataset::new(w, h, images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Nearest-centroid accuracy — a crude classifier proving the classes
+    /// are separable (and how separable).
+    fn centroid_accuracy(train: &Dataset, test: &Dataset) -> f64 {
+        let dim = train.width() * train.height();
+        let mut centroids = vec![vec![0.0f64; dim]; 10];
+        let counts = train.class_counts();
+        for (img, label) in train.iter() {
+            for (c, &p) in centroids[label as usize].iter_mut().zip(img) {
+                *c += p as f64;
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= n.max(1) as f64;
+            }
+        }
+        let mut correct = 0usize;
+        for (img, label) in test.iter() {
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f64 = centroids[a]
+                        .iter()
+                        .zip(img)
+                        .map(|(c, &p)| (c - p as f64).powi(2))
+                        .sum();
+                    let db: f64 = centroids[b]
+                        .iter()
+                        .zip(img)
+                        .map(|(c, &p)| (c - p as f64).powi(2))
+                        .sum();
+                    da.total_cmp(&db)
+                })
+                .unwrap();
+            if best as u8 == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / test.len() as f64
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(mnist_like(20, 5), mnist_like(20, 5));
+        assert_eq!(svhn_like(20, 5), svhn_like(20, 5));
+        assert_ne!(mnist_like(20, 5), mnist_like(20, 6));
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let m = mnist_like(30, 1);
+        assert_eq!((m.width(), m.height()), (28, 28));
+        let s = svhn_like(30, 1);
+        assert_eq!((s.width(), s.height()), (32, 32));
+        for ds in [&m, &s] {
+            for (img, label) in ds.iter() {
+                assert!(label < 10);
+                assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let ds = mnist_like(200, 3);
+        for (digit, &count) in ds.class_counts().iter().enumerate() {
+            assert_eq!(count, 20, "digit {digit}");
+        }
+    }
+
+    #[test]
+    fn split_partitions_in_order() {
+        let ds = mnist_like(50, 2);
+        let (train, test) = ds.split(40);
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.image(0), ds.image(0));
+        assert_eq!(test.label(0), ds.label(40));
+    }
+
+    #[test]
+    fn mnist_like_is_linearly_separable_enough() {
+        let train = mnist_like(600, 11);
+        let test = mnist_like(200, 12);
+        let acc = centroid_accuracy(&train, &test);
+        assert!(acc > 0.6, "centroid accuracy {acc} too low — classes not separable");
+    }
+
+    #[test]
+    fn svhn_like_is_harder_than_mnist_like() {
+        let m_train = mnist_like(600, 21);
+        let m_test = mnist_like(200, 22);
+        let s_train = svhn_like(600, 21);
+        let s_test = svhn_like(200, 22);
+        let m_acc = centroid_accuracy(&m_train, &m_test);
+        let s_acc = centroid_accuracy(&s_train, &s_test);
+        assert!(
+            s_acc < m_acc,
+            "svhn-like ({s_acc}) should be harder than mnist-like ({m_acc})"
+        );
+        assert!(s_acc > 0.2, "svhn-like must still be learnable, got {s_acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new(2, 2, vec![vec![0.0; 4]], vec![]);
+    }
+}

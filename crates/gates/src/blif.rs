@@ -1,0 +1,202 @@
+//! BLIF (Berkeley Logic Interchange Format) export.
+//!
+//! Lets evolved circuits flow into standard EDA tools (ABC, Yosys,
+//! academic synthesis flows) for independent verification or real
+//! technology mapping. Only the live cone is emitted — dead CGP genes are
+//! genetic material, not hardware.
+
+use crate::{GateKind, Netlist};
+use std::fmt::Write as _;
+
+/// Renders the active cone of `netlist` as a BLIF model named `name`.
+///
+/// Signals are named `i<k>` (primary inputs), `n<k>` (gate outputs) and
+/// `o<k>` (primary outputs, emitted as buffer `.names` so outputs may tap
+/// any signal). Gate functions are written as PLA-style cover tables.
+///
+/// # Examples
+///
+/// ```
+/// use apx_gates::{NetlistBuilder, to_blif};
+///
+/// let mut b = NetlistBuilder::new(2);
+/// let s = b.xor(b.input(0), b.input(1));
+/// b.outputs(&[s]);
+/// let blif = to_blif(&b.finish().unwrap(), "xor2");
+/// assert!(blif.contains(".model xor2"));
+/// assert!(blif.contains(".names i0 i1 n0"));
+/// ```
+#[must_use]
+pub fn to_blif(netlist: &Netlist, name: &str) -> String {
+    let compact = netlist.compact();
+    let ni = compact.num_inputs();
+    let sig_name = |s: crate::SignalId| -> String {
+        if s.index() < ni {
+            format!("i{}", s.index())
+        } else {
+            format!("n{}", s.index() - ni)
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {name}");
+    let inputs: Vec<String> = (0..ni).map(|i| format!("i{i}")).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = (0..compact.num_outputs()).map(|o| format!("o{o}")).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for (k, node) in compact.nodes().iter().enumerate() {
+        let y = format!("n{k}");
+        let a = sig_name(node.a);
+        let b = sig_name(node.b);
+        match node.kind {
+            GateKind::Const0 => {
+                let _ = writeln!(out, ".names {y}");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, ".names {y}\n1");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(out, ".names {a} {y}\n1 1");
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, ".names {a} {y}\n0 1");
+            }
+            _ => {
+                let _ = writeln!(out, ".names {a} {b} {y}");
+                for (bits, label) in [(0b00u8, "00"), (0b01, "10"), (0b10, "01"), (0b11, "11")] {
+                    // label is "<a><b>" in BLIF input order; bits encode
+                    // (a = bit0, b = bit1) for eval_bool.
+                    let va = bits & 1 == 1;
+                    let vb = bits & 2 == 2;
+                    if node.kind.eval_bool(va, vb) {
+                        let _ = writeln!(out, "{label} 1");
+                    }
+                }
+            }
+        }
+    }
+    for (o, sig) in compact.outputs().iter().enumerate() {
+        let _ = writeln!(out, ".names {} o{o}\n1 1", sig_name(*sig));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    /// Minimal BLIF interpreter: parses the output of `to_blif` and
+    /// evaluates it, cross-checking the export end to end.
+    fn eval_blif(blif: &str, inputs: &[bool]) -> Vec<bool> {
+        use std::collections::HashMap;
+        let mut values: HashMap<String, bool> = HashMap::new();
+        for (i, &v) in inputs.iter().enumerate() {
+            values.insert(format!("i{i}"), v);
+        }
+        let mut outputs: Vec<String> = Vec::new();
+        let lines: Vec<&str> = blif.lines().collect();
+        let mut idx = 0;
+        while idx < lines.len() {
+            let line = lines[idx];
+            if let Some(rest) = line.strip_prefix(".outputs ") {
+                outputs = rest.split_whitespace().map(str::to_owned).collect();
+            } else if let Some(rest) = line.strip_prefix(".names ") {
+                let names: Vec<&str> = rest.split_whitespace().collect();
+                let (ins, target) = names.split_at(names.len() - 1);
+                let mut result = false;
+                let mut j = idx + 1;
+                while j < lines.len() && !lines[j].starts_with('.') {
+                    let mut parts = lines[j].split_whitespace();
+                    let pattern = parts.next().unwrap_or("");
+                    if ins.is_empty() {
+                        // constant-1 cover is a bare "1" line
+                        if pattern == "1" {
+                            result = true;
+                        }
+                    } else {
+                        let matches = pattern.chars().zip(ins).all(|(c, name)| {
+                            let v = *values.get(*name).expect("defined before use");
+                            match c {
+                                '1' => v,
+                                '0' => !v,
+                                _ => true,
+                            }
+                        });
+                        if matches {
+                            result = true;
+                        }
+                    }
+                    j += 1;
+                }
+                values.insert(target[0].to_owned(), result);
+                idx = j;
+                continue;
+            }
+            idx += 1;
+        }
+        outputs
+            .iter()
+            .map(|o| *values.get(o).expect("output defined"))
+            .collect()
+    }
+
+    #[test]
+    fn blif_round_trips_through_interpreter() {
+        let nl = {
+            let mut b = NetlistBuilder::new(3);
+            let (x, y, c) = (b.input(0), b.input(1), b.input(2));
+            let (s, co) = b.full_adder(x, y, c);
+            let _dead = b.nor(x, y);
+            b.outputs(&[s, co]);
+            b.finish().unwrap()
+        };
+        let blif = to_blif(&nl, "fa");
+        for v in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            assert_eq!(eval_blif(&blif, &bits), nl.eval_bool(&bits), "v={v}");
+        }
+        // Dead node was compacted away.
+        assert!(!blif.contains("nor"));
+    }
+
+    #[test]
+    fn blif_handles_constants_and_inverters() {
+        let nl = {
+            let mut b = NetlistBuilder::new(1);
+            let one = b.const1();
+            let zero = b.const0();
+            let inv = b.not(b.input(0));
+            b.outputs(&[one, zero, inv]);
+            b.finish().unwrap()
+        };
+        let blif = to_blif(&nl, "consts");
+        assert_eq!(eval_blif(&blif, &[false]), vec![true, false, true]);
+        assert_eq!(eval_blif(&blif, &[true]), vec![true, false, false]);
+    }
+
+    #[test]
+    fn blif_exports_multiplier_structure() {
+        let nl = {
+            let mut b = NetlistBuilder::new(4);
+            let (a0, a1, b0, b1) = (b.input(0), b.input(1), b.input(2), b.input(3));
+            let p0 = b.and(a0, b0);
+            let x = b.and(a1, b0);
+            let y = b.and(a0, b1);
+            let (p1, c) = b.half_adder(x, y);
+            let top = b.and(a1, b1);
+            let (p2, p3) = b.half_adder(top, c);
+            b.outputs(&[p0, p1, p2, p3]);
+            b.finish().unwrap()
+        };
+        let blif = to_blif(&nl, "mul2");
+        for v in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            let outs = eval_blif(&blif, &bits);
+            let got: u32 = outs.iter().enumerate().map(|(k, &o)| (o as u32) << k).sum();
+            let a = v & 3;
+            let b = (v >> 2) & 3;
+            assert_eq!(got, a * b, "{a}*{b}");
+        }
+    }
+}

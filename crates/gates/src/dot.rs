@@ -1,0 +1,79 @@
+//! Graphviz DOT export for visual inspection of evolved circuits.
+
+use crate::Netlist;
+use std::fmt::Write as _;
+
+/// Renders `netlist` as a Graphviz `digraph`.
+///
+/// Dead nodes are drawn dashed so the effect of CGP's neutral genetic
+/// material is visible. The output is deterministic, making it usable in
+/// golden-file tests.
+///
+/// # Examples
+///
+/// ```
+/// use apx_gates::{NetlistBuilder, to_dot};
+///
+/// let mut b = NetlistBuilder::new(2);
+/// let s = b.xor(b.input(0), b.input(1));
+/// b.outputs(&[s]);
+/// let dot = to_dot(&b.finish().unwrap(), "xor");
+/// assert!(dot.starts_with("digraph xor"));
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist, name: &str) -> String {
+    let active = netlist.active_mask();
+    let ni = netlist.num_inputs();
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for i in 0..ni {
+        let _ = writeln!(s, "  s{i} [shape=triangle,label=\"in{i}\"];");
+    }
+    for (k, node) in netlist.nodes().iter().enumerate() {
+        let sig = ni + k;
+        let style = if active[sig] { "solid" } else { "dashed" };
+        let _ = writeln!(
+            s,
+            "  s{sig} [shape=box,style={style},label=\"{}\"];",
+            node.kind
+        );
+        match node.kind.arity() {
+            0 => {}
+            1 => {
+                let _ = writeln!(s, "  s{} -> s{sig};", node.a.0);
+            }
+            _ => {
+                let _ = writeln!(s, "  s{} -> s{sig};", node.a.0);
+                let _ = writeln!(s, "  s{} -> s{sig};", node.b.0);
+            }
+        }
+    }
+    for (o, out) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  o{o} [shape=invtriangle,label=\"out{o}\"];");
+        let _ = writeln!(s, "  s{} -> o{o};", out.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut b = NetlistBuilder::new(2);
+        let (x, y) = (b.input(0), b.input(1));
+        let live = b.and(x, y);
+        let _dead = b.or(x, y);
+        b.outputs(&[live]);
+        let dot = to_dot(&b.finish().unwrap(), "g");
+        assert!(dot.contains("in0") && dot.contains("in1"));
+        assert!(dot.contains("and") && dot.contains("or"));
+        assert!(dot.contains("style=dashed"), "dead node must be dashed");
+        assert!(dot.contains("out0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

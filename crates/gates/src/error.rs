@@ -1,0 +1,58 @@
+//! Error types for netlist construction and validation.
+
+use crate::SignalId;
+use std::fmt;
+
+/// Structural error detected while building or validating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node operand references the node itself or a later signal.
+    ForwardReference {
+        /// Index of the offending node.
+        node: usize,
+        /// The out-of-range operand.
+        operand: SignalId,
+    },
+    /// A primary output references a signal that does not exist.
+    InvalidOutput {
+        /// Index of the offending output.
+        output: usize,
+        /// The out-of-range signal.
+        signal: SignalId,
+    },
+    /// The netlist declares no primary outputs.
+    NoOutputs,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { node, operand } => write!(
+                f,
+                "node {node} references signal {} which is not strictly earlier",
+                operand.0
+            ),
+            NetlistError::InvalidOutput { output, signal } => write!(
+                f,
+                "output {output} references nonexistent signal {}",
+                signal.0
+            ),
+            NetlistError::NoOutputs => write!(f, "netlist declares no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::ForwardReference { node: 3, operand: SignalId(9) };
+        assert!(e.to_string().contains("node 3"));
+        assert!(e.to_string().contains('9'));
+        assert!(!NetlistError::NoOutputs.to_string().is_empty());
+    }
+}

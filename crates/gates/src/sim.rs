@@ -1,0 +1,332 @@
+//! Bit-parallel (64-lane) netlist simulation.
+//!
+//! A *block* is a batch of 64 input vectors. Within a block, every signal of
+//! the circuit is one `u64`; bit `l` of the word is the signal's value in
+//! lane `l`. [`BlockSim`] evaluates one block; [`Exhaustive`] enumerates all
+//! `2^n` input vectors of an `n`-input circuit block by block using the
+//! classic counting bit-planes (input bit `i` toggles with period `2^(i+1)`).
+
+use crate::Netlist;
+
+/// Constant bit-plane patterns for the six lowest input bits.
+///
+/// `PATTERNS[i]` holds, for every lane `l` in `0..64`, bit `i` of `l`.
+const PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Reusable single-block simulator.
+///
+/// Holds a scratch buffer sized to the netlist so repeated evaluations (the
+/// CGP hot loop) never reallocate.
+///
+/// # Examples
+///
+/// ```
+/// use apx_gates::{NetlistBuilder, BlockSim};
+///
+/// let mut b = NetlistBuilder::new(2);
+/// let (x, y) = (b.input(0), b.input(1));
+/// let s = b.xor(x, y);
+/// b.outputs(&[s]);
+/// let nl = b.finish().unwrap();
+///
+/// let mut sim = BlockSim::new(&nl);
+/// let out = sim.run(&nl, &[0b1010, 0b1100]).to_vec();
+/// assert_eq!(out[0] & 0xF, 0b0110);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockSim {
+    values: Vec<u64>,
+    outputs: Vec<u64>,
+}
+
+impl BlockSim {
+    /// Creates a simulator sized for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        BlockSim {
+            values: vec![0; netlist.num_signals()],
+            outputs: vec![0; netlist.num_outputs()],
+        }
+    }
+
+    /// Evaluates one 64-lane block and returns the output words.
+    ///
+    /// `inputs[i]` carries primary input `i` for all 64 lanes. The returned
+    /// slice has one word per primary output and remains valid until the
+    /// next call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != netlist.num_inputs()` or if the simulator
+    /// was created for a differently shaped netlist.
+    pub fn run(&mut self, netlist: &Netlist, inputs: &[u64]) -> &[u64] {
+        assert_eq!(inputs.len(), netlist.num_inputs(), "input arity mismatch");
+        self.values.resize(netlist.num_signals(), 0);
+        self.outputs.resize(netlist.num_outputs(), 0);
+        self.values[..inputs.len()].copy_from_slice(inputs);
+        let ni = netlist.num_inputs();
+        for (k, node) in netlist.nodes().iter().enumerate() {
+            let a = self.values[node.a.index()];
+            let b = self.values[node.b.index()];
+            self.values[ni + k] = node.kind.eval_words(a, b);
+        }
+        for (o, out) in netlist.outputs().iter().enumerate() {
+            self.outputs[o] = self.values[out.index()];
+        }
+        &self.outputs
+    }
+
+    /// Value words of *all* signals from the latest [`BlockSim::run`] call.
+    ///
+    /// Useful for switching-activity analysis where internal nodes matter.
+    #[must_use]
+    pub fn signal_words(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Exhaustive input enumeration for an `n`-input circuit.
+///
+/// Input vectors are numbered `v = 0 .. 2^n`; bit `i` of `v` drives primary
+/// input `i`. Vector `v` lives in block `v / 64`, lane `v % 64` (for
+/// `n >= 6`; smaller circuits fit in the low lanes of a single block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exhaustive {
+    num_inputs: usize,
+}
+
+impl Exhaustive {
+    /// Creates an enumerator for `num_inputs` primary inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 30` (the full table would not fit in memory).
+    #[must_use]
+    pub fn new(num_inputs: usize) -> Self {
+        assert!(num_inputs <= 30, "exhaustive enumeration limited to 30 inputs");
+        Exhaustive { num_inputs }
+    }
+
+    /// Number of 64-lane blocks needed to cover all input vectors.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        if self.num_inputs < 6 {
+            1
+        } else {
+            1usize << (self.num_inputs - 6)
+        }
+    }
+
+    /// Number of *valid* lanes in a block (< 64 only when `n < 6`).
+    #[must_use]
+    pub fn lanes_per_block(&self) -> usize {
+        if self.num_inputs < 6 {
+            1usize << self.num_inputs
+        } else {
+            64
+        }
+    }
+
+    /// Total number of input vectors (`2^n`).
+    #[must_use]
+    pub fn num_vectors(&self) -> usize {
+        1usize << self.num_inputs
+    }
+
+    /// The word driving input bit `i` in block `block`.
+    #[inline]
+    #[must_use]
+    pub fn input_word(&self, bit: usize, block: usize) -> u64 {
+        debug_assert!(bit < self.num_inputs);
+        if bit < 6 {
+            PATTERNS[bit]
+        } else if (block >> (bit - 6)) & 1 == 1 {
+            !0
+        } else {
+            0
+        }
+    }
+
+    /// Fills `out` (length `num_inputs`) with all input words for `block`.
+    pub fn fill_inputs(&self, block: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.num_inputs);
+        for (bit, word) in out.iter_mut().enumerate() {
+            *word = self.input_word(bit, block);
+        }
+    }
+
+    /// Computes the full output table of `netlist`.
+    ///
+    /// Entry `v` packs the output bits for input vector `v` into a `u64`
+    /// (output 0 in bit 0). Requires `netlist.num_outputs() <= 64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist arity does not match or it has more than 64
+    /// outputs.
+    #[must_use]
+    pub fn output_table(&self, netlist: &Netlist) -> Vec<u64> {
+        assert_eq!(netlist.num_inputs(), self.num_inputs, "arity mismatch");
+        assert!(netlist.num_outputs() <= 64, "more than 64 outputs");
+        let mut sim = BlockSim::new(netlist);
+        let mut inputs = vec![0u64; self.num_inputs];
+        let lanes = self.lanes_per_block();
+        let mut table = vec![0u64; self.num_vectors()];
+        let mut lane_buf = vec![0u64; lanes];
+        for block in 0..self.num_blocks() {
+            self.fill_inputs(block, &mut inputs);
+            let out_words = sim.run(netlist, &inputs);
+            unpack_lanes(out_words, lanes, &mut lane_buf);
+            let base = block * lanes;
+            table[base..base + lanes].copy_from_slice(&lane_buf);
+        }
+        table
+    }
+}
+
+/// Transposes per-output words into per-lane packed values.
+///
+/// `words[k]` is the bit-plane of output `k`; after the call, `out[l]` holds
+/// the packed output value of lane `l` (output `k` in bit `k`).
+///
+/// # Panics
+///
+/// Panics if `lanes > 64`, `words.len() > 64`, or `out.len() < lanes`.
+pub fn unpack_lanes(words: &[u64], lanes: usize, out: &mut [u64]) {
+    assert!(lanes <= 64 && words.len() <= 64 && out.len() >= lanes);
+    out[..lanes].fill(0);
+    for (k, &w) in words.iter().enumerate() {
+        let mut rem = w;
+        if lanes < 64 {
+            rem &= (1u64 << lanes) - 1;
+        }
+        // Iterate set bits only: outputs are often sparse per block.
+        while rem != 0 {
+            let l = rem.trailing_zeros() as usize;
+            out[l] |= 1u64 << k;
+            rem &= rem - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+    use apx_rng::Xoshiro256;
+
+    fn ripple2_adder() -> Netlist {
+        // 2-bit + 2-bit -> 3-bit ripple adder built from adder helpers.
+        let mut b = NetlistBuilder::new(4);
+        let (a0, a1, b0, b1) = (b.input(0), b.input(1), b.input(2), b.input(3));
+        let (s0, c0) = b.half_adder(a0, b0);
+        let (s1, c1) = b.full_adder(a1, b1, c0);
+        b.outputs(&[s0, s1, c1]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn patterns_encode_lane_bits() {
+        for bit in 0..6 {
+            for lane in 0..64u64 {
+                let expect = (lane >> bit) & 1;
+                let got = (PATTERNS[bit] >> lane) & 1;
+                assert_eq!(got, expect, "bit {bit} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_adder_table_is_correct() {
+        let nl = ripple2_adder();
+        let table = Exhaustive::new(4).output_table(&nl);
+        for v in 0..16u64 {
+            let a = v & 3;
+            let b = (v >> 2) & 3;
+            assert_eq!(table[v as usize], a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn block_sim_matches_bool_eval_on_random_netlists() {
+        let mut rng = Xoshiro256::from_seed(404);
+        for trial in 0..20 {
+            let ni = 3 + rng.gen_range(4); // 3..=6 inputs
+            let n_nodes = 5 + rng.gen_range(30);
+            let mut b = NetlistBuilder::new(ni);
+            for k in 0..n_nodes {
+                let limit = ni + k;
+                let kind = *rng.choose(&GateKind::ALL).unwrap();
+                let a = crate::SignalId(rng.gen_range(limit) as u32);
+                let bb = crate::SignalId(rng.gen_range(limit) as u32);
+                b.push(kind, a, bb);
+            }
+            let total = ni + n_nodes;
+            let outs: Vec<crate::SignalId> = (0..4)
+                .map(|_| crate::SignalId(rng.gen_range(total) as u32))
+                .collect();
+            b.outputs(&outs);
+            let nl = b.finish().unwrap();
+            let ex = Exhaustive::new(ni);
+            let table = ex.output_table(&nl);
+            for v in 0..ex.num_vectors() {
+                let bits: Vec<bool> = (0..ni).map(|i| (v >> i) & 1 == 1).collect();
+                let outs = nl.eval_bool(&bits);
+                let packed: u64 = outs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &o)| (o as u64) << k)
+                    .sum();
+                assert_eq!(table[v], packed, "trial {trial}, vector {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_circuit_single_block() {
+        let ex = Exhaustive::new(3);
+        assert_eq!(ex.num_blocks(), 1);
+        assert_eq!(ex.lanes_per_block(), 8);
+        let ex8 = Exhaustive::new(8);
+        assert_eq!(ex8.num_blocks(), 4);
+        assert_eq!(ex8.lanes_per_block(), 64);
+    }
+
+    #[test]
+    fn unpack_lanes_round_trip() {
+        let mut rng = Xoshiro256::from_seed(7);
+        let words: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let mut lanes = vec![0u64; 64];
+        unpack_lanes(&words, 64, &mut lanes);
+        for l in 0..64 {
+            for (k, w) in words.iter().enumerate() {
+                assert_eq!((lanes[l] >> k) & 1, (w >> l) & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn signal_words_exposes_internal_nodes() {
+        let nl = ripple2_adder();
+        let mut sim = BlockSim::new(&nl);
+        sim.run(&nl, &[0, 0, 0, 0]);
+        assert_eq!(sim.signal_words().len(), nl.num_signals());
+    }
+
+    #[test]
+    fn high_bit_planes_select_blocks() {
+        let ex = Exhaustive::new(8);
+        // bit 6 pattern: all-ones in odd blocks.
+        assert_eq!(ex.input_word(6, 0), 0);
+        assert_eq!(ex.input_word(6, 1), !0);
+        assert_eq!(ex.input_word(7, 1), 0);
+        assert_eq!(ex.input_word(7, 2), !0);
+    }
+}

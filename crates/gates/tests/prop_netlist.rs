@@ -1,0 +1,80 @@
+//! Property-based tests on netlist invariants.
+
+use apx_gates::{Exhaustive, GateKind, Netlist, NetlistBuilder, NetlistStats, SignalId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid netlist with `ni` inputs.
+fn arb_netlist(ni: usize, max_nodes: usize) -> impl Strategy<Value = Netlist> {
+    let node_count = 1..=max_nodes;
+    node_count
+        .prop_flat_map(move |n| {
+            let genes = proptest::collection::vec((any::<u32>(), any::<u32>(), 0usize..14), n);
+            let outs = proptest::collection::vec(any::<u32>(), 1..=4);
+            (genes, outs).prop_map(move |(genes, outs)| {
+                let mut b = NetlistBuilder::new(ni);
+                for (k, (a, bb, f)) in genes.iter().enumerate() {
+                    let limit = (ni + k) as u32;
+                    let kind = GateKind::ALL[*f];
+                    b.push(kind, SignalId(a % limit), SignalId(bb % limit));
+                }
+                let total = (ni + genes.len()) as u32;
+                let outputs: Vec<SignalId> = outs.iter().map(|o| SignalId(o % total)).collect();
+                b.outputs(&outputs);
+                b.finish().expect("constructed within bounds")
+            })
+        })
+        .prop_filter("non-trivial", |nl| nl.gate_count() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compact_preserves_function(nl in arb_netlist(4, 24)) {
+        let compacted = nl.compact();
+        prop_assert!(compacted.gate_count() <= nl.gate_count());
+        prop_assert_eq!(compacted.gate_count(), compacted.active_gate_count());
+        let ex = Exhaustive::new(4);
+        prop_assert_eq!(ex.output_table(&nl), ex.output_table(&compacted));
+    }
+
+    #[test]
+    fn active_mask_is_consistent_with_stats(nl in arb_netlist(5, 20)) {
+        let stats = NetlistStats::of(&nl);
+        prop_assert_eq!(stats.active_gates, nl.active_gate_count());
+        let kind_total: usize = stats.kind_counts.iter().sum();
+        prop_assert_eq!(kind_total, stats.active_gates);
+        prop_assert!(stats.active_gates <= stats.total_gates);
+    }
+
+    #[test]
+    fn exhaustive_table_matches_bool_eval(nl in arb_netlist(4, 16)) {
+        let table = Exhaustive::new(4).output_table(&nl);
+        for v in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            let outs = nl.eval_bool(&bits);
+            let packed: u64 = outs.iter().enumerate().map(|(k, &o)| (o as u64) << k).sum();
+            prop_assert_eq!(table[v], packed);
+        }
+    }
+
+    #[test]
+    fn depth_bounds_active_gate_count(nl in arb_netlist(4, 24)) {
+        // Depth can never exceed the number of active gates.
+        let depths = nl.depths();
+        let max_out_depth = nl.outputs().iter().map(|o| depths[o.index()]).max().unwrap();
+        prop_assert!(max_out_depth as usize <= nl.active_gate_count());
+    }
+
+    #[test]
+    fn embed_is_functionally_transparent(nl in arb_netlist(3, 12)) {
+        // Embedding a netlist behind pass-through inputs preserves it.
+        let mut b = NetlistBuilder::new(3);
+        let inputs: Vec<SignalId> = (0..3).map(|i| b.input(i)).collect();
+        let outs = b.embed(&nl, &inputs);
+        b.outputs(&outs);
+        let wrapped = b.finish().unwrap();
+        let ex = Exhaustive::new(3);
+        prop_assert_eq!(ex.output_table(&nl), ex.output_table(&wrapped));
+    }
+}

@@ -1,0 +1,114 @@
+//! 3×3 convolution through a pluggable multiplier.
+
+use crate::{GrayImage, Kernel3};
+use apx_arith::OpTable;
+
+/// Convolves `img` with `kernel`, computing every `coefficient × pixel`
+/// product through `table` — the coefficient is operand A (the
+/// distribution operand of the paper) and the pixel operand B.
+///
+/// Accumulation and the final `>> 8` rescale (with rounding) are exact, as
+/// in the hardware filter where only multipliers are approximated. Borders
+/// replicate. The result is clamped to `0..=255`.
+///
+/// # Panics
+///
+/// Panics unless `table` is an unsigned 8-bit operator.
+#[must_use]
+pub fn convolve3x3(img: &GrayImage, kernel: &Kernel3, table: &OpTable) -> GrayImage {
+    assert_eq!(table.width(), 8, "filter needs an 8-bit multiplier");
+    assert!(!table.is_signed(), "filter operands are unsigned");
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc: i64 = 0;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let coeff = kernel.at(dx, dy);
+                if coeff == 0 {
+                    continue;
+                }
+                let pix = img.get_clamped(x as isize + dx as isize, y as isize + dy as isize);
+                acc += table.get(coeff as i64, pix as i64);
+            }
+        }
+        // Round-to-nearest 8-bit rescale, clamped to the pixel range.
+        ((acc + 128) >> Kernel3::SHIFT).clamp(0, 255) as u8
+    })
+}
+
+/// Reference convolution with exact integer products.
+#[must_use]
+pub fn convolve3x3_exact(img: &GrayImage, kernel: &Kernel3) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc: i64 = 0;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let coeff = kernel.at(dx, dy) as i64;
+                let pix = img.get_clamped(x as isize + dx as isize, y as isize + dy as isize);
+                acc += coeff * pix as i64;
+            }
+        }
+        ((acc + 128) >> Kernel3::SHIFT).clamp(0, 255) as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{noise, psnr, synth};
+    use apx_arith::truncated_multiplier;
+    use apx_rng::Xoshiro256;
+
+    #[test]
+    fn exact_table_matches_reference() {
+        let img = synth::test_images(1, 20, 20, 5).pop().unwrap();
+        let kernel = Kernel3::gaussian(1.0);
+        let exact_table = OpTable::exact_mul(8, false);
+        assert_eq!(
+            convolve3x3(&img, &kernel, &exact_table),
+            convolve3x3_exact(&img, &kernel)
+        );
+    }
+
+    #[test]
+    fn constant_image_is_preserved() {
+        let img = GrayImage::from_fn(10, 10, |_, _| 200);
+        let kernel = Kernel3::gaussian(1.0);
+        let out = convolve3x3_exact(&img, &kernel);
+        // Kernel sums to 256 -> a constant image maps to itself exactly.
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn filter_smooths_gaussian_noise() {
+        let mut rng = Xoshiro256::from_seed(17);
+        let clean = GrayImage::from_fn(48, 48, |x, _| (x * 5) as u8);
+        let noisy = noise::add_gaussian(&clean, 20.0, &mut rng);
+        let filtered = convolve3x3_exact(&noisy, &Kernel3::gaussian(1.0));
+        assert!(
+            psnr(&clean, &filtered) > psnr(&clean, &noisy) + 2.0,
+            "filtering should improve PSNR: {} vs {}",
+            psnr(&clean, &filtered),
+            psnr(&clean, &noisy)
+        );
+    }
+
+    #[test]
+    fn approximate_multiplier_degrades_gracefully() {
+        let img = synth::test_images(1, 24, 24, 9).pop().unwrap();
+        let kernel = Kernel3::gaussian(1.0);
+        let exact = convolve3x3_exact(&img, &kernel);
+        let mild = OpTable::from_netlist(&truncated_multiplier(8, 4), 8, false).unwrap();
+        let harsh = OpTable::from_netlist(&truncated_multiplier(8, 10), 8, false).unwrap();
+        let p_mild = psnr(&exact, &convolve3x3(&img, &kernel, &mild));
+        let p_harsh = psnr(&exact, &convolve3x3(&img, &kernel, &harsh));
+        assert!(p_mild > p_harsh, "mild {p_mild} dB vs harsh {p_harsh} dB");
+        assert!(p_mild > 30.0, "mild truncation should stay reasonable");
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit multiplier")]
+    fn wrong_table_width_panics() {
+        let img = GrayImage::new(4, 4);
+        let _ = convolve3x3(&img, &Kernel3::gaussian(1.0), &OpTable::exact_mul(4, false));
+    }
+}

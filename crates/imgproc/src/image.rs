@@ -1,0 +1,159 @@
+//! 8-bit grayscale images.
+
+/// An 8-bit grayscale image, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// A black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        GrayImage { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Builds an image from a pixel function `f(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    #[must_use]
+    pub fn from_fn<F>(width: usize, height: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize, usize) -> u8,
+    {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        GrayImage { width, height, pixels }
+    }
+
+    /// Wraps raw row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is 0.
+    #[must_use]
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        GrayImage { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)` with replicate-border semantics: out-of-range
+    /// coordinates clamp to the nearest edge (signed inputs allowed).
+    #[inline]
+    #[must_use]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let xc = x.clamp(0, self.width as isize - 1) as usize;
+        let yc = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[yc * self.width + xc]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Raw pixels, row-major.
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Mean pixel intensity.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (10 * y + x) as u8);
+        assert_eq!(img.pixels(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(img.get(2, 1), 12);
+    }
+
+    #[test]
+    fn clamped_access_replicates_borders() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        assert_eq!(img.get_clamped(-5, -5), 0);
+        assert_eq!(img.get_clamped(5, 0), 1);
+        assert_eq!(img.get_clamped(1, 9), 3);
+    }
+
+    #[test]
+    fn set_and_mean() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 100);
+        img.set(1, 1, 100);
+        assert!((img.mean() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_get_panics() {
+        let _ = GrayImage::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = GrayImage::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn bad_buffer_panics() {
+        let _ = GrayImage::from_pixels(2, 2, vec![0; 3]);
+    }
+}

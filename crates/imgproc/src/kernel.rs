@@ -1,0 +1,153 @@
+//! Integer convolution kernels.
+
+/// A 3×3 integer kernel whose coefficients sum to exactly 256, so the
+/// normalizing division is the 8-bit right shift a hardware datapath
+/// would use.
+///
+/// Coefficient layout is row-major:
+/// `[c00, c01, c02, c10, c11, c12, c20, c21, c22]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel3 {
+    coeffs: [u8; 9],
+}
+
+impl Kernel3 {
+    /// Number of fractional bits of the fixed-point weights (sum = 2^8).
+    pub const SHIFT: u32 = 8;
+
+    /// Builds the discrete Gaussian kernel for standard deviation `sigma`,
+    /// quantized to 8-bit coefficients summing to exactly 256.
+    ///
+    /// Small `sigma` concentrates weight in the centre (the paper's
+    /// close-to-zero surrounding coefficients); large `sigma` approaches a
+    /// box filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    #[must_use]
+    pub fn gaussian(sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        let mut raw = [0.0f64; 9];
+        let mut total = 0.0;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let r2 = (dx * dx + dy * dy) as f64;
+                let v = (-r2 / (2.0 * sigma * sigma)).exp();
+                raw[((dy + 1) * 3 + (dx + 1)) as usize] = v;
+                total += v;
+            }
+        }
+        let mut coeffs = [0i32; 9];
+        let mut sum = 0i32;
+        for (c, &v) in coeffs.iter_mut().zip(&raw) {
+            *c = ((v / total) * 256.0).round() as i32;
+            sum += *c;
+        }
+        // Force the sum to exactly 256 by adjusting the centre coefficient.
+        coeffs[4] += 256 - sum;
+        assert!(
+            coeffs.iter().all(|&c| (0..=255).contains(&c)),
+            "coefficients must fit u8 (sigma too extreme)"
+        );
+        let mut out = [0u8; 9];
+        for (o, &c) in out.iter_mut().zip(&coeffs) {
+            *o = c as u8;
+        }
+        Kernel3 { coeffs: out }
+    }
+
+    /// Builds a kernel from explicit coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the coefficients sum to exactly 256.
+    #[must_use]
+    pub fn from_coeffs(coeffs: [u8; 9]) -> Self {
+        let sum: u32 = coeffs.iter().map(|&c| c as u32).sum();
+        assert_eq!(sum, 256, "kernel coefficients must sum to 256");
+        Kernel3 { coeffs }
+    }
+
+    /// The coefficients, row-major.
+    #[must_use]
+    pub fn coeffs(&self) -> &[u8; 9] {
+        &self.coeffs
+    }
+
+    /// Coefficient for offset `(dx, dy)` with `dx, dy ∈ {-1, 0, 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an offset is outside `-1..=1`.
+    #[must_use]
+    pub fn at(&self, dx: i32, dy: i32) -> u8 {
+        assert!((-1..=1).contains(&dx) && (-1..=1).contains(&dy), "offset out of range");
+        self.coeffs[((dy + 1) * 3 + (dx + 1)) as usize]
+    }
+
+    /// The distinct coefficient values (useful for building the operand
+    /// distribution of the filter's multipliers).
+    #[must_use]
+    pub fn distinct_coeffs(&self) -> Vec<u8> {
+        let mut v = self.coeffs.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_sums_to_256_and_is_symmetric() {
+        for sigma in [0.5, 0.8, 1.0, 1.5, 3.0] {
+            let k = Kernel3::gaussian(sigma);
+            let sum: u32 = k.coeffs().iter().map(|&c| c as u32).sum();
+            assert_eq!(sum, 256, "sigma={sigma}");
+            assert_eq!(k.at(-1, 0), k.at(1, 0));
+            assert_eq!(k.at(0, -1), k.at(0, 1));
+            assert_eq!(k.at(-1, -1), k.at(1, 1));
+            assert!(k.at(0, 0) >= k.at(1, 0), "centre dominates");
+            assert!(k.at(1, 0) >= k.at(1, 1), "edge beats corner");
+        }
+    }
+
+    #[test]
+    fn small_sigma_concentrates_centre() {
+        let tight = Kernel3::gaussian(0.5);
+        let wide = Kernel3::gaussian(2.0);
+        assert!(tight.at(0, 0) > wide.at(0, 0));
+        assert!(tight.at(1, 1) < wide.at(1, 1));
+    }
+
+    #[test]
+    fn paper_constraint_coefficients_below_256() {
+        // "nine constants whose sum has to be less than [or equal] 256".
+        let k = Kernel3::gaussian(1.0);
+        assert!(k.coeffs().iter().all(|&c| c < 255));
+        // σ=1: the classic small coefficients away from the centre.
+        assert!(k.at(1, 1) < 32, "corner coeff {}", k.at(1, 1));
+    }
+
+    #[test]
+    fn distinct_coeffs_of_symmetric_kernel() {
+        let k = Kernel3::gaussian(1.0);
+        // centre, edge, corner -> 3 distinct values.
+        assert_eq!(k.distinct_coeffs().len(), 3);
+    }
+
+    #[test]
+    fn from_coeffs_validates_sum() {
+        let k = Kernel3::from_coeffs([16, 32, 16, 32, 64, 32, 16, 32, 16]);
+        assert_eq!(k.at(0, 0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 256")]
+    fn bad_sum_panics() {
+        let _ = Kernel3::from_coeffs([1; 9]);
+    }
+}

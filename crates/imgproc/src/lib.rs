@@ -1,0 +1,192 @@
+//! Image-processing substrate for the approximate Gaussian-filter study.
+//!
+//! Case study 1 of the paper validates its distribution-driven multipliers
+//! inside a 3×3 Gaussian image filter (Fig. 5): nine constant coefficients
+//! multiply the pixels of a window, the products are summed and rescaled.
+//! This crate provides everything that experiment needs:
+//!
+//! * [`GrayImage`] — 8-bit grayscale images;
+//! * [`synth::test_images`] — 25 deterministic synthetic scenes standing in
+//!   for the paper's image set (offline substitution, DESIGN.md §4);
+//! * [`noise::add_gaussian`] — noise injection for denoising scenarios;
+//! * [`Kernel3`] — integer Gaussian kernels whose coefficients sum to 256,
+//!   so the hardware divide is a plain 8-bit shift (the paper's "sum has to
+//!   be less than 256" constraint);
+//! * [`convolve3x3`] — convolution through an arbitrary multiplier
+//!   [`OpTable`], exactly how an approximate ASIC datapath executes it;
+//! * [`psnr`] / [`ssim`] — quality metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod image;
+mod kernel;
+pub mod noise;
+pub mod synth;
+
+pub use filter::{convolve3x3, convolve3x3_exact};
+pub use image::GrayImage;
+pub use kernel::Kernel3;
+
+use apx_arith::OpTable;
+
+/// Mean squared error between two images of equal size.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+#[must_use]
+pub fn mse(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let n = (a.width() * a.height()) as f64;
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB (`+∞` for identical images).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+#[must_use]
+pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / m).log10()
+    }
+}
+
+/// PSNR clamped to `cap` dB — the paper's figures saturate near-exact
+/// filters at a finite value.
+#[must_use]
+pub fn psnr_capped(a: &GrayImage, b: &GrayImage, cap: f64) -> f64 {
+    psnr(a, b).min(cap)
+}
+
+/// Mean structural similarity over 8×8 tiles (simplified SSIM, `k1=0.01`,
+/// `k2=0.03`, no Gaussian window).
+///
+/// # Panics
+///
+/// Panics if dimensions differ or the images are smaller than 8×8.
+#[must_use]
+pub fn ssim(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    assert!(a.width() >= 8 && a.height() >= 8, "images must be at least 8x8");
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+    let mut total = 0.0;
+    let mut tiles = 0usize;
+    for ty in (0..a.height() - 7).step_by(8) {
+        for tx in (0..a.width() - 7).step_by(8) {
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for y in ty..ty + 8 {
+                for x in tx..tx + 8 {
+                    ma += a.get(x, y) as f64;
+                    mb += b.get(x, y) as f64;
+                }
+            }
+            ma /= 64.0;
+            mb /= 64.0;
+            let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for y in ty..ty + 8 {
+                for x in tx..tx + 8 {
+                    let da = a.get(x, y) as f64 - ma;
+                    let db = b.get(x, y) as f64 - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            }
+            va /= 63.0;
+            vb /= 63.0;
+            cov /= 63.0;
+            total += ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+            tiles += 1;
+        }
+    }
+    total / tiles as f64
+}
+
+/// Average PSNR of an approximate filter against the exact filter over an
+/// image set — the quantity plotted in the paper's Fig. 5 (capped at
+/// `cap` dB per image).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or the table is not an 8-bit unsigned
+/// operator.
+#[must_use]
+pub fn average_filter_psnr(
+    images: &[GrayImage],
+    kernel: &Kernel3,
+    table: &OpTable,
+    cap: f64,
+) -> f64 {
+    assert!(!images.is_empty(), "need at least one image");
+    let mut total = 0.0;
+    for img in images {
+        let exact = convolve3x3_exact(img, kernel);
+        let approx = convolve3x3(img, kernel, table);
+        total += psnr_capped(&exact, &approx, cap);
+    }
+    total / images.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_rng::Xoshiro256;
+
+    #[test]
+    fn mse_and_psnr_basics() {
+        let a = GrayImage::from_fn(16, 16, |x, y| (x * 16 + y) as u8);
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(psnr_capped(&a, &a, 80.0), 80.0);
+        let b = GrayImage::from_fn(16, 16, |x, y| (x * 16 + y) as u8 / 2 + 10);
+        let a2 = GrayImage::from_fn(16, 16, |x, y| (x * 16 + y) as u8 / 2);
+        assert!((mse(&a2, &b) - 100.0).abs() < 1e-9);
+        let p = psnr(&a2, &b);
+        assert!(p > 27.0 && p < 29.0, "psnr {p}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let mut rng = Xoshiro256::from_seed(8);
+        let clean = synth::test_images(1, 32, 32, 1).pop().unwrap();
+        let slightly = noise::add_gaussian(&clean, 5.0, &mut rng);
+        let very = noise::add_gaussian(&clean, 25.0, &mut rng);
+        assert!(psnr(&clean, &slightly) > psnr(&clean, &very));
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let img = synth::test_images(1, 32, 32, 2).pop().unwrap();
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+        let mut rng = Xoshiro256::from_seed(4);
+        let noisy = noise::add_gaussian(&img, 30.0, &mut rng);
+        assert!(ssim(&img, &noisy) < 0.95);
+    }
+
+    #[test]
+    fn average_filter_psnr_exact_table_is_capped() {
+        let images = synth::test_images(3, 24, 24, 3);
+        let kernel = Kernel3::gaussian(1.0);
+        let exact = OpTable::exact_mul(8, false);
+        assert_eq!(average_filter_psnr(&images, &kernel, &exact, 80.0), 80.0);
+    }
+}

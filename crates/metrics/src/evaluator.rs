@@ -1,0 +1,483 @@
+//! The CGP hot path: exhaustive WMED evaluation of multiplier netlists.
+
+use crate::stats::ErrorStats;
+use apx_arith::sign_extend;
+use apx_dist::Pmf;
+use apx_gates::{unpack_lanes, BlockSim, Exhaustive, Netlist};
+use std::fmt;
+
+/// Error constructing a [`MultEvaluator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvaluatorError {
+    /// Operand width outside the supported range `1..=10`.
+    BadWidth(u32),
+    /// The PMF is defined over a different operand width.
+    PmfWidthMismatch {
+        /// Evaluator operand width.
+        width: u32,
+        /// PMF width.
+        pmf_width: u32,
+    },
+}
+
+impl fmt::Display for EvaluatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvaluatorError::BadWidth(w) => write!(f, "operand width {w} outside 1..=10"),
+            EvaluatorError::PmfWidthMismatch { width, pmf_width } => {
+                write!(f, "pmf width {pmf_width} does not match operand width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvaluatorError {}
+
+/// Exhaustive error evaluator for `width`-bit multiplier netlists under a
+/// data distribution `D` on the first operand.
+///
+/// Built once per (width, signedness, distribution) and reused for every
+/// candidate circuit of a CGP run. The evaluator
+///
+/// * enumerates input vectors with the distribution operand in the **high**
+///   bits, so for `width >= 6` each 64-lane simulation block has a single
+///   `x` value and a single weight `D(x)`;
+/// * pre-sorts blocks by decreasing weight and skips zero-weight blocks;
+/// * offers [`MultEvaluator::wmed_bounded`], which abandons a candidate as
+///   soon as its running weighted error exceeds the fitness threshold
+///   (Eq. 1 only needs the comparison, not the exact value).
+///
+/// # Examples
+///
+/// ```
+/// use apx_arith::{array_multiplier, truncated_multiplier};
+/// use apx_dist::Pmf;
+/// use apx_metrics::MultEvaluator;
+///
+/// let eval = MultEvaluator::new(8, false, &Pmf::half_normal(8, 48.0))?;
+/// assert_eq!(eval.wmed(&array_multiplier(8)), 0.0);
+/// assert!(eval.wmed(&truncated_multiplier(8, 8)) > 0.0);
+/// # Ok::<(), apx_metrics::EvaluatorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultEvaluator {
+    width: u32,
+    signed: bool,
+    weights: Vec<f64>,
+    ex: Exhaustive,
+    /// `(block index, weight of the block's x value)`, zero-weight blocks
+    /// removed, sorted by decreasing weight. Empty for `width < 6` (the
+    /// whole domain fits one block; weights are applied per lane instead).
+    ordered_blocks: Vec<(u32, f64)>,
+    /// Normalizer `1 / (2^w · 2^(2w))`.
+    norm: f64,
+}
+
+impl MultEvaluator {
+    /// Creates an evaluator for `width`-bit (optionally signed) multipliers
+    /// weighted by `pmf` on the first operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluatorError`] on unsupported widths or a PMF of the
+    /// wrong width.
+    pub fn new(width: u32, signed: bool, pmf: &Pmf) -> Result<Self, EvaluatorError> {
+        if width == 0 || width > 10 {
+            return Err(EvaluatorError::BadWidth(width));
+        }
+        if pmf.width() != width {
+            return Err(EvaluatorError::PmfWidthMismatch { width, pmf_width: pmf.width() });
+        }
+        let ex = Exhaustive::new(2 * width as usize);
+        let weights: Vec<f64> = pmf.iter().collect();
+        let mut ordered_blocks = Vec::new();
+        if width >= 6 {
+            let blocks_per_x = 1u32 << (width - 6);
+            for block in 0..ex.num_blocks() as u32 {
+                let x_raw = (block / blocks_per_x) as usize;
+                let w = weights[x_raw];
+                if w > 0.0 {
+                    ordered_blocks.push((block, w));
+                }
+            }
+            ordered_blocks.sort_by(|a, b| b.1.total_cmp(&a.1));
+        }
+        let norm = 1.0 / ((1u64 << width) as f64 * (1u64 << (2 * width)) as f64);
+        Ok(MultEvaluator { width, signed, weights, ex, ordered_blocks, norm })
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether operands/results are interpreted as two's complement.
+    #[must_use]
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    fn check_arity(&self, netlist: &Netlist) {
+        assert_eq!(
+            netlist.num_inputs(),
+            2 * self.width as usize,
+            "multiplier must have 2*width inputs"
+        );
+        assert_eq!(
+            netlist.num_outputs(),
+            2 * self.width as usize,
+            "multiplier must have 2*width outputs"
+        );
+    }
+
+    /// Fills the simulation input words for `block`.
+    ///
+    /// Netlist inputs `0..w` (operand A = the distribution operand `x`) are
+    /// driven by the *high* enumeration bits, inputs `w..2w` (operand B =
+    /// `y`) by the low bits, so `x` is constant within a block when
+    /// `width >= 6`.
+    fn fill_inputs(&self, block: usize, inputs: &mut [u64]) {
+        let w = self.width as usize;
+        for i in 0..w {
+            inputs[i] = self.ex.input_word(w + i, block);
+            inputs[w + i] = self.ex.input_word(i, block);
+        }
+    }
+
+    #[inline]
+    fn interpret(&self, raw: u64, bits: u32) -> i64 {
+        if self.signed {
+            sign_extend(raw, bits)
+        } else {
+            raw as i64
+        }
+    }
+
+    /// Sum of absolute errors over the 64 lanes of `block` (raw LSBs).
+    fn block_abs_error(
+        &self,
+        netlist: &Netlist,
+        sim: &mut BlockSim,
+        inputs: &mut [u64],
+        lane_buf: &mut [u64],
+        block: usize,
+    ) -> u64 {
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        self.fill_inputs(block, inputs);
+        let out_words = sim.run(netlist, inputs);
+        let lanes = self.ex.lanes_per_block();
+        unpack_lanes(out_words, lanes, lane_buf);
+        let base = (block * 64) as u64;
+        let mut sum = 0u64;
+        for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
+            let v = base + lane as u64;
+            let x = self.interpret(v >> w, w);
+            let y = self.interpret(v & mask, w);
+            let got = self.interpret(out_raw, 2 * w);
+            sum += (x * y - got).unsigned_abs();
+        }
+        sum
+    }
+
+    /// Exact WMED of `netlist` under the evaluator's distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    #[must_use]
+    pub fn wmed(&self, netlist: &Netlist) -> f64 {
+        self.wmed_impl(netlist, f64::INFINITY)
+            .expect("unbounded evaluation always completes")
+    }
+
+    /// WMED with early abort: returns `None` as soon as the running
+    /// weighted error proves the result exceeds `limit`.
+    ///
+    /// This is the fitness primitive of Eq. 1 — most offspring violate the
+    /// error budget and are rejected after a handful of high-weight blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    #[must_use]
+    pub fn wmed_bounded(&self, netlist: &Netlist, limit: f64) -> Option<f64> {
+        self.wmed_impl(netlist, limit)
+    }
+
+    fn wmed_impl(&self, netlist: &Netlist, limit: f64) -> Option<f64> {
+        self.check_arity(netlist);
+        let mut sim = BlockSim::new(netlist);
+        let mut inputs = vec![0u64; 2 * self.width as usize];
+        let mut lane_buf = vec![0u64; 64];
+        let mut total = 0.0f64;
+        // `limit` in normalized units -> raw weighted-error budget.
+        let raw_limit = if limit.is_finite() { limit / self.norm } else { f64::INFINITY };
+        if self.width >= 6 {
+            for &(block, weight) in &self.ordered_blocks {
+                let err = self.block_abs_error(
+                    netlist,
+                    &mut sim,
+                    &mut inputs,
+                    &mut lane_buf,
+                    block as usize,
+                );
+                total += weight * err as f64;
+                if total > raw_limit {
+                    return None;
+                }
+            }
+        } else {
+            // Small domain: weights vary per lane inside the block(s).
+            let w = self.width;
+            let mask = (1u64 << w) - 1;
+            let lanes = self.ex.lanes_per_block();
+            for block in 0..self.ex.num_blocks() {
+                self.fill_inputs(block, &mut inputs);
+                let out_words = sim.run(netlist, &inputs);
+                unpack_lanes(out_words, lanes, &mut lane_buf);
+                let base = (block * 64) as u64;
+                for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
+                    let v = base + lane as u64;
+                    let x_raw = v >> w;
+                    let weight = self.weights[x_raw as usize];
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    let x = self.interpret(x_raw, w);
+                    let y = self.interpret(v & mask, w);
+                    let got = self.interpret(out_raw, 2 * w);
+                    total += weight * (x * y - got).unsigned_abs() as f64;
+                }
+                if total > raw_limit {
+                    return None;
+                }
+            }
+        }
+        // total = Σ_x D(x) Σ_y |err|; WMED = total / (2^w · 2^(2w)) = total·norm.
+        Some(total * self.norm)
+    }
+
+    /// Full error statistics (one exhaustive pass, no skipping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    #[must_use]
+    pub fn stats(&self, netlist: &Netlist) -> ErrorStats {
+        self.check_arity(netlist);
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        let range = (1u64 << (2 * w)) as f64;
+        let mut sim = BlockSim::new(netlist);
+        let mut inputs = vec![0u64; 2 * w as usize];
+        let mut lane_buf = vec![0u64; 64];
+        let lanes = self.ex.lanes_per_block();
+        let mut sum_abs = 0.0f64;
+        let mut sum_weighted = 0.0f64;
+        let mut sum_rel = 0.0f64;
+        let mut nonzero = 0u64;
+        let mut max_abs = 0i64;
+        for block in 0..self.ex.num_blocks() {
+            self.fill_inputs(block, &mut inputs);
+            let out_words = sim.run(netlist, &inputs);
+            unpack_lanes(out_words, lanes, &mut lane_buf);
+            let base = (block * 64) as u64;
+            for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
+                let v = base + lane as u64;
+                let x_raw = v >> w;
+                let x = self.interpret(x_raw, w);
+                let y = self.interpret(v & mask, w);
+                let exact = x * y;
+                let got = self.interpret(out_raw, 2 * w);
+                let err = (exact - got).abs();
+                if err != 0 {
+                    nonzero += 1;
+                }
+                max_abs = max_abs.max(err);
+                let err_f = err as f64;
+                sum_abs += err_f;
+                sum_weighted += self.weights[x_raw as usize] * err_f;
+                sum_rel += err_f / (exact.abs().max(1) as f64);
+            }
+        }
+        let total = self.ex.num_vectors() as f64;
+        let n = (1u64 << w) as f64;
+        ErrorStats {
+            med: sum_abs / total / range,
+            wmed: sum_weighted / n / range,
+            wce: max_abs as f64 / range,
+            error_rate: nonzero as f64 / total,
+            mred: sum_rel / total,
+            max_abs_error: max_abs,
+        }
+    }
+
+    /// Per-input-pair normalized absolute error (Fig. 4's heat-map data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    #[must_use]
+    pub fn error_matrix(&self, netlist: &Netlist) -> crate::ErrorMatrix {
+        self.check_arity(netlist);
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        let n = 1usize << w;
+        let range = (1u64 << (2 * w)) as f64;
+        let mut data = vec![0.0f64; n * n];
+        let mut sim = BlockSim::new(netlist);
+        let mut inputs = vec![0u64; 2 * w as usize];
+        let mut lane_buf = vec![0u64; 64];
+        let lanes = self.ex.lanes_per_block();
+        for block in 0..self.ex.num_blocks() {
+            self.fill_inputs(block, &mut inputs);
+            let out_words = sim.run(netlist, &inputs);
+            unpack_lanes(out_words, lanes, &mut lane_buf);
+            let base = (block * 64) as u64;
+            for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
+                let v = base + lane as u64;
+                let x_raw = v >> w;
+                let y_raw = v & mask;
+                let x = self.interpret(x_raw, w);
+                let y = self.interpret(y_raw, w);
+                let got = self.interpret(out_raw, 2 * w);
+                // Matrix is indexed (row = x encoding, col = y encoding).
+                data[(x_raw as usize) * n + y_raw as usize] =
+                    (x * y - got).abs() as f64 / range;
+            }
+        }
+        crate::ErrorMatrix::new(w, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_arith::{
+        array_multiplier, baugh_wooley_broken, baugh_wooley_multiplier, broken_array_multiplier,
+        truncated_multiplier, OpTable,
+    };
+    use crate::table_stats;
+
+    #[test]
+    fn evaluator_matches_table_stats_unsigned() {
+        let pmf = Pmf::half_normal(4, 3.0);
+        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let exact = OpTable::exact_mul(4, false);
+        for nl in [
+            truncated_multiplier(4, 3),
+            broken_array_multiplier(4, 3, 2),
+            array_multiplier(4),
+        ] {
+            let table = OpTable::from_netlist(&nl, 4, false).unwrap();
+            let expect = table_stats(&table, &exact, &pmf);
+            let got = eval.stats(&nl);
+            assert!((got.wmed - expect.wmed).abs() < 1e-12, "wmed");
+            assert!((got.med - expect.med).abs() < 1e-12, "med");
+            assert!((got.wce - expect.wce).abs() < 1e-12, "wce");
+            assert!((got.error_rate - expect.error_rate).abs() < 1e-12, "er");
+            assert!((eval.wmed(&nl) - expect.wmed).abs() < 1e-12, "wmed fast path");
+        }
+    }
+
+    #[test]
+    fn evaluator_matches_table_stats_signed() {
+        let pmf = Pmf::signed_normal(4, 0.0, 3.0);
+        let eval = MultEvaluator::new(4, true, &pmf).unwrap();
+        let exact = OpTable::exact_mul(4, true);
+        for nl in [baugh_wooley_multiplier(4), baugh_wooley_broken(4, 3, 2)] {
+            let table = OpTable::from_netlist(&nl, 4, true).unwrap();
+            let expect = table_stats(&table, &exact, &pmf);
+            let got = eval.wmed(&nl);
+            assert!(
+                (got - expect.wmed).abs() < 1e-12,
+                "got {got} expect {}",
+                expect.wmed
+            );
+        }
+    }
+
+    #[test]
+    fn eight_bit_fast_path_matches_table() {
+        let pmf = Pmf::normal(8, 127.0, 32.0);
+        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        let nl = broken_array_multiplier(8, 6, 5);
+        let table = OpTable::from_netlist(&nl, 8, false).unwrap();
+        let exact = OpTable::exact_mul(8, false);
+        let expect = table_stats(&table, &exact, &pmf);
+        assert!((eval.wmed(&nl) - expect.wmed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_multiplier_has_zero_wmed() {
+        let eval = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+        assert_eq!(eval.wmed(&array_multiplier(8)), 0.0);
+    }
+
+    #[test]
+    fn bounded_eval_aborts_above_limit() {
+        let pmf = Pmf::uniform(8);
+        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        let bad = truncated_multiplier(8, 12);
+        let true_wmed = eval.wmed(&bad);
+        assert!(true_wmed > 1e-4);
+        assert_eq!(eval.wmed_bounded(&bad, true_wmed / 10.0), None);
+        // A generous limit returns the exact value.
+        let got = eval.wmed_bounded(&bad, true_wmed * 2.0).unwrap();
+        assert!((got - true_wmed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_blocks_are_skipped() {
+        // Point mass on x = 3: WMED only sees row 3.
+        let mut weights = vec![0.0; 256];
+        weights[3] = 1.0;
+        let pmf = Pmf::from_weights(8, weights).unwrap();
+        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        assert_eq!(eval.ordered_blocks.len(), 4, "only x=3's four blocks remain");
+        let nl = truncated_multiplier(8, 6);
+        let table = OpTable::from_netlist(&nl, 8, false).unwrap();
+        // WMED == mean error of row x=3 normalized.
+        let mut row_sum = 0.0;
+        for y in 0..256i64 {
+            row_sum += (table.get(3, y) - 3 * y).abs() as f64;
+        }
+        let expect = row_sum / 256.0 / 65536.0;
+        assert!((eval.wmed(&nl) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_matrix_diagonal_structure() {
+        let pmf = Pmf::uniform(4);
+        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let nl = truncated_multiplier(4, 4);
+        let m = eval.error_matrix(&nl);
+        // x = 0 row: product is 0, truncation errors are 0.
+        for y in 0..16 {
+            assert_eq!(m.get(0, y), 0.0);
+        }
+        // mean of matrix equals MED.
+        let stats = eval.stats(&nl);
+        assert!((m.mean() - stats.med).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_errors() {
+        assert!(matches!(
+            MultEvaluator::new(0, false, &Pmf::uniform(1)),
+            Err(EvaluatorError::BadWidth(0))
+        ));
+        let err = MultEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
+        assert!(matches!(err, EvaluatorError::PmfWidthMismatch { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "2*width inputs")]
+    fn arity_mismatch_panics() {
+        let eval = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+        let _ = eval.wmed(&array_multiplier(4));
+    }
+}

@@ -1,0 +1,189 @@
+//! Error heat maps (Fig. 4 of the paper).
+
+use std::fmt;
+
+/// Per-input-pair normalized absolute error of a two-operand circuit.
+///
+/// Row index is the raw encoding of the distribution operand `x`, column
+/// index the raw encoding of the free operand `y`; values are
+/// `|exact − approx| / 2^(2w)`. Produced by
+/// [`crate::MultEvaluator::error_matrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorMatrix {
+    width: u32,
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl ErrorMatrix {
+    /// Wraps raw data (row-major, `2^width × 2^width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 4^width`.
+    #[must_use]
+    pub fn new(width: u32, data: Vec<f64>) -> Self {
+        let n = 1usize << width;
+        assert_eq!(data.len(), n * n, "error matrix must be 2^w x 2^w");
+        ErrorMatrix { width, n, data }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Domain size per axis (`2^width`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Normalized error at `(x_raw, y_raw)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn get(&self, x_raw: usize, y_raw: usize) -> f64 {
+        self.data[x_raw * self.n + y_raw]
+    }
+
+    /// Mean normalized error over the whole matrix (equals the MED).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Largest normalized error (equals the normalized WCE).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean error of one `x` row — how gently the circuit treats operand
+    /// value `x` (the quantity the paper's heat maps visualize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_raw` is out of range.
+    #[must_use]
+    pub fn row_mean(&self, x_raw: usize) -> f64 {
+        let row = &self.data[x_raw * self.n..(x_raw + 1) * self.n];
+        row.iter().sum::<f64>() / self.n as f64
+    }
+
+    /// Downsamples to a `k × k` grid of cell means (for compact rendering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or larger than the matrix.
+    #[must_use]
+    pub fn downsample(&self, k: usize) -> Vec<Vec<f64>> {
+        assert!(k > 0 && k <= self.n, "downsample factor out of range");
+        let cell = self.n / k;
+        let mut grid = vec![vec![0.0f64; k]; k];
+        for (gx, row) in grid.iter_mut().enumerate() {
+            for (gy, out) in row.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                for x in gx * cell..(gx + 1) * cell {
+                    for y in gy * cell..(gy + 1) * cell {
+                        sum += self.get(x, y);
+                    }
+                }
+                *out = sum / (cell * cell) as f64;
+            }
+        }
+        grid
+    }
+
+    /// Renders a `k × k` ASCII heat map (` .:-=+*#%@` ramp, row `x = 0` on
+    /// top), normalized to the matrix maximum.
+    #[must_use]
+    pub fn to_ascii(&self, k: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let grid = self.downsample(k);
+        let max = grid
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut s = String::with_capacity(k * (k + 1));
+        for row in &grid {
+            for &v in row {
+                let idx = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                s.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for ErrorMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii(16.min(self.n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_matrix() -> ErrorMatrix {
+        // error grows with x.
+        let n = 16;
+        let mut data = vec![0.0; n * n];
+        for x in 0..n {
+            for y in 0..n {
+                data[x * n + y] = x as f64 / n as f64;
+            }
+        }
+        ErrorMatrix::new(4, data)
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let m = gradient_matrix();
+        assert!((m.mean() - 7.5 / 16.0).abs() < 1e-12);
+        assert!((m.max() - 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_mean_tracks_rows() {
+        let m = gradient_matrix();
+        assert_eq!(m.row_mean(0), 0.0);
+        assert!((m.row_mean(8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_averages_cells() {
+        let m = gradient_matrix();
+        let g = m.downsample(4);
+        assert_eq!(g.len(), 4);
+        // first band covers x in 0..4 -> mean 1.5/16
+        assert!((g[0][0] - 1.5 / 16.0).abs() < 1e-12);
+        assert!((g[3][3] - 13.5 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_has_expected_shape() {
+        let m = gradient_matrix();
+        let art = m.to_ascii(4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Last row is the hottest -> '@'.
+        assert!(lines[3].contains('@'));
+        // Display uses the same ramp.
+        assert!(!format!("{m}").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^w x 2^w")]
+    fn wrong_size_panics() {
+        let _ = ErrorMatrix::new(4, vec![0.0; 10]);
+    }
+}

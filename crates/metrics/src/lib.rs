@@ -1,0 +1,57 @@
+//! Error metrics for approximate arithmetic circuits.
+//!
+//! The paper's contribution is **WMED**, the weighted mean error distance
+//! (§III-A): the mean absolute error of an approximate multiplier where the
+//! distribution operand `x` is weighted by an application-measured
+//! probability mass function `D` and the free operand `y` is uniform:
+//!
+//! ```text
+//! WMED_D(M̃) = E_{x∼D, y∼U}[ |x·y − M̃(x,y)| ] / 2^(2w)   ∈ [0, 1)
+//! ```
+//!
+//! (The normalization by the output range `2^(2w)` keeps the metric in
+//! `[0, 1)`; see DESIGN.md §3 for why the paper's literal formula is
+//! adjusted.) With `D` uniform this reduces to the conventional normalized
+//! mean error distance, so a single code path serves both the proposed and
+//! the baseline metric.
+//!
+//! Two evaluation surfaces are provided:
+//!
+//! * [`table_stats`] — metrics over functional [`apx_arith::OpTable`]s
+//!   (library multipliers, quick experiments);
+//! * [`MultEvaluator`] — the CGP hot path: evaluates a gate-level
+//!   [`apx_gates::Netlist`] exhaustively with bit-parallel simulation,
+//!   skips zero-probability operand blocks, visits blocks in decreasing
+//!   weight order and aborts as soon as a WMED budget is exceeded
+//!   ([`MultEvaluator::wmed_bounded`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+mod heatmap;
+mod stats;
+
+pub use evaluator::{EvaluatorError, MultEvaluator};
+pub use heatmap::ErrorMatrix;
+pub use stats::{joint_wmed, table_stats, ErrorStats};
+
+use apx_arith::OpTable;
+use apx_dist::Pmf;
+
+/// Convenience: WMED of an approximate table against the exact product.
+///
+/// # Panics
+///
+/// Panics if the table and PMF widths disagree.
+#[must_use]
+pub fn wmed_of_table(approx: &OpTable, pmf: &Pmf) -> f64 {
+    let exact = OpTable::exact_mul(approx.width(), approx.is_signed());
+    table_stats(approx, &exact, pmf).wmed
+}
+
+/// Convenience: conventional normalized MED (uniform weighting).
+#[must_use]
+pub fn med_of_table(approx: &OpTable) -> f64 {
+    wmed_of_table(approx, &Pmf::uniform(approx.width()))
+}

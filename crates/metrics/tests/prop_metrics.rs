@@ -1,0 +1,98 @@
+//! Property-based tests on error-metric invariants.
+
+use apx_arith::OpTable;
+use apx_dist::Pmf;
+use apx_metrics::{table_stats, MultEvaluator};
+use proptest::prelude::*;
+
+/// Random approximate 4-bit multiplier: exact product XOR a bounded
+/// perturbation selected by the proptest input.
+fn perturbed_table(mask: u8, salt: u64) -> OpTable {
+    OpTable::from_fn(4, false, |a, b| {
+        let exact = a * b;
+        // Deterministic pseudo-random perturbation per entry.
+        let h = (a as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((b as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(salt);
+        exact ^ ((h as i64) & (mask as i64))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wmed_is_bounded_by_wce(mask in 0u8..32, salt in any::<u64>(),
+                              weights in proptest::collection::vec(0.0f64..5.0, 16)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let pmf = Pmf::from_weights(4, weights).unwrap();
+        let approx = perturbed_table(mask, salt);
+        let exact = OpTable::exact_mul(4, false);
+        let s = table_stats(&approx, &exact, &pmf);
+        prop_assert!(s.wmed <= s.wce + 1e-12);
+        prop_assert!(s.med <= s.wce + 1e-12);
+        prop_assert!(s.wmed >= 0.0 && s.med >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&s.error_rate));
+    }
+
+    #[test]
+    fn zero_error_rate_iff_exact(mask in 0u8..16, salt in any::<u64>()) {
+        let approx = perturbed_table(mask, salt);
+        let exact = OpTable::exact_mul(4, false);
+        let s = table_stats(&approx, &exact, &Pmf::uniform(4));
+        prop_assert_eq!(s.error_rate == 0.0, s.max_abs_error == 0);
+        prop_assert_eq!(s.med == 0.0, s.max_abs_error == 0);
+    }
+
+    #[test]
+    fn wmed_is_linear_in_the_distribution(
+        mask in 1u8..32,
+        salt in any::<u64>(),
+        wa in proptest::collection::vec(0.1f64..5.0, 16),
+        wb in proptest::collection::vec(0.1f64..5.0, 16),
+        t in 0.0f64..=1.0,
+    ) {
+        // WMED = Σ_x D(x)·row(x) is linear in D, so mixing distributions
+        // mixes WMEDs.
+        let a = Pmf::from_weights(4, wa).unwrap();
+        let b = Pmf::from_weights(4, wb).unwrap();
+        let approx = perturbed_table(mask, salt);
+        let exact = OpTable::exact_mul(4, false);
+        let wmed_a = table_stats(&approx, &exact, &a).wmed;
+        let wmed_b = table_stats(&approx, &exact, &b).wmed;
+        let wmed_mix = table_stats(&approx, &exact, &a.mix(&b, t)).wmed;
+        let expect = (1.0 - t) * wmed_a + t * wmed_b;
+        prop_assert!((wmed_mix - expect).abs() < 1e-12,
+            "mix {wmed_mix} vs convex {expect}");
+    }
+
+    #[test]
+    fn netlist_evaluator_agrees_with_tables(trunc in 0u32..8) {
+        let nl = apx_arith::truncated_multiplier(4, trunc);
+        let pmf = Pmf::half_normal(4, 3.0);
+        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let approx = OpTable::from_netlist(&nl, 4, false).unwrap();
+        let exact = OpTable::exact_mul(4, false);
+        let expect = table_stats(&approx, &exact, &pmf);
+        let got = eval.stats(&nl);
+        prop_assert!((got.wmed - expect.wmed).abs() < 1e-12);
+        prop_assert!((got.wce - expect.wce).abs() < 1e-12);
+        prop_assert!((got.mred - expect.mred).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_evaluation_never_lies(trunc in 1u32..8, limit_scale in 0.1f64..3.0) {
+        let nl = apx_arith::truncated_multiplier(4, trunc);
+        let eval = MultEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
+        let truth = eval.wmed(&nl);
+        let limit = truth * limit_scale;
+        match eval.wmed_bounded(&nl, limit) {
+            Some(v) => {
+                prop_assert!((v - truth).abs() < 1e-12);
+                prop_assert!(truth <= limit + 1e-15);
+            }
+            None => prop_assert!(truth > limit),
+        }
+    }
+}

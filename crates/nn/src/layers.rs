@@ -1,0 +1,430 @@
+//! Feed-forward layers with explicit forward/backward passes.
+
+use apx_rng::Xoshiro256;
+
+/// One layer of a [`crate::Network`].
+///
+/// Activations are flat `Vec<f32>` buffers; convolutional layers carry
+/// their spatial dimensions so tensor shapes never need to be threaded
+/// through call sites. All layers are stateless in forward/backward — the
+/// caller supplies the cached input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Fully connected: `y = W·x + b` with `W` stored row-major
+    /// (`out_dim × in_dim`).
+    Dense {
+        /// Weights, `out_dim × in_dim` row-major.
+        w: Vec<f32>,
+        /// Biases, `out_dim`.
+        b: Vec<f32>,
+        /// Input dimension.
+        in_dim: usize,
+        /// Output dimension.
+        out_dim: usize,
+    },
+    /// Valid 2-D convolution, stride 1, square `k × k` kernels. Input is
+    /// `in_c × in_h × in_w` (channel-major), weights
+    /// `out_c × in_c × k × k`.
+    Conv {
+        /// Kernels, `out_c × in_c × k × k`.
+        w: Vec<f32>,
+        /// Biases, `out_c`.
+        b: Vec<f32>,
+        /// Input channels.
+        in_c: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel size.
+        k: usize,
+    },
+    /// 2×2 max pooling, stride 2 (floor semantics on odd sizes).
+    Pool {
+        /// Channels.
+        c: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+    },
+    /// Element-wise rectifier.
+    Relu,
+}
+
+impl Layer {
+    /// He-initialized dense layer.
+    #[must_use]
+    pub fn dense(in_dim: usize, out_dim: usize, rng: &mut Xoshiro256) -> Self {
+        let std = (2.0 / in_dim as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.normal(0.0, std) as f32)
+            .collect();
+        Layer::Dense { w, b: vec![0.0; out_dim], in_dim, out_dim }
+    }
+
+    /// He-initialized convolution layer.
+    #[must_use]
+    pub fn conv(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        k: usize,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        let std = (2.0 / fan_in as f64).sqrt();
+        let w = (0..out_c * fan_in)
+            .map(|_| rng.normal(0.0, std) as f32)
+            .collect();
+        Layer::Conv { w, b: vec![0.0; out_c], in_c, in_h, in_w, out_c, k }
+    }
+
+    /// Output dimension given `input_len` (which must match the layer's
+    /// expectations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_len` is inconsistent with the layer shape.
+    #[must_use]
+    pub fn out_len(&self, input_len: usize) -> usize {
+        match self {
+            Layer::Dense { in_dim, out_dim, .. } => {
+                assert_eq!(input_len, *in_dim, "dense input size");
+                *out_dim
+            }
+            Layer::Conv { in_c, in_h, in_w, out_c, k, .. } => {
+                assert_eq!(input_len, in_c * in_h * in_w, "conv input size");
+                let oh = in_h - k + 1;
+                let ow = in_w - k + 1;
+                out_c * oh * ow
+            }
+            Layer::Pool { c, in_h, in_w } => {
+                assert_eq!(input_len, c * in_h * in_w, "pool input size");
+                c * (in_h / 2) * (in_w / 2)
+            }
+            Layer::Relu => input_len,
+        }
+    }
+
+    /// Number of weight parameters (0 for parameter-free layers).
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        match self {
+            Layer::Dense { w, .. } | Layer::Conv { w, .. } => w.len(),
+            _ => 0,
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        match self {
+            Layer::Dense { w, b, in_dim, out_dim } => {
+                assert_eq!(x.len(), *in_dim, "dense input size");
+                let mut y = Vec::with_capacity(*out_dim);
+                for o in 0..*out_dim {
+                    let row = &w[o * in_dim..(o + 1) * in_dim];
+                    let mut acc = b[o];
+                    for (wi, xi) in row.iter().zip(x) {
+                        acc += wi * xi;
+                    }
+                    y.push(acc);
+                }
+                y
+            }
+            Layer::Conv { w, b, in_c, in_h, in_w, out_c, k } => {
+                assert_eq!(x.len(), in_c * in_h * in_w, "conv input size");
+                let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                let mut y = vec![0.0f32; out_c * oh * ow];
+                for oc in 0..*out_c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = b[oc];
+                            for ic in 0..*in_c {
+                                for ky in 0..*k {
+                                    let xrow = (ic * in_h + oy + ky) * in_w + ox;
+                                    let wrow = ((oc * in_c + ic) * k + ky) * k;
+                                    for kx in 0..*k {
+                                        acc += w[wrow + kx] * x[xrow + kx];
+                                    }
+                                }
+                            }
+                            y[(oc * oh + oy) * ow + ox] = acc;
+                        }
+                    }
+                }
+                y
+            }
+            Layer::Pool { c, in_h, in_w } => {
+                assert_eq!(x.len(), c * in_h * in_w, "pool input size");
+                let (oh, ow) = (in_h / 2, in_w / 2);
+                let mut y = vec![0.0f32; c * oh * ow];
+                for ch in 0..*c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut m = f32::NEG_INFINITY;
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let v = x[(ch * in_h + 2 * oy + dy) * in_w + 2 * ox + dx];
+                                    m = m.max(v);
+                                }
+                            }
+                            y[(ch * oh + oy) * ow + ox] = m;
+                        }
+                    }
+                }
+                y
+            }
+            Layer::Relu => x.iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// Backward pass: given the cached input `x` and the gradient `dy`
+    /// w.r.t. the output, returns the gradient w.r.t. `x` and accumulates
+    /// parameter gradients into `gw`/`gb` (which must be sized like the
+    /// layer's `w`/`b`; pass empty slices for parameter-free layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    #[must_use]
+    pub fn backward(&self, x: &[f32], dy: &[f32], gw: &mut [f32], gb: &mut [f32]) -> Vec<f32> {
+        match self {
+            Layer::Dense { w, in_dim, out_dim, .. } => {
+                assert_eq!(x.len(), *in_dim);
+                assert_eq!(dy.len(), *out_dim);
+                assert_eq!(gw.len(), w.len());
+                let mut dx = vec![0.0f32; *in_dim];
+                for o in 0..*out_dim {
+                    let g = dy[o];
+                    gb[o] += g;
+                    let row = &w[o * in_dim..(o + 1) * in_dim];
+                    let grow = &mut gw[o * in_dim..(o + 1) * in_dim];
+                    for i in 0..*in_dim {
+                        grow[i] += g * x[i];
+                        dx[i] += g * row[i];
+                    }
+                }
+                dx
+            }
+            Layer::Conv { w, in_c, in_h, in_w, out_c, k, .. } => {
+                let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                assert_eq!(dy.len(), out_c * oh * ow);
+                assert_eq!(gw.len(), w.len());
+                let mut dx = vec![0.0f32; x.len()];
+                for oc in 0..*out_c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = dy[(oc * oh + oy) * ow + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            gb[oc] += g;
+                            for ic in 0..*in_c {
+                                for ky in 0..*k {
+                                    let xrow = (ic * in_h + oy + ky) * in_w + ox;
+                                    let wrow = ((oc * in_c + ic) * k + ky) * k;
+                                    for kx in 0..*k {
+                                        gw[wrow + kx] += g * x[xrow + kx];
+                                        dx[xrow + kx] += g * w[wrow + kx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                dx
+            }
+            Layer::Pool { c, in_h, in_w } => {
+                let (oh, ow) = (in_h / 2, in_w / 2);
+                assert_eq!(dy.len(), c * oh * ow);
+                let mut dx = vec![0.0f32; x.len()];
+                for ch in 0..*c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            // Route the gradient to the argmax position.
+                            let (mut best, mut bi) = (f32::NEG_INFINITY, 0);
+                            for dy2 in 0..2 {
+                                for dx2 in 0..2 {
+                                    let idx = (ch * in_h + 2 * oy + dy2) * in_w + 2 * ox + dx2;
+                                    if x[idx] > best {
+                                        best = x[idx];
+                                        bi = idx;
+                                    }
+                                }
+                            }
+                            dx[bi] += dy[(ch * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+                dx
+            }
+            Layer::Relu => x
+                .iter()
+                .zip(dy)
+                .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Mutable access to parameters `(w, b)`; `None` for parameter-free
+    /// layers.
+    pub fn params_mut(&mut self) -> Option<(&mut Vec<f32>, &mut Vec<f32>)> {
+        match self {
+            Layer::Dense { w, b, .. } | Layer::Conv { w, b, .. } => Some((w, b)),
+            _ => None,
+        }
+    }
+
+    /// Shared access to parameters `(w, b)`; `None` for parameter-free
+    /// layers.
+    #[must_use]
+    pub fn params(&self) -> Option<(&[f32], &[f32])> {
+        match self {
+            Layer::Dense { w, b, .. } | Layer::Conv { w, b, .. } => Some((w, b)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(layer: &Layer, in_len: usize, seed: u64) {
+        let mut rng = Xoshiro256::from_seed(seed);
+        let x: Vec<f32> = (0..in_len).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+        let out_len = layer.out_len(in_len);
+        let dy: Vec<f32> = (0..out_len).map(|_| rng.normal(0.0, 1.0) as f32).collect();
+        let wlen = layer.weight_count();
+        let blen = layer.params().map_or(0, |(_, b)| b.len());
+        let mut gw = vec![0.0f32; wlen];
+        let mut gb = vec![0.0f32; blen];
+        let dx = layer.backward(&x, &dy, &mut gw, &mut gb);
+
+        // Loss = dy · forward(x): its gradient wrt x must equal dx.
+        let loss = |l: &Layer, xs: &[f32]| -> f64 {
+            l.forward(xs)
+                .iter()
+                .zip(&dy)
+                .map(|(&y, &g)| y as f64 * g as f64)
+                .sum()
+        };
+        let eps = 1e-3f32;
+        for i in (0..in_len).step_by((in_len / 7).max(1)) {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * eps as f64);
+            assert!(
+                (num - dx[i] as f64).abs() < 1e-2 * (1.0 + num.abs()),
+                "dx[{i}]: numeric {num} vs analytic {}",
+                dx[i]
+            );
+        }
+        // Weight gradients.
+        if wlen > 0 {
+            let mut layer2 = layer.clone();
+            for i in (0..wlen).step_by((wlen / 7).max(1)) {
+                let orig = layer2.params().unwrap().0[i];
+                layer2.params_mut().unwrap().0[i] = orig + eps;
+                let lp = loss(&layer2, &x);
+                layer2.params_mut().unwrap().0[i] = orig - eps;
+                let lm = loss(&layer2, &x);
+                layer2.params_mut().unwrap().0[i] = orig;
+                let num = (lp - lm) / (2.0 * eps as f64);
+                assert!(
+                    (num - gw[i] as f64).abs() < 1e-2 * (1.0 + num.abs()),
+                    "gw[{i}]: numeric {num} vs analytic {}",
+                    gw[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_gradients_check_out() {
+        let mut rng = Xoshiro256::from_seed(1);
+        let layer = Layer::dense(12, 7, &mut rng);
+        grad_check(&layer, 12, 10);
+    }
+
+    #[test]
+    fn conv_gradients_check_out() {
+        let mut rng = Xoshiro256::from_seed(2);
+        let layer = Layer::conv(2, 6, 6, 3, 3, &mut rng);
+        grad_check(&layer, 2 * 6 * 6, 11);
+    }
+
+    #[test]
+    fn pool_gradients_check_out() {
+        let layer = Layer::Pool { c: 2, in_h: 4, in_w: 4 };
+        grad_check(&layer, 32, 12);
+    }
+
+    #[test]
+    fn relu_gradients_check_out() {
+        let layer = Layer::Relu;
+        grad_check(&layer, 9, 13);
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let layer = Layer::Dense {
+            w: vec![1.0, 2.0, 3.0, 4.0],
+            b: vec![0.5, -0.5],
+            in_dim: 2,
+            out_dim: 2,
+        };
+        let y = layer.forward(&[10.0, 20.0]);
+        assert_eq!(y, vec![10.0 + 40.0 + 0.5, 30.0 + 80.0 - 0.5]);
+    }
+
+    #[test]
+    fn conv_forward_known_values() {
+        // 1 channel 3x3 input, single 2x2 kernel of ones, bias 1.
+        let layer = Layer::Conv {
+            w: vec![1.0; 4],
+            b: vec![1.0],
+            in_c: 1,
+            in_h: 3,
+            in_w: 3,
+            out_c: 1,
+            k: 2,
+        };
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let y = layer.forward(&x);
+        assert_eq!(y, vec![13.0, 17.0, 25.0, 29.0]);
+    }
+
+    #[test]
+    fn pool_forward_takes_maxima() {
+        let layer = Layer::Pool { c: 1, in_h: 2, in_w: 4 };
+        let y = layer.forward(&[1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 8.0, 7.0]);
+        assert_eq!(y, vec![5.0, 8.0]);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        let y = Layer::Relu.forward(&[-1.0, 0.0, 2.5]);
+        assert_eq!(y, vec![0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn out_len_shapes() {
+        let mut rng = Xoshiro256::from_seed(3);
+        assert_eq!(Layer::dense(10, 4, &mut rng).out_len(10), 4);
+        assert_eq!(Layer::conv(1, 32, 32, 6, 5, &mut rng).out_len(1024), 6 * 28 * 28);
+        assert_eq!(Layer::Pool { c: 6, in_h: 28, in_w: 28 }.out_len(6 * 28 * 28), 6 * 14 * 14);
+        assert_eq!(Layer::Relu.out_len(42), 42);
+    }
+}

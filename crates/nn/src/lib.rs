@@ -1,0 +1,48 @@
+//! Neural-network substrate for the approximate-MAC case study.
+//!
+//! Reproduces the software side of the paper's §V:
+//!
+//! * [`Network`] — float32 feed-forward networks with the two reference
+//!   architectures: [`Network::mlp`] (784-300-10, the MNIST classifier)
+//!   and [`Network::lenet5`] (three 5×5 conv layers, two pools, one FC —
+//!   the SVHN classifier), trained with SGD + momentum
+//!   ([`train`] / [`TrainConfig`]);
+//! * [`QuantizedNetwork`] — Ristretto-style dynamic fixed-point 8-bit
+//!   quantization (per-layer power-of-two scales chosen by range
+//!   analysis), with inference executed through an arbitrary multiplier
+//!   [`apx_arith::OpTable`] — the software twin of a systolic array of
+//!   approximate MAC units;
+//! * [`finetune`] — straight-through-estimator retraining that lets the
+//!   network *learn around* an approximate multiplier (the paper's
+//!   Table I "after finetuning" column);
+//! * [`weight_pmf`] — the measured weight distribution that defines the
+//!   WMED metric for the circuit search (Fig. 6 top).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod finetune;
+mod layers;
+mod network;
+mod quant;
+mod train;
+
+pub use finetune::{finetune, FinetuneConfig};
+pub use layers::Layer;
+pub use network::Network;
+pub use quant::{QuantizedNetwork, INPUT_FRAC};
+pub use train::{train, TrainConfig};
+
+use apx_dist::Pmf;
+
+/// Measures the distribution of all quantized weights of a network — the
+/// `D` of the paper's WMED for the NN case study (Fig. 6 top).
+///
+/// # Panics
+///
+/// Panics if the network has no weights (cannot happen for the provided
+/// architectures).
+#[must_use]
+pub fn weight_pmf(qnet: &QuantizedNetwork) -> Pmf {
+    Pmf::from_samples_i64(8, &qnet.all_weights()).expect("network has weights")
+}

@@ -1,0 +1,215 @@
+//! Feed-forward networks and the reference architectures.
+
+use crate::Layer;
+use apx_datasets::Dataset;
+use apx_rng::Xoshiro256;
+
+/// A sequential feed-forward network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    input_dim: usize,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from layers; validates that shapes chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer shapes are inconsistent.
+    #[must_use]
+    pub fn new(input_dim: usize, layers: Vec<Layer>) -> Self {
+        let mut dim = input_dim;
+        for layer in &layers {
+            dim = layer.out_len(dim); // panics on mismatch
+        }
+        Network { input_dim, layers }
+    }
+
+    /// The paper's MNIST classifier: a multi-layer perceptron with a
+    /// 300-neuron hidden layer (`input → 300 → 10`).
+    #[must_use]
+    pub fn mlp(input_dim: usize, hidden: usize, classes: usize, rng: &mut Xoshiro256) -> Self {
+        Network::new(
+            input_dim,
+            vec![
+                Layer::dense(input_dim, hidden, rng),
+                Layer::Relu,
+                Layer::dense(hidden, classes, rng),
+            ],
+        )
+    }
+
+    /// The paper's SVHN classifier: LeNet-5 modified for single-channel
+    /// `32 × 32` inputs — three 5×5 convolutions (6, 16, 120 channels)
+    /// interleaved with two 2×2 poolings, then a fully connected
+    /// `120 → 10` layer.
+    #[must_use]
+    pub fn lenet5(rng: &mut Xoshiro256) -> Self {
+        Network::new(
+            32 * 32,
+            vec![
+                Layer::conv(1, 32, 32, 6, 5, rng), // -> 6x28x28
+                Layer::Relu,
+                Layer::Pool { c: 6, in_h: 28, in_w: 28 }, // -> 6x14x14
+                Layer::conv(6, 14, 14, 16, 5, rng),       // -> 16x10x10
+                Layer::Relu,
+                Layer::Pool { c: 16, in_h: 10, in_w: 10 }, // -> 16x5x5
+                Layer::conv(16, 5, 5, 120, 5, rng),        // -> 120x1x1
+                Layer::Relu,
+                Layer::dense(120, 10, rng),
+            ],
+        )
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// The layer stack.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (used by the trainer / fine-tuner).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total number of weight parameters.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Number of multiplications one inference performs in MAC hardware
+    /// (weights × activations; biases excluded).
+    #[must_use]
+    pub fn mult_count(&self) -> usize {
+        let mut dim = self.input_dim;
+        let mut total = 0usize;
+        for layer in &self.layers {
+            let out = layer.out_len(dim);
+            match layer {
+                Layer::Dense { in_dim, out_dim, .. } => total += in_dim * out_dim,
+                Layer::Conv { in_c, out_c, k, .. } => {
+                    // out spatial positions × kernel volume per position.
+                    let spatial = out / out_c;
+                    total += spatial * out_c * in_c * k * k;
+                }
+                _ => {}
+            }
+            dim = out;
+        }
+        total
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim`.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim, "input size mismatch");
+        let mut act = x.to_vec();
+        for layer in &self.layers {
+            act = layer.forward(&act);
+        }
+        act
+    }
+
+    /// Forward pass returning every layer boundary (`layers.len() + 1`
+    /// activation vectors, the first being the input).
+    #[must_use]
+    pub fn forward_trace(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(x.len(), self.input_dim, "input size mismatch");
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Class prediction (argmax logit).
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.forward(x))
+    }
+
+    /// Classification accuracy on a dataset.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(img, label)| self.predict(img) == *label as usize)
+            .count();
+        correct as f64 / data.len().max(1) as f64
+    }
+}
+
+/// Index of the maximum element (first on ties).
+#[must_use]
+pub(crate) fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for i in 1..v.len() {
+        if v[i] > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = Xoshiro256::from_seed(1);
+        let net = Network::mlp(784, 300, 10, &mut rng);
+        assert_eq!(net.forward(&vec![0.0; 784]).len(), 10);
+        assert_eq!(net.weight_count(), 784 * 300 + 300 * 10);
+        assert_eq!(net.mult_count(), 784 * 300 + 300 * 10);
+    }
+
+    #[test]
+    fn lenet_shapes_and_mult_count() {
+        let mut rng = Xoshiro256::from_seed(2);
+        let net = Network::lenet5(&mut rng);
+        assert_eq!(net.forward(&vec![0.0; 1024]).len(), 10);
+        // conv1: 28*28*6*25 = 117600; conv2: 10*10*16*150 = 240000;
+        // conv3: 1*120*400 = 48000; fc: 1200. Total = 406800 — the same
+        // order as the paper's "more than 278 thousand" for its LeNet.
+        assert_eq!(net.mult_count(), 117_600 + 240_000 + 48_000 + 1200);
+    }
+
+    #[test]
+    fn forward_trace_has_all_boundaries() {
+        let mut rng = Xoshiro256::from_seed(3);
+        let net = Network::mlp(10, 6, 3, &mut rng);
+        let trace = net.forward_trace(&vec![0.5; 10]);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].len(), 10);
+        assert_eq!(trace[3].len(), 3);
+        assert_eq!(trace[3], net.forward(&vec![0.5; 10]));
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size")]
+    fn wrong_input_size_panics() {
+        let mut rng = Xoshiro256::from_seed(4);
+        let _ = Network::mlp(8, 4, 2, &mut rng).forward(&[0.0; 7]);
+    }
+}

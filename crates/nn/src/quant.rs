@@ -1,0 +1,485 @@
+//! Ristretto-style dynamic fixed-point quantization and approximate
+//! inference.
+//!
+//! The paper quantizes both networks to 8-bit signed fixed point with the
+//! Ristretto tool (§V-B): every layer gets power-of-two scales chosen by
+//! range analysis ("dynamic fixed point"). Inference then runs on a
+//! systolic array of 8-bit MACs. [`QuantizedNetwork`] mirrors that
+//! pipeline in software: weights and activations are `i8`, every
+//! `weight × activation` product is looked up in an [`OpTable`] — the
+//! approximate multiplier under study — and accumulation is exact integer
+//! arithmetic, as in the paper's MAC units (the accumulator has enough
+//! guard bits by construction).
+
+use crate::{Layer, Network};
+use apx_arith::OpTable;
+use apx_datasets::Dataset;
+
+/// Fractional bits used for input pixels (pixels are in `0..=1`).
+pub const INPUT_FRAC: i32 = 7;
+
+/// Saturating 8-bit quantization of `v * 2^frac`.
+#[inline]
+fn quantize8(v: f32, frac: i32) -> i8 {
+    let scaled = (v as f64 * (frac as f64).exp2()).round();
+    scaled.clamp(-128.0, 127.0) as i8
+}
+
+/// Largest fractional-bit count `f` such that `max_abs · 2^f ≤ 127`,
+/// clamped to `-16..=15`. Degenerate (all-zero) ranges get 7.
+fn frac_for_max(max_abs: f64) -> i32 {
+    if max_abs <= 0.0 {
+        return 7;
+    }
+    let mut f = 15i32;
+    while f > -16 && max_abs * (f as f64).exp2() > 127.0 {
+        f -= 1;
+    }
+    f
+}
+
+/// Rounding arithmetic shift: `round(acc / 2^s)` (left shift for `s < 0`).
+#[inline]
+fn rshift_round(acc: i64, s: i32) -> i64 {
+    match s.cmp(&0) {
+        std::cmp::Ordering::Greater => (acc + (1i64 << (s - 1))) >> s,
+        std::cmp::Ordering::Equal => acc,
+        std::cmp::Ordering::Less => acc << (-s),
+    }
+}
+
+#[inline]
+fn sat8(v: i64) -> i8 {
+    v.clamp(-128, 127) as i8
+}
+
+/// One quantized layer.
+#[derive(Debug, Clone, PartialEq)]
+enum QLayer {
+    Dense {
+        wq: Vec<i8>,
+        bq: Vec<i64>,
+        in_dim: usize,
+        out_dim: usize,
+        shift: i32,
+    },
+    Conv {
+        wq: Vec<i8>,
+        bq: Vec<i64>,
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        k: usize,
+        shift: i32,
+    },
+    Pool {
+        c: usize,
+        in_h: usize,
+        in_w: usize,
+    },
+    Relu,
+}
+
+/// An 8-bit dynamic-fixed-point twin of a [`Network`], executable through
+/// any multiplier [`OpTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedNetwork {
+    input_dim: usize,
+    layers: Vec<QLayer>,
+    /// Fractional bits of each activation boundary (`layers.len() + 1`).
+    act_fracs: Vec<i32>,
+    /// Fractional bits of each layer's weights (0 for parameter-free).
+    w_fracs: Vec<i32>,
+}
+
+impl QuantizedNetwork {
+    /// Quantizes `net`, calibrating activation ranges on `calib`
+    /// (a few dozen representative samples suffice — this is Ristretto's
+    /// trimming analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calib` is empty or its image size mismatches the net.
+    #[must_use]
+    pub fn quantize(net: &Network, calib: &Dataset) -> Self {
+        assert!(!calib.is_empty(), "calibration set must be non-empty");
+        // Range analysis: max |activation| at every layer boundary.
+        let boundaries = net.layers().len() + 1;
+        let mut max_abs = vec![0.0f64; boundaries];
+        for (img, _) in calib.iter() {
+            let trace = net.forward_trace(img);
+            for (m, act) in max_abs.iter_mut().zip(&trace) {
+                for &v in act {
+                    *m = m.max(v.abs() as f64);
+                }
+            }
+        }
+        // Boundary fracs: fixed for the input; computed after Dense/Conv;
+        // propagated unchanged through Relu/Pool (they copy i8 values).
+        let mut act_fracs = vec![INPUT_FRAC; boundaries];
+        for (i, layer) in net.layers().iter().enumerate() {
+            act_fracs[i + 1] = match layer {
+                Layer::Dense { .. } | Layer::Conv { .. } => frac_for_max(max_abs[i + 1]),
+                Layer::Pool { .. } | Layer::Relu => act_fracs[i],
+            };
+        }
+        let mut qnet = QuantizedNetwork {
+            input_dim: net.input_dim(),
+            layers: Vec::with_capacity(net.layers().len()),
+            act_fracs,
+            w_fracs: vec![0; net.layers().len()],
+        };
+        qnet.build_layers(net);
+        qnet
+    }
+
+    /// (Re)quantizes weights and biases from `net`, keeping the activation
+    /// scales fixed — the per-batch refresh of the fine-tuning loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net`'s architecture differs from the one quantized.
+    pub fn requantize_weights(&mut self, net: &Network) {
+        assert_eq!(net.layers().len(), self.w_fracs.len(), "architecture mismatch");
+        self.build_layers(net);
+    }
+
+    fn build_layers(&mut self, net: &Network) {
+        self.layers.clear();
+        for (i, layer) in net.layers().iter().enumerate() {
+            let in_frac = self.act_fracs[i];
+            let out_frac = self.act_fracs[i + 1];
+            let qlayer = match layer {
+                Layer::Dense { w, b, in_dim, out_dim } => {
+                    let (wq, bq, w_frac) = quantize_params(w, b, in_frac);
+                    self.w_fracs[i] = w_frac;
+                    QLayer::Dense {
+                        wq,
+                        bq,
+                        in_dim: *in_dim,
+                        out_dim: *out_dim,
+                        shift: w_frac + in_frac - out_frac,
+                    }
+                }
+                Layer::Conv { w, b, in_c, in_h, in_w, out_c, k } => {
+                    let (wq, bq, w_frac) = quantize_params(w, b, in_frac);
+                    self.w_fracs[i] = w_frac;
+                    QLayer::Conv {
+                        wq,
+                        bq,
+                        in_c: *in_c,
+                        in_h: *in_h,
+                        in_w: *in_w,
+                        out_c: *out_c,
+                        k: *k,
+                        shift: w_frac + in_frac - out_frac,
+                    }
+                }
+                Layer::Pool { c, in_h, in_w } => {
+                    QLayer::Pool { c: *c, in_h: *in_h, in_w: *in_w }
+                }
+                Layer::Relu => QLayer::Relu,
+            };
+            self.layers.push(qlayer);
+        }
+    }
+
+    /// Quantizes an input image to `i8` activations.
+    #[must_use]
+    pub fn quantize_input(&self, img: &[f32]) -> Vec<i8> {
+        img.iter().map(|&p| quantize8(p, INPUT_FRAC)).collect()
+    }
+
+    /// All quantized weights of the network — the sample set whose
+    /// distribution defines WMED (Fig. 6 top).
+    #[must_use]
+    pub fn all_weights(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                QLayer::Dense { wq, .. } | QLayer::Conv { wq, .. } => {
+                    out.extend(wq.iter().map(|&w| w as i64));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Forward pass computing every product through `table`; returns the
+    /// dequantized logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `table` is a signed 8-bit operator and the input size
+    /// matches.
+    #[must_use]
+    pub fn forward_with(&self, img: &[f32], table: &OpTable) -> Vec<f32> {
+        let trace = self.forward_trace_with(img, table);
+        trace.into_iter().next_back().expect("at least the input boundary")
+    }
+
+    /// Forward pass returning the *dequantized* activation at every layer
+    /// boundary (`layers.len() + 1` vectors). This is the surrogate trace
+    /// the straight-through fine-tuner backpropagates through.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `table` is a signed 8-bit operator and the input size
+    /// matches.
+    #[must_use]
+    pub fn forward_trace_with(&self, img: &[f32], table: &OpTable) -> Vec<Vec<f32>> {
+        assert_eq!(table.width(), 8, "MAC multipliers are 8-bit");
+        assert!(table.is_signed(), "MAC multipliers are signed");
+        assert_eq!(img.len(), self.input_dim, "input size mismatch");
+        let mut act = self.quantize_input(img);
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(dequantize(&act, self.act_fracs[0]));
+        for (i, layer) in self.layers.iter().enumerate() {
+            act = match layer {
+                QLayer::Dense { wq, bq, in_dim, out_dim, shift } => {
+                    let mut y = Vec::with_capacity(*out_dim);
+                    for o in 0..*out_dim {
+                        let row = &wq[o * in_dim..(o + 1) * in_dim];
+                        let mut acc = bq[o];
+                        for (&w, &a) in row.iter().zip(&act) {
+                            acc += table.get(w as i64, a as i64);
+                        }
+                        y.push(sat8(rshift_round(acc, *shift)));
+                    }
+                    y
+                }
+                QLayer::Conv { wq, bq, in_c, in_h, in_w, out_c, k, shift } => {
+                    let (oh, ow) = (in_h - k + 1, in_w - k + 1);
+                    let mut y = vec![0i8; out_c * oh * ow];
+                    for oc in 0..*out_c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut acc = bq[oc];
+                                for ic in 0..*in_c {
+                                    for ky in 0..*k {
+                                        let xrow = (ic * in_h + oy + ky) * in_w + ox;
+                                        let wrow = ((oc * in_c + ic) * k + ky) * k;
+                                        for kx in 0..*k {
+                                            acc += table.get(
+                                                wq[wrow + kx] as i64,
+                                                act[xrow + kx] as i64,
+                                            );
+                                        }
+                                    }
+                                }
+                                y[(oc * oh + oy) * ow + ox] = sat8(rshift_round(acc, *shift));
+                            }
+                        }
+                    }
+                    y
+                }
+                QLayer::Pool { c, in_h, in_w } => {
+                    let (oh, ow) = (in_h / 2, in_w / 2);
+                    let mut y = vec![0i8; c * oh * ow];
+                    for ch in 0..*c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut m = i8::MIN;
+                                for dy in 0..2 {
+                                    for dx in 0..2 {
+                                        m = m.max(
+                                            act[(ch * in_h + 2 * oy + dy) * in_w + 2 * ox + dx],
+                                        );
+                                    }
+                                }
+                                y[(ch * oh + oy) * ow + ox] = m;
+                            }
+                        }
+                    }
+                    y
+                }
+                QLayer::Relu => act.iter().map(|&v| v.max(0)).collect(),
+            };
+            trace.push(dequantize(&act, self.act_fracs[i + 1]));
+        }
+        trace
+    }
+
+    /// Class prediction through `table`.
+    #[must_use]
+    pub fn predict_with(&self, img: &[f32], table: &OpTable) -> usize {
+        crate::network::argmax(&self.forward_with(img, table))
+    }
+
+    /// Classification accuracy through `table`.
+    #[must_use]
+    pub fn accuracy_with(&self, data: &Dataset, table: &OpTable) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(img, label)| self.predict_with(img, table) == *label as usize)
+            .count();
+        correct as f64 / data.len().max(1) as f64
+    }
+}
+
+fn dequantize(act: &[i8], frac: i32) -> Vec<f32> {
+    let scale = (-(frac as f64)).exp2() as f32;
+    act.iter().map(|&v| v as f32 * scale).collect()
+}
+
+/// Quantizes one layer's parameters: returns `(wq, bq, w_frac)` where the
+/// bias is aligned to the product scale `w_frac + in_frac`.
+fn quantize_params(w: &[f32], b: &[f32], in_frac: i32) -> (Vec<i8>, Vec<i64>, i32) {
+    let max_abs = w.iter().fold(0.0f64, |m, &v| m.max(v.abs() as f64));
+    let w_frac = frac_for_max(max_abs);
+    let wq = w.iter().map(|&v| quantize8(v, w_frac)).collect();
+    let bias_scale = ((w_frac + in_frac) as f64).exp2();
+    let bq = b
+        .iter()
+        .map(|&v| (v as f64 * bias_scale).round() as i64)
+        .collect();
+    (wq, bq, w_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train, TrainConfig};
+    use apx_datasets::mnist_like;
+    use apx_rng::Xoshiro256;
+
+    #[test]
+    fn rshift_round_behaviour() {
+        assert_eq!(rshift_round(10, 1), 5);
+        assert_eq!(rshift_round(11, 1), 6); // round half up
+        assert_eq!(rshift_round(-10, 1), -5);
+        assert_eq!(rshift_round(7, 0), 7);
+        assert_eq!(rshift_round(3, -2), 12);
+        assert_eq!(rshift_round(255, 4), 16);
+    }
+
+    #[test]
+    fn frac_for_max_picks_largest_legal() {
+        assert_eq!(frac_for_max(1.0), 6); // 1.0 * 2^6 = 64 <= 127 < 2^7
+        assert_eq!(frac_for_max(0.5), 7);
+        assert_eq!(frac_for_max(100.0), 0);
+        assert_eq!(frac_for_max(1000.0), -3);
+        assert_eq!(frac_for_max(0.0), 7);
+    }
+
+    #[test]
+    fn quantize8_saturates() {
+        assert_eq!(quantize8(1.0, 7), 127); // 128 saturates
+        assert_eq!(quantize8(-2.0, 7), -128);
+        assert_eq!(quantize8(0.5, 7), 64);
+    }
+
+    #[test]
+    fn known_dense_network_quantizes_correctly() {
+        // y = 0.5*x0 - 0.25*x1 on inputs ~0.5 -> easily representable.
+        let net = Network::new(
+            2,
+            vec![Layer::Dense {
+                w: vec![0.5, -0.25],
+                b: vec![0.125],
+                in_dim: 2,
+                out_dim: 1,
+            }],
+        );
+        let calib = Dataset::new(2, 1, vec![vec![0.5, 0.5]], vec![0]);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let exact = OpTable::exact_mul(8, true);
+        let y = qnet.forward_with(&[0.5, 0.5], &exact);
+        let expect = net.forward(&[0.5, 0.5]);
+        assert!(
+            (y[0] - expect[0]).abs() < 0.02,
+            "quantized {} vs float {}",
+            y[0],
+            expect[0]
+        );
+    }
+
+    fn trained_mlp() -> (Network, Dataset, Dataset) {
+        let data = mnist_like(500, 77);
+        let (train_set, test_set) = data.split(400);
+        let mut rng = Xoshiro256::from_seed(5);
+        let mut net = Network::mlp(784, 32, 10, &mut rng);
+        train(
+            &mut net,
+            &train_set,
+            &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() },
+        );
+        (net, train_set, test_set)
+    }
+
+    #[test]
+    fn quantization_preserves_accuracy_with_exact_multiplier() {
+        let (net, train_set, test_set) = trained_mlp();
+        let float_acc = net.accuracy(&test_set);
+        let (calib, _) = train_set.split(64);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let exact = OpTable::exact_mul(8, true);
+        let q_acc = qnet.accuracy_with(&test_set, &exact);
+        // Paper: 8-bit quantization costs ~0.01-0.1 %. Allow a few % here
+        // (our nets are much smaller).
+        assert!(
+            q_acc >= float_acc - 0.05,
+            "float {float_acc} vs quantized {q_acc}"
+        );
+        assert!(q_acc > 0.6, "quantized accuracy {q_acc}");
+    }
+
+    #[test]
+    fn weight_histogram_is_zero_centred() {
+        let (net, train_set, _) = trained_mlp();
+        let (calib, _) = train_set.split(64);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let weights = qnet.all_weights();
+        assert_eq!(weights.len(), net.weight_count());
+        let near_zero = weights.iter().filter(|w| w.abs() <= 16).count();
+        assert!(
+            near_zero as f64 / weights.len() as f64 > 0.5,
+            "trained weight distributions concentrate near zero"
+        );
+        let pmf = crate::weight_pmf(&qnet);
+        assert!(pmf.prob_of(0) > pmf.prob_of(100));
+    }
+
+    #[test]
+    fn harsher_multipliers_hurt_more() {
+        let (net, train_set, test_set) = trained_mlp();
+        let (calib, _) = train_set.split(64);
+        let qnet = QuantizedNetwork::quantize(&net, &calib);
+        let exact = OpTable::exact_mul(8, true);
+        let mild = OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 4), 8, true)
+            .unwrap();
+        let harsh = OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 12), 8, true)
+            .unwrap();
+        let a_exact = qnet.accuracy_with(&test_set, &exact);
+        let a_mild = qnet.accuracy_with(&test_set, &mild);
+        let a_harsh = qnet.accuracy_with(&test_set, &harsh);
+        assert!(a_mild >= a_harsh, "mild {a_mild} vs harsh {a_harsh}");
+        assert!(a_exact >= a_harsh, "exact {a_exact} vs harsh {a_harsh}");
+    }
+
+    #[test]
+    fn requantize_tracks_weight_changes() {
+        let (mut net, train_set, _) = trained_mlp();
+        let (calib, _) = train_set.split(64);
+        let mut qnet = QuantizedNetwork::quantize(&net, &calib);
+        let before = qnet.all_weights();
+        // Perturb the float weights, requantize, observe the change.
+        if let Some((w, _)) = net.layers_mut()[0].params_mut() {
+            for v in w.iter_mut() {
+                *v = -*v;
+            }
+        }
+        qnet.requantize_weights(&net);
+        assert_ne!(before, qnet.all_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "signed")]
+    fn unsigned_table_is_rejected() {
+        let (net, train_set, _) = trained_mlp();
+        let qnet = QuantizedNetwork::quantize(&net, &train_set.split(16).0);
+        let _ = qnet.forward_with(&vec![0.0; 784], &OpTable::exact_mul(8, false));
+    }
+}

@@ -1,0 +1,249 @@
+//! SGD training with momentum and weight decay.
+
+use crate::Network;
+use apx_datasets::Dataset;
+use apx_rng::Xoshiro256;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Global L2 gradient-norm clip (`None` disables). Keeps SGD with
+    /// momentum stable on convolutional nets at higher learning rates.
+    pub clip_norm: Option<f32>,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            clip_norm: Some(4.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Per-layer gradient / momentum buffers.
+pub(crate) struct ParamBuffers {
+    pub(crate) w: Vec<Vec<f32>>,
+    pub(crate) b: Vec<Vec<f32>>,
+}
+
+impl ParamBuffers {
+    pub(crate) fn zeros_like(net: &Network) -> Self {
+        let mut w = Vec::new();
+        let mut b = Vec::new();
+        for layer in net.layers() {
+            match layer.params() {
+                Some((lw, lb)) => {
+                    w.push(vec![0.0; lw.len()]);
+                    b.push(vec![0.0; lb.len()]);
+                }
+                None => {
+                    w.push(Vec::new());
+                    b.push(Vec::new());
+                }
+            }
+        }
+        ParamBuffers { w, b }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for v in self.w.iter_mut().chain(self.b.iter_mut()) {
+            v.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, dlogits)`.
+pub(crate) fn softmax_ce(logits: &[f32], label: usize) -> (f64, Vec<f32>) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| ((l - max) as f64).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    let mut dl = Vec::with_capacity(logits.len());
+    for (i, &e) in exps.iter().enumerate() {
+        let p = e / total;
+        dl.push((p - if i == label { 1.0 } else { 0.0 }) as f32);
+    }
+    let loss = -(exps[label] / total).ln();
+    (loss, dl)
+}
+
+/// Backpropagates one sample through `net`, accumulating gradients.
+/// Returns the loss. `trace` must be `net.forward_trace(x)` (or an
+/// approximate-forward surrogate with identical shapes — the STE hook the
+/// fine-tuner uses).
+pub(crate) fn backprop_sample(
+    net: &Network,
+    trace: &[Vec<f32>],
+    label: usize,
+    grads: &mut ParamBuffers,
+) -> f64 {
+    let logits = trace.last().expect("trace is non-empty");
+    let (loss, mut dy) = softmax_ce(logits, label);
+    for (idx, layer) in net.layers().iter().enumerate().rev() {
+        let x = &trace[idx];
+        dy = layer.backward(x, &dy, &mut grads.w[idx], &mut grads.b[idx]);
+    }
+    loss
+}
+
+/// Applies one SGD-with-momentum step from accumulated gradients.
+pub(crate) fn sgd_step(
+    net: &mut Network,
+    grads: &ParamBuffers,
+    velocity: &mut ParamBuffers,
+    batch: usize,
+    cfg: &TrainConfig,
+) {
+    let mut scale = 1.0 / batch as f32;
+    if let Some(clip) = cfg.clip_norm {
+        let sq_sum: f64 = grads
+            .w
+            .iter()
+            .chain(grads.b.iter())
+            .flat_map(|v| v.iter())
+            .map(|&g| (g as f64 * scale as f64).powi(2))
+            .sum();
+        let norm = sq_sum.sqrt() as f32;
+        if norm > clip {
+            scale *= clip / norm;
+        }
+    }
+    for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
+        let Some((w, b)) = layer.params_mut() else { continue };
+        for ((wi, gi), vi) in w
+            .iter_mut()
+            .zip(&grads.w[idx])
+            .zip(velocity.w[idx].iter_mut())
+        {
+            let g = gi * scale + cfg.weight_decay * *wi;
+            *vi = cfg.momentum * *vi - cfg.lr * g;
+            *wi += *vi;
+        }
+        for ((bi, gi), vi) in b
+            .iter_mut()
+            .zip(&grads.b[idx])
+            .zip(velocity.b[idx].iter_mut())
+        {
+            *vi = cfg.momentum * *vi - cfg.lr * (gi * scale);
+            *bi += *vi;
+        }
+    }
+}
+
+/// Trains `net` on `data`; returns the mean loss per epoch.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `batch_size == 0`.
+pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f64> {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    let mut rng = Xoshiro256::from_seed(cfg.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut grads = ParamBuffers::zeros_like(net);
+    let mut velocity = ParamBuffers::zeros_like(net);
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        rng.shuffle(&mut order);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(cfg.batch_size) {
+            grads.clear();
+            for &i in chunk {
+                let trace = net.forward_trace(data.image(i));
+                epoch_loss += backprop_sample(net, &trace, data.label(i) as usize, &mut grads);
+            }
+            sgd_step(net, &grads, &mut velocity, chunk.len(), cfg);
+        }
+        losses.push(epoch_loss / data.len() as f64);
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_datasets::mnist_like;
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero() {
+        let (loss, dl) = softmax_ce(&[1.0, 2.0, 3.0], 2);
+        assert!(loss > 0.0);
+        let sum: f32 = dl.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(dl[2] < 0.0, "true class gradient is negative");
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = mnist_like(300, 7);
+        let mut rng = Xoshiro256::from_seed(1);
+        let mut net = Network::mlp(784, 32, 10, &mut rng);
+        let before = net.accuracy(&data);
+        let losses = train(
+            &mut net,
+            &data,
+            &TrainConfig { epochs: 30, lr: 0.03, ..Default::default() },
+        );
+        println!("losses: {losses:?}");
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "loss should drop: {losses:?}"
+        );
+        let after = net.accuracy(&data);
+        assert!(after > before + 0.3, "accuracy {before} -> {after}");
+        assert!(after > 0.7, "final train accuracy {after}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = mnist_like(60, 3);
+        let make = || {
+            let mut rng = Xoshiro256::from_seed(9);
+            let mut net = Network::mlp(784, 16, 10, &mut rng);
+            train(&mut net, &data, &TrainConfig { epochs: 2, ..Default::default() });
+            net
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn generalizes_to_fresh_samples() {
+        let train_data = mnist_like(800, 50);
+        let test_data = mnist_like(200, 51);
+        let mut rng = Xoshiro256::from_seed(2);
+        let mut net = Network::mlp(784, 48, 10, &mut rng);
+        train(
+            &mut net,
+            &train_data,
+            &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() },
+        );
+        let acc = net.accuracy(&test_data);
+        assert!(acc > 0.75, "test accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = mnist_like(10, 1).split(0).0;
+        let mut rng = Xoshiro256::from_seed(1);
+        let mut net = Network::mlp(784, 8, 10, &mut rng);
+        let _ = train(&mut net, &data, &TrainConfig::default());
+    }
+}

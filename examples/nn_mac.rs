@@ -1,0 +1,90 @@
+//! Case study 2 in miniature: approximate MAC units in a neural classifier.
+//!
+//! Trains a small MLP on the synthetic MNIST-like set, quantizes it to
+//! 8-bit fixed point, measures its weight distribution, and then compares
+//! classification accuracy and MAC power for several approximate
+//! multipliers — with and without fine-tuning (the paper's Table I flow).
+//!
+//! Run with: `cargo run --release --example nn_mac`
+
+use distapprox::arith::mac::accumulator_width;
+use distapprox::core::nn_flow::{evaluate_multiplier, prepare_case, CaseConfig, CaseKind};
+use distapprox::core::report::{signed_percent, TextTable};
+use distapprox::core::{mac_metrics, Eq1Fitness};
+use distapprox::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Training + quantizing a small MLP on the MNIST-like set...");
+    let case = prepare_case(&CaseConfig {
+        kind: CaseKind::Mlp { hidden: 32 },
+        train_n: 800,
+        test_n: 200,
+        calib_n: 48,
+        epochs: 15,
+        lr: 0.03,
+        seed: 3,
+    });
+    println!(
+        "  float accuracy {:.1} %, 8-bit quantized accuracy {:.1} %",
+        case.float_accuracy * 100.0,
+        case.quantized_accuracy * 100.0
+    );
+    println!(
+        "  weight distribution: P(w=0) = {:.3}, P(|w|<=8) = {:.3}\n",
+        case.weight_pmf.prob_of(0),
+        (-8i64..=8).map(|v| case.weight_pmf.prob_of(v)).sum::<f64>()
+    );
+
+    // Evolve one multiplier under the measured weight distribution, and
+    // compare against library baselines at a similar error level.
+    let budget = 5e-3;
+    println!("Evolving an 8-bit signed multiplier at WMED budget 0.5 % ...");
+    let cfg = FlowConfig {
+        width: 8,
+        signed: true,
+        thresholds: vec![budget],
+        iterations: 1_500,
+        seed: 11,
+        ..FlowConfig::default()
+    };
+    let evolved = evolve_multipliers(&case.weight_pmf, &cfg)?;
+    let evolved_m = &evolved.multipliers[0];
+    let _ = Eq1Fitness::new(8, true, &case.weight_pmf, TechLibrary::nangate45(), budget)?;
+
+    let exact = baugh_wooley_multiplier(8);
+    let acc_width = accumulator_width(8, 784);
+    let candidates: Vec<(String, Netlist)> = vec![
+        ("evolved (WMED 0.5%)".to_owned(), evolved_m.netlist.clone()),
+        ("bw_bam h8 v6".to_owned(), distapprox::arith::baugh_wooley_broken(8, 8, 6)),
+        ("bw_bam h8 v8".to_owned(), distapprox::arith::baugh_wooley_broken(8, 8, 8)),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "multiplier",
+        "acc initial",
+        "acc finetuned",
+        "MAC power",
+        "MAC PDP",
+    ]);
+    for (name, netlist) in &candidates {
+        let tbl = OpTable::from_netlist(netlist, 8, true)?;
+        let acc = evaluate_multiplier(&case, &tbl, 2);
+        let mac = mac_metrics(netlist, &exact, 8, acc_width, true, &case.weight_pmf, 16, 5);
+        table.row(vec![
+            name.clone(),
+            signed_percent(acc.initial_delta),
+            signed_percent(acc.finetuned_delta),
+            signed_percent(mac.rel_power),
+            signed_percent(mac.rel_pdp),
+        ]);
+    }
+    println!("\nAccuracy/power deltas relative to the exact 8-bit MAC:");
+    println!("{}", table.to_text());
+    println!(
+        "The WMED-evolved multiplier buys the deepest MAC power/PDP savings;\n\
+         fine-tuning recovers most of the accuracy it costs (raise the CGP\n\
+         iteration budget to shrink the initial drop further — the paper\n\
+         spends 10^6 iterations per multiplier, this example spends 1.5k)."
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Failure injection: malformed inputs must produce clean errors (or
+//! documented panics), never silent corruption (DESIGN.md §8).
+
+use distapprox::cgp::CgpError;
+use distapprox::core::CoreError;
+use distapprox::dist::PmfError;
+use distapprox::gates::{GateKind, Netlist, NetlistError, Node, SignalId};
+use distapprox::prelude::*;
+
+#[test]
+fn structurally_broken_netlists_are_rejected() {
+    // Forward reference.
+    let nodes = vec![Node { kind: GateKind::And, a: SignalId(0), b: SignalId(7) }];
+    assert!(matches!(
+        Netlist::new(2, nodes, vec![SignalId(2)]),
+        Err(NetlistError::ForwardReference { .. })
+    ));
+    // Output pointing nowhere.
+    assert!(matches!(
+        Netlist::new(2, vec![], vec![SignalId(5)]),
+        Err(NetlistError::InvalidOutput { .. })
+    ));
+    // No outputs at all.
+    assert!(matches!(Netlist::new(2, vec![], vec![]), Err(NetlistError::NoOutputs)));
+}
+
+#[test]
+fn degenerate_distributions_are_rejected() {
+    assert!(matches!(
+        Pmf::from_weights(4, vec![0.0; 16]),
+        Err(PmfError::EmptySupport)
+    ));
+    assert!(matches!(
+        Pmf::from_weights(4, vec![f64::NAN; 16]),
+        Err(PmfError::InvalidWeight { .. })
+    ));
+    assert!(matches!(Pmf::from_weights(4, vec![1.0; 7]), Err(PmfError::BadLength(7))));
+    assert!(Pmf::from_samples_i64(8, &[]).is_err());
+}
+
+#[test]
+fn malformed_chromosome_text_is_rejected_not_panicking() {
+    for text in [
+        "",
+        "garbage",
+        "cgp 2 1",                                  // short header
+        "cgp 2 1 1\nfuncs and",                     // missing genes
+        "cgp 2 1 1\nfuncs and\ngenes 0 1 0",        // too few genes
+        "cgp 2 1 1\nfuncs and\ngenes 9 9 9 9",      // out-of-bound genes
+        "cgp 2 1 1\nfuncs waffle\ngenes 0 1 0 2",   // unknown gate
+        "cgp 0 0 0\nfuncs and\ngenes",              // zero dimensions
+    ] {
+        assert!(
+            matches!(Chromosome::from_text(text), Err(CgpError::Parse(_) | CgpError::EmptyFunctionSet)),
+            "accepted malformed text: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn flow_configuration_errors_are_structured() {
+    let pmf = Pmf::uniform(8);
+    let bad_cfgs = [
+        FlowConfig { thresholds: vec![], ..FlowConfig::default() },
+        FlowConfig { iterations: 0, ..FlowConfig::default() },
+        FlowConfig { width: 6, ..FlowConfig::default() }, // pmf width mismatch
+    ];
+    for cfg in bad_cfgs {
+        match evolve_multipliers(&pmf, &cfg) {
+            Err(CoreError::BadConfig(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected BadConfig, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn evaluator_rejects_mismatched_widths_cleanly() {
+    let err = MultEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('4') && msg.contains('8'), "unhelpful message: {msg}");
+}
+
+#[test]
+fn table_construction_errors_are_reported() {
+    use distapprox::arith::{OpTable, TableError};
+    let nl = array_multiplier(4);
+    assert!(matches!(
+        OpTable::from_netlist(&nl, 6, false),
+        Err(TableError::InputArity { .. })
+    ));
+    assert!(matches!(
+        OpTable::from_netlist(&nl, 0, false),
+        Err(TableError::BadWidth(0))
+    ));
+}
+
+#[test]
+fn seeded_grid_too_small_is_an_error_not_truncation() {
+    let nl = array_multiplier(8);
+    let err =
+        Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() - 1).unwrap_err();
+    match err {
+        CgpError::GridTooSmall { needed, cols } => {
+            assert_eq!(needed, nl.gate_count());
+            assert_eq!(cols, nl.gate_count() - 1);
+        }
+        other => panic!("expected GridTooSmall, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_implement_std_error_with_sources() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>(_: &E) {}
+    let e1 = Netlist::new(1, vec![], vec![]).unwrap_err();
+    assert_error(&e1);
+    let e2 = Pmf::from_weights(2, vec![0.0; 4]).unwrap_err();
+    assert_error(&e2);
+    let e3: CoreError = CgpError::EmptyFunctionSet.into();
+    assert_error(&e3);
+    assert!(std::error::Error::source(&e3).is_some());
+}

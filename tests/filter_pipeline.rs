@@ -1,0 +1,77 @@
+//! Integration: approximate multipliers inside the Gaussian image filter
+//! (arith × imgproc × techlib — the paper's Fig. 5 pipeline).
+
+use distapprox::imgproc::{average_filter_psnr, convolve3x3, convolve3x3_exact, synth, Kernel3};
+use distapprox::prelude::*;
+
+#[test]
+fn filter_quality_degrades_monotonically_with_truncation() {
+    let images = synth::test_images(6, 32, 32, 77);
+    let kernel = Kernel3::gaussian(1.0);
+    let mut last_psnr = f64::INFINITY;
+    for k in [2u32, 6, 9, 12] {
+        let table = OpTable::from_netlist(&truncated_multiplier(8, k), 8, false).unwrap();
+        let psnr = average_filter_psnr(&images, &kernel, &table, 90.0);
+        assert!(
+            psnr <= last_psnr + 1e-9,
+            "PSNR should not improve with deeper truncation: k={k}, {psnr} vs {last_psnr}"
+        );
+        last_psnr = psnr;
+    }
+    assert!(last_psnr < 40.0, "12-column truncation must visibly hurt");
+}
+
+#[test]
+fn coefficient_aware_multiplier_beats_generic_one_in_the_filter() {
+    // A multiplier exact for small x (the kernel coefficients) but broken
+    // for large x preserves filtering almost perfectly; a multiplier with
+    // the same overall MED spread uniformly does not. This is the paper's
+    // central claim, testable without any evolution.
+    let images = synth::test_images(8, 32, 32, 13);
+    let kernel = Kernel3::gaussian(1.0);
+    let max_coeff = *kernel.coeffs().iter().max().unwrap() as i64;
+
+    // "Tailored": exact products when x is a plausible coefficient.
+    let tailored = OpTable::from_fn(8, true, |x, y| {
+        if x <= max_coeff {
+            x * y
+        } else {
+            (x * y) & !0xFFF // garbage for non-coefficients
+        }
+    });
+    // "Generic": moderate truncation everywhere.
+    let generic = OpTable::from_fn(8, true, |x, y| (x * y) & !0x3F);
+
+    // Make them comparable: unsigned tables for the filter path.
+    let tailored_u = OpTable::from_fn(8, false, |x, y| {
+        if x <= max_coeff {
+            x * y
+        } else {
+            (x * y) & !0xFFF
+        }
+    });
+    let generic_u = OpTable::from_fn(8, false, |x, y| (x * y) & !0x3F);
+    let psnr_tailored = average_filter_psnr(&images, &kernel, &tailored_u, 90.0);
+    let psnr_generic = average_filter_psnr(&images, &kernel, &generic_u, 90.0);
+    assert!(
+        psnr_tailored > psnr_generic + 10.0,
+        "tailored {psnr_tailored} dB vs generic {psnr_generic} dB"
+    );
+    // ... even though under the *uniform* metric the tailored one is worse.
+    let exact = OpTable::exact_mul(8, true);
+    let med_tailored = table_stats(&tailored, &exact, &Pmf::uniform(8)).med;
+    let med_generic = table_stats(&generic, &exact, &Pmf::uniform(8)).med;
+    assert!(med_tailored > med_generic);
+}
+
+#[test]
+fn evolved_filter_multiplier_keeps_constant_regions_flat() {
+    // The Gaussian filter maps constant images to themselves when products
+    // with the actual coefficients are exact.
+    let kernel = Kernel3::gaussian(1.0);
+    let img = distapprox::imgproc::GrayImage::from_fn(16, 16, |_, _| 137);
+    let exact_out = convolve3x3_exact(&img, &kernel);
+    assert_eq!(exact_out, img);
+    let table = OpTable::exact_mul(8, false);
+    assert_eq!(convolve3x3(&img, &kernel, &table), img);
+}

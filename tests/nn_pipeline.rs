@@ -1,0 +1,121 @@
+//! Integration: the neural-network case study (datasets × nn × core),
+//! miniature version of the paper's §V pipeline.
+
+use distapprox::core::nn_flow::{evaluate_multiplier, prepare_case, CaseConfig, CaseKind};
+use distapprox::prelude::*;
+
+fn tiny_case() -> distapprox::core::nn_flow::CaseStudy {
+    prepare_case(&CaseConfig {
+        kind: CaseKind::Mlp { hidden: 24 },
+        train_n: 350,
+        test_n: 120,
+        calib_n: 32,
+        epochs: 12,
+        lr: 0.03,
+        seed: 41,
+    })
+}
+
+#[test]
+fn weight_distribution_drives_a_working_wmed_search() {
+    let case = tiny_case();
+    // Fig. 6 top: trained weight distributions concentrate near zero.
+    let near: f64 = (-10i64..=10).map(|v| case.weight_pmf.prob_of(v)).sum();
+    assert!(near > 0.4, "weight mass near zero = {near}");
+
+    // Evolve a signed multiplier under the measured distribution.
+    let cfg = FlowConfig {
+        width: 8,
+        signed: true,
+        thresholds: vec![5e-4],
+        iterations: 600,
+        threads: 2,
+        activity_blocks: 8,
+        seed: 4,
+        ..FlowConfig::default()
+    };
+    let result = evolve_multipliers(&case.weight_pmf, &cfg).unwrap();
+    let m = &result.multipliers[0];
+    assert!(m.stats.wmed <= 5e-4);
+
+    // Integrate it into the classifier: accuracy should stay close to the
+    // exact-multiplier reference at this gentle WMED level (Table I shows
+    // ~0 drop up to 0.5 %).
+    let table = OpTable::from_netlist(&m.netlist, 8, true).unwrap();
+    let acc = evaluate_multiplier(&case, &table, 0);
+    assert!(
+        acc.initial_delta > -0.10,
+        "gentle approximation lost too much accuracy: {}",
+        acc.initial_delta
+    );
+}
+
+#[test]
+fn accuracy_monotone_in_wmed_level_and_finetuning_recovers() {
+    let case = tiny_case();
+    let mild = OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 5), 8, true)
+        .unwrap();
+    let harsh = OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 8), 8, true)
+        .unwrap();
+    let acc_mild = evaluate_multiplier(&case, &mild, 0);
+    let acc_harsh = evaluate_multiplier(&case, &harsh, 2);
+    assert!(
+        acc_mild.initial >= acc_harsh.initial,
+        "mild {} vs harsh {}",
+        acc_mild.initial,
+        acc_harsh.initial
+    );
+    // Table I's key effect: fine-tuning recovers a degraded network.
+    assert!(
+        acc_harsh.finetuned >= acc_harsh.initial,
+        "fine-tuning should not hurt: {} -> {}",
+        acc_harsh.initial,
+        acc_harsh.finetuned
+    );
+}
+
+#[test]
+fn mac_power_savings_follow_multiplier_savings() {
+    let case = tiny_case();
+    let exact = baugh_wooley_multiplier(8);
+    let approx = distapprox::arith::baugh_wooley_broken(8, 7, 8);
+    let acc_width = distapprox::arith::mac::accumulator_width(8, 784);
+    let mac = distapprox::core::mac_metrics(
+        &approx,
+        &exact,
+        8,
+        acc_width,
+        true,
+        &case.weight_pmf,
+        12,
+        9,
+    );
+    assert!(mac.rel_area < 0.0, "area saving expected, got {}", mac.rel_area);
+    assert!(
+        mac.estimate.pdp_fj() < mac.reference.pdp_fj(),
+        "PDP saving expected"
+    );
+}
+
+#[test]
+fn lenet_case_prepares_and_classifies_above_chance() {
+    // Small LeNet on the SVHN-like set: slower, so tiny sizes — this is a
+    // smoke test of the full conv pipeline, not a benchmark.
+    let case = prepare_case(&CaseConfig {
+        kind: CaseKind::LeNet,
+        train_n: 220,
+        test_n: 60,
+        calib_n: 24,
+        epochs: 6,
+        lr: 0.03,
+        seed: 12,
+    });
+    assert!(
+        case.quantized_accuracy > 0.2,
+        "LeNet should beat chance even at toy scale, got {}",
+        case.quantized_accuracy
+    );
+    let exact = OpTable::exact_mul(8, true);
+    let acc = evaluate_multiplier(&case, &exact, 0);
+    assert_eq!(acc.initial, case.quantized_accuracy);
+}
