@@ -358,9 +358,7 @@ mod tests {
         let base = truncated_multiplier(4, 5);
         let guarded = zero_guarded(&base, 4);
         let gt = OpTable::from_netlist(&guarded, 4, false).unwrap();
-        let bt = OpTable::from_netlist(&base, 4, false)
-            .unwrap()
-            .with_zero_guard();
+        let bt = OpTable::from_netlist(&base, 4, false).unwrap().with_zero_guard();
         for a in 0..16i64 {
             for b in 0..16i64 {
                 assert_eq!(gt.get(a, b), bt.get(a, b), "{a}*{b}");
@@ -381,10 +379,7 @@ mod tests {
         let eval = apx_metrics::MultEvaluator::new(width, true, &pmf).unwrap();
         let wmed_base = eval.wmed(&base);
         let wmed_guarded = eval.wmed(&guarded);
-        assert!(
-            wmed_guarded < wmed_base,
-            "guarded {wmed_guarded} vs base {wmed_base}"
-        );
+        assert!(wmed_guarded < wmed_base, "guarded {wmed_guarded} vs base {wmed_base}");
     }
 
     #[test]

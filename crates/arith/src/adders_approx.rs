@@ -37,11 +37,7 @@ pub fn lower_or_adder(width: u32, k: u32) -> Netlist {
         let or = b.or(a_bits[i], b_bits[i]);
         outputs.push(or);
     }
-    let cin = if k > 0 {
-        Some(b.and(a_bits[k - 1], b_bits[k - 1]))
-    } else {
-        None
-    };
+    let cin = if k > 0 { Some(b.and(a_bits[k - 1], b_bits[k - 1])) } else { None };
     let upper = add_ripple(&mut b, &a_bits[k..], &b_bits[k..], cin);
     outputs.extend(upper);
     b.outputs(&outputs);
@@ -66,7 +62,7 @@ pub fn truncated_adder(width: u32, k: u32) -> Netlist {
     let mut outputs = Vec::with_capacity(w + 1);
     if k > 0 {
         let zero = b.const0();
-        outputs.extend(std::iter::repeat(zero).take(k));
+        outputs.extend(std::iter::repeat_n(zero, k));
     }
     let upper = add_ripple(&mut b, &a_bits[k..], &b_bits[k..], None);
     outputs.extend(upper);

@@ -153,10 +153,7 @@ mod tests {
         // columns: col0 gets inputs {0,1,2}, col1 gets input {3}
         // value = in0 + in1 + in2 + 2*in3, max 5 -> 3 bits
         let mut b = NetlistBuilder::new(4);
-        let cols = vec![
-            vec![b.input(0), b.input(1), b.input(2)],
-            vec![b.input(3)],
-        ];
+        let cols = vec![vec![b.input(0), b.input(1), b.input(2)], vec![b.input(3)]];
         let bits = reduce(&mut b, cols, 3);
         b.outputs(&bits);
         let nl = b.finish().unwrap();

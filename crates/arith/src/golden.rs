@@ -31,7 +31,7 @@ pub fn mul_truncated(width: u32, trunc_cols: u32, a: u64, b: u64) -> u64 {
             if i + j < trunc_cols {
                 continue;
             }
-            acc += ((a >> i) & 1) * ((b >> j) & 1) << (i + j);
+            acc += (((a >> i) & 1) * ((b >> j) & 1)) << (i + j);
         }
     }
     acc
@@ -49,7 +49,7 @@ pub fn mul_broken(width: u32, hbl: u32, vbl: u32, a: u64, b: u64) -> u64 {
             if i + j < vbl {
                 continue;
             }
-            acc += ((a >> i) & 1) * ((b >> j) & 1) << (i + j);
+            acc += (((a >> i) & 1) * ((b >> j) & 1)) << (i + j);
         }
     }
     acc

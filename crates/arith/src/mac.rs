@@ -50,10 +50,10 @@ pub fn mac_unit(multiplier: &Netlist, width: u32, acc_width: u32, signed: bool) 
     if signed {
         let msb = *product.last().expect("multiplier has outputs");
         let ext = bld.push(GateKind::Buf, msb, msb);
-        product.extend(std::iter::repeat(ext).take(n - 2 * w));
+        product.extend(std::iter::repeat_n(ext, n - 2 * w));
     } else {
         let zero = bld.const0();
-        product.extend(std::iter::repeat(zero).take(n - 2 * w));
+        product.extend(std::iter::repeat_n(zero, n - 2 * w));
     }
     let acc_bits: Vec<SignalId> = (0..n).map(|i| bld.input(2 * w + i)).collect();
     let mut sum = add_ripple(&mut bld, &product, &acc_bits, None);

@@ -89,13 +89,7 @@ impl OpTable {
         let raw = Exhaustive::new(expected).output_table(netlist);
         let entries = raw
             .into_iter()
-            .map(|bits| {
-                if signed {
-                    sign_extend(bits, no as u32)
-                } else {
-                    bits as i64
-                }
-            })
+            .map(|bits| if signed { sign_extend(bits, no as u32) } else { bits as i64 })
             .collect();
         Ok(OpTable { width, signed, entries })
     }
@@ -229,11 +223,7 @@ impl OpTable {
     pub fn mean_abs_error(&self, reference: &OpTable) -> f64 {
         assert_eq!(self.width, reference.width, "width mismatch");
         let n = self.entries.len() as f64;
-        self.entries
-            .iter()
-            .zip(&reference.entries)
-            .map(|(a, r)| (a - r).abs() as f64)
-            .sum::<f64>()
+        self.entries.iter().zip(&reference.entries).map(|(a, r)| (a - r).abs() as f64).sum::<f64>()
             / n
     }
 }
@@ -282,10 +272,7 @@ mod tests {
     #[test]
     fn bad_width_is_reported() {
         let nl = array_multiplier(4);
-        assert!(matches!(
-            OpTable::from_netlist(&nl, 0, false),
-            Err(TableError::BadWidth(0))
-        ));
+        assert!(matches!(OpTable::from_netlist(&nl, 0, false), Err(TableError::BadWidth(0))));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use apx_arith::{
     array_multiplier, baugh_wooley_multiplier, broken_array_multiplier, golden, mac::mac_model,
-    sign_extend, to_raw, truncated_multiplier, wallace_multiplier, OpTable,
+    sign_extend, to_raw, wallace_multiplier, OpTable,
 };
 use proptest::prelude::*;
 

@@ -16,8 +16,7 @@ fn bench_cgp(c: &mut Criterion) {
 
     let seed_nl = array_multiplier(8);
     let funcs = FunctionSet::extended();
-    let seed =
-        Chromosome::from_netlist(&seed_nl, &funcs, seed_nl.gate_count() + 60).unwrap();
+    let seed = Chromosome::from_netlist(&seed_nl, &funcs, seed_nl.gate_count() + 60).unwrap();
 
     group.bench_function("mutate_h5", |b| {
         let mut rng = Xoshiro256::from_seed(1);

@@ -16,11 +16,7 @@ fn bench_nn(c: &mut Criterion) {
     let data = mnist_like(96, 4242);
     let mut rng = Xoshiro256::from_seed(7);
     let mut net = Network::mlp(784, 48, 10, &mut rng);
-    train(
-        &mut net,
-        &data,
-        &TrainConfig { epochs: 2, ..Default::default() },
-    );
+    train(&mut net, &data, &TrainConfig { epochs: 2, ..Default::default() });
     let (calib, _) = data.split(32);
     let qnet = QuantizedNetwork::quantize(&net, &calib);
     let exact = OpTable::exact_mul(8, true);

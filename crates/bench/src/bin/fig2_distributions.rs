@@ -10,13 +10,17 @@ fn histogram(name: &str, pmf: &apx_dist::Pmf) {
     println!("Function {name} (frequency per 16-value bin):");
     let bins = 16;
     let per = pmf.len() / bins;
-    let max: f64 = (0..bins)
-        .map(|b| (0..per).map(|i| pmf.prob(b * per + i)).sum::<f64>())
-        .fold(0.0, f64::max);
+    let max: f64 =
+        (0..bins).map(|b| (0..per).map(|i| pmf.prob(b * per + i)).sum::<f64>()).fold(0.0, f64::max);
     for b in 0..bins {
         let mass: f64 = (0..per).map(|i| pmf.prob(b * per + i)).sum();
         let bar = "#".repeat(((mass / max) * 48.0).round() as usize);
-        println!("  x in [{:>3}, {:>3}]  {:6.2} %  {bar}", b * per, (b + 1) * per - 1, mass * 100.0);
+        println!(
+            "  x in [{:>3}, {:>3}]  {:6.2} %  {bar}",
+            b * per,
+            (b + 1) * per - 1,
+            mass * 100.0
+        );
     }
     println!(
         "  entropy {:.2} bits, mean {:.1}, support {}\n",

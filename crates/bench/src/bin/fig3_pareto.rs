@@ -25,14 +25,10 @@ fn main() {
     let dists = [("D1", d1()), ("D2", d2()), ("Du", du())];
     let iters = iterations();
     let n_runs = runs(1);
-    println!(
-        "=== Fig. 3: Pareto fronts (iterations/run = {iters}, runs/level = {n_runs}) ===\n"
-    );
+    println!("=== Fig. 3: Pareto fronts (iterations/run = {iters}, runs/level = {n_runs}) ===\n");
 
-    let evaluators: Vec<MultEvaluator> = dists
-        .iter()
-        .map(|(_, p)| MultEvaluator::new(8, false, p).expect("evaluator"))
-        .collect();
+    let evaluators: Vec<MultEvaluator> =
+        dists.iter().map(|(_, p)| MultEvaluator::new(8, false, p).expect("evaluator")).collect();
     let tech = TechLibrary::nangate45();
     let mut points: Vec<Point> = Vec::new();
 
@@ -43,7 +39,7 @@ fn main() {
             signed: false,
             iterations: iters,
             runs_per_threshold: n_runs,
-            seed: 0xF16_3,
+            seed: 0xF163,
             ..FlowConfig::default()
         };
         let result = evolve_multipliers(pmf, &cfg).expect("flow");
@@ -66,11 +62,8 @@ fn main() {
     // Baselines: truncated and broken-array multipliers.
     let mut rng = Xoshiro256::from_seed(0xBA5E);
     let mut add_baseline = |series: &str, name: String, netlist: &apx_gates::Netlist| {
-        let wmed = [
-            evaluators[0].wmed(netlist),
-            evaluators[1].wmed(netlist),
-            evaluators[2].wmed(netlist),
-        ];
+        let wmed =
+            [evaluators[0].wmed(netlist), evaluators[1].wmed(netlist), evaluators[2].wmed(netlist)];
         // Baseline power is reported under the uniform distribution, as in
         // the paper's library comparisons.
         let est = estimate_under_pmf(netlist, &tech, &du(), DEFAULT_CLOCK_MHZ, 32, &mut rng);
@@ -79,7 +72,9 @@ fn main() {
     for k in 1..=12u32 {
         add_baseline("truncated", format!("trunc_{k}"), &apx_arith::truncated_multiplier(8, k));
     }
-    for (hbl, vbl) in [(8u32, 2u32), (8, 4), (8, 6), (8, 8), (8, 10), (7, 4), (7, 8), (6, 6), (6, 10), (5, 8)] {
+    for (hbl, vbl) in
+        [(8u32, 2u32), (8, 4), (8, 6), (8, 8), (8, 10), (7, 4), (7, 8), (6, 6), (6, 10), (5, 8)]
+    {
         add_baseline(
             "broken-array",
             format!("bam_h{hbl}_v{vbl}"),

@@ -23,7 +23,7 @@ fn main() {
             width: 8,
             thresholds: vec![budget],
             iterations: iters,
-            seed: 0xF16_4,
+            seed: 0xF164,
             ..FlowConfig::default()
         };
         let result = evolve_multipliers(pmf, &cfg).expect("flow");

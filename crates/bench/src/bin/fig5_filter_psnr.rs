@@ -56,7 +56,12 @@ fn main() {
                 format!("{psnr:.2}"),
                 format!("{:.4}", est.power_mw()),
             ]);
-            csv.row(vec![series, m.name.clone(), format!("{psnr:.3}"), format!("{:.5}", est.power_mw())]);
+            csv.row(vec![
+                series,
+                m.name.clone(),
+                format!("{psnr:.3}"),
+                format!("{:.5}", est.power_mw()),
+            ]);
         }
     }
     // Conventional baselines for context.

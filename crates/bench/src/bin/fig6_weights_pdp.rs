@@ -14,19 +14,13 @@ use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
 
 fn weight_histogram(name: &str, pmf: &apx_dist::Pmf, csv: &mut TextTable) {
     println!("Weight distribution, {name}:");
-    let max = (-128i64..128)
-        .map(|v| pmf.prob_of(v))
-        .fold(0.0f64, f64::max);
+    let max = (-128i64..128).map(|v| pmf.prob_of(v)).fold(0.0f64, f64::max);
     for bin in 0..16 {
         let lo = -128 + bin * 16;
         let mass: f64 = (lo..lo + 16).map(|v| pmf.prob_of(v)).sum();
         let bar = "#".repeat(((mass / max.max(1e-12)) * 40.0).min(40.0).round() as usize);
         println!("  w in [{:>4}, {:>4}]  {:6.2} %  {bar}", lo, lo + 15, mass * 100.0);
-        csv.row(vec![
-            name.to_owned(),
-            format!("{lo}..{}", lo + 15),
-            format!("{:.6}", mass),
-        ]);
+        csv.row(vec![name.to_owned(), format!("{lo}..{}", lo + 15), format!("{:.6}", mass)]);
     }
     println!("  P(w = 0) = {:.3}\n", pmf.prob_of(0));
 }
@@ -67,19 +61,17 @@ fn main() {
     let mut weights_csv = TextTable::new(vec!["network", "bin", "mass"]);
     weight_histogram("SVHN-like (LeNet)", &lenet.weight_pmf, &mut weights_csv);
     weight_histogram("MNIST-like (MLP)", &mlp.weight_pmf, &mut weights_csv);
-    weights_csv
-        .write_csv(results_dir().join("fig6_weights.csv"))
-        .expect("write csv");
+    weights_csv.write_csv(results_dir().join("fig6_weights.csv")).expect("write csv");
 
     // Bottom: relative PDP of multipliers evolved at each WMED level,
     // box-plot statistics over independent runs.
     let levels = [5e-4, 2e-3, 1e-2, 5e-2];
     let tech = TechLibrary::nangate45();
-    let mut pdp_csv = TextTable::new(vec!["network", "wmed_pct", "min", "q1", "median", "q3", "max"]);
+    let mut pdp_csv =
+        TextTable::new(vec!["network", "wmed_pct", "min", "q1", "median", "q3", "max"]);
     for (name, case) in [("SVHN-like", &lenet), ("MNIST-like", &mlp)] {
         println!("--- relative multiplier PDP, {name} weights ---");
-        let mut table =
-            TextTable::new(vec!["WMED %", "min", "q1", "median", "q3", "max"]);
+        let mut table = TextTable::new(vec!["WMED %", "min", "q1", "median", "q3", "max"]);
         let cfg = FlowConfig {
             width: 8,
             signed: true,
@@ -128,9 +120,7 @@ fn main() {
         }
         println!("{}", table.to_text());
     }
-    pdp_csv
-        .write_csv(results_dir().join("fig6_pdp.csv"))
-        .expect("write csv");
+    pdp_csv.write_csv(results_dir().join("fig6_pdp.csv")).expect("write csv");
     println!(
         "Expected shape (paper): median relative PDP falls with the WMED\n\
          budget — about 0.5 at WMED 0.2 % for the SVHN network."

@@ -15,12 +15,7 @@ use apx_core::report::TextTable;
 use apx_core::{evolve_multipliers, mac_metrics, pareto_indices, FlowConfig};
 use apx_gates::Netlist;
 
-fn run_case(
-    label: &str,
-    case: &CaseStudy,
-    fanin: usize,
-    csv: &mut TextTable,
-) {
+fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
     println!("--- {label}: accuracy vs relative MAC power ---");
     let exact_mult = baugh_wooley_multiplier(8);
     let acc_width = accumulator_width(8, fanin);
@@ -75,8 +70,7 @@ fn run_case(
         ]);
     }
     println!("{}", table.to_text());
-    let proposed_on_front =
-        front.iter().filter(|&&i| rows[i].0.starts_with("proposed")).count();
+    let proposed_on_front = front.iter().filter(|&&i| rows[i].0.starts_with("proposed")).count();
     println!(
         "proposed multipliers on the accuracy/power front: {proposed_on_front} of {}\n",
         front.len()
@@ -84,10 +78,7 @@ fn run_case(
 }
 
 fn main() {
-    println!(
-        "=== Fig. 7: accuracy vs relative MAC power ({} iterations/run) ===\n",
-        iterations()
-    );
+    println!("=== Fig. 7: accuracy vs relative MAC power ({} iterations/run) ===\n", iterations());
     let mut csv = TextTable::new(vec!["case", "multiplier", "acc_delta", "rel_power"]);
     let mlp = mlp_case();
     println!(

@@ -27,10 +27,7 @@ use std::path::PathBuf;
 /// Reads an integer environment knob.
 #[must_use]
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads a `usize` environment knob.

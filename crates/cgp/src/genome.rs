@@ -47,18 +47,14 @@ impl Chromosome {
         let no = netlist.num_outputs();
         let mut genes = Vec::with_capacity(cols * 3 + no);
         for node in netlist.nodes() {
-            let f = funcs
-                .index_of(node.kind)
-                .ok_or(CgpError::UnsupportedGate(node.kind))?;
+            let f = funcs.index_of(node.kind).ok_or(CgpError::UnsupportedGate(node.kind))?;
             genes.push(node.a.0);
             genes.push(node.b.0);
             genes.push(f as u32);
         }
         // Pad with inactive buffers of input 0 (or the first available
         // function if the set lacks Buf).
-        let pad_func = funcs
-            .index_of(apx_gates::GateKind::Buf)
-            .unwrap_or(0) as u32;
+        let pad_func = funcs.index_of(apx_gates::GateKind::Buf).unwrap_or(0) as u32;
         for _ in netlist.gate_count()..cols {
             genes.push(0);
             genes.push(0);
@@ -174,10 +170,7 @@ impl Chromosome {
     /// Checks every gene against [`Chromosome::gene_bound`].
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        self.genes
-            .iter()
-            .enumerate()
-            .all(|(i, &g)| g < self.gene_bound(i))
+        self.genes.iter().enumerate().all(|(i, &g)| g < self.gene_bound(i))
     }
 
     /// Decodes the full grid into a netlist (inactive nodes included).
@@ -195,10 +188,8 @@ impl Chromosome {
                 b: SignalId(self.genes[3 * k + 1]),
             })
             .collect();
-        let outputs: Vec<SignalId> = self.genes[3 * self.cols..]
-            .iter()
-            .map(|&g| SignalId(g))
-            .collect();
+        let outputs: Vec<SignalId> =
+            self.genes[3 * self.cols..].iter().map(|&g| SignalId(g)).collect();
         Netlist::new(self.ni, nodes, outputs).expect("chromosome encodes a valid netlist")
     }
 
@@ -242,8 +233,8 @@ impl Chromosome {
             }
         }
         let mut remap = vec![u32::MAX; ni + self.cols];
-        for i in 0..ni {
-            remap[i] = i as u32;
+        for (i, slot) in remap.iter_mut().enumerate().take(ni) {
+            *slot = i as u32;
         }
         let mut b = NetlistBuilder::new(ni);
         for k in 0..self.cols {
@@ -253,22 +244,13 @@ impl Chromosome {
             }
             let kind = self.funcs.kind(self.genes[3 * k + 2] as usize);
             let arity = kind.arity();
-            let a = if arity >= 1 {
-                SignalId(remap[self.genes[3 * k] as usize])
-            } else {
-                SignalId(0)
-            };
-            let bb = if arity >= 2 {
-                SignalId(remap[self.genes[3 * k + 1] as usize])
-            } else {
-                a
-            };
+            let a =
+                if arity >= 1 { SignalId(remap[self.genes[3 * k] as usize]) } else { SignalId(0) };
+            let bb = if arity >= 2 { SignalId(remap[self.genes[3 * k + 1] as usize]) } else { a };
             remap[sig] = b.push(kind, a, bb).0;
         }
-        let outputs: Vec<SignalId> = self.genes[3 * self.cols..]
-            .iter()
-            .map(|&g| SignalId(remap[g as usize]))
-            .collect();
+        let outputs: Vec<SignalId> =
+            self.genes[3 * self.cols..].iter().map(|&g| SignalId(remap[g as usize])).collect();
         b.outputs(&outputs);
         b.finish().expect("active decode produces a valid netlist")
     }

@@ -98,10 +98,8 @@ where
         }
         let fits: Vec<f64> = if config.parallel && config.lambda > 1 {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = offspring
-                    .iter()
-                    .map(|child| scope.spawn(|| fitness(child)))
-                    .collect();
+                let handles: Vec<_> =
+                    offspring.iter().map(|child| scope.spawn(|| fitness(child))).collect();
                 handles.into_iter().map(|h| h.join().expect("fitness worker panicked")).collect()
             })
         } else {
@@ -109,11 +107,8 @@ where
         };
         evaluations += config.lambda as u64;
         // Best offspring; ties broken toward the earliest (deterministic).
-        let (best_idx, &best_fit) = fits
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("lambda >= 1");
+        let (best_idx, &best_fit) =
+            fits.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("lambda >= 1");
         // Neutral drift: equal fitness replaces the parent.
         if best_fit <= parent_fit {
             if best_fit < parent_fit && config.keep_history {
@@ -140,11 +135,8 @@ mod tests {
         move |c: &Chromosome| {
             let nl = c.decode_active();
             let table = Exhaustive::new(nl.num_inputs()).output_table(&nl);
-            let wrong: u64 = table
-                .iter()
-                .zip(&golden)
-                .map(|(a, b)| (a ^ b).count_ones() as u64)
-                .sum();
+            let wrong: u64 =
+                table.iter().zip(&golden).map(|(a, b)| (a ^ b).count_ones() as u64).sum();
             wrong as f64 * 1e6 + nl.active_gate_count() as f64
         }
     }
@@ -170,10 +162,7 @@ mod tests {
         );
         // The textbook 2-bit array multiplier (8 gates here) is not
         // minimal; evolution should shave at least one gate.
-        assert!(
-            result.best_fitness < start,
-            "expected improvement from {start}"
-        );
+        assert!(result.best_fitness < start, "expected improvement from {start}");
     }
 
     #[test]
@@ -247,10 +236,6 @@ mod tests {
         let nl = array_multiplier(2);
         let seed =
             Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count()).unwrap();
-        let _ = evolve(
-            &seed,
-            |_| 0.0,
-            &EvolutionConfig { lambda: 0, ..Default::default() },
-        );
+        let _ = evolve(&seed, |_| 0.0, &EvolutionConfig { lambda: 0, ..Default::default() });
     }
 }

@@ -18,13 +18,7 @@ impl Chromosome {
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "cgp {} {} {}",
-            self.num_inputs(),
-            self.num_outputs(),
-            self.cols()
-        );
+        let _ = writeln!(s, "cgp {} {} {}", self.num_inputs(), self.num_outputs(), self.cols());
         let names: Vec<&str> = self.function_set().iter().map(|k| k.name()).collect();
         let _ = writeln!(s, "funcs {}", names.join(" "));
         let genes: Vec<String> = self.genes().iter().map(u32::to_string).collect();
@@ -70,10 +64,7 @@ impl Chromosome {
         let genes = genes.map_err(|e| parse_err(&format!("bad gene: {e}")))?;
         let expected = 3 * cols + no;
         if genes.len() != expected {
-            return Err(parse_err(&format!(
-                "expected {expected} genes, found {}",
-                genes.len()
-            )));
+            return Err(parse_err(&format!("expected {expected} genes, found {}", genes.len())));
         }
         let chrom = Chromosome::from_parts(ni, no, cols, funcs, genes);
         if !chrom.is_valid() {
@@ -110,10 +101,7 @@ mod tests {
         let back = Chromosome::from_text(&text).unwrap();
         assert_eq!(chrom, back);
         let ex = Exhaustive::new(6);
-        assert_eq!(
-            ex.output_table(&chrom.decode_active()),
-            ex.output_table(&back.decode_active())
-        );
+        assert_eq!(ex.output_table(&chrom.decode_active()), ex.output_table(&back.decode_active()));
     }
 
     #[test]

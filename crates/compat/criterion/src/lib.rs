@@ -1,0 +1,173 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark harness.
+//!
+//! The workspace builds without network access, so the real `criterion`
+//! cannot be fetched from crates.io. This crate implements the slice of
+//! its API the benches in `crates/bench/benches/` use — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple warm-up + timed-batch measurement loop.
+//!
+//! Results are printed as `group/function ... <mean> ns/iter` lines. The
+//! statistical machinery of the real crate (outlier classification,
+//! bootstrap confidence intervals, HTML reports) is intentionally absent;
+//! the benches exist to keep hot paths honest, and CI only compile-checks
+//! them (`cargo bench --no-run`).
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+///
+/// Re-exported so benches may use either `criterion::black_box` or
+/// `std::hint::black_box` interchangeably.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver (a stub of the real criterion struct).
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement_time: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{id:<40} {:>12.1} ns/iter ({} iterations)",
+            self.name, bencher.mean_ns, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then running timed batches until the
+    /// sample or time budget is exhausted.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up and per-iteration cost estimate.
+        let warmup = Instant::now();
+        std_black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        // Pick an iteration count that fits the measurement budget.
+        let per_sample =
+            (self.budget.as_nanos() / self.samples.max(1) as u128).max(1).min(u128::from(u64::MAX));
+        let batch = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+            if total >= self.budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(5);
+        group.bench_function("sum_1000", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_measures_something() {
+        benches();
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

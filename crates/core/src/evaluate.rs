@@ -18,9 +18,7 @@ pub fn cross_wmed(
     signed: bool,
     pmfs: &[Pmf],
 ) -> Result<Vec<f64>, EvaluatorError> {
-    pmfs.iter()
-        .map(|pmf| Ok(MultEvaluator::new(width, signed, pmf)?.wmed(netlist)))
-        .collect()
+    pmfs.iter().map(|pmf| Ok(MultEvaluator::new(width, signed, pmf)?.wmed(netlist))).collect()
 }
 
 /// Per-input-pair error heat map of a multiplier (the data behind Fig. 4).
@@ -45,11 +43,7 @@ mod tests {
     #[test]
     fn cross_wmed_orders_match_table_construction() {
         let nl = truncated_multiplier(6, 6);
-        let pmfs = vec![
-            Pmf::uniform(6),
-            Pmf::half_normal(6, 8.0),
-            Pmf::normal(6, 32.0, 8.0),
-        ];
+        let pmfs = vec![Pmf::uniform(6), Pmf::half_normal(6, 8.0), Pmf::normal(6, 32.0, 8.0)];
         let wmeds = cross_wmed(&nl, 6, false, &pmfs).unwrap();
         assert_eq!(wmeds.len(), 3);
         // Truncation errors grow with operand magnitude, so the

@@ -38,11 +38,7 @@ impl Eq1Fitness {
         tech: TechLibrary,
         threshold: f64,
     ) -> Result<Self, apx_metrics::EvaluatorError> {
-        Ok(Eq1Fitness {
-            evaluator: MultEvaluator::new(width, signed, pmf)?,
-            tech,
-            threshold,
-        })
+        Ok(Eq1Fitness { evaluator: MultEvaluator::new(width, signed, pmf)?, tech, threshold })
     }
 
     /// The WMED budget `E_i`.
@@ -81,14 +77,7 @@ mod tests {
     #[test]
     fn exact_seed_scores_its_area() {
         let nl = array_multiplier(4);
-        let fit = Eq1Fitness::new(
-            4,
-            false,
-            &Pmf::uniform(4),
-            TechLibrary::unit(),
-            0.001,
-        )
-        .unwrap();
+        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 0.001).unwrap();
         let f = fit.of(&chrom_of(&nl));
         assert_eq!(f, nl.compact().gate_count() as f64);
         assert_eq!(fit.threshold(), 0.001);
@@ -99,8 +88,7 @@ mod tests {
         // Truncating 6 of 8 columns of a 4-bit multiplier far exceeds a
         // 0.01% budget.
         let nl = truncated_multiplier(4, 6);
-        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 1e-4)
-            .unwrap();
+        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 1e-4).unwrap();
         assert_eq!(fit.of(&chrom_of(&nl)), f64::INFINITY);
     }
 
@@ -108,8 +96,7 @@ mod tests {
     fn loose_budget_admits_approximations() {
         let exact = array_multiplier(4);
         let approx = truncated_multiplier(4, 4);
-        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 0.05)
-            .unwrap();
+        let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 0.05).unwrap();
         let f_exact = fit.of(&chrom_of(&exact));
         let f_approx = fit.of(&chrom_of(&approx));
         assert!(f_approx < f_exact, "approximation must be cheaper");

@@ -59,9 +59,7 @@ impl Default for FlowConfig {
 /// log-spaced over the plotted range 0.0001 % … 20 %.
 #[must_use]
 pub fn default_thresholds() -> Vec<f64> {
-    vec![
-        5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1,
-    ]
+    vec![5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1]
 }
 
 /// Table I's WMED levels: `{0, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10} %`.
@@ -106,10 +104,7 @@ impl FlowResult {
     /// `(error, power)` pairs for Pareto plotting: WMED vs. power in mW.
     #[must_use]
     pub fn error_power_points(&self) -> Vec<(f64, f64)> {
-        self.multipliers
-            .iter()
-            .map(|m| (m.stats.wmed, m.estimate.power_mw()))
-            .collect()
+        self.multipliers.iter().map(|m| (m.stats.wmed, m.estimate.power_mw())).collect()
     }
 
     /// The best (lowest-area) multiplier per threshold, in threshold order.
@@ -156,11 +151,8 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         )));
     }
     let tech = TechLibrary::nangate45();
-    let seed_netlist = if cfg.signed {
-        baugh_wooley_multiplier(cfg.width)
-    } else {
-        array_multiplier(cfg.width)
-    };
+    let seed_netlist =
+        if cfg.signed { baugh_wooley_multiplier(cfg.width) } else { array_multiplier(cfg.width) };
     let funcs = FunctionSet::extended();
     let seed_chrom = Chromosome::from_netlist(
         &seed_netlist,
@@ -251,10 +243,8 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
             }
         });
     }
-    let multipliers: Result<Vec<EvolvedMultiplier>, CoreError> = results
-        .into_iter()
-        .map(|r| r.expect("every task was executed"))
-        .collect();
+    let multipliers: Result<Vec<EvolvedMultiplier>, CoreError> =
+        results.into_iter().map(|r| r.expect("every task was executed")).collect();
 
     let mut est_rng = Xoshiro256::from_seed(cfg.seed ^ 0x5EED);
     let seed_estimate = estimate_under_pmf(
@@ -302,11 +292,7 @@ mod tests {
             assert!(m.estimate.area_um2 <= seed_area + 1e-9, "{} grew", m.name);
         }
         // The relaxed-budget runs must actually shrink the circuit.
-        let relaxed: Vec<_> = result
-            .multipliers
-            .iter()
-            .filter(|m| m.threshold > 0.0)
-            .collect();
+        let relaxed: Vec<_> = result.multipliers.iter().filter(|m| m.threshold > 0.0).collect();
         assert!(
             relaxed.iter().any(|m| m.estimate.area_um2 < seed_area * 0.9),
             "400 iterations should shave >10% area at WMED 2%"
@@ -364,15 +350,9 @@ mod tests {
     fn config_errors_are_reported() {
         let pmf = Pmf::uniform(8);
         let empty = FlowConfig { thresholds: vec![], ..Default::default() };
-        assert!(matches!(
-            evolve_multipliers(&pmf, &empty),
-            Err(CoreError::BadConfig(_))
-        ));
+        assert!(matches!(evolve_multipliers(&pmf, &empty), Err(CoreError::BadConfig(_))));
         let mismatch = FlowConfig { width: 4, ..Default::default() };
-        assert!(matches!(
-            evolve_multipliers(&pmf, &mismatch),
-            Err(CoreError::BadConfig(_))
-        ));
+        assert!(matches!(evolve_multipliers(&pmf, &mismatch), Err(CoreError::BadConfig(_))));
         let zero_iters = FlowConfig { iterations: 0, ..Default::default() };
         assert!(evolve_multipliers(&Pmf::uniform(8), &zero_iters).is_err());
     }

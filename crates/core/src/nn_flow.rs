@@ -9,9 +9,7 @@
 use apx_arith::OpTable;
 use apx_datasets::{mnist_like, svhn_like, Dataset};
 use apx_dist::Pmf;
-use apx_nn::{
-    finetune, train, weight_pmf, FinetuneConfig, Network, QuantizedNetwork, TrainConfig,
-};
+use apx_nn::{finetune, train, weight_pmf, FinetuneConfig, Network, QuantizedNetwork, TrainConfig};
 use apx_rng::Xoshiro256;
 
 /// Which reference classifier to prepare.
@@ -182,11 +180,7 @@ pub fn evaluate_multiplier(
             &case.calib,
             table,
             &case.train_set,
-            &FinetuneConfig {
-                iterations: finetune_iterations,
-                lr: 0.01,
-                ..Default::default()
-            },
+            &FinetuneConfig { iterations: finetune_iterations, lr: 0.01, ..Default::default() },
         );
         tuned_q.accuracy_with(&case.test_set, table)
     };
@@ -259,9 +253,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "calibration subset")]
     fn bad_calibration_size_panics() {
-        let _ = prepare_case(&CaseConfig {
-            calib_n: 0,
-            ..CaseConfig::mlp_default()
-        });
+        let _ = prepare_case(&CaseConfig { calib_n: 0, ..CaseConfig::mlp_default() });
     }
 }

@@ -9,10 +9,7 @@
 pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_by(|&a, &b| {
-        points[a]
-            .0
-            .total_cmp(&points[b].0)
-            .then(points[a].1.total_cmp(&points[b].1))
+        points[a].0.total_cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1))
     });
     let mut front: Vec<usize> = Vec::new();
     let mut best_y = f64::INFINITY;

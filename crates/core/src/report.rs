@@ -16,10 +16,7 @@ impl TextTable {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TextTable {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row.

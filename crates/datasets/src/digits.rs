@@ -48,14 +48,8 @@ fn strokes(digit: u8) -> Vec<Vec<(f64, f64)>> {
             s.extend([(0.26, 0.88), (0.76, 0.88)]);
             s
         }],
-        3 => vec![
-            arc(0.46, 0.31, 0.24, 0.20, -2.6, 1.25),
-            arc(0.46, 0.69, 0.26, 0.22, -1.25, 2.6),
-        ],
-        4 => vec![
-            vec![(0.62, 0.12), (0.24, 0.62), (0.80, 0.62)],
-            vec![(0.62, 0.12), (0.62, 0.88)],
-        ],
+        3 => vec![arc(0.46, 0.31, 0.24, 0.20, -2.6, 1.25), arc(0.46, 0.69, 0.26, 0.22, -1.25, 2.6)],
+        4 => vec![vec![(0.62, 0.12), (0.24, 0.62), (0.80, 0.62)], vec![(0.62, 0.12), (0.62, 0.88)]],
         5 => vec![{
             let mut s = vec![(0.72, 0.12), (0.30, 0.12), (0.28, 0.47)];
             s.extend(arc(0.47, 0.65, 0.26, 0.24, -1.35, 2.5));
@@ -66,10 +60,7 @@ fn strokes(digit: u8) -> Vec<Vec<(f64, f64)>> {
             s.extend(oval(0.5, 0.66, 0.22, 0.22));
             s
         }],
-        7 => vec![
-            vec![(0.24, 0.12), (0.78, 0.12), (0.42, 0.88)],
-            vec![(0.34, 0.50), (0.66, 0.50)],
-        ],
+        7 => vec![vec![(0.24, 0.12), (0.78, 0.12), (0.42, 0.88)], vec![(0.34, 0.50), (0.66, 0.50)]],
         8 => vec![oval(0.5, 0.30, 0.20, 0.18), oval(0.5, 0.68, 0.24, 0.21)],
         9 => vec![{
             let mut s = oval(0.5, 0.34, 0.22, 0.22);
@@ -84,11 +75,7 @@ fn dist_to_segment(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
     let (px, py) = (p.0 - a.0, p.1 - a.1);
     let (vx, vy) = (b.0 - a.0, b.1 - a.1);
     let len2 = vx * vx + vy * vy;
-    let t = if len2 > 0.0 {
-        ((px * vx + py * vy) / len2).clamp(0.0, 1.0)
-    } else {
-        0.0
-    };
+    let t = if len2 > 0.0 { ((px * vx + py * vy) / len2).clamp(0.0, 1.0) } else { 0.0 };
     let (ex, ey) = (px - t * vx, py - t * vy);
     (ex * ex + ey * ey).sqrt()
 }
@@ -117,11 +104,7 @@ pub fn render_digit_posed(digit: u8, width: usize, height: usize, pose: &Pose) -
     };
     let segments: Vec<((f64, f64), (f64, f64))> = glyph
         .iter()
-        .flat_map(|poly| {
-            poly.windows(2)
-                .map(|w| (tf(w[0]), tf(w[1])))
-                .collect::<Vec<_>>()
-        })
+        .flat_map(|poly| poly.windows(2).map(|w| (tf(w[0]), tf(w[1]))).collect::<Vec<_>>())
         .collect();
     let half_width = pose.thickness * width.min(height) as f64;
     let soft = half_width * 0.8 + 0.5;
@@ -169,10 +152,7 @@ mod tests {
             let img = render_digit(d, 28, 28);
             let ink: f32 = img.iter().sum();
             assert!(ink > 10.0, "digit {d} almost empty ({ink})");
-            assert!(
-                ink < (28 * 28) as f32 * 0.6,
-                "digit {d} floods the canvas ({ink})"
-            );
+            assert!(ink < (28 * 28) as f32 * 0.6, "digit {d} floods the canvas ({ink})");
         }
     }
 
@@ -181,11 +161,8 @@ mod tests {
         let renders: Vec<Vec<f32>> = (0..10).map(|d| render_digit(d, 28, 28)).collect();
         for i in 0..10 {
             for j in i + 1..10 {
-                let diff: f32 = renders[i]
-                    .iter()
-                    .zip(&renders[j])
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let diff: f32 =
+                    renders[i].iter().zip(&renders[j]).map(|(a, b)| (a - b).abs()).sum();
                 assert!(diff > 20.0, "digits {i} and {j} too similar (diff {diff})");
             }
         }
@@ -194,19 +171,11 @@ mod tests {
     #[test]
     fn pose_translation_moves_ink() {
         let centre = render_digit_posed(1, 28, 28, &Pose::default());
-        let shifted = render_digit_posed(
-            1,
-            28,
-            28,
-            &Pose { dx: 6.0, ..Pose::default() },
-        );
+        let shifted = render_digit_posed(1, 28, 28, &Pose { dx: 6.0, ..Pose::default() });
         assert_ne!(centre, shifted);
         let com = |img: &[f32]| -> f64 {
             let total: f32 = img.iter().sum();
-            img.iter()
-                .enumerate()
-                .map(|(i, &v)| (i % 28) as f64 * v as f64)
-                .sum::<f64>()
+            img.iter().enumerate().map(|(i, &v)| (i % 28) as f64 * v as f64).sum::<f64>()
                 / total as f64
         };
         assert!(com(&shifted) > com(&centre) + 3.0);

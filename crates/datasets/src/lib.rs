@@ -94,10 +94,7 @@ impl Dataset {
 
     /// Iterates over `(pixels, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f32], u8)> {
-        self.images
-            .iter()
-            .map(Vec::as_slice)
-            .zip(self.labels.iter().copied())
+        self.images.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
     }
 
     /// Splits off the first `n` samples as a new dataset (train/test).
@@ -249,16 +246,10 @@ mod tests {
         for (img, label) in test.iter() {
             let best = (0..10)
                 .min_by(|&a, &b| {
-                    let da: f64 = centroids[a]
-                        .iter()
-                        .zip(img)
-                        .map(|(c, &p)| (c - p as f64).powi(2))
-                        .sum();
-                    let db: f64 = centroids[b]
-                        .iter()
-                        .zip(img)
-                        .map(|(c, &p)| (c - p as f64).powi(2))
-                        .sum();
+                    let da: f64 =
+                        centroids[a].iter().zip(img).map(|(c, &p)| (c - p as f64).powi(2)).sum();
+                    let db: f64 =
+                        centroids[b].iter().zip(img).map(|(c, &p)| (c - p as f64).powi(2)).sum();
                     da.total_cmp(&db)
                 })
                 .unwrap();
@@ -324,10 +315,7 @@ mod tests {
         let s_test = svhn_like(200, 22);
         let m_acc = centroid_accuracy(&m_train, &m_test);
         let s_acc = centroid_accuracy(&s_train, &s_test);
-        assert!(
-            s_acc < m_acc,
-            "svhn-like ({s_acc}) should be harder than mnist-like ({m_acc})"
-        );
+        assert!(s_acc < m_acc, "svhn-like ({s_acc}) should be harder than mnist-like ({m_acc})");
         assert!(s_acc > 0.2, "svhn-like must still be learnable, got {s_acc}");
     }
 

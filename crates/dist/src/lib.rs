@@ -1,0 +1,643 @@
+//! Input probability mass functions — the `D` of the paper's WMED metric.
+//!
+//! "Automated Circuit Approximation Method Driven by Data Distribution"
+//! (Vasicek, Mrazek, Sekanina — DATE 2019) replaces the conventional mean
+//! error distance with a **weighted** mean error distance in which every
+//! input vector contributes proportionally to how often the target
+//! application feeds it to the circuit. For a `w`-bit operand `x` drawn
+//! from a distribution `D` and a second, uniformly distributed operand
+//! `y`, the metric evaluated by `apx_metrics` is
+//!
+//! ```text
+//!             Σ_x D(x) · Σ_y | O(x, y) − O*(x, y) |
+//! WMED(D)  =  ─────────────────────────────────────        (Eq. WMED)
+//!                      2^w · 2^(2w)
+//! ```
+//!
+//! where `O` is the approximate operator, `O*` the exact one, and the
+//! denominator normalizes by the number of `y` values and the output
+//! range. [`Pmf`] is the `D` in that equation: a normalized probability
+//! mass function over the `2^w` raw encodings of a `w`-bit operand.
+//!
+//! Distributions can be analytic (the paper's D1 [`Pmf::normal`] and D2
+//! [`Pmf::half_normal`], the reference [`Pmf::uniform`], the signed
+//! [`Pmf::signed_normal`] for two's-complement operands), given explicitly
+//! ([`Pmf::from_weights`]), or *measured* from application data
+//! ([`Pmf::from_samples_i64`] — e.g. the quantized weights of a neural
+//! network, Fig. 6 of the paper).
+//!
+//! Signedness is a matter of interpretation, not representation: the PMF
+//! always stores probabilities indexed by the **raw** (two's-complement)
+//! encoding `0..2^w`, and [`Pmf::prob_of`] accepts signed values by
+//! wrapping them into that encoding.
+//!
+//! # Examples
+//!
+//! ```
+//! use apx_dist::Pmf;
+//!
+//! // The paper's D2: half-normal, concentrated on small operands.
+//! let d2 = Pmf::half_normal(8, 48.0);
+//! assert_eq!(d2.width(), 8);
+//! assert_eq!(d2.len(), 256);
+//! assert!((d2.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! assert!(d2.prob(0) > d2.prob(255));
+//!
+//! // A measured distribution (e.g. NN weights) over signed 8-bit values.
+//! let measured = Pmf::from_samples_i64(8, &[-2, -1, 0, 0, 0, 1, 2])?;
+//! assert!(measured.prob_of(0) > measured.prob_of(1));
+//! assert_eq!(measured.prob_of(100), 0.0);
+//! # Ok::<(), apx_dist::PmfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use apx_rng::Xoshiro256;
+use std::fmt;
+
+/// Maximum supported operand width in bits (the PMF stores `2^w` entries).
+pub const MAX_WIDTH: u32 = 16;
+
+/// Error constructing a [`Pmf`] from explicit weights or samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// The weight vector length does not equal `2^width`.
+    BadLength(usize),
+    /// A weight is negative, NaN or infinite.
+    InvalidWeight {
+        /// Position of the offending weight.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// All weights are zero — no value has any probability mass.
+    EmptySupport,
+    /// An empty sample set was given.
+    NoSamples,
+    /// A sample does not fit the operand width (neither as an unsigned
+    /// `0..2^w` value nor as a signed `-2^(w-1)..2^(w-1)` value).
+    SampleOutOfRange {
+        /// Position of the offending sample.
+        index: usize,
+        /// The offending value.
+        value: i64,
+    },
+}
+
+impl fmt::Display for PmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmfError::BadLength(n) => {
+                write!(f, "weight vector has {n} entries, which is not 2^width for the requested operand width")
+            }
+            PmfError::InvalidWeight { index, value } => {
+                write!(f, "weight at index {index} is {value}, expected finite and non-negative")
+            }
+            PmfError::EmptySupport => write!(f, "all weights are zero (empty support)"),
+            PmfError::NoSamples => write!(f, "cannot estimate a distribution from zero samples"),
+            PmfError::SampleOutOfRange { index, value } => {
+                write!(f, "sample at index {index} is {value}, outside the operand range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+/// A probability mass function over the `2^w` raw encodings of a `w`-bit
+/// operand — the distribution `D` of the paper's WMED (Eq. WMED in the
+/// crate docs).
+///
+/// Invariants, established by every constructor:
+///
+/// * `len() == 1 << width()`;
+/// * every probability is finite and non-negative;
+/// * the probabilities sum to 1 (up to floating-point rounding);
+/// * at least one probability is strictly positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    width: u32,
+    probs: Vec<f64>,
+}
+
+fn domain_size(width: u32) -> usize {
+    assert!((1..=MAX_WIDTH).contains(&width), "pmf width must be in 1..={MAX_WIDTH}, got {width}");
+    1usize << width
+}
+
+impl Pmf {
+    /// The uniform distribution — reduces WMED to the conventional MED.
+    #[must_use]
+    pub fn uniform(width: u32) -> Self {
+        let n = domain_size(width);
+        Self { width, probs: vec![1.0 / n as f64; n] }
+    }
+
+    /// Discretized half-normal distribution `D(x) ∝ exp(−x²/2σ²)` over the
+    /// unsigned values `0..2^w` — the paper's D2, concentrated on small
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width or a non-finite or non-positive `sigma`.
+    #[must_use]
+    pub fn half_normal(width: u32, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be finite and positive");
+        let n = domain_size(width);
+        let weights: Vec<f64> = (0..n).map(|x| (-0.5 * (x as f64 / sigma).powi(2)).exp()).collect();
+        Self::normalized(width, weights)
+    }
+
+    /// Discretized normal distribution `D(x) ∝ exp(−(x−μ)²/2σ²)` over the
+    /// unsigned values `0..2^w` — the paper's D1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width, a non-finite `mean`, or a non-finite or
+    /// non-positive `sigma`.
+    #[must_use]
+    pub fn normal(width: u32, mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be finite and positive");
+        let n = domain_size(width);
+        let weights: Vec<f64> =
+            (0..n).map(|x| (-0.5 * ((x as f64 - mean) / sigma).powi(2)).exp()).collect();
+        Self::normalized(width, weights)
+    }
+
+    /// Discretized normal distribution over the **signed** values
+    /// `−2^(w−1)..2^(w−1)`, stored by two's-complement raw encoding — the
+    /// shape of measured NN weight distributions (Fig. 6 top).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width, a non-finite `mean`, or a non-finite or
+    /// non-positive `sigma`.
+    #[must_use]
+    pub fn signed_normal(width: u32, mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be finite and positive");
+        let n = domain_size(width);
+        let half = (n / 2) as i64;
+        let mut weights = vec![0.0; n];
+        for v in -half..half {
+            let raw = (v as u64 & (n as u64 - 1)) as usize;
+            weights[raw] = (-0.5 * ((v as f64 - mean) / sigma).powi(2)).exp();
+        }
+        Self::normalized(width, weights)
+    }
+
+    /// A distribution proportional to the given `2^width` non-negative
+    /// weights (they need not sum to 1 — they are normalized here).
+    ///
+    /// # Errors
+    ///
+    /// * [`PmfError::BadLength`] unless `weights.len() == 2^width`;
+    /// * [`PmfError::InvalidWeight`] on a negative, NaN or infinite weight;
+    /// * [`PmfError::EmptySupport`] when every weight is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width.
+    pub fn from_weights(width: u32, weights: Vec<f64>) -> Result<Self, PmfError> {
+        let n = domain_size(width);
+        if weights.len() != n {
+            return Err(PmfError::BadLength(weights.len()));
+        }
+        for (index, &value) in weights.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(PmfError::InvalidWeight { index, value });
+            }
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return Err(PmfError::EmptySupport);
+        }
+        Ok(Self::normalized(width, weights))
+    }
+
+    /// The empirical distribution of `samples` — the *measured* `D` of the
+    /// paper's application-driven flow (e.g. all quantized weights of a
+    /// neural network).
+    ///
+    /// Each sample may use either interpretation of the `w`-bit operand:
+    /// unsigned `0..2^w` or signed `−2^(w−1)..2^(w−1)`; signed values are
+    /// folded into their two's-complement raw encoding.
+    ///
+    /// # Errors
+    ///
+    /// * [`PmfError::NoSamples`] when `samples` is empty;
+    /// * [`PmfError::SampleOutOfRange`] when a sample fits neither
+    ///   interpretation of the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid width.
+    pub fn from_samples_i64(width: u32, samples: &[i64]) -> Result<Self, PmfError> {
+        let n = domain_size(width);
+        if samples.is_empty() {
+            return Err(PmfError::NoSamples);
+        }
+        let lo = -((n / 2) as i64);
+        let hi = n as i64;
+        let mut counts = vec![0u64; n];
+        for (index, &value) in samples.iter().enumerate() {
+            if value < lo || value >= hi {
+                return Err(PmfError::SampleOutOfRange { index, value });
+            }
+            counts[(value as u64 & (n as u64 - 1)) as usize] += 1;
+        }
+        let total = samples.len() as f64;
+        let probs = counts.into_iter().map(|c| c as f64 / total).collect();
+        Ok(Self { width, probs })
+    }
+
+    fn normalized(width: u32, mut weights: Vec<f64>) -> Self {
+        // Two-stage normalization: dividing by the maximum first keeps the
+        // intermediate sum in [1, 2^w], so it can neither overflow to
+        // infinity (huge weights) nor denormalize — the final
+        // probabilities are exact ratios of the inputs.
+        let max = weights.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            max > 0.0,
+            "distribution mass underflowed to zero (parameters too extreme for width {width})"
+        );
+        for w in &mut weights {
+            *w /= max;
+        }
+        let sum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        Self { width, probs: weights }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of entries, `2^width`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always `false` — a PMF covers at least `2^1` values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of the raw (unsigned) encoding `raw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= len()`.
+    #[must_use]
+    pub fn prob(&self, raw: usize) -> f64 {
+        self.probs[raw]
+    }
+
+    /// Probability of the value `v` under either operand interpretation:
+    /// unsigned `0..2^w` or signed `−2^(w−1)..2^(w−1)` (folded to its
+    /// two's-complement raw encoding). Values outside both ranges have
+    /// probability zero.
+    #[must_use]
+    pub fn prob_of(&self, v: i64) -> f64 {
+        let n = self.probs.len() as i64;
+        if v < -(n / 2) || v >= n {
+            return 0.0;
+        }
+        self.probs[(v as u64 & (n as u64 - 1)) as usize]
+    }
+
+    /// Number of values with strictly positive probability.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.probs.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// Mean of the raw (unsigned) encoding, `Σ_x x·D(x)`.
+    #[must_use]
+    pub fn mean_raw(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(x, &p)| x as f64 * p).sum()
+    }
+
+    /// Shannon entropy in bits: 0 for a point mass, `width` for uniform.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        -self.probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.log2()).sum::<f64>()
+    }
+
+    /// Iterates over the probabilities in raw-encoding order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.probs.iter().copied()
+    }
+
+    /// The convex mixture `(1−t)·self + t·other` — WMED is linear in the
+    /// distribution, so mixing PMFs mixes WMEDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or `t` is not in `[0, 1]`.
+    #[must_use]
+    pub fn mix(&self, other: &Pmf, t: f64) -> Pmf {
+        assert_eq!(self.width, other.width, "mix requires equal widths");
+        assert!(t.is_finite() && (0.0..=1.0).contains(&t), "t must be in [0, 1]");
+        let probs =
+            self.probs.iter().zip(&other.probs).map(|(&a, &b)| (1.0 - t) * a + t * b).collect();
+        Pmf { width: self.width, probs }
+    }
+
+    /// A reusable inverse-CDF sampler drawing raw encodings from `D` —
+    /// used to generate application-distributed stimuli for switching-
+    /// activity (power) estimation.
+    #[must_use]
+    pub fn sampler(&self) -> Sampler {
+        let mut cdf = Vec::with_capacity(self.probs.len());
+        let mut acc = 0.0f64;
+        for &p in &self.probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard the tail against rounding (Σp may be 1 − ε): from the
+        // *last positive-probability entry* onwards the CDF must dominate
+        // every u drawn from [0, 1), so a draw in (1 − ε, 1) can never
+        // land on a trailing zero-probability value.
+        let last_support =
+            self.probs.iter().rposition(|&p| p > 0.0).expect("constructors reject empty support");
+        for c in &mut cdf[last_support..] {
+            *c = 1.0;
+        }
+        Sampler { cdf }
+    }
+}
+
+/// Draws raw operand encodings distributed according to a [`Pmf`].
+///
+/// Built once via [`Pmf::sampler`]; sampling is `O(log n)` per draw
+/// (inverse-CDF with binary search) and deterministic given the RNG.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    cdf: Vec<f64>,
+}
+
+impl Sampler {
+    /// Draws one raw encoding in `0..2^w`.
+    ///
+    /// Values with zero probability are never returned.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.f64();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_normalized(pmf: &Pmf) {
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pmf.iter().all(|p| (0.0..=1.0).contains(&p)));
+        assert_eq!(pmf.len(), 1usize << pmf.width());
+    }
+
+    #[test]
+    fn uniform_is_flat_and_normalized() {
+        for width in 1..=10 {
+            let pmf = Pmf::uniform(width);
+            assert_normalized(&pmf);
+            assert_eq!(pmf.support_size(), pmf.len());
+            let expect = 1.0 / pmf.len() as f64;
+            assert!(pmf.iter().all(|p| (p - expect).abs() < 1e-15));
+            assert!((pmf.mean_raw() - (pmf.len() - 1) as f64 / 2.0).abs() < 1e-9);
+            assert!((pmf.entropy() - width as f64).abs() < 1e-9, "uniform entropy = width");
+        }
+    }
+
+    #[test]
+    fn half_normal_decreases_monotonically() {
+        let pmf = Pmf::half_normal(8, 48.0);
+        assert_normalized(&pmf);
+        for x in 1..pmf.len() {
+            assert!(pmf.prob(x) < pmf.prob(x - 1), "strictly decreasing at {x}");
+        }
+        assert!(pmf.mean_raw() < 127.5, "mass concentrated below the uniform mean");
+    }
+
+    #[test]
+    fn normal_peaks_at_the_mean() {
+        let pmf = Pmf::normal(8, 127.0, 32.0);
+        assert_normalized(&pmf);
+        let peak = (0..256).max_by(|&a, &b| pmf.prob(a).total_cmp(&pmf.prob(b))).unwrap();
+        assert_eq!(peak, 127);
+        assert!((pmf.mean_raw() - 127.0).abs() < 0.5);
+        // Entropy strictly below the uniform maximum.
+        assert!(pmf.entropy() < 8.0);
+    }
+
+    #[test]
+    fn signed_normal_is_symmetric_around_zero() {
+        let pmf = Pmf::signed_normal(8, 0.0, 16.0);
+        assert_normalized(&pmf);
+        for v in 1..=127i64 {
+            assert!((pmf.prob_of(v) - pmf.prob_of(-v)).abs() < 1e-15, "asymmetric at ±{v}");
+        }
+        assert!(pmf.prob_of(0) > pmf.prob_of(1));
+        assert!(pmf.prob_of(0) > pmf.prob_of(-128));
+    }
+
+    #[test]
+    fn prob_of_wraps_negative_values_to_raw_encoding() {
+        let pmf = Pmf::signed_normal(4, 0.0, 3.0);
+        assert!((pmf.prob_of(-1) - pmf.prob(15)).abs() < 1e-15);
+        assert!((pmf.prob_of(-8) - pmf.prob(8)).abs() < 1e-15);
+        // Out of range on both interpretations: zero probability.
+        assert_eq!(pmf.prob_of(16), 0.0);
+        assert_eq!(pmf.prob_of(-9), 0.0);
+        assert_eq!(pmf.prob_of(i64::MIN), 0.0);
+        assert_eq!(pmf.prob_of(i64::MAX), 0.0);
+    }
+
+    #[test]
+    fn from_weights_normalizes_proportionally() {
+        let pmf = Pmf::from_weights(2, vec![1.0, 3.0, 0.0, 4.0]).unwrap();
+        assert_normalized(&pmf);
+        assert!((pmf.prob(0) - 0.125).abs() < 1e-15);
+        assert!((pmf.prob(1) - 0.375).abs() < 1e-15);
+        assert_eq!(pmf.prob(2), 0.0);
+        assert!((pmf.prob(3) - 0.5).abs() < 1e-15);
+        assert_eq!(pmf.support_size(), 3);
+    }
+
+    #[test]
+    fn from_weights_rejects_malformed_input() {
+        assert_eq!(Pmf::from_weights(4, vec![1.0; 7]), Err(PmfError::BadLength(7)));
+        assert_eq!(Pmf::from_weights(4, vec![0.0; 16]), Err(PmfError::EmptySupport));
+        assert!(matches!(
+            Pmf::from_weights(2, vec![1.0, -0.5, 1.0, 1.0]),
+            Err(PmfError::InvalidWeight { index: 1, .. })
+        ));
+        assert!(matches!(
+            Pmf::from_weights(2, vec![1.0, 1.0, f64::NAN, 1.0]),
+            Err(PmfError::InvalidWeight { index: 2, .. })
+        ));
+        assert!(matches!(
+            Pmf::from_weights(2, vec![f64::INFINITY, 1.0, 1.0, 1.0]),
+            Err(PmfError::InvalidWeight { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn from_samples_matches_empirical_frequencies() {
+        let samples = [-2i64, -1, 0, 0, 0, 1, 2, 2];
+        let pmf = Pmf::from_samples_i64(8, &samples).unwrap();
+        assert_normalized(&pmf);
+        assert!((pmf.prob_of(0) - 3.0 / 8.0).abs() < 1e-15);
+        assert!((pmf.prob_of(2) - 2.0 / 8.0).abs() < 1e-15);
+        assert!((pmf.prob_of(-2) - 1.0 / 8.0).abs() < 1e-15);
+        assert_eq!(pmf.prob_of(3), 0.0);
+        assert_eq!(pmf.support_size(), 5);
+    }
+
+    #[test]
+    fn from_samples_rejects_bad_input() {
+        assert_eq!(Pmf::from_samples_i64(8, &[]), Err(PmfError::NoSamples));
+        assert!(matches!(
+            Pmf::from_samples_i64(8, &[0, 1, 256]),
+            Err(PmfError::SampleOutOfRange { index: 2, value: 256 })
+        ));
+        assert!(matches!(
+            Pmf::from_samples_i64(8, &[-129]),
+            Err(PmfError::SampleOutOfRange { index: 0, value: -129 })
+        ));
+        // Both interpretations of the width are accepted.
+        assert!(Pmf::from_samples_i64(8, &[-128, 255]).is_ok());
+    }
+
+    #[test]
+    fn errors_display_and_implement_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>(e: &E) -> String {
+            e.to_string()
+        }
+        for e in [
+            PmfError::BadLength(7),
+            PmfError::InvalidWeight { index: 3, value: f64::NAN },
+            PmfError::EmptySupport,
+            PmfError::NoSamples,
+            PmfError::SampleOutOfRange { index: 0, value: 999 },
+        ] {
+            assert!(!assert_error(&e).is_empty());
+        }
+    }
+
+    #[test]
+    fn huge_weights_normalize_without_overflow() {
+        // A naive Σw would overflow to +∞ and yield an all-zero PMF; the
+        // two-stage normalization must keep the exact proportions.
+        let pmf = Pmf::from_weights(1, vec![f64::MAX, f64::MAX]).unwrap();
+        assert_normalized(&pmf);
+        assert!((pmf.prob(0) - 0.5).abs() < 1e-15);
+        let skewed = Pmf::from_weights(1, vec![f64::MAX / 4.0, f64::MAX / 2.0]).unwrap();
+        assert!((skewed.prob(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed to zero")]
+    fn fully_underflowed_analytic_distribution_panics_loudly() {
+        // Mean far outside the domain with a tiny sigma: every discretized
+        // weight underflows to 0.0. This must be a clear panic, not a
+        // silent NaN distribution.
+        let _ = Pmf::normal(4, 1e6, 0.01);
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        let mut weights = vec![0.0; 16];
+        weights[5] = 2.0;
+        let pmf = Pmf::from_weights(4, weights).unwrap();
+        assert_eq!(pmf.entropy(), 0.0);
+        assert_eq!(pmf.support_size(), 1);
+        assert_eq!(pmf.mean_raw(), 5.0);
+    }
+
+    #[test]
+    fn mix_is_convex_and_preserves_normalization() {
+        let a = Pmf::half_normal(4, 2.0);
+        let b = Pmf::uniform(4);
+        for t in [0.0, 0.25, 0.5, 1.0] {
+            let m = a.mix(&b, t);
+            assert_normalized(&m);
+            for x in 0..16 {
+                let expect = (1.0 - t) * a.prob(x) + t * b.prob(x);
+                assert!((m.prob(x) - expect).abs() < 1e-15);
+            }
+        }
+        assert_eq!(a.mix(&b, 0.0), a);
+        assert_eq!(a.mix(&b, 1.0), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn mix_rejects_width_mismatch() {
+        let _ = Pmf::uniform(4).mix(&Pmf::uniform(5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn zero_width_is_rejected() {
+        let _ = Pmf::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be finite and positive")]
+    fn non_positive_sigma_is_rejected() {
+        let _ = Pmf::half_normal(4, 0.0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_respects_support() {
+        let mut weights = vec![0.0; 16];
+        weights[3] = 1.0;
+        weights[12] = 3.0;
+        let pmf = Pmf::from_weights(4, weights).unwrap();
+        let sampler = pmf.sampler();
+        let mut rng = Xoshiro256::from_seed(7);
+        let mut counts = [0u32; 16];
+        for _ in 0..4000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (x, &c) in counts.iter().enumerate() {
+            if x == 3 || x == 12 {
+                assert!(c > 0, "support value {x} never drawn");
+            } else {
+                assert_eq!(c, 0, "off-support value {x} drawn");
+            }
+        }
+        // Frequencies track probabilities (loose statistical bound).
+        let f12 = f64::from(counts[12]) / 4000.0;
+        assert!((f12 - 0.75).abs() < 0.05, "P(12) ≈ 0.75, got {f12}");
+        // Determinism: same seed, same stream.
+        let mut r1 = Xoshiro256::from_seed(42);
+        let mut r2 = Xoshiro256::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut r1), sampler.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn point_mass_sampler_always_returns_the_point() {
+        let mut weights = vec![0.0; 8];
+        weights[6] = 1.0;
+        let pmf = Pmf::from_weights(3, weights).unwrap();
+        let sampler = pmf.sampler();
+        let mut rng = Xoshiro256::from_seed(1);
+        for _ in 0..200 {
+            assert_eq!(sampler.sample(&mut rng), 6);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests on PMF invariants: every constructor yields a
+//! normalized distribution over the full `2^width` domain, and the
+//! derived quantities (entropy, mixtures, samples) respect their bounds.
+
+use apx_dist::Pmf;
+use apx_rng::Xoshiro256;
+use proptest::prelude::*;
+
+/// Sigma bounded away from zero relative to the domain so the discretized
+/// Gaussian tails never underflow to exact 0.0 (constructors then have
+/// full support, which is what the analytic distributions guarantee
+/// mathematically).
+fn safe_sigma(width: u32, raw: f64) -> f64 {
+    let n = (1u64 << width) as f64;
+    n / 16.0 + raw * n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn constructors_are_normalized_with_full_support(
+        width in 1u32..=8,
+        sigma_raw in 0.0f64..4.0,
+        mean_raw in 0.0f64..1.0,
+    ) {
+        let n = 1usize << width;
+        let sigma = safe_sigma(width, sigma_raw);
+        let mean = mean_raw * n as f64;
+        let signed_mean = (mean_raw - 0.5) * n as f64 / 2.0;
+        for pmf in [
+            Pmf::uniform(width),
+            Pmf::half_normal(width, sigma),
+            Pmf::normal(width, mean, sigma),
+            Pmf::signed_normal(width, signed_mean, sigma),
+        ] {
+            prop_assert_eq!(pmf.width(), width);
+            prop_assert_eq!(pmf.len(), n);
+            prop_assert_eq!(pmf.support_size(), 1usize << pmf.width());
+            let total: f64 = pmf.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+            prop_assert!(pmf.iter().all(|p| p > 0.0 && p <= 1.0));
+            prop_assert!(pmf.entropy() >= 0.0);
+            prop_assert!(pmf.entropy() <= width as f64 + 1e-9, "entropy <= width bits");
+            prop_assert!(pmf.mean_raw() >= 0.0);
+            prop_assert!(pmf.mean_raw() <= (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn from_weights_is_proportional_normalization(
+        weights in proptest::collection::vec(0.0f64..5.0, 16),
+    ) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.0);
+        let pmf = Pmf::from_weights(4, weights.clone()).unwrap();
+        prop_assert_eq!(pmf.len(), 16);
+        let sum: f64 = pmf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for (x, &w) in weights.iter().enumerate() {
+            prop_assert!((pmf.prob(x) - w / total).abs() < 1e-12);
+        }
+        prop_assert_eq!(pmf.support_size(), weights.iter().filter(|&&w| w > 0.0).count());
+    }
+
+    #[test]
+    fn from_samples_matches_counts(
+        samples in proptest::collection::vec(-128i64..256, 1..200),
+    ) {
+        let pmf = Pmf::from_samples_i64(8, &samples).unwrap();
+        let sum: f64 = pmf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // prob_of folds the signed and unsigned interpretations of a raw
+        // encoding together, so compare through the raw index.
+        for raw in 0..256usize {
+            let raw_count =
+                samples.iter().filter(|&&s| (s as u64 & 0xFF) as usize == raw).count();
+            prop_assert!((pmf.prob(raw) - raw_count as f64 / samples.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mix_is_normalized_and_linear(
+        wa in proptest::collection::vec(0.1f64..5.0, 16),
+        wb in proptest::collection::vec(0.1f64..5.0, 16),
+        t in 0.0f64..=1.0,
+    ) {
+        let a = Pmf::from_weights(4, wa).unwrap();
+        let b = Pmf::from_weights(4, wb).unwrap();
+        let m = a.mix(&b, t);
+        let sum: f64 = m.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for x in 0..16 {
+            let expect = (1.0 - t) * a.prob(x) + t * b.prob(x);
+            prop_assert!((m.prob(x) - expect).abs() < 1e-15);
+        }
+        // Mixing cannot push entropy below the minimum of the parts by
+        // concavity; just check the bounds hold.
+        prop_assert!(m.entropy() >= 0.0 && m.entropy() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn sampler_only_emits_support_values(
+        weights in proptest::collection::vec(0.0f64..1.0, 16),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let pmf = Pmf::from_weights(4, weights).unwrap();
+        let sampler = pmf.sampler();
+        let mut rng = Xoshiro256::from_seed(seed);
+        for _ in 0..256 {
+            let x = sampler.sample(&mut rng);
+            prop_assert!(x < 16);
+            prop_assert!(pmf.prob(x) > 0.0, "sampled zero-probability value {x}");
+        }
+    }
+
+    #[test]
+    fn prob_of_agrees_with_raw_indexing(width in 1u32..=8, sigma_raw in 0.0f64..2.0) {
+        let pmf = Pmf::half_normal(width, safe_sigma(width, sigma_raw));
+        let n = 1i64 << width;
+        for raw in 0..n {
+            prop_assert!((pmf.prob_of(raw) - pmf.prob(raw as usize)).abs() < 1e-15);
+        }
+        for v in -(n / 2)..0 {
+            let raw = (v + n) as usize;
+            prop_assert!((pmf.prob_of(v) - pmf.prob(raw)).abs() < 1e-15);
+        }
+        prop_assert_eq!(pmf.prob_of(n), 0.0);
+        prop_assert_eq!(pmf.prob_of(-(n / 2) - 1), 0.0);
+    }
+}

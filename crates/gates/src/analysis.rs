@@ -35,10 +35,8 @@ impl NetlistStats {
             if !active[ni + k] {
                 continue;
             }
-            let idx = GateKind::ALL
-                .iter()
-                .position(|&g| g == node.kind)
-                .expect("every kind is in ALL");
+            let idx =
+                GateKind::ALL.iter().position(|&g| g == node.kind).expect("every kind is in ALL");
             kind_counts[idx] += 1;
             match node.kind.arity() {
                 0 => {}

@@ -135,10 +135,7 @@ mod tests {
             }
             idx += 1;
         }
-        outputs
-            .iter()
-            .map(|o| *values.get(o).expect("output defined"))
-            .collect()
+        outputs.iter().map(|o| *values.get(o).expect("output defined")).collect()
     }
 
     #[test]

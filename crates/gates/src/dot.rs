@@ -33,11 +33,7 @@ pub fn to_dot(netlist: &Netlist, name: &str) -> String {
     for (k, node) in netlist.nodes().iter().enumerate() {
         let sig = ni + k;
         let style = if active[sig] { "solid" } else { "dashed" };
-        let _ = writeln!(
-            s,
-            "  s{sig} [shape=box,style={style},label=\"{}\"];",
-            node.kind
-        );
+        let _ = writeln!(s, "  s{sig} [shape=box,style={style},label=\"{}\"];", node.kind);
         match node.kind.arity() {
             0 => {}
             1 => {

@@ -32,11 +32,9 @@ impl fmt::Display for NetlistError {
                 "node {node} references signal {} which is not strictly earlier",
                 operand.0
             ),
-            NetlistError::InvalidOutput { output, signal } => write!(
-                f,
-                "output {output} references nonexistent signal {}",
-                signal.0
-            ),
+            NetlistError::InvalidOutput { output, signal } => {
+                write!(f, "output {output} references nonexistent signal {}", signal.0)
+            }
             NetlistError::NoOutputs => write!(f, "netlist declares no outputs"),
         }
     }

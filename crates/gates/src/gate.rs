@@ -111,10 +111,7 @@ impl GateKind {
     /// Whether swapping the operands leaves the function unchanged.
     #[must_use]
     pub fn is_symmetric(self) -> bool {
-        !matches!(
-            self,
-            GateKind::AndNotB | GateKind::AndNotA | GateKind::OrNotB | GateKind::OrNotA
-        )
+        !matches!(self, GateKind::AndNotB | GateKind::AndNotA | GateKind::OrNotB | GateKind::OrNotA)
     }
 
     /// Canonical lowercase name (`"nand"`, `"xor"`, …).
@@ -195,11 +192,7 @@ mod tests {
             (GateKind::Const1, !0),
         ];
         for (kind, expect) in cases {
-            assert_eq!(
-                kind.eval_words(a, b) & 0xF,
-                expect & 0xF,
-                "gate {kind} wrong"
-            );
+            assert_eq!(kind.eval_words(a, b) & 0xF, expect & 0xF, "gate {kind} wrong");
         }
     }
 

@@ -173,10 +173,7 @@ impl Netlist {
     /// Number of *live* gates (transitive fan-in of the outputs).
     #[must_use]
     pub fn active_gate_count(&self) -> usize {
-        self.active_mask()[self.num_inputs..]
-            .iter()
-            .filter(|&&a| a)
-            .count()
+        self.active_mask()[self.num_inputs..].iter().filter(|&&a| a).count()
     }
 
     /// Returns an equivalent netlist with all dead nodes removed.
@@ -187,8 +184,8 @@ impl Netlist {
     pub fn compact(&self) -> Netlist {
         let active = self.active_mask();
         let mut remap = vec![u32::MAX; self.num_signals()];
-        for i in 0..self.num_inputs {
-            remap[i] = i as u32;
+        for (i, slot) in remap.iter_mut().enumerate().take(self.num_inputs) {
+            *slot = i as u32;
         }
         let mut nodes = Vec::with_capacity(self.active_gate_count());
         for (k, node) in self.nodes.iter().enumerate() {
@@ -206,19 +203,12 @@ impl Netlist {
                 }
             };
             let arity = node.kind.arity();
-            let new_node = Node {
-                kind: node.kind,
-                a: map(node.a, arity >= 1),
-                b: map(node.b, arity >= 2),
-            };
+            let new_node =
+                Node { kind: node.kind, a: map(node.a, arity >= 1), b: map(node.b, arity >= 2) };
             remap[sig] = (self.num_inputs + nodes.len()) as u32;
             nodes.push(new_node);
         }
-        let outputs = self
-            .outputs
-            .iter()
-            .map(|o| SignalId(remap[o.index()]))
-            .collect();
+        let outputs = self.outputs.iter().map(|o| SignalId(remap[o.index()])).collect();
         Netlist { num_inputs: self.num_inputs, nodes, outputs }
     }
 
@@ -266,11 +256,7 @@ impl Netlist {
     #[must_use]
     pub fn depth(&self) -> u32 {
         let depths = self.depths();
-        self.outputs
-            .iter()
-            .map(|o| depths[o.index()])
-            .max()
-            .unwrap_or(0)
+        self.outputs.iter().map(|o| depths[o.index()]).max().unwrap_or(0)
     }
 }
 
@@ -385,12 +371,7 @@ impl NetlistBuilder {
     }
 
     /// Full adder: returns `(sum, carry)`.
-    pub fn full_adder(
-        &mut self,
-        a: SignalId,
-        b: SignalId,
-        cin: SignalId,
-    ) -> (SignalId, SignalId) {
+    pub fn full_adder(&mut self, a: SignalId, b: SignalId, cin: SignalId) -> (SignalId, SignalId) {
         let axb = self.xor(a, b);
         let sum = self.xor(axb, cin);
         let ab = self.and(a, b);
@@ -417,11 +398,7 @@ impl NetlistBuilder {
     /// Panics if `input_map.len() != netlist.num_inputs()` or if an entry of
     /// `input_map` is not yet a valid signal in the builder.
     pub fn embed(&mut self, netlist: &Netlist, input_map: &[SignalId]) -> Vec<SignalId> {
-        assert_eq!(
-            input_map.len(),
-            netlist.num_inputs(),
-            "embed: input map arity mismatch"
-        );
+        assert_eq!(input_map.len(), netlist.num_inputs(), "embed: input map arity mismatch");
         let current = (self.num_inputs + self.nodes.len()) as u32;
         for sig in input_map {
             assert!(sig.0 < current, "embed: input map references future signal");

@@ -50,10 +50,7 @@ impl BlockSim {
     /// Creates a simulator sized for `netlist`.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
-        BlockSim {
-            values: vec![0; netlist.num_signals()],
-            outputs: vec![0; netlist.num_outputs()],
-        }
+        BlockSim { values: vec![0; netlist.num_signals()], outputs: vec![0; netlist.num_outputs()] }
     }
 
     /// Evaluates one 64-lane block and returns the output words.
@@ -234,10 +231,10 @@ mod tests {
 
     #[test]
     fn patterns_encode_lane_bits() {
-        for bit in 0..6 {
+        for (bit, &pattern) in PATTERNS.iter().enumerate() {
             for lane in 0..64u64 {
                 let expect = (lane >> bit) & 1;
-                let got = (PATTERNS[bit] >> lane) & 1;
+                let got = (pattern >> lane) & 1;
                 assert_eq!(got, expect, "bit {bit} lane {lane}");
             }
         }
@@ -269,22 +266,17 @@ mod tests {
                 b.push(kind, a, bb);
             }
             let total = ni + n_nodes;
-            let outs: Vec<crate::SignalId> = (0..4)
-                .map(|_| crate::SignalId(rng.gen_range(total) as u32))
-                .collect();
+            let outs: Vec<crate::SignalId> =
+                (0..4).map(|_| crate::SignalId(rng.gen_range(total) as u32)).collect();
             b.outputs(&outs);
             let nl = b.finish().unwrap();
             let ex = Exhaustive::new(ni);
             let table = ex.output_table(&nl);
-            for v in 0..ex.num_vectors() {
+            for (v, &table_word) in table.iter().enumerate() {
                 let bits: Vec<bool> = (0..ni).map(|i| (v >> i) & 1 == 1).collect();
                 let outs = nl.eval_bool(&bits);
-                let packed: u64 = outs
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &o)| (o as u64) << k)
-                    .sum();
-                assert_eq!(table[v], packed, "trial {trial}, vector {v}");
+                let packed: u64 = outs.iter().enumerate().map(|(k, &o)| (o as u64) << k).sum();
+                assert_eq!(table_word, packed, "trial {trial}, vector {v}");
             }
         }
     }
@@ -305,9 +297,9 @@ mod tests {
         let words: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
         let mut lanes = vec![0u64; 64];
         unpack_lanes(&words, 64, &mut lanes);
-        for l in 0..64 {
+        for (l, &lane) in lanes.iter().enumerate() {
             for (k, w) in words.iter().enumerate() {
-                assert_eq!((lanes[l] >> k) & 1, (w >> l) & 1);
+                assert_eq!((lane >> k) & 1, (w >> l) & 1);
             }
         }
     }

@@ -50,11 +50,11 @@ proptest! {
     #[test]
     fn exhaustive_table_matches_bool_eval(nl in arb_netlist(4, 16)) {
         let table = Exhaustive::new(4).output_table(&nl);
-        for v in 0..16usize {
+        for (v, &table_word) in table.iter().enumerate() {
             let bits: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
             let outs = nl.eval_bool(&bits);
             let packed: u64 = outs.iter().enumerate().map(|(k, &o)| (o as u64) << k).sum();
-            prop_assert_eq!(table[v], packed);
+            prop_assert_eq!(table_word, packed);
         }
     }
 

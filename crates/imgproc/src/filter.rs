@@ -63,10 +63,7 @@ mod tests {
         let img = synth::test_images(1, 20, 20, 5).pop().unwrap();
         let kernel = Kernel3::gaussian(1.0);
         let exact_table = OpTable::exact_mul(8, false);
-        assert_eq!(
-            convolve3x3(&img, &kernel, &exact_table),
-            convolve3x3_exact(&img, &kernel)
-        );
+        assert_eq!(convolve3x3(&img, &kernel, &exact_table), convolve3x3_exact(&img, &kernel));
     }
 
     #[test]

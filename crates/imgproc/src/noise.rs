@@ -46,11 +46,7 @@ mod tests {
         let noisy = add_gaussian(&img, 10.0, &mut rng);
         let mean = noisy.mean();
         assert!((mean - 128.0).abs() < 1.0, "mean {mean}");
-        let var: f64 = noisy
-            .pixels()
-            .iter()
-            .map(|&p| (p as f64 - mean).powi(2))
-            .sum::<f64>()
+        let var: f64 = noisy.pixels().iter().map(|&p| (p as f64 - mean).powi(2)).sum::<f64>()
             / noisy.pixels().len() as f64;
         assert!((var.sqrt() - 10.0).abs() < 1.0, "std {}", var.sqrt());
     }
@@ -69,11 +65,7 @@ mod tests {
         let mut rng = Xoshiro256::from_seed(4);
         let img = GrayImage::from_fn(100, 100, |_, _| 128);
         let noisy = add_salt_pepper(&img, 0.1, &mut rng);
-        let extreme = noisy
-            .pixels()
-            .iter()
-            .filter(|&&p| p == 0 || p == 255)
-            .count();
+        let extreme = noisy.pixels().iter().filter(|&&p| p == 0 || p == 255).count();
         let rate = extreme as f64 / 10_000.0;
         assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
     }

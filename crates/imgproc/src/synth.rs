@@ -69,13 +69,7 @@ fn checkerboard(w: usize, h: usize, rng: &mut Xoshiro256) -> GrayImage {
     let cell = 2 + rng.gen_range(6);
     let lo = rng.gen_range(64) as u8;
     let hi = 192 + rng.gen_range(64) as u8;
-    GrayImage::from_fn(w, h, |x, y| {
-        if ((x / cell) + (y / cell)) % 2 == 0 {
-            lo
-        } else {
-            hi
-        }
-    })
+    GrayImage::from_fn(w, h, |x, y| if ((x / cell) + (y / cell)) % 2 == 0 { lo } else { hi })
 }
 
 fn circles(w: usize, h: usize, rng: &mut Xoshiro256) -> GrayImage {
@@ -165,8 +159,7 @@ mod tests {
         for (i, img) in test_images(12, 32, 32, 3).iter().enumerate() {
             let mean = img.mean();
             assert!(mean > 1.0 && mean < 254.0, "scene {i} degenerate mean {mean}");
-            let distinct: std::collections::BTreeSet<u8> =
-                img.pixels().iter().copied().collect();
+            let distinct: std::collections::BTreeSet<u8> = img.pixels().iter().copied().collect();
             assert!(distinct.len() >= 2, "scene {i} is constant");
         }
     }

@@ -188,8 +188,7 @@ impl MultEvaluator {
     /// Panics if the netlist does not have `2·width` inputs and outputs.
     #[must_use]
     pub fn wmed(&self, netlist: &Netlist) -> f64 {
-        self.wmed_impl(netlist, f64::INFINITY)
-            .expect("unbounded evaluation always completes")
+        self.wmed_impl(netlist, f64::INFINITY).expect("unbounded evaluation always completes")
     }
 
     /// WMED with early abort: returns `None` as soon as the running
@@ -344,8 +343,7 @@ impl MultEvaluator {
                 let y = self.interpret(y_raw, w);
                 let got = self.interpret(out_raw, 2 * w);
                 // Matrix is indexed (row = x encoding, col = y encoding).
-                data[(x_raw as usize) * n + y_raw as usize] =
-                    (x * y - got).abs() as f64 / range;
+                data[(x_raw as usize) * n + y_raw as usize] = (x * y - got).abs() as f64 / range;
             }
         }
         crate::ErrorMatrix::new(w, data)
@@ -355,22 +353,20 @@ impl MultEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table_stats;
     use apx_arith::{
         array_multiplier, baugh_wooley_broken, baugh_wooley_multiplier, broken_array_multiplier,
         truncated_multiplier, OpTable,
     };
-    use crate::table_stats;
 
     #[test]
     fn evaluator_matches_table_stats_unsigned() {
         let pmf = Pmf::half_normal(4, 3.0);
         let eval = MultEvaluator::new(4, false, &pmf).unwrap();
         let exact = OpTable::exact_mul(4, false);
-        for nl in [
-            truncated_multiplier(4, 3),
-            broken_array_multiplier(4, 3, 2),
-            array_multiplier(4),
-        ] {
+        for nl in
+            [truncated_multiplier(4, 3), broken_array_multiplier(4, 3, 2), array_multiplier(4)]
+        {
             let table = OpTable::from_netlist(&nl, 4, false).unwrap();
             let expect = table_stats(&table, &exact, &pmf);
             let got = eval.stats(&nl);
@@ -391,11 +387,7 @@ mod tests {
             let table = OpTable::from_netlist(&nl, 4, true).unwrap();
             let expect = table_stats(&table, &exact, &pmf);
             let got = eval.wmed(&nl);
-            assert!(
-                (got - expect.wmed).abs() < 1e-12,
-                "got {got} expect {}",
-                expect.wmed
-            );
+            assert!((got - expect.wmed).abs() < 1e-12, "got {got} expect {}", expect.wmed);
         }
     }
 

@@ -104,12 +104,7 @@ impl ErrorMatrix {
     pub fn to_ascii(&self, k: usize) -> String {
         const RAMP: &[u8] = b" .:-=+*#%@";
         let grid = self.downsample(k);
-        let max = grid
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max)
-            .max(f64::MIN_POSITIVE);
+        let max = grid.iter().flatten().copied().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
         let mut s = String::with_capacity(k * (k + 1));
         for row in &grid {
             for &v in row {

@@ -175,12 +175,7 @@ mod tests {
         let high = Pmf::from_weights(4, high_weights).unwrap();
         let s_low = table_stats(&approx, &exact, &low);
         let s_high = table_stats(&approx, &exact, &high);
-        assert!(
-            s_low.wmed < s_high.wmed,
-            "low {} vs high {}",
-            s_low.wmed,
-            s_high.wmed
-        );
+        assert!(s_low.wmed < s_high.wmed, "low {} vs high {}", s_low.wmed, s_high.wmed);
     }
 
     #[test]
@@ -208,13 +203,7 @@ mod tests {
         // Weight both operands toward small values; a multiplier exact on
         // small×small must look near-perfect even if it is broken in the
         // upper rows/columns.
-        let approx = OpTable::from_fn(4, false, |a, b| {
-            if a < 4 && b < 4 {
-                a * b
-            } else {
-                0
-            }
-        });
+        let approx = OpTable::from_fn(4, false, |a, b| if a < 4 && b < 4 { a * b } else { 0 });
         let exact = OpTable::exact_mul(4, false);
         let small = Pmf::from_weights(4, {
             let mut w = vec![0.0; 16];

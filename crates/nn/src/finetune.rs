@@ -100,11 +100,7 @@ mod tests {
         let (train_set, test_set) = data.split(300);
         let mut rng = Xoshiro256::from_seed(9);
         let mut net = Network::mlp(784, 24, 10, &mut rng);
-        train(
-            &mut net,
-            &train_set,
-            &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() },
-        );
+        train(&mut net, &train_set, &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() });
         let (calib, _) = train_set.split(48);
         let qnet = QuantizedNetwork::quantize(&net, &calib);
         let exact = OpTable::exact_mul(8, true);
@@ -131,11 +127,7 @@ mod tests {
         let (train_set, test_set) = data.split(150);
         let mut rng = Xoshiro256::from_seed(10);
         let mut net = Network::mlp(784, 16, 10, &mut rng);
-        train(
-            &mut net,
-            &train_set,
-            &TrainConfig { epochs: 15, lr: 0.03, ..Default::default() },
-        );
+        train(&mut net, &train_set, &TrainConfig { epochs: 15, lr: 0.03, ..Default::default() });
         let (calib, _) = train_set.split(32);
         let exact = OpTable::exact_mul(8, true);
         let before = QuantizedNetwork::quantize(&net, &calib).accuracy_with(&test_set, &exact);

@@ -59,9 +59,7 @@ impl Layer {
     #[must_use]
     pub fn dense(in_dim: usize, out_dim: usize, rng: &mut Xoshiro256) -> Self {
         let std = (2.0 / in_dim as f64).sqrt();
-        let w = (0..in_dim * out_dim)
-            .map(|_| rng.normal(0.0, std) as f32)
-            .collect();
+        let w = (0..in_dim * out_dim).map(|_| rng.normal(0.0, std) as f32).collect();
         Layer::Dense { w, b: vec![0.0; out_dim], in_dim, out_dim }
     }
 
@@ -77,9 +75,7 @@ impl Layer {
     ) -> Self {
         let fan_in = in_c * k * k;
         let std = (2.0 / fan_in as f64).sqrt();
-        let w = (0..out_c * fan_in)
-            .map(|_| rng.normal(0.0, std) as f32)
-            .collect();
+        let w = (0..out_c * fan_in).map(|_| rng.normal(0.0, std) as f32).collect();
         Layer::Conv { w, b: vec![0.0; out_c], in_c, in_h, in_w, out_c, k }
     }
 
@@ -267,11 +263,9 @@ impl Layer {
                 }
                 dx
             }
-            Layer::Relu => x
-                .iter()
-                .zip(dy)
-                .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
-                .collect(),
+            Layer::Relu => {
+                x.iter().zip(dy).map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 }).collect()
+            }
         }
     }
 
@@ -312,11 +306,7 @@ mod tests {
 
         // Loss = dy · forward(x): its gradient wrt x must equal dx.
         let loss = |l: &Layer, xs: &[f32]| -> f64 {
-            l.forward(xs)
-                .iter()
-                .zip(&dy)
-                .map(|(&y, &g)| y as f64 * g as f64)
-                .sum()
+            l.forward(xs).iter().zip(&dy).map(|(&y, &g)| y as f64 * g as f64).sum()
         };
         let eps = 1e-3f32;
         for i in (0..in_len).step_by((in_len / 7).max(1)) {
@@ -379,12 +369,8 @@ mod tests {
 
     #[test]
     fn dense_forward_known_values() {
-        let layer = Layer::Dense {
-            w: vec![1.0, 2.0, 3.0, 4.0],
-            b: vec![0.5, -0.5],
-            in_dim: 2,
-            out_dim: 2,
-        };
+        let layer =
+            Layer::Dense { w: vec![1.0, 2.0, 3.0, 4.0], b: vec![0.5, -0.5], in_dim: 2, out_dim: 2 };
         let y = layer.forward(&[10.0, 20.0]);
         assert_eq!(y, vec![10.0 + 40.0 + 0.5, 30.0 + 80.0 - 0.5]);
     }

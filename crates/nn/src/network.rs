@@ -145,10 +145,8 @@ impl Network {
     /// Classification accuracy on a dataset.
     #[must_use]
     pub fn accuracy(&self, data: &Dataset) -> f64 {
-        let correct = data
-            .iter()
-            .filter(|(img, label)| self.predict(img) == *label as usize)
-            .count();
+        let correct =
+            data.iter().filter(|(img, label)| self.predict(img) == *label as usize).count();
         correct as f64 / data.len().max(1) as f64
     }
 }
@@ -193,11 +191,11 @@ mod tests {
     fn forward_trace_has_all_boundaries() {
         let mut rng = Xoshiro256::from_seed(3);
         let net = Network::mlp(10, 6, 3, &mut rng);
-        let trace = net.forward_trace(&vec![0.5; 10]);
+        let trace = net.forward_trace(&[0.5; 10]);
         assert_eq!(trace.len(), 4);
         assert_eq!(trace[0].len(), 10);
         assert_eq!(trace[3].len(), 3);
-        assert_eq!(trace[3], net.forward(&vec![0.5; 10]));
+        assert_eq!(trace[3], net.forward(&[0.5; 10]));
     }
 
     #[test]

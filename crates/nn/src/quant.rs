@@ -176,9 +176,7 @@ impl QuantizedNetwork {
                         shift: w_frac + in_frac - out_frac,
                     }
                 }
-                Layer::Pool { c, in_h, in_w } => {
-                    QLayer::Pool { c: *c, in_h: *in_h, in_w: *in_w }
-                }
+                Layer::Pool { c, in_h, in_w } => QLayer::Pool { c: *c, in_h: *in_h, in_w: *in_w },
                 Layer::Relu => QLayer::Relu,
             };
             self.layers.push(qlayer);
@@ -262,10 +260,8 @@ impl QuantizedNetwork {
                                         let xrow = (ic * in_h + oy + ky) * in_w + ox;
                                         let wrow = ((oc * in_c + ic) * k + ky) * k;
                                         for kx in 0..*k {
-                                            acc += table.get(
-                                                wq[wrow + kx] as i64,
-                                                act[xrow + kx] as i64,
-                                            );
+                                            acc += table
+                                                .get(wq[wrow + kx] as i64, act[xrow + kx] as i64);
                                         }
                                     }
                                 }
@@ -331,10 +327,7 @@ fn quantize_params(w: &[f32], b: &[f32], in_frac: i32) -> (Vec<i8>, Vec<i64>, i3
     let w_frac = frac_for_max(max_abs);
     let wq = w.iter().map(|&v| quantize8(v, w_frac)).collect();
     let bias_scale = ((w_frac + in_frac) as f64).exp2();
-    let bq = b
-        .iter()
-        .map(|&v| (v as f64 * bias_scale).round() as i64)
-        .collect();
+    let bq = b.iter().map(|&v| (v as f64 * bias_scale).round() as i64).collect();
     (wq, bq, w_frac)
 }
 
@@ -376,24 +369,14 @@ mod tests {
         // y = 0.5*x0 - 0.25*x1 on inputs ~0.5 -> easily representable.
         let net = Network::new(
             2,
-            vec![Layer::Dense {
-                w: vec![0.5, -0.25],
-                b: vec![0.125],
-                in_dim: 2,
-                out_dim: 1,
-            }],
+            vec![Layer::Dense { w: vec![0.5, -0.25], b: vec![0.125], in_dim: 2, out_dim: 1 }],
         );
         let calib = Dataset::new(2, 1, vec![vec![0.5, 0.5]], vec![0]);
         let qnet = QuantizedNetwork::quantize(&net, &calib);
         let exact = OpTable::exact_mul(8, true);
         let y = qnet.forward_with(&[0.5, 0.5], &exact);
         let expect = net.forward(&[0.5, 0.5]);
-        assert!(
-            (y[0] - expect[0]).abs() < 0.02,
-            "quantized {} vs float {}",
-            y[0],
-            expect[0]
-        );
+        assert!((y[0] - expect[0]).abs() < 0.02, "quantized {} vs float {}", y[0], expect[0]);
     }
 
     fn trained_mlp() -> (Network, Dataset, Dataset) {
@@ -401,11 +384,7 @@ mod tests {
         let (train_set, test_set) = data.split(400);
         let mut rng = Xoshiro256::from_seed(5);
         let mut net = Network::mlp(784, 32, 10, &mut rng);
-        train(
-            &mut net,
-            &train_set,
-            &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() },
-        );
+        train(&mut net, &train_set, &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() });
         (net, train_set, test_set)
     }
 
@@ -419,10 +398,7 @@ mod tests {
         let q_acc = qnet.accuracy_with(&test_set, &exact);
         // Paper: 8-bit quantization costs ~0.01-0.1 %. Allow a few % here
         // (our nets are much smaller).
-        assert!(
-            q_acc >= float_acc - 0.05,
-            "float {float_acc} vs quantized {q_acc}"
-        );
+        assert!(q_acc >= float_acc - 0.05, "float {float_acc} vs quantized {q_acc}");
         assert!(q_acc > 0.6, "quantized accuracy {q_acc}");
     }
 
@@ -448,10 +424,10 @@ mod tests {
         let (calib, _) = train_set.split(64);
         let qnet = QuantizedNetwork::quantize(&net, &calib);
         let exact = OpTable::exact_mul(8, true);
-        let mild = OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 4), 8, true)
-            .unwrap();
-        let harsh = OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 12), 8, true)
-            .unwrap();
+        let mild =
+            OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 4), 8, true).unwrap();
+        let harsh =
+            OpTable::from_netlist(&apx_arith::baugh_wooley_broken(8, 8, 12), 8, true).unwrap();
         let a_exact = qnet.accuracy_with(&test_set, &exact);
         let a_mild = qnet.accuracy_with(&test_set, &mild);
         let a_harsh = qnet.accuracy_with(&test_set, &harsh);

@@ -127,20 +127,12 @@ pub(crate) fn sgd_step(
     }
     for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
         let Some((w, b)) = layer.params_mut() else { continue };
-        for ((wi, gi), vi) in w
-            .iter_mut()
-            .zip(&grads.w[idx])
-            .zip(velocity.w[idx].iter_mut())
-        {
+        for ((wi, gi), vi) in w.iter_mut().zip(&grads.w[idx]).zip(velocity.w[idx].iter_mut()) {
             let g = gi * scale + cfg.weight_decay * *wi;
             *vi = cfg.momentum * *vi - cfg.lr * g;
             *wi += *vi;
         }
-        for ((bi, gi), vi) in b
-            .iter_mut()
-            .zip(&grads.b[idx])
-            .zip(velocity.b[idx].iter_mut())
-        {
+        for ((bi, gi), vi) in b.iter_mut().zip(&grads.b[idx]).zip(velocity.b[idx].iter_mut()) {
             *vi = cfg.momentum * *vi - cfg.lr * (gi * scale);
             *bi += *vi;
         }
@@ -196,16 +188,10 @@ mod tests {
         let mut rng = Xoshiro256::from_seed(1);
         let mut net = Network::mlp(784, 32, 10, &mut rng);
         let before = net.accuracy(&data);
-        let losses = train(
-            &mut net,
-            &data,
-            &TrainConfig { epochs: 30, lr: 0.03, ..Default::default() },
-        );
+        let losses =
+            train(&mut net, &data, &TrainConfig { epochs: 30, lr: 0.03, ..Default::default() });
         println!("losses: {losses:?}");
-        assert!(
-            losses.last().unwrap() < losses.first().unwrap(),
-            "loss should drop: {losses:?}"
-        );
+        assert!(losses.last().unwrap() < losses.first().unwrap(), "loss should drop: {losses:?}");
         let after = net.accuracy(&data);
         assert!(after > before + 0.3, "accuracy {before} -> {after}");
         assert!(after > 0.7, "final train accuracy {after}");
@@ -229,11 +215,7 @@ mod tests {
         let test_data = mnist_like(200, 51);
         let mut rng = Xoshiro256::from_seed(2);
         let mut net = Network::mlp(784, 48, 10, &mut rng);
-        train(
-            &mut net,
-            &train_data,
-            &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() },
-        );
+        train(&mut net, &train_data, &TrainConfig { epochs: 20, lr: 0.03, ..Default::default() });
         let acc = net.accuracy(&test_data);
         assert!(acc > 0.75, "test accuracy {acc}");
     }

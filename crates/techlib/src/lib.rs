@@ -60,10 +60,7 @@ pub struct TechLibrary {
 }
 
 fn kind_index(kind: GateKind) -> usize {
-    GateKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("every kind is in ALL")
+    GateKind::ALL.iter().position(|&k| k == kind).expect("every kind is in ALL")
 }
 
 impl TechLibrary {
@@ -73,12 +70,9 @@ impl TechLibrary {
     #[must_use]
     pub fn nangate45() -> Self {
         use GateKind::*;
-        let mut cells = [CellParams {
-            area_um2: 0.0,
-            delay_ns: 0.0,
-            leakage_nw: 0.0,
-            switch_energy_fj: 0.0,
-        }; NUM_KINDS];
+        let mut cells =
+            [CellParams { area_um2: 0.0, delay_ns: 0.0, leakage_nw: 0.0, switch_energy_fj: 0.0 };
+                NUM_KINDS];
         let mut set = |kind: GateKind, area, delay, leak, energy| {
             cells[kind_index(kind)] = CellParams {
                 area_um2: area,
@@ -108,19 +102,12 @@ impl TechLibrary {
     /// (constants cost 0). Useful for structure-only comparisons and tests.
     #[must_use]
     pub fn unit() -> Self {
-        let mut cells = [CellParams {
-            area_um2: 1.0,
-            delay_ns: 1.0,
-            leakage_nw: 1.0,
-            switch_energy_fj: 1.0,
-        }; NUM_KINDS];
+        let mut cells =
+            [CellParams { area_um2: 1.0, delay_ns: 1.0, leakage_nw: 1.0, switch_energy_fj: 1.0 };
+                NUM_KINDS];
         for kind in [GateKind::Const0, GateKind::Const1] {
-            cells[kind_index(kind)] = CellParams {
-                area_um2: 0.0,
-                delay_ns: 0.0,
-                leakage_nw: 0.0,
-                switch_energy_fj: 0.0,
-            };
+            cells[kind_index(kind)] =
+                CellParams { area_um2: 0.0, delay_ns: 0.0, leakage_nw: 0.0, switch_energy_fj: 0.0 };
         }
         TechLibrary { name: "unit".to_owned(), cells }
     }
@@ -178,11 +165,7 @@ pub fn delay_of(netlist: &Netlist, lib: &TechLibrary) -> f64 {
         };
         arrival[ni + k] = t_in + lib.cell(node.kind).delay_ns;
     }
-    netlist
-        .outputs()
-        .iter()
-        .map(|o| arrival[o.index()])
-        .fold(0.0, f64::max)
+    netlist.outputs().iter().map(|o| arrival[o.index()]).fold(0.0, f64::max)
 }
 
 /// Leakage power of the active gates, in nW.
@@ -368,20 +351,9 @@ mod tests {
         let lib = TechLibrary::nangate45();
         let nl = array_multiplier(8);
         let mut rng = Xoshiro256::from_seed(3);
-        let est = estimate_under_pmf(
-            &nl,
-            &lib,
-            &Pmf::uniform(8),
-            DEFAULT_CLOCK_MHZ,
-            64,
-            &mut rng,
-        );
+        let est = estimate_under_pmf(&nl, &lib, &Pmf::uniform(8), DEFAULT_CLOCK_MHZ, 64, &mut rng);
         // An exact 8-bit multiplier at 45 nm / 1 GHz: tens to hundreds µW.
-        assert!(
-            est.power_uw() > 20.0 && est.power_uw() < 2000.0,
-            "power {} µW",
-            est.power_uw()
-        );
+        assert!(est.power_uw() > 20.0 && est.power_uw() < 2000.0, "power {} µW", est.power_uw());
         // Delay of a ripple array: on the order of a nanosecond.
         assert!(est.delay_ns > 0.3 && est.delay_ns < 5.0, "delay {}", est.delay_ns);
         assert!(est.pdp_fj() > 0.0);
@@ -413,8 +385,7 @@ mod tests {
         let frozen = Pmf::from_weights(6, weights).unwrap();
         let mut rng1 = Xoshiro256::from_seed(9);
         let mut rng2 = Xoshiro256::from_seed(9);
-        let est_frozen =
-            estimate_under_pmf(&nl, &lib, &frozen, DEFAULT_CLOCK_MHZ, 64, &mut rng1);
+        let est_frozen = estimate_under_pmf(&nl, &lib, &frozen, DEFAULT_CLOCK_MHZ, 64, &mut rng1);
         let est_uniform =
             estimate_under_pmf(&nl, &lib, &Pmf::uniform(6), DEFAULT_CLOCK_MHZ, 64, &mut rng2);
         assert!(est_frozen.dynamic_uw < est_uniform.dynamic_uw);

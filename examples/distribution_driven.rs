@@ -48,12 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = TextTable::new(vec!["evolved for", "WMED_D1", "WMED_D2", "WMED_Du"]);
     for (name, m) in &evolved {
         let wmeds = cross_wmed(&m.netlist, width, false, &pmfs)?;
-        table.row(vec![
-            name.clone(),
-            percent(wmeds[0]),
-            percent(wmeds[1]),
-            percent(wmeds[2]),
-        ]);
+        table.row(vec![name.clone(), percent(wmeds[0]), percent(wmeds[1]), percent(wmeds[2])]);
     }
     println!("\nCross-evaluation (each circuit under each metric):");
     println!("{}", table.to_text());

@@ -59,13 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("bw_bam h8 v8".to_owned(), distapprox::arith::baugh_wooley_broken(8, 8, 8)),
     ];
 
-    let mut table = TextTable::new(vec![
-        "multiplier",
-        "acc initial",
-        "acc finetuned",
-        "MAC power",
-        "MAC PDP",
-    ]);
+    let mut table =
+        TextTable::new(vec!["multiplier", "acc initial", "acc finetuned", "MAC power", "MAC PDP"]);
     for (name, netlist) in &candidates {
         let tbl = OpTable::from_netlist(netlist, 8, true)?;
         let acc = evaluate_multiplier(&case, &tbl, 2);

@@ -78,14 +78,13 @@ pub use apx_core as core;
 pub mod prelude {
     pub use apx_approxlib::{Family, MultiplierLibrary};
     pub use apx_arith::{
-        array_multiplier, baugh_wooley_multiplier, broken_array_multiplier,
-        truncated_multiplier, OpTable,
+        array_multiplier, baugh_wooley_multiplier, broken_array_multiplier, truncated_multiplier,
+        OpTable,
     };
     pub use apx_cgp::{Chromosome, EvolutionConfig, FunctionSet};
     pub use apx_core::{
         cross_wmed, default_thresholds, error_heatmap, evolve_multipliers, mac_metrics,
-        pareto_indices, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig,
-        FlowResult,
+        pareto_indices, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig, FlowResult,
     };
     pub use apx_dist::Pmf;
     pub use apx_gates::{Netlist, NetlistBuilder};

@@ -83,10 +83,8 @@ fn pareto_front_of_library_multipliers_is_sane() {
     let front = pareto_indices(&points);
     assert!(!front.is_empty());
     // The exact multiplier (error 0) is always on the front.
-    let exact_idx = lib
-        .iter()
-        .position(|e| e.name == "exact_array")
-        .expect("library has the exact entry");
+    let exact_idx =
+        lib.iter().position(|e| e.name == "exact_array").expect("library has the exact entry");
     assert!(front.contains(&exact_idx));
     // The front is strictly decreasing in area along increasing error.
     for pair in front.windows(2) {

@@ -26,10 +26,7 @@ fn structurally_broken_netlists_are_rejected() {
 
 #[test]
 fn degenerate_distributions_are_rejected() {
-    assert!(matches!(
-        Pmf::from_weights(4, vec![0.0; 16]),
-        Err(PmfError::EmptySupport)
-    ));
+    assert!(matches!(Pmf::from_weights(4, vec![0.0; 16]), Err(PmfError::EmptySupport)));
     assert!(matches!(
         Pmf::from_weights(4, vec![f64::NAN; 16]),
         Err(PmfError::InvalidWeight { .. })
@@ -43,15 +40,18 @@ fn malformed_chromosome_text_is_rejected_not_panicking() {
     for text in [
         "",
         "garbage",
-        "cgp 2 1",                                  // short header
-        "cgp 2 1 1\nfuncs and",                     // missing genes
-        "cgp 2 1 1\nfuncs and\ngenes 0 1 0",        // too few genes
-        "cgp 2 1 1\nfuncs and\ngenes 9 9 9 9",      // out-of-bound genes
-        "cgp 2 1 1\nfuncs waffle\ngenes 0 1 0 2",   // unknown gate
-        "cgp 0 0 0\nfuncs and\ngenes",              // zero dimensions
+        "cgp 2 1",                                // short header
+        "cgp 2 1 1\nfuncs and",                   // missing genes
+        "cgp 2 1 1\nfuncs and\ngenes 0 1 0",      // too few genes
+        "cgp 2 1 1\nfuncs and\ngenes 9 9 9 9",    // out-of-bound genes
+        "cgp 2 1 1\nfuncs waffle\ngenes 0 1 0 2", // unknown gate
+        "cgp 0 0 0\nfuncs and\ngenes",            // zero dimensions
     ] {
         assert!(
-            matches!(Chromosome::from_text(text), Err(CgpError::Parse(_) | CgpError::EmptyFunctionSet)),
+            matches!(
+                Chromosome::from_text(text),
+                Err(CgpError::Parse(_) | CgpError::EmptyFunctionSet)
+            ),
             "accepted malformed text: {text:?}"
         );
     }
@@ -84,14 +84,8 @@ fn evaluator_rejects_mismatched_widths_cleanly() {
 fn table_construction_errors_are_reported() {
     use distapprox::arith::{OpTable, TableError};
     let nl = array_multiplier(4);
-    assert!(matches!(
-        OpTable::from_netlist(&nl, 6, false),
-        Err(TableError::InputArity { .. })
-    ));
-    assert!(matches!(
-        OpTable::from_netlist(&nl, 0, false),
-        Err(TableError::BadWidth(0))
-    ));
+    assert!(matches!(OpTable::from_netlist(&nl, 6, false), Err(TableError::InputArity { .. })));
+    assert!(matches!(OpTable::from_netlist(&nl, 0, false), Err(TableError::BadWidth(0))));
 }
 
 #[test]

@@ -43,13 +43,8 @@ fn coefficient_aware_multiplier_beats_generic_one_in_the_filter() {
     let generic = OpTable::from_fn(8, true, |x, y| (x * y) & !0x3F);
 
     // Make them comparable: unsigned tables for the filter path.
-    let tailored_u = OpTable::from_fn(8, false, |x, y| {
-        if x <= max_coeff {
-            x * y
-        } else {
-            (x * y) & !0xFFF
-        }
-    });
+    let tailored_u =
+        OpTable::from_fn(8, false, |x, y| if x <= max_coeff { x * y } else { (x * y) & !0xFFF });
     let generic_u = OpTable::from_fn(8, false, |x, y| (x * y) & !0x3F);
     let psnr_tailored = average_filter_psnr(&images, &kernel, &tailored_u, 90.0);
     let psnr_generic = average_filter_psnr(&images, &kernel, &generic_u, 90.0);

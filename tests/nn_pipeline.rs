@@ -53,10 +53,10 @@ fn weight_distribution_drives_a_working_wmed_search() {
 #[test]
 fn accuracy_monotone_in_wmed_level_and_finetuning_recovers() {
     let case = tiny_case();
-    let mild = OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 5), 8, true)
-        .unwrap();
-    let harsh = OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 8), 8, true)
-        .unwrap();
+    let mild =
+        OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 5), 8, true).unwrap();
+    let harsh =
+        OpTable::from_netlist(&distapprox::arith::baugh_wooley_broken(8, 8, 8), 8, true).unwrap();
     let acc_mild = evaluate_multiplier(&case, &mild, 0);
     let acc_harsh = evaluate_multiplier(&case, &harsh, 2);
     assert!(
@@ -80,21 +80,10 @@ fn mac_power_savings_follow_multiplier_savings() {
     let exact = baugh_wooley_multiplier(8);
     let approx = distapprox::arith::baugh_wooley_broken(8, 7, 8);
     let acc_width = distapprox::arith::mac::accumulator_width(8, 784);
-    let mac = distapprox::core::mac_metrics(
-        &approx,
-        &exact,
-        8,
-        acc_width,
-        true,
-        &case.weight_pmf,
-        12,
-        9,
-    );
+    let mac =
+        distapprox::core::mac_metrics(&approx, &exact, 8, acc_width, true, &case.weight_pmf, 12, 9);
     assert!(mac.rel_area < 0.0, "area saving expected, got {}", mac.rel_area);
-    assert!(
-        mac.estimate.pdp_fj() < mac.reference.pdp_fj(),
-        "PDP saving expected"
-    );
+    assert!(mac.estimate.pdp_fj() < mac.reference.pdp_fj(), "PDP saving expected");
 }
 
 #[test]
