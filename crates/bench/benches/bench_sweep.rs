@@ -1,0 +1,44 @@
+//! The sweep driver itself: pool scheduling + shared-evaluator overhead
+//! on a small grid, single- vs multi-threaded. (`bench_sweep` the *bin*
+//! measures the full Fig. 3 grid and records `results/BENCH_sweep.json`.)
+
+use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepDist};
+use apx_dist::Pmf;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_grid(threads: usize) -> SweepConfig {
+    SweepConfig {
+        distributions: vec![
+            SweepDist::new("Dh", Pmf::half_normal(4, 3.0)),
+            SweepDist::new("Du", Pmf::uniform(4)),
+        ],
+        flow: FlowConfig {
+            width: 4,
+            thresholds: vec![0.005, 0.02],
+            iterations: 60,
+            cols_slack: 20,
+            activity_blocks: 8,
+            threads,
+            seed: 7,
+            ..FlowConfig::default()
+        },
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("grid_2x2_width4_threads1", |b| {
+        let cfg = small_grid(1);
+        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()))
+    });
+    group.bench_function("grid_2x2_width4_threads4", |b| {
+        let cfg = small_grid(4);
+        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

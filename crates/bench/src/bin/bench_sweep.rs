@@ -1,0 +1,89 @@
+//! Sweep-layer throughput benchmark: the Fig. 3 grid (3 distributions ×
+//! 14 WMED targets × `APX_RUNS`) through [`apx_core::run_sweep`], once on
+//! the full worker pool and once on a single thread.
+//!
+//! Prints both runs, checks they are bit-for-bit identical (the pool must
+//! not change results, only wall time), and records the numbers in
+//! `results/BENCH_sweep.json` so the sweep layer's performance trajectory
+//! is tracked from PR to PR.
+//!
+//! Scale knobs: `APX_ITERS` (default 200), `APX_RUNS` (default 1),
+//! `APX_THREADS` (default: available parallelism).
+
+use apx_bench::{env_u64, env_usize, results_dir, sweep_distributions};
+use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
+
+fn stats_json(s: &SweepStats) -> String {
+    format!(
+        "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
+         \"evaluations_per_second\": {:.1}}}",
+        s.threads, s.wall_seconds, s.total_evaluations, s.evaluations_per_second
+    )
+}
+
+fn print_stats(label: &str, s: &SweepStats) {
+    println!(
+        "{label:<14} threads = {:<3} wall = {:>8.3} s   {:>10.0} evaluations/s",
+        s.threads, s.wall_seconds, s.evaluations_per_second
+    );
+}
+
+fn assert_identical(a: &SweepResult, b: &SweepResult) {
+    assert_eq!(a.entries.len(), b.entries.len());
+    for (x, y) in a.entries.iter().zip(&b.entries) {
+        assert_eq!(
+            x.multiplier.chromosome, y.multiplier.chromosome,
+            "{} differs across thread counts",
+            x.multiplier.name
+        );
+    }
+}
+
+fn main() {
+    let iters = env_u64("APX_ITERS", 200);
+    let n_runs = env_usize("APX_RUNS", 1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let multi = env_usize("APX_THREADS", cores);
+    println!("=== bench_sweep: Fig. 3 grid, {iters} iterations/run, {n_runs} run(s)/level ===\n");
+
+    let mut cfg = SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
+            width: 8,
+            signed: false,
+            iterations: iters,
+            runs_per_threshold: n_runs,
+            seed: 0xBE7C,
+            threads: multi,
+            ..FlowConfig::default()
+        },
+    };
+    let multi_result = run_sweep(&cfg).expect("sweep");
+    print_stats("multi-thread", &multi_result.stats);
+    cfg.flow.threads = 1;
+    let single_result = run_sweep(&cfg).expect("sweep");
+    print_stats("single-thread", &single_result.stats);
+    assert_identical(&multi_result, &single_result);
+
+    let speedup = single_result.stats.wall_seconds / multi_result.stats.wall_seconds.max(1e-9);
+    println!("\nspeedup over 1 thread: {speedup:.2}x on {cores} core(s); results bit-identical");
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {}, \"thresholds\": \
+         {}, \"runs_per_threshold\": {}, \"tasks\": {}}},\n  \"iterations\": {},\n  \
+         \"cpu_cores\": {},\n  \"multi_thread\": {},\n  \"single_thread\": {},\n  \"speedup\": \
+         {:.4}\n}}\n",
+        cfg.distributions.len(),
+        cfg.flow.thresholds.len(),
+        n_runs,
+        multi_result.stats.tasks,
+        iters,
+        cores,
+        stats_json(&multi_result.stats),
+        stats_json(&single_result.stats),
+        speedup
+    );
+    let path = results_dir().join("BENCH_sweep.json");
+    std::fs::write(&path, json).expect("write BENCH_sweep.json");
+    println!("JSON written to {}", path.display());
+}

@@ -1,72 +1,80 @@
 //! Fig. 3: power vs WMED Pareto fronts.
 //!
-//! Evolves 8-bit multipliers under D1, D2 and Du across the paper's 14
-//! WMED targets, cross-evaluates every circuit under all three metrics,
-//! adds the truncated and broken-array baselines, and prints one series
-//! table per metric panel. CSV mirror: `results/fig3_pareto.csv`.
+//! Runs the full (distribution × threshold × run) grid — D1, D2 and Du
+//! across the paper's 14 WMED targets — through one [`apx_core::run_sweep`]
+//! worker pool, cross-evaluates every circuit under all three metrics
+//! (reusing the sweep's shared evaluators), adds the truncated and
+//! broken-array baselines, and prints one series table per metric panel.
+//! CSV mirror: `results/fig3_pareto.csv`.
 //!
 //! Scale knobs: `APX_ITERS` (default 2000; paper ≈ 10^6), `APX_RUNS`.
 
-use apx_bench::{d1, d2, du, iterations, results_dir, runs};
+use apx_bench::{iterations, results_dir, runs, sweep_distributions};
 use apx_core::report::TextTable;
-use apx_core::{evolve_multipliers, pareto_indices, FlowConfig};
-use apx_metrics::MultEvaluator;
+use apx_core::{pareto_indices, run_sweep, FlowConfig, SweepConfig};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
 
 struct Point {
     series: String,
     name: String,
-    wmed: [f64; 3], // under D1, D2, Du
+    wmed: Vec<f64>, // one entry per sweep distribution, in panel order
     power_mw: f64,
 }
 
 fn main() {
-    let dists = [("D1", d1()), ("D2", d2()), ("Du", du())];
     let iters = iterations();
     let n_runs = runs(1);
     println!("=== Fig. 3: Pareto fronts (iterations/run = {iters}, runs/level = {n_runs}) ===\n");
 
-    let evaluators: Vec<MultEvaluator> =
-        dists.iter().map(|(_, p)| MultEvaluator::new(8, false, p).expect("evaluator")).collect();
-    let tech = TechLibrary::nangate45();
-    let mut points: Vec<Point> = Vec::new();
-
-    // Proposed: evolve under each distribution.
-    for (name, pmf) in &dists {
-        let cfg = FlowConfig {
+    // Proposed: evolve under each distribution — one pool, one shared
+    // evaluator per distribution, for the whole 3 × 14 × runs grid.
+    let sweep_cfg = SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
             width: 8,
             signed: false,
             iterations: iters,
             runs_per_threshold: n_runs,
             seed: 0xF163,
             ..FlowConfig::default()
-        };
-        let result = evolve_multipliers(pmf, &cfg).expect("flow");
-        for m in result.best_per_threshold() {
-            let wmed = [
-                evaluators[0].wmed(&m.netlist),
-                evaluators[1].wmed(&m.netlist),
-                evaluators[2].wmed(&m.netlist),
-            ];
+        },
+    };
+    let result = run_sweep(&sweep_cfg).expect("sweep");
+    println!(
+        "swept {} tasks on {} threads in {:.2} s ({:.0} evaluations/s)",
+        result.stats.tasks,
+        result.stats.threads,
+        result.stats.wall_seconds,
+        result.stats.evaluations_per_second
+    );
+    let dists = &sweep_cfg.distributions;
+    let evaluators = &result.evaluators;
+    let tech = TechLibrary::nangate45();
+    let mut points: Vec<Point> = Vec::new();
+
+    for (di, dist) in dists.iter().enumerate() {
+        for m in result.best_per_threshold(di) {
+            let wmed: Vec<f64> = evaluators.iter().map(|e| e.wmed(&m.netlist)).collect();
             points.push(Point {
-                series: format!("proposed ({name})"),
+                series: format!("proposed ({})", dist.name),
                 name: m.name.clone(),
                 wmed,
                 power_mw: m.estimate.power_mw(),
             });
         }
-        println!("evolved {} multipliers for {name}", result.multipliers.len());
+        println!("evolved {} multipliers for {}", result.entries_for(di).count(), dist.name);
     }
 
     // Baselines: truncated and broken-array multipliers.
     let mut rng = Xoshiro256::from_seed(0xBA5E);
+    let uniform =
+        &dists.iter().find(|d| d.name == "Du").expect("sweep includes the uniform reference").pmf;
     let mut add_baseline = |series: &str, name: String, netlist: &apx_gates::Netlist| {
-        let wmed =
-            [evaluators[0].wmed(netlist), evaluators[1].wmed(netlist), evaluators[2].wmed(netlist)];
+        let wmed: Vec<f64> = evaluators.iter().map(|e| e.wmed(netlist)).collect();
         // Baseline power is reported under the uniform distribution, as in
         // the paper's library comparisons.
-        let est = estimate_under_pmf(netlist, &tech, &du(), DEFAULT_CLOCK_MHZ, 32, &mut rng);
+        let est = estimate_under_pmf(netlist, &tech, uniform, DEFAULT_CLOCK_MHZ, 32, &mut rng);
         points.push(Point { series: series.to_owned(), name, wmed, power_mw: est.power_mw() });
     };
     for k in 1..=12u32 {
@@ -84,7 +92,8 @@ fn main() {
 
     // One panel per metric.
     let mut csv = TextTable::new(vec!["panel", "series", "name", "wmed_pct", "power_mw"]);
-    for (panel, (dist_name, _)) in dists.iter().enumerate() {
+    for (panel, dist) in dists.iter().enumerate() {
+        let dist_name = &dist.name;
         println!("\n--- panel WMED_{dist_name} (power [mW] vs error) ---");
         let mut table = TextTable::new(vec!["series", "name", "WMED %", "power mW", "pareto"]);
         let panel_points: Vec<(f64, f64)> =

@@ -2,12 +2,13 @@
 //!
 //! Evolves one 8-bit multiplier per distribution at the same WMED budget
 //! (so they are comparable, like the paper's "similar power and WMED"
-//! selection), prints a 16×16 ASCII heat map of `|x·y − M̃(x,y)|` and the
+//! selection) — all three through one [`apx_core::run_sweep`] pool —
+//! prints a 16×16 ASCII heat map of `|x·y − M̃(x,y)|` and the
 //! per-operand-band mean errors. CSV mirror: `results/fig4_heatmaps.csv`.
 
-use apx_bench::{d1, d2, du, iterations, results_dir};
+use apx_bench::{iterations, results_dir, sweep_distributions};
 use apx_core::report::TextTable;
-use apx_core::{error_heatmap, evolve_multipliers, FlowConfig};
+use apx_core::{error_heatmap, run_sweep, FlowConfig, SweepConfig};
 
 fn main() {
     let budget = 2e-3; // 0.2 % — a mid-range point of Fig. 3
@@ -16,18 +17,21 @@ fn main() {
         "=== Fig. 4: error heat maps (WMED budget {:.2} %, {iters} iterations) ===\n",
         budget * 100.0
     );
-    let dists = [("D1", d1()), ("D2", d2()), ("Du", du())];
-    let mut csv = TextTable::new(vec!["multiplier", "x_band", "mean_err_pct"]);
-    for (name, pmf) in &dists {
-        let cfg = FlowConfig {
+    let sweep_cfg = SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
             width: 8,
             thresholds: vec![budget],
             iterations: iters,
             seed: 0xF164,
             ..FlowConfig::default()
-        };
-        let result = evolve_multipliers(pmf, &cfg).expect("flow");
-        let m = &result.multipliers[0];
+        },
+    };
+    let result = run_sweep(&sweep_cfg).expect("sweep");
+    let mut csv = TextTable::new(vec!["multiplier", "x_band", "mean_err_pct"]);
+    for (di, dist) in sweep_cfg.distributions.iter().enumerate() {
+        let name = &dist.name;
+        let m = &result.entries_for(di).next().expect("one entry per distribution").multiplier;
         let heat = error_heatmap(&m.netlist, 8, false).expect("heatmap");
         println!(
             "Multiplier {name} (WMED_{name} = {:.4} %, power {:.4} mW, {} gates)",

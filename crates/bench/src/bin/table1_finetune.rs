@@ -11,7 +11,7 @@ use apx_arith::{baugh_wooley_multiplier, OpTable};
 use apx_bench::{finetune_iters, iterations, lenet_case, mlp_case, results_dir};
 use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
 use apx_core::report::{signed_percent, TextTable};
-use apx_core::{evolve_multipliers, mac_metrics, table1_thresholds, FlowConfig};
+use apx_core::{mac_metrics, run_sweep, table1_thresholds, FlowConfig, SweepConfig, SweepDist};
 
 fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
     let levels = table1_thresholds();
@@ -20,15 +20,20 @@ fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
     println!(
         "--- {label} (CGP {iters} iters/level, fine-tuning {ft} passes; paper: 10^6 / 10) ---"
     );
-    let cfg = FlowConfig {
-        width: 8,
-        signed: true,
-        thresholds: levels.clone(),
-        iterations: iters,
-        seed: 0x7AB1,
-        ..FlowConfig::default()
+    // A single-distribution sweep: the measured weight PMF still gets its
+    // evaluator built once and shared across all ten threshold levels.
+    let sweep_cfg = SweepConfig {
+        distributions: vec![SweepDist::new(label, case.weight_pmf.clone())],
+        flow: FlowConfig {
+            width: 8,
+            signed: true,
+            thresholds: levels.clone(),
+            iterations: iters,
+            seed: 0x7AB1,
+            ..FlowConfig::default()
+        },
     };
-    let evolved = evolve_multipliers(&case.weight_pmf, &cfg).expect("flow");
+    let evolved = run_sweep(&sweep_cfg).expect("sweep");
     let exact_mult = baugh_wooley_multiplier(8);
     let acc_width = accumulator_width(8, fanin);
 
@@ -40,7 +45,7 @@ fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
         "Power",
         "Area",
     ]);
-    for m in evolved.best_per_threshold() {
+    for m in evolved.best_per_threshold(0) {
         let op = OpTable::from_netlist(&m.netlist, 8, true).expect("table");
         let acc = evaluate_multiplier(case, &op, ft);
         let mac = mac_metrics(&m.netlist, &exact_mult, 8, acc_width, true, &case.weight_pmf, 16, 4);

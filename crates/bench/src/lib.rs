@@ -67,6 +67,19 @@ pub fn du() -> Pmf {
     Pmf::uniform(8)
 }
 
+/// The paper's three sweep distributions as named [`run_sweep`] inputs,
+/// in panel order `[D1, D2, Du]` (index 2 is the uniform reference).
+///
+/// [`run_sweep`]: apx_core::run_sweep
+#[must_use]
+pub fn sweep_distributions() -> Vec<apx_core::SweepDist> {
+    vec![
+        apx_core::SweepDist::new("D1", d1()),
+        apx_core::SweepDist::new("D2", d2()),
+        apx_core::SweepDist::new("Du", du()),
+    ]
+}
+
 /// Directory for CSV mirrors of the printed tables.
 #[must_use]
 pub fn results_dir() -> PathBuf {

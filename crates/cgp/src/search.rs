@@ -14,7 +14,8 @@ pub struct EvolutionConfig {
     pub max_iterations: u64,
     /// RNG seed; equal seeds reproduce the run exactly.
     pub seed: u64,
-    /// Evaluate offspring on `λ` worker threads.
+    /// Evaluate offspring on a persistent [`apx_pool`] worker pool (λ
+    /// threads, spawned once and kept alive across all generations).
     pub parallel: bool,
     /// Stop early once fitness reaches this value.
     pub target_fitness: Option<f64>,
@@ -55,23 +56,54 @@ pub struct EvolutionResult {
 /// Runs the `(1 + λ)` strategy from `seed_parent`, minimizing `fitness`.
 ///
 /// Each generation clones the parent λ times, mutates every clone with up
-/// to `h` gene redraws, evaluates all offspring (in parallel when
-/// requested) and promotes the best offspring whose fitness is **less than
-/// or equal to** the parent's — the neutral genetic drift that CGP's
-/// redundant representation is designed for (paper §III-C).
+/// to `h` gene redraws, evaluates all offspring and promotes the best
+/// offspring whose fitness is **less than or equal to** the parent's — the
+/// neutral genetic drift that CGP's redundant representation is designed
+/// for (paper §III-C).
+///
+/// With `parallel` set, offspring are evaluated on a persistent
+/// [`apx_pool`] worker pool whose λ threads are spawned once and reused
+/// for every generation of the run; results come back in offspring order,
+/// so parallel and sequential runs are bit-for-bit identical.
 ///
 /// `fitness` may return `f64::INFINITY` to reject a candidate outright
 /// (Eq. 1 does exactly that when the WMED budget is violated).
 ///
 /// # Panics
 ///
-/// Panics if `lambda == 0` or `mutations == 0`.
+/// Panics if `lambda == 0` or `mutations == 0`, and re-raises a panic of
+/// `fitness` naming the offending offspring.
 pub fn evolve<F>(seed_parent: &Chromosome, fitness: F, config: &EvolutionConfig) -> EvolutionResult
 where
     F: Fn(&Chromosome) -> f64 + Sync,
 {
     assert!(config.lambda > 0, "lambda must be at least 1");
     assert!(config.mutations > 0, "mutation rate must be at least 1");
+    if config.parallel && config.lambda > 1 {
+        apx_pool::Pool::scope(
+            config.lambda,
+            |_, child: Chromosome| {
+                let fit = fitness(&child);
+                (child, fit)
+            },
+            |pool| generation_loop(seed_parent, &fitness, config, Some(pool)),
+        )
+    } else {
+        generation_loop(seed_parent, &fitness, config, None)
+    }
+}
+
+/// The generation loop, with offspring scored either inline or on the
+/// scope's persistent pool.
+fn generation_loop<F>(
+    seed_parent: &Chromosome,
+    fitness: &F,
+    config: &EvolutionConfig,
+    pool: Option<&apx_pool::Executor<'_, Chromosome, (Chromosome, f64)>>,
+) -> EvolutionResult
+where
+    F: Fn(&Chromosome) -> f64 + Sync,
+{
     let mut rng = Xoshiro256::from_seed(config.seed);
     let mut parent = seed_parent.clone();
     let mut parent_fit = fitness(&parent);
@@ -80,7 +112,6 @@ where
     if config.keep_history {
         history.push((0, parent_fit));
     }
-    let mut offspring: Vec<Chromosome> = Vec::with_capacity(config.lambda);
     let mut iterations = 0u64;
     for iter in 1..=config.max_iterations {
         iterations = iter;
@@ -90,31 +121,36 @@ where
                 break;
             }
         }
-        offspring.clear();
+        let mut offspring: Vec<Chromosome> = Vec::with_capacity(config.lambda);
         for _ in 0..config.lambda {
             let mut child = parent.clone();
             mutate(&mut child, config.mutations, &mut rng);
             offspring.push(child);
         }
-        let fits: Vec<f64> = if config.parallel && config.lambda > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    offspring.iter().map(|child| scope.spawn(|| fitness(child))).collect();
-                handles.into_iter().map(|h| h.join().expect("fitness worker panicked")).collect()
-            })
-        } else {
-            offspring.iter().map(&fitness).collect()
+        let mut scored: Vec<(Chromosome, f64)> = match pool {
+            Some(pool) => pool.map(offspring),
+            None => offspring
+                .into_iter()
+                .map(|child| {
+                    let fit = fitness(&child);
+                    (child, fit)
+                })
+                .collect(),
         };
         evaluations += config.lambda as u64;
         // Best offspring; ties broken toward the earliest (deterministic).
-        let (best_idx, &best_fit) =
-            fits.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("lambda >= 1");
+        let (best_idx, best_fit) = scored
+            .iter()
+            .enumerate()
+            .map(|(i, (_, fit))| (i, *fit))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("lambda >= 1");
         // Neutral drift: equal fitness replaces the parent.
         if best_fit <= parent_fit {
             if best_fit < parent_fit && config.keep_history {
                 history.push((iter, best_fit));
             }
-            parent = offspring.swap_remove(best_idx);
+            parent = scored.swap_remove(best_idx).0;
             parent_fit = best_fit;
         }
     }
@@ -228,6 +264,35 @@ mod tests {
             assert!(pair[1].0 > pair[0].0);
         }
         assert_eq!(result.evaluations, 1 + 4 * result.iterations);
+    }
+
+    #[test]
+    fn parallel_fitness_panic_names_the_task() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        // The parent evaluation (call 0) must succeed; a later offspring
+        // evaluation panics inside the pool.
+        let calls = AtomicU64::new(0);
+        let fitness = |_: &Chromosome| {
+            assert!(calls.fetch_add(1, Ordering::Relaxed) < 3, "fitness exploded");
+            1.0
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evolve(
+                &seed,
+                fitness,
+                &EvolutionConfig { parallel: true, max_iterations: 5, ..Default::default() },
+            )
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(msg.contains("task") && msg.contains("fitness exploded"), "message was: {msg}");
     }
 
     #[test]

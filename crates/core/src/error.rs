@@ -11,6 +11,14 @@ pub enum CoreError {
     Evaluator(apx_metrics::EvaluatorError),
     /// A configuration value is invalid.
     BadConfig(String),
+    /// A worker-pool task panicked; the panic was captured at the task
+    /// boundary and converted into this error (no poisoned locks).
+    WorkerPanic {
+        /// Name of the failing task (e.g. `"t3_r1"`).
+        task: String,
+        /// The captured panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -19,6 +27,9 @@ impl fmt::Display for CoreError {
             CoreError::Cgp(e) => write!(f, "cgp error: {e}"),
             CoreError::Evaluator(e) => write!(f, "evaluator error: {e}"),
             CoreError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::WorkerPanic { task, message } => {
+                write!(f, "worker for task {task} panicked: {message}")
+            }
         }
     }
 }
@@ -28,7 +39,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Cgp(e) => Some(e),
             CoreError::Evaluator(e) => Some(e),
-            CoreError::BadConfig(_) => None,
+            CoreError::BadConfig(_) | CoreError::WorkerPanic { .. } => None,
         }
     }
 }

@@ -4,6 +4,7 @@ use apx_cgp::Chromosome;
 use apx_dist::Pmf;
 use apx_metrics::MultEvaluator;
 use apx_techlib::{area_of, TechLibrary};
+use std::sync::Arc;
 
 /// The paper's fitness function (Eq. 1):
 ///
@@ -16,9 +17,15 @@ use apx_techlib::{area_of, TechLibrary};
 /// early-abort WMED evaluator (most violating offspring are rejected after
 /// a handful of high-weight blocks) and prices the survivors with the
 /// technology library.
+///
+/// The evaluator is held behind an [`Arc`]: it is by far the most
+/// expensive part to construct (exhaustive input enumeration and
+/// weight-sorted blocks), so sweeps build it **once** per `(width,
+/// signed, pmf)` and share it across every threshold and run via
+/// [`Eq1Fitness::with_evaluator`].
 #[derive(Debug, Clone)]
 pub struct Eq1Fitness {
-    evaluator: MultEvaluator,
+    evaluator: Arc<MultEvaluator>,
     tech: TechLibrary,
     threshold: f64,
 }
@@ -38,7 +45,18 @@ impl Eq1Fitness {
         tech: TechLibrary,
         threshold: f64,
     ) -> Result<Self, apx_metrics::EvaluatorError> {
-        Ok(Eq1Fitness { evaluator: MultEvaluator::new(width, signed, pmf)?, tech, threshold })
+        Ok(Self::with_evaluator(Arc::new(MultEvaluator::new(width, signed, pmf)?), tech, threshold))
+    }
+
+    /// Builds the fitness around an already-constructed, shared evaluator
+    /// — infallible, and the constructor every sweep task uses.
+    #[must_use]
+    pub fn with_evaluator(
+        evaluator: Arc<MultEvaluator>,
+        tech: TechLibrary,
+        threshold: f64,
+    ) -> Self {
+        Eq1Fitness { evaluator, tech, threshold }
     }
 
     /// The WMED budget `E_i`.

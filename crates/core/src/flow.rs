@@ -5,9 +5,10 @@ use apx_arith::{array_multiplier, baugh_wooley_multiplier};
 use apx_cgp::{evolve, Chromosome, EvolutionConfig, FunctionSet};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::ErrorStats;
+use apx_metrics::{ErrorStats, MultEvaluator};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+use std::sync::Arc;
 
 /// Configuration of a multiplier-approximation flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,18 +126,9 @@ impl FlowResult {
     }
 }
 
-/// Runs the complete flow: for every threshold `E_i` and every run, evolve
-/// a multiplier minimizing area under `WMED_D ≤ E_i` (Eq. 1), then measure
-/// its exhaustive error statistics and physical cost under `pmf`.
-///
-/// Work items are distributed over `threads` workers; results are fully
-/// deterministic in `cfg.seed` regardless of thread count.
-///
-/// # Errors
-///
-/// Returns [`CoreError`] on invalid configuration (zero width, empty
-/// thresholds, PMF/width mismatch, …).
-pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, CoreError> {
+/// Validates the parts of a [`FlowConfig`] shared by [`evolve_multipliers`]
+/// and [`crate::run_sweep`].
+pub(crate) fn validate_config(pmf: &Pmf, cfg: &FlowConfig) -> Result<(), CoreError> {
     if cfg.thresholds.is_empty() {
         return Err(CoreError::BadConfig("no thresholds given".into()));
     }
@@ -150,7 +142,11 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
             cfg.width
         )));
     }
-    let tech = TechLibrary::nangate45();
+    Ok(())
+}
+
+/// Builds the exact seed multiplier and its CGP encoding for a flow.
+pub(crate) fn seed_circuit(cfg: &FlowConfig) -> Result<(Netlist, Chromosome), CoreError> {
     let seed_netlist =
         if cfg.signed { baugh_wooley_multiplier(cfg.width) } else { array_multiplier(cfg.width) };
     let funcs = FunctionSet::extended();
@@ -159,8 +155,109 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         &funcs,
         seed_netlist.gate_count() + cfg.cols_slack,
     )?;
-    // Validate the evaluator configuration once up front.
-    let _probe = Eq1Fitness::new(cfg.width, cfg.signed, pmf, tech.clone(), 1.0)?;
+    Ok((seed_netlist, seed_chrom))
+}
+
+/// Decorrelates the per-task RNG streams deterministically: the stream
+/// depends only on `(master seed, distribution, threshold, run)`, never on
+/// scheduling, so any thread count reproduces the same results bit for
+/// bit.
+pub(crate) fn task_seed(seed: u64, dist: usize, ti: usize, run: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((dist as u64) << 48)
+        .wrapping_add((ti as u64) << 32)
+        .wrapping_add(run as u64 + 1)
+}
+
+/// Runs one `(threshold, run)` task: evolve under Eq. 1 (or keep the exact
+/// seed at threshold 0), then measure exhaustive error statistics and the
+/// physical estimate. The expensive [`MultEvaluator`] is shared, not
+/// rebuilt per task.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evolve_one(
+    cfg: &FlowConfig,
+    pmf: &Pmf,
+    tech: &TechLibrary,
+    seed_chrom: &Chromosome,
+    evaluator: &Arc<MultEvaluator>,
+    ti: usize,
+    run: usize,
+    seed: u64,
+    name: String,
+) -> EvolvedMultiplier {
+    let threshold = cfg.thresholds[ti];
+    let (chromosome, evaluations) = if threshold == 0.0 {
+        (seed_chrom.clone(), 0)
+    } else {
+        let fitness = Eq1Fitness::with_evaluator(Arc::clone(evaluator), tech.clone(), threshold);
+        let result = evolve(
+            seed_chrom,
+            |c| fitness.of(c),
+            &EvolutionConfig {
+                lambda: cfg.lambda,
+                mutations: cfg.mutations,
+                max_iterations: cfg.iterations,
+                seed,
+                parallel: false, // outer-level parallelism is in charge
+                target_fitness: None,
+                keep_history: false,
+            },
+        );
+        (result.best, result.evaluations)
+    };
+    let netlist = chromosome.decode_active();
+    let stats = evaluator.stats(&netlist);
+    let mut est_rng = Xoshiro256::from_seed(seed ^ 0xE57);
+    let estimate = estimate_under_pmf(
+        &netlist,
+        tech,
+        pmf,
+        DEFAULT_CLOCK_MHZ,
+        cfg.activity_blocks,
+        &mut est_rng,
+    );
+    EvolvedMultiplier { name, chromosome, netlist, threshold, run, stats, estimate, evaluations }
+}
+
+/// Maps `worker` over `tasks` on an [`apx_pool`] pool, converting a
+/// captured task panic into a [`CoreError::WorkerPanic`] that names the
+/// failing task (instead of the poisoned-lock panic the old ad-hoc
+/// scaffolding produced).
+pub(crate) fn run_tasks<T, R, W, N>(
+    threads: usize,
+    tasks: Vec<T>,
+    name_of: N,
+    worker: W,
+) -> Result<Vec<R>, CoreError>
+where
+    T: Send + Copy,
+    R: Send,
+    W: Fn(usize, T) -> R + Sync,
+    N: Fn(T) -> String,
+{
+    apx_pool::scope_map(threads.max(1), tasks.clone(), worker)
+        .map_err(|p| CoreError::WorkerPanic { task: name_of(tasks[p.index]), message: p.message })
+}
+
+/// Runs the complete flow: for every threshold `E_i` and every run, evolve
+/// a multiplier minimizing area under `WMED_D ≤ E_i` (Eq. 1), then measure
+/// its exhaustive error statistics and physical cost under `pmf`.
+///
+/// Work items run on a shared [`apx_pool`] worker pool with per-slot
+/// result writes; results are fully deterministic in `cfg.seed` regardless
+/// of thread count, and the WMED evaluator is built once and shared by
+/// every task.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid configuration (zero width, empty
+/// thresholds, PMF/width mismatch, …) and [`CoreError::WorkerPanic`] if a
+/// task panicked.
+pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, CoreError> {
+    validate_config(pmf, cfg)?;
+    let tech = TechLibrary::nangate45();
+    let (seed_netlist, seed_chrom) = seed_circuit(cfg)?;
+    let evaluator = Arc::new(MultEvaluator::new(cfg.width, cfg.signed, pmf)?);
 
     let tasks: Vec<(usize, usize)> = cfg
         .thresholds
@@ -169,82 +266,24 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         .flat_map(|(ti, _)| (0..cfg.runs_per_threshold).map(move |r| (ti, r)))
         .collect();
 
-    let worker = |(ti, run): (usize, usize)| -> Result<EvolvedMultiplier, CoreError> {
-        let threshold = cfg.thresholds[ti];
-        // Decorrelate the per-task RNG streams deterministically.
-        let task_seed = cfg
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((ti as u64) << 32)
-            .wrapping_add(run as u64 + 1);
-        let (chromosome, evaluations) = if threshold == 0.0 {
-            (seed_chrom.clone(), 0)
-        } else {
-            let fitness = Eq1Fitness::new(cfg.width, cfg.signed, pmf, tech.clone(), threshold)?;
-            let result = evolve(
+    let multipliers = run_tasks(
+        cfg.threads,
+        tasks,
+        |(ti, run)| format!("t{ti}_r{run}"),
+        |_, (ti, run)| {
+            evolve_one(
+                cfg,
+                pmf,
+                &tech,
                 &seed_chrom,
-                |c| fitness.of(c),
-                &EvolutionConfig {
-                    lambda: cfg.lambda,
-                    mutations: cfg.mutations,
-                    max_iterations: cfg.iterations,
-                    seed: task_seed,
-                    parallel: false, // outer-level parallelism is in charge
-                    target_fitness: None,
-                    keep_history: false,
-                },
-            );
-            (result.best, result.evaluations)
-        };
-        let netlist = chromosome.decode_active();
-        let evaluator = apx_metrics::MultEvaluator::new(cfg.width, cfg.signed, pmf)?;
-        let stats = evaluator.stats(&netlist);
-        let mut est_rng = Xoshiro256::from_seed(task_seed ^ 0xE57);
-        let estimate = estimate_under_pmf(
-            &netlist,
-            &tech,
-            pmf,
-            DEFAULT_CLOCK_MHZ,
-            cfg.activity_blocks,
-            &mut est_rng,
-        );
-        Ok(EvolvedMultiplier {
-            name: format!("t{ti}_r{run}"),
-            chromosome,
-            netlist,
-            threshold,
-            run,
-            stats,
-            estimate,
-            evaluations,
-        })
-    };
-
-    let threads = cfg.threads.max(1);
-    let mut results: Vec<Option<Result<EvolvedMultiplier, CoreError>>> =
-        (0..tasks.len()).map(|_| None).collect();
-    if threads == 1 || tasks.len() <= 1 {
-        for (slot, &task) in results.iter_mut().zip(&tasks) {
-            *slot = Some(worker(task));
-        }
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots = std::sync::Mutex::new(&mut results);
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(tasks.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let out = worker(tasks[i]);
-                    slots.lock().expect("no poisoned worker")[i] = Some(out);
-                });
-            }
-        });
-    }
-    let multipliers: Result<Vec<EvolvedMultiplier>, CoreError> =
-        results.into_iter().map(|r| r.expect("every task was executed")).collect();
+                &evaluator,
+                ti,
+                run,
+                task_seed(cfg.seed, 0, ti, run),
+                format!("t{ti}_r{run}"),
+            )
+        },
+    )?;
 
     let mut est_rng = Xoshiro256::from_seed(cfg.seed ^ 0x5EED);
     let seed_estimate = estimate_under_pmf(
@@ -255,7 +294,7 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         cfg.activity_blocks,
         &mut est_rng,
     );
-    Ok(FlowResult { multipliers: multipliers?, seed_estimate, seed_netlist })
+    Ok(FlowResult { multipliers, seed_estimate, seed_netlist })
 }
 
 #[cfg(test)]
@@ -303,15 +342,48 @@ mod tests {
     fn flow_is_deterministic_across_thread_counts() {
         let pmf = Pmf::uniform(4);
         let mut cfg = tiny_cfg();
-        cfg.thresholds = vec![0.01];
+        cfg.thresholds = vec![0.01, 0.05];
         cfg.runs_per_threshold = 2;
         cfg.iterations = 150;
+        cfg.threads = 4;
         let a = evolve_multipliers(&pmf, &cfg).unwrap();
         cfg.threads = 1;
         let b = evolve_multipliers(&pmf, &cfg).unwrap();
+        assert_eq!(a.multipliers.len(), b.multipliers.len());
+        // Bit-for-bit: chromosomes, exhaustive statistics and physical
+        // estimates must not depend on the thread count.
         for (x, y) in a.multipliers.iter().zip(&b.multipliers) {
+            assert_eq!(x.name, y.name);
             assert_eq!(x.chromosome, y.chromosome, "{} differs", x.name);
-            assert_eq!(x.stats.wmed, y.stats.wmed);
+            assert_eq!(x.stats, y.stats, "{} stats differ", x.name);
+            assert_eq!(x.estimate, y.estimate, "{} estimate differs", x.name);
+            assert_eq!(x.evaluations, y.evaluations);
+        }
+        assert_eq!(a.seed_estimate, b.seed_estimate);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_the_task_name() {
+        // Regression: the old scheme wrapped the whole result vector in
+        // one Mutex, so a panicking task poisoned it and the caller saw
+        // "no poisoned worker" instead of the real error.
+        let tasks = vec![(0usize, 0usize), (0, 1), (1, 0), (1, 1)];
+        let err = run_tasks(
+            2,
+            tasks,
+            |(ti, run)| format!("t{ti}_r{run}"),
+            |_, (ti, run)| {
+                assert!(!(ti == 1 && run == 0), "fitness blew up");
+                ti + run
+            },
+        )
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanic { task, message } => {
+                assert_eq!(task, "t1_r0", "the surfaced error names the failing task");
+                assert!(message.contains("fitness blew up"), "message was: {message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
         }
     }
 

@@ -10,6 +10,10 @@
 //!   seed CGP with an exact multiplier, sweep the 14 target error levels,
 //!   repeat runs, and return every evolved multiplier with its error
 //!   statistics and physical estimate (Fig. 3 / Fig. 6 data);
+//! * [`run_sweep`] / [`SweepConfig`] — the Pareto sweep driver: the full
+//!   `(distribution × threshold × run)` grid on one persistent
+//!   [`apx_pool`] worker pool, with each WMED evaluator built once per
+//!   distribution and shared across all of its tasks;
 //! * [`pareto_indices`] — non-dominated filtering for the trade-off plots;
 //! * [`cross_wmed`] / [`error_heatmap`] — cross-distribution evaluation
 //!   (the off-diagonal panels of Fig. 3 and the heat maps of Fig. 4);
@@ -32,6 +36,7 @@ mod mac_report;
 pub mod nn_flow;
 mod pareto;
 pub mod report;
+mod sweep;
 
 pub use error::CoreError;
 pub use evaluate::{cross_wmed, error_heatmap};
@@ -42,3 +47,4 @@ pub use flow::{
 };
 pub use mac_report::{mac_metrics, MacMetrics};
 pub use pareto::pareto_indices;
+pub use sweep::{run_sweep, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats};

@@ -1,0 +1,368 @@
+//! The Pareto sweep driver: one worker pool for the full
+//! `(distribution × threshold × run)` grid.
+//!
+//! Every figure of the paper is some slice of this grid — Fig. 3 alone is
+//! 3 distributions × 14 WMED targets × `runs` independent CGP runs.
+//! Before this module each figure binary looped over distributions and
+//! called [`evolve_multipliers`](crate::evolve_multipliers) once per
+//! distribution, which meant one pool tear-down per distribution and, far
+//! worse, one freshly built [`MultEvaluator`] per *task* (the evaluator's
+//! exhaustive enumeration dwarfs the cost of small CGP runs).
+//! [`run_sweep`] instead:
+//!
+//! * builds each [`MultEvaluator`] **once** per `(width, signed, pmf)` and
+//!   shares it across every threshold and run of that distribution via
+//!   [`Arc`] (both for the Eq. 1 fitness and the post-hoc statistics);
+//! * flattens the whole grid into one task list served by a single
+//!   [`apx_pool`] pool, so threads stay busy across distribution
+//!   boundaries instead of draining at each one;
+//! * records throughput ([`SweepStats`]: wall time, fitness evaluations
+//!   per second, thread count) so the performance trajectory of the sweep
+//!   layer is tracked release over release (`results/BENCH_sweep.json`).
+//!
+//! Results are deterministic in the master seed regardless of thread
+//! count: per-task RNG streams derive from `(seed, distribution,
+//! threshold, run)`, never from scheduling.
+
+use crate::flow::{
+    evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedMultiplier, FlowConfig,
+};
+use crate::CoreError;
+use apx_dist::Pmf;
+use apx_gates::Netlist;
+use apx_metrics::MultEvaluator;
+use apx_rng::Xoshiro256;
+use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One named input distribution of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDist {
+    /// Display name (`"D1"`, `"D2"`, `"Du"`, a measured-source tag, …).
+    pub name: String,
+    /// The distribution itself.
+    pub pmf: Pmf,
+}
+
+impl SweepDist {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, pmf: Pmf) -> Self {
+        SweepDist { name: name.into(), pmf }
+    }
+}
+
+/// Configuration of a full Pareto sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// The distributions to sweep (each gets one shared evaluator).
+    pub distributions: Vec<SweepDist>,
+    /// Everything else — thresholds, CGP knobs, seed, thread count —
+    /// shared with the single-distribution flow.
+    pub flow: FlowConfig,
+}
+
+/// One completed `(distribution, threshold, run)` task.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Name of the distribution the multiplier was evolved under.
+    pub dist: String,
+    /// Index of that distribution in [`SweepConfig::distributions`].
+    pub dist_index: usize,
+    /// The evolved multiplier with its full evaluation.
+    pub multiplier: EvolvedMultiplier,
+}
+
+/// Throughput of a sweep — the numbers `results/BENCH_sweep.json` tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Wall-clock time of the task grid, in seconds.
+    pub wall_seconds: f64,
+    /// Total fitness evaluations spent across all tasks.
+    pub total_evaluations: u64,
+    /// `total_evaluations / wall_seconds`.
+    pub evaluations_per_second: f64,
+    /// Worker threads the pool ran with.
+    pub threads: usize,
+    /// Number of `(distribution × threshold × run)` tasks.
+    pub tasks: usize,
+}
+
+/// Result of [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Every completed task, ordered by `(distribution, threshold, run)`.
+    pub entries: Vec<SweepEntry>,
+    /// The shared evaluators, one per distribution in configuration
+    /// order — reuse them for cross-distribution evaluation (the
+    /// off-diagonal panels of Fig. 3) instead of rebuilding.
+    pub evaluators: Vec<Arc<MultEvaluator>>,
+    /// The exact seed's physical estimate under each distribution.
+    pub seed_estimates: Vec<CircuitEstimate>,
+    /// The exact seed netlist (the 100 % reference).
+    pub seed_netlist: Netlist,
+    /// Throughput of this sweep.
+    pub stats: SweepStats,
+}
+
+impl SweepResult {
+    /// The entries evolved under distribution `dist_index`, in
+    /// `(threshold, run)` order.
+    pub fn entries_for(&self, dist_index: usize) -> impl Iterator<Item = &SweepEntry> {
+        self.entries.iter().filter(move |e| e.dist_index == dist_index)
+    }
+
+    /// The best (lowest-area) multiplier per threshold for one
+    /// distribution, in threshold order.
+    #[must_use]
+    pub fn best_per_threshold(&self, dist_index: usize) -> Vec<&EvolvedMultiplier> {
+        let mut best: Vec<&EvolvedMultiplier> = Vec::new();
+        for e in self.entries_for(dist_index) {
+            let m = &e.multiplier;
+            match best.iter_mut().find(|b| b.threshold == m.threshold) {
+                Some(b) => {
+                    if m.estimate.area_um2 < b.estimate.area_um2 {
+                        *b = m;
+                    }
+                }
+                None => best.push(m),
+            }
+        }
+        best
+    }
+}
+
+/// Runs the full `(distribution × threshold × run)` grid through one
+/// persistent worker pool.
+///
+/// Each `MultEvaluator` is built once per distribution and shared (via
+/// [`Arc`]) by the Eq. 1 fitness of every task and by the post-hoc
+/// statistics pass. Task names are `"<dist>_t<threshold>_r<run>"`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadConfig`] for an empty distribution list, a
+/// PMF/width mismatch, empty thresholds or zero iterations, and
+/// [`CoreError::WorkerPanic`] if a task panicked.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
+    if cfg.distributions.is_empty() {
+        return Err(CoreError::BadConfig("no distributions given".into()));
+    }
+    for d in &cfg.distributions {
+        validate_config(&d.pmf, &cfg.flow)?;
+    }
+    let flow = &cfg.flow;
+    let tech = TechLibrary::nangate45();
+    let (seed_netlist, seed_chrom) = seed_circuit(flow)?;
+    let evaluators: Vec<Arc<MultEvaluator>> = cfg
+        .distributions
+        .iter()
+        .map(|d| MultEvaluator::new(flow.width, flow.signed, &d.pmf).map(Arc::new))
+        .collect::<Result<_, _>>()?;
+
+    let tasks: Vec<(usize, usize, usize)> = (0..cfg.distributions.len())
+        .flat_map(|di| {
+            flow.thresholds
+                .iter()
+                .enumerate()
+                .flat_map(move |(ti, _)| (0..flow.runs_per_threshold).map(move |r| (di, ti, r)))
+        })
+        .collect();
+    let n_tasks = tasks.len();
+    let threads = flow.threads.max(1);
+    let name_of = |(di, ti, run): (usize, usize, usize)| {
+        format!("{}_t{ti}_r{run}", cfg.distributions[di].name)
+    };
+
+    let started = Instant::now();
+    let results = run_tasks(threads, tasks, name_of, |_, (di, ti, run)| {
+        evolve_one(
+            flow,
+            &cfg.distributions[di].pmf,
+            &tech,
+            &seed_chrom,
+            &evaluators[di],
+            ti,
+            run,
+            task_seed(flow.seed, di, ti, run),
+            name_of((di, ti, run)),
+        )
+    })?;
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let entries: Vec<SweepEntry> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, multiplier)| {
+            let di = i / (flow.thresholds.len() * flow.runs_per_threshold);
+            SweepEntry { dist: cfg.distributions[di].name.clone(), dist_index: di, multiplier }
+        })
+        .collect();
+    let total_evaluations: u64 = entries.iter().map(|e| e.multiplier.evaluations).sum();
+
+    let compact_seed = seed_netlist.compact();
+    let seed_estimates: Vec<CircuitEstimate> = cfg
+        .distributions
+        .iter()
+        .enumerate()
+        .map(|(di, d)| {
+            // Distribution 0 uses exactly the flow's seed-estimate stream
+            // (`seed ^ 0x5EED`), so the same config reports the same
+            // reference estimate whichever driver ran it.
+            let mut est_rng =
+                Xoshiro256::from_seed((flow.seed ^ 0x5EED).wrapping_add((di as u64) << 48));
+            estimate_under_pmf(
+                &compact_seed,
+                &tech,
+                &d.pmf,
+                DEFAULT_CLOCK_MHZ,
+                flow.activity_blocks,
+                &mut est_rng,
+            )
+        })
+        .collect();
+
+    Ok(SweepResult {
+        entries,
+        evaluators,
+        seed_estimates,
+        seed_netlist,
+        stats: SweepStats {
+            wall_seconds,
+            total_evaluations,
+            evaluations_per_second: if wall_seconds > 0.0 {
+                total_evaluations as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            threads,
+            tasks: n_tasks,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> SweepConfig {
+        SweepConfig {
+            distributions: vec![
+                SweepDist::new("Dh", Pmf::half_normal(4, 3.0)),
+                SweepDist::new("Du", Pmf::uniform(4)),
+            ],
+            flow: FlowConfig {
+                width: 4,
+                thresholds: vec![0.0, 0.02],
+                iterations: 200,
+                runs_per_threshold: 2,
+                cols_slack: 20,
+                threads: 2,
+                activity_blocks: 8,
+                ..FlowConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid_in_order() {
+        let result = run_sweep(&tiny_sweep()).unwrap();
+        assert_eq!(result.entries.len(), 2 * 2 * 2);
+        assert_eq!(result.stats.tasks, 8);
+        assert_eq!(result.evaluators.len(), 2);
+        assert_eq!(result.seed_estimates.len(), 2);
+        let names: Vec<&str> = result.entries.iter().map(|e| e.multiplier.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "Dh_t0_r0", "Dh_t0_r1", "Dh_t1_r0", "Dh_t1_r1", "Du_t0_r0", "Du_t0_r1", "Du_t1_r0",
+                "Du_t1_r1"
+            ]
+        );
+        for e in &result.entries {
+            assert!(e.multiplier.stats.wmed <= e.multiplier.threshold + 1e-12);
+        }
+        // Threshold-0 tasks keep the exact seed.
+        assert_eq!(result.entries[0].multiplier.stats.max_abs_error, 0);
+        assert!(result.stats.total_evaluations > 0);
+        assert!(result.stats.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        cfg.flow.threads = 4;
+        let a = run_sweep(&cfg).unwrap();
+        cfg.flow.threads = 1;
+        let b = run_sweep(&cfg).unwrap();
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.dist, y.dist);
+            let (mx, my) = (&x.multiplier, &y.multiplier);
+            assert_eq!(mx.name, my.name);
+            assert_eq!(mx.chromosome, my.chromosome, "{} differs", mx.name);
+            assert_eq!(mx.stats, my.stats, "{} stats differ", mx.name);
+            assert_eq!(mx.estimate, my.estimate, "{} estimate differs", mx.name);
+        }
+        assert_eq!(a.seed_estimates, b.seed_estimates);
+    }
+
+    #[test]
+    fn best_per_threshold_minimizes_area_within_each_distribution() {
+        let result = run_sweep(&tiny_sweep()).unwrap();
+        for di in 0..2 {
+            let best = result.best_per_threshold(di);
+            assert_eq!(best.len(), 2);
+            for b in best {
+                for e in result.entries_for(di) {
+                    if e.multiplier.threshold == b.threshold {
+                        assert!(b.estimate.area_um2 <= e.multiplier.estimate.area_um2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_configurations() {
+        let empty = SweepConfig { distributions: vec![], flow: FlowConfig::default() };
+        assert!(matches!(run_sweep(&empty), Err(CoreError::BadConfig(_))));
+        let mut mismatch = tiny_sweep();
+        mismatch.distributions.push(SweepDist::new("bad", Pmf::uniform(8)));
+        assert!(matches!(run_sweep(&mismatch), Err(CoreError::BadConfig(_))));
+        let mut no_thresholds = tiny_sweep();
+        no_thresholds.flow.thresholds.clear();
+        assert!(matches!(run_sweep(&no_thresholds), Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn single_distribution_sweep_matches_the_flow() {
+        // The sweep generalizes `evolve_multipliers`: with one distribution
+        // the task seeds and estimate streams coincide, so results must be
+        // bit-for-bit identical (only the task names differ).
+        let pmf = Pmf::uniform(4);
+        let cfg = SweepConfig {
+            distributions: vec![SweepDist::new("Du", pmf.clone())],
+            flow: FlowConfig {
+                width: 4,
+                thresholds: vec![0.0, 0.02],
+                iterations: 150,
+                threads: 1,
+                activity_blocks: 8,
+                cols_slack: 20,
+                ..FlowConfig::default()
+            },
+        };
+        let sweep = run_sweep(&cfg).unwrap();
+        let flow = crate::evolve_multipliers(&pmf, &cfg.flow).unwrap();
+        assert_eq!(sweep.entries.len(), flow.multipliers.len());
+        for (e, m) in sweep.entries.iter().zip(&flow.multipliers) {
+            assert_eq!(e.multiplier.chromosome, m.chromosome);
+            assert_eq!(e.multiplier.stats, m.stats);
+            assert_eq!(e.multiplier.estimate, m.estimate);
+        }
+        assert_eq!(sweep.seed_estimates[0], flow.seed_estimate);
+    }
+}

@@ -44,7 +44,7 @@
 //! assert!(d2.prob(0) > d2.prob(255));
 //!
 //! // A measured distribution (e.g. NN weights) over signed 8-bit values.
-//! let measured = Pmf::from_samples_i64(8, &[-2, -1, 0, 0, 0, 1, 2])?;
+//! let measured = Pmf::from_samples_i64(8, &[-2, -1, 0, 0, 0, 1, 2], true)?;
 //! assert!(measured.prob_of(0) > measured.prob_of(1));
 //! assert_eq!(measured.prob_of(100), 0.0);
 //! # Ok::<(), apx_dist::PmfError>(())
@@ -75,8 +75,8 @@ pub enum PmfError {
     EmptySupport,
     /// An empty sample set was given.
     NoSamples,
-    /// A sample does not fit the operand width (neither as an unsigned
-    /// `0..2^w` value nor as a signed `-2^(w-1)..2^(w-1)` value).
+    /// A sample is outside the requested encoding of the operand width:
+    /// `0..2^w` unsigned, `-2^(w-1)..2^(w-1)` signed.
     SampleOutOfRange {
         /// Position of the offending sample.
         index: usize,
@@ -220,26 +220,29 @@ impl Pmf {
     /// paper's application-driven flow (e.g. all quantized weights of a
     /// neural network).
     ///
-    /// Each sample may use either interpretation of the `w`-bit operand:
-    /// unsigned `0..2^w` or signed `−2^(w−1)..2^(w−1)`; signed values are
-    /// folded into their two's-complement raw encoding.
+    /// `signed` selects the encoding of the `w`-bit operand the samples
+    /// use: two's-complement `−2^(w−1)..2^(w−1)` when `true` (values are
+    /// folded into their raw encoding), unsigned `0..2^w` when `false`.
+    /// A sample valid only under the *other* encoding is rejected — the
+    /// two encodings overlap on `0..2^(w−1)`, and accepting their union
+    /// silently aliased e.g. `−2^(w−1)` and `+2^(w−1)` to the same bucket
+    /// when mixed-provenance sample sets were ingested.
     ///
     /// # Errors
     ///
     /// * [`PmfError::NoSamples`] when `samples` is empty;
-    /// * [`PmfError::SampleOutOfRange`] when a sample fits neither
-    ///   interpretation of the width.
+    /// * [`PmfError::SampleOutOfRange`] when a sample is outside the
+    ///   requested encoding's range.
     ///
     /// # Panics
     ///
     /// Panics on an invalid width.
-    pub fn from_samples_i64(width: u32, samples: &[i64]) -> Result<Self, PmfError> {
+    pub fn from_samples_i64(width: u32, samples: &[i64], signed: bool) -> Result<Self, PmfError> {
         let n = domain_size(width);
         if samples.is_empty() {
             return Err(PmfError::NoSamples);
         }
-        let lo = -((n / 2) as i64);
-        let hi = n as i64;
+        let (lo, hi) = if signed { (-((n / 2) as i64), (n / 2) as i64) } else { (0, n as i64) };
         let mut counts = vec![0u64; n];
         for (index, &value) in samples.iter().enumerate() {
             if value < lo || value >= hi {
@@ -356,43 +359,50 @@ impl Pmf {
     /// activity (power) estimation.
     #[must_use]
     pub fn sampler(&self) -> Sampler {
-        let mut cdf = Vec::with_capacity(self.probs.len());
+        // The CDF covers the *support only*: zero-probability values are
+        // simply absent, so no draw — not even one landing exactly on a
+        // flat CDF step shared with a zero-probability neighbour — can
+        // ever produce them.
+        let mut values = Vec::new();
+        let mut cdf = Vec::new();
         let mut acc = 0.0f64;
-        for &p in &self.probs {
-            acc += p;
-            cdf.push(acc);
+        for (x, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 {
+                acc += p;
+                values.push(x);
+                cdf.push(acc);
+            }
         }
-        // Guard the tail against rounding (Σp may be 1 − ε): from the
-        // *last positive-probability entry* onwards the CDF must dominate
-        // every u drawn from [0, 1), so a draw in (1 − ε, 1) can never
-        // land on a trailing zero-probability value.
-        let last_support =
-            self.probs.iter().rposition(|&p| p > 0.0).expect("constructors reject empty support");
-        for c in &mut cdf[last_support..] {
-            *c = 1.0;
-        }
-        Sampler { cdf }
+        // Guard the tail against rounding (Σp may be 1 − ε): the final
+        // entry must dominate every u drawn from [0, 1).
+        *cdf.last_mut().expect("constructors reject empty support") = 1.0;
+        Sampler { values, cdf }
     }
 }
 
 /// Draws raw operand encodings distributed according to a [`Pmf`].
 ///
-/// Built once via [`Pmf::sampler`]; sampling is `O(log n)` per draw
-/// (inverse-CDF with binary search) and deterministic given the RNG.
+/// Built once via [`Pmf::sampler`]; sampling is `O(log support)` per draw
+/// (inverse-CDF with binary search over the support values) and
+/// deterministic given the RNG.
 #[derive(Debug, Clone)]
 pub struct Sampler {
+    /// Raw encodings with strictly positive probability, ascending.
+    values: Vec<usize>,
+    /// Cumulative probability at each support value; final entry is 1.
     cdf: Vec<f64>,
 }
 
 impl Sampler {
     /// Draws one raw encoding in `0..2^w`.
     ///
-    /// Values with zero probability are never returned.
+    /// Values with zero probability are structurally unreachable: the
+    /// sampler's CDF is built over the support only.
     #[must_use]
     pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
         let u = rng.f64();
         let idx = self.cdf.partition_point(|&c| c <= u);
-        idx.min(self.cdf.len() - 1)
+        self.values[idx.min(self.values.len() - 1)]
     }
 }
 
@@ -495,7 +505,7 @@ mod tests {
     #[test]
     fn from_samples_matches_empirical_frequencies() {
         let samples = [-2i64, -1, 0, 0, 0, 1, 2, 2];
-        let pmf = Pmf::from_samples_i64(8, &samples).unwrap();
+        let pmf = Pmf::from_samples_i64(8, &samples, true).unwrap();
         assert_normalized(&pmf);
         assert!((pmf.prob_of(0) - 3.0 / 8.0).abs() < 1e-15);
         assert!((pmf.prob_of(2) - 2.0 / 8.0).abs() < 1e-15);
@@ -506,17 +516,40 @@ mod tests {
 
     #[test]
     fn from_samples_rejects_bad_input() {
-        assert_eq!(Pmf::from_samples_i64(8, &[]), Err(PmfError::NoSamples));
+        assert_eq!(Pmf::from_samples_i64(8, &[], true), Err(PmfError::NoSamples));
+        assert_eq!(Pmf::from_samples_i64(8, &[], false), Err(PmfError::NoSamples));
         assert!(matches!(
-            Pmf::from_samples_i64(8, &[0, 1, 256]),
+            Pmf::from_samples_i64(8, &[0, 1, 256], false),
             Err(PmfError::SampleOutOfRange { index: 2, value: 256 })
         ));
         assert!(matches!(
-            Pmf::from_samples_i64(8, &[-129]),
+            Pmf::from_samples_i64(8, &[-129], true),
             Err(PmfError::SampleOutOfRange { index: 0, value: -129 })
         ));
-        // Both interpretations of the width are accepted.
-        assert!(Pmf::from_samples_i64(8, &[-128, 255]).is_ok());
+    }
+
+    #[test]
+    fn from_samples_rejects_the_other_encodings_exclusive_range() {
+        // Regression: the constructor used to accept the *union* range
+        // [-2^(w-1), 2^w), so at width 4 the signed sample -8 and the
+        // unsigned sample +8 silently aliased to the same raw bucket when
+        // mixed-provenance sample sets were ingested.
+        let signed = Pmf::from_samples_i64(4, &[-8, -8, 0], true).unwrap();
+        assert!((signed.prob(8) - 2.0 / 3.0).abs() < 1e-15);
+        let unsigned = Pmf::from_samples_i64(4, &[8, 8, 0], false).unwrap();
+        assert!((unsigned.prob(8) - 2.0 / 3.0).abs() < 1e-15);
+        // The aliasing pair can no longer coexist in one sample set.
+        assert!(matches!(
+            Pmf::from_samples_i64(4, &[-8, 8], true),
+            Err(PmfError::SampleOutOfRange { index: 1, value: 8 })
+        ));
+        assert!(matches!(
+            Pmf::from_samples_i64(4, &[8, -8], false),
+            Err(PmfError::SampleOutOfRange { index: 1, value: -8 })
+        ));
+        // Boundaries of each encoding are still accepted.
+        assert!(Pmf::from_samples_i64(4, &[-8, 7], true).is_ok());
+        assert!(Pmf::from_samples_i64(4, &[0, 15], false).is_ok());
     }
 
     #[test]

@@ -65,18 +65,39 @@ proptest! {
 
     #[test]
     fn from_samples_matches_counts(
-        samples in proptest::collection::vec(-128i64..256, 1..200),
+        signed_samples in proptest::collection::vec(-128i64..128, 1..200),
+        unsigned_samples in proptest::collection::vec(0i64..256, 1..200),
     ) {
-        let pmf = Pmf::from_samples_i64(8, &samples).unwrap();
-        let sum: f64 = pmf.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        // prob_of folds the signed and unsigned interpretations of a raw
-        // encoding together, so compare through the raw index.
-        for raw in 0..256usize {
-            let raw_count =
-                samples.iter().filter(|&&s| (s as u64 & 0xFF) as usize == raw).count();
-            prop_assert!((pmf.prob(raw) - raw_count as f64 / samples.len() as f64).abs() < 1e-12);
+        for (samples, signed) in [(&signed_samples, true), (&unsigned_samples, false)] {
+            let pmf = Pmf::from_samples_i64(8, samples, signed).unwrap();
+            let sum: f64 = pmf.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            // Signed values fold into their raw two's-complement encoding,
+            // so compare through the raw index.
+            for raw in 0..256usize {
+                let raw_count =
+                    samples.iter().filter(|&&s| (s as u64 & 0xFF) as usize == raw).count();
+                prop_assert!(
+                    (pmf.prob(raw) - raw_count as f64 / samples.len() as f64).abs() < 1e-12
+                );
+            }
         }
+    }
+
+    #[test]
+    fn from_samples_rejects_the_other_encoding(
+        high in 128i64..256,
+        low in -128i64..0,
+    ) {
+        // Each encoding's exclusive range must be rejected by the other.
+        prop_assert!(matches!(
+            Pmf::from_samples_i64(8, &[0, high], true),
+            Err(apx_dist::PmfError::SampleOutOfRange { index: 1, .. })
+        ));
+        prop_assert!(matches!(
+            Pmf::from_samples_i64(8, &[0, low], false),
+            Err(apx_dist::PmfError::SampleOutOfRange { index: 1, .. })
+        ));
     }
 
     #[test]
@@ -112,6 +133,29 @@ proptest! {
             let x = sampler.sample(&mut rng);
             prop_assert!(x < 16);
             prop_assert!(pmf.prob(x) > 0.0, "sampled zero-probability value {x}");
+        }
+    }
+
+    #[test]
+    fn sampler_never_draws_interior_zero_probability_values(
+        gap_at in 1usize..15,
+        gap_len in 1usize..6,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        // A distribution with a run of interior zeros: the CDF has a flat
+        // step exactly at the boundary shared with the preceding
+        // positive-probability value. 10^5 draws must never produce a
+        // zero-probability value, even when `u` lands exactly on a step.
+        let mut weights = vec![1.0f64; 16];
+        for w in &mut weights[gap_at..(gap_at + gap_len).min(15)] {
+            *w = 0.0;
+        }
+        let pmf = Pmf::from_weights(4, weights).unwrap();
+        let sampler = pmf.sampler();
+        let mut rng = Xoshiro256::from_seed(seed);
+        for _ in 0..100_000 {
+            let x = sampler.sample(&mut rng);
+            prop_assert!(pmf.prob(x) > 0.0, "drew zero-probability value {x}");
         }
     }
 

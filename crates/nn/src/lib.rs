@@ -44,5 +44,5 @@ use apx_dist::Pmf;
 /// architectures).
 #[must_use]
 pub fn weight_pmf(qnet: &QuantizedNetwork) -> Pmf {
-    Pmf::from_samples_i64(8, &qnet.all_weights()).expect("network has weights")
+    Pmf::from_samples_i64(8, &qnet.all_weights(), true).expect("network has weights")
 }

@@ -41,6 +41,9 @@
 /// Deterministic PRNG ([`apx_rng`]).
 pub use apx_rng as rng;
 
+/// Persistent scoped worker pool ([`apx_pool`]).
+pub use apx_pool as pool;
+
 /// Gate-level netlists and bit-parallel simulation ([`apx_gates`]).
 pub use apx_gates as gates;
 
@@ -84,7 +87,8 @@ pub mod prelude {
     pub use apx_cgp::{Chromosome, EvolutionConfig, FunctionSet};
     pub use apx_core::{
         cross_wmed, default_thresholds, error_heatmap, evolve_multipliers, mac_metrics,
-        pareto_indices, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig, FlowResult,
+        pareto_indices, run_sweep, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig,
+        FlowResult, SweepConfig, SweepDist, SweepResult,
     };
     pub use apx_dist::Pmf;
     pub use apx_gates::{Netlist, NetlistBuilder};

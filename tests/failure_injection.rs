@@ -32,7 +32,17 @@ fn degenerate_distributions_are_rejected() {
         Err(PmfError::InvalidWeight { .. })
     ));
     assert!(matches!(Pmf::from_weights(4, vec![1.0; 7]), Err(PmfError::BadLength(7))));
-    assert!(Pmf::from_samples_i64(8, &[]).is_err());
+    assert!(Pmf::from_samples_i64(8, &[], true).is_err());
+    // Samples from the other encoding's exclusive range are rejected, not
+    // silently folded onto an aliasing bucket.
+    assert!(matches!(
+        Pmf::from_samples_i64(8, &[200], true),
+        Err(PmfError::SampleOutOfRange { index: 0, value: 200 })
+    ));
+    assert!(matches!(
+        Pmf::from_samples_i64(8, &[-1], false),
+        Err(PmfError::SampleOutOfRange { index: 0, value: -1 })
+    ));
 }
 
 #[test]
