@@ -23,6 +23,8 @@ fn small_grid(threads: usize) -> SweepConfig {
             seed: 7,
             ..FlowConfig::default()
         },
+        // Benchmarks measure evolution, never cache reads.
+        ..SweepConfig::default()
     }
 }
 

@@ -8,23 +8,22 @@
 //! is tracked from PR to PR.
 //!
 //! Scale knobs: `APX_ITERS` (default 200), `APX_RUNS` (default 1),
-//! `APX_THREADS` (default: available parallelism).
+//! `APX_THREADS` (default: available parallelism), `APX_SHARD` (`i/n`).
+//! Unlike the figure binaries this bench only touches the result cache
+//! when `APX_CACHE_DIR` is set explicitly — its purpose is to measure
+//! evolution throughput, and a warm cache would measure file reads.
 
-use apx_bench::{env_u64, env_usize, results_dir, sweep_distributions};
+use apx_bench::{
+    bench_sweep_json, env_u64, env_usize, explicit_cache_dir, results_dir, shard,
+    sweep_distributions,
+};
 use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
-
-fn stats_json(s: &SweepStats) -> String {
-    format!(
-        "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
-         \"evaluations_per_second\": {:.1}}}",
-        s.threads, s.wall_seconds, s.total_evaluations, s.evaluations_per_second
-    )
-}
 
 fn print_stats(label: &str, s: &SweepStats) {
     println!(
-        "{label:<14} threads = {:<3} wall = {:>8.3} s   {:>10.0} evaluations/s",
-        s.threads, s.wall_seconds, s.evaluations_per_second
+        "{label:<14} threads = {:<3} wall = {:>8.3} s   {:>10.0} evaluations/s   \
+         cache: {} hits, {} misses",
+        s.threads, s.wall_seconds, s.evaluations_per_second, s.cache_hits, s.cache_misses
     );
 }
 
@@ -57,10 +56,15 @@ fn main() {
             threads: multi,
             ..FlowConfig::default()
         },
+        cache_dir: explicit_cache_dir(),
+        shard: shard(),
     };
     let multi_result = run_sweep(&cfg).expect("sweep");
     print_stats("multi-thread", &multi_result.stats);
     cfg.flow.threads = 1;
+    // The single-thread reference must re-evolve, not replay what the
+    // multi-thread pass just checkpointed.
+    cfg.cache_dir = None;
     let single_result = run_sweep(&cfg).expect("sweep");
     print_stats("single-thread", &single_result.stats);
     assert_identical(&multi_result, &single_result);
@@ -68,20 +72,14 @@ fn main() {
     let speedup = single_result.stats.wall_seconds / multi_result.stats.wall_seconds.max(1e-9);
     println!("\nspeedup over 1 thread: {speedup:.2}x on {cores} core(s); results bit-identical");
 
-    let json = format!(
-        "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {}, \"thresholds\": \
-         {}, \"runs_per_threshold\": {}, \"tasks\": {}}},\n  \"iterations\": {},\n  \
-         \"cpu_cores\": {},\n  \"multi_thread\": {},\n  \"single_thread\": {},\n  \"speedup\": \
-         {:.4}\n}}\n",
+    let json = bench_sweep_json(
         cfg.distributions.len(),
         cfg.flow.thresholds.len(),
         n_runs,
-        multi_result.stats.tasks,
         iters,
         cores,
-        stats_json(&multi_result.stats),
-        stats_json(&single_result.stats),
-        speedup
+        &multi_result.stats,
+        &single_result.stats,
     );
     let path = results_dir().join("BENCH_sweep.json");
     std::fs::write(&path, json).expect("write BENCH_sweep.json");

@@ -7,9 +7,12 @@
 //! broken-array baselines, and prints one series table per metric panel.
 //! CSV mirror: `results/fig3_pareto.csv`.
 //!
-//! Scale knobs: `APX_ITERS` (default 2000; paper ≈ 10^6), `APX_RUNS`.
+//! Scale knobs: `APX_ITERS` (default 2000; paper ≈ 10^6), `APX_RUNS`,
+//! `APX_CACHE_DIR` (sweep result cache, default `results/cache`),
+//! `APX_SHARD` (`i/n` — compute one slice of the grid into the shared
+//! cache; a later unsharded run assembles the figure from hits alone).
 
-use apx_bench::{iterations, results_dir, runs, sweep_distributions};
+use apx_bench::{cache_dir, iterations, results_dir, runs, shard, sweep_distributions};
 use apx_core::report::TextTable;
 use apx_core::{pareto_indices, run_sweep, FlowConfig, SweepConfig};
 use apx_rng::Xoshiro256;
@@ -39,6 +42,8 @@ fn main() {
             seed: 0xF163,
             ..FlowConfig::default()
         },
+        cache_dir: cache_dir(),
+        shard: shard(),
     };
     let result = run_sweep(&sweep_cfg).expect("sweep");
     println!(
@@ -48,6 +53,15 @@ fn main() {
         result.stats.wall_seconds,
         result.stats.evaluations_per_second
     );
+    if let Some(dir) = &sweep_cfg.cache_dir {
+        println!(
+            "cache: {} hits, {} misses, {} shard-skipped ({})",
+            result.stats.cache_hits,
+            result.stats.cache_misses,
+            result.stats.shard_skipped,
+            dir.display()
+        );
+    }
     let dists = &sweep_cfg.distributions;
     let evaluators = &result.evaluators;
     let tech = TechLibrary::nangate45();

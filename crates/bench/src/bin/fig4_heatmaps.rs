@@ -6,7 +6,7 @@
 //! prints a 16×16 ASCII heat map of `|x·y − M̃(x,y)|` and the
 //! per-operand-band mean errors. CSV mirror: `results/fig4_heatmaps.csv`.
 
-use apx_bench::{iterations, results_dir, sweep_distributions};
+use apx_bench::{cache_dir, iterations, results_dir, sweep_distributions};
 use apx_core::report::TextTable;
 use apx_core::{error_heatmap, run_sweep, FlowConfig, SweepConfig};
 
@@ -26,8 +26,15 @@ fn main() {
             seed: 0xF164,
             ..FlowConfig::default()
         },
+        cache_dir: cache_dir(),
+        // The grid is 3 tasks and every panel needs its entry, so this
+        // binary does not take APX_SHARD.
+        shard: None,
     };
     let result = run_sweep(&sweep_cfg).expect("sweep");
+    if sweep_cfg.cache_dir.is_some() {
+        println!("cache: {} hits, {} misses\n", result.stats.cache_hits, result.stats.cache_misses);
+    }
     let mut csv = TextTable::new(vec!["multiplier", "x_band", "mean_err_pct"]);
     for (di, dist) in sweep_cfg.distributions.iter().enumerate() {
         let name = &dist.name;

@@ -8,7 +8,7 @@
 
 use apx_arith::mac::accumulator_width;
 use apx_arith::{baugh_wooley_multiplier, OpTable};
-use apx_bench::{finetune_iters, iterations, lenet_case, mlp_case, results_dir};
+use apx_bench::{cache_dir, finetune_iters, iterations, lenet_case, mlp_case, results_dir};
 use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
 use apx_core::report::{signed_percent, TextTable};
 use apx_core::{mac_metrics, run_sweep, table1_thresholds, FlowConfig, SweepConfig, SweepDist};
@@ -32,8 +32,18 @@ fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
             seed: 0x7AB1,
             ..FlowConfig::default()
         },
+        cache_dir: cache_dir(),
+        // Every threshold row of the table needs its entry; no sharding.
+        shard: None,
     };
     let evolved = run_sweep(&sweep_cfg).expect("sweep");
+    if sweep_cfg.cache_dir.is_some() {
+        println!(
+            "cache: {} hits, {} misses (the two cases share no tasks — the measured weight\n\
+             PMFs differ, and the PMF is part of the cache key)",
+            evolved.stats.cache_hits, evolved.stats.cache_misses
+        );
+    }
     let exact_mult = baugh_wooley_multiplier(8);
     let acc_width = accumulator_width(8, fanin);
 

@@ -13,6 +13,16 @@
 //! | `APX_TEST_N` | NN test samples | per-case |
 //! | `APX_EPOCHS` | NN training epochs | per-case |
 //! | `APX_FT_ITERS` | fine-tuning iterations (paper: 10) | 2 |
+//! | `APX_CACHE_DIR` | sweep result cache directory (`apx_core::cache`); empty or `off` disables caching | `results/cache` |
+//! | `APX_SHARD` | `i/n`: compute only shard `i` of `n` of the sweep grid | unsharded |
+//!
+//! The sweep-backed binaries (`fig3_pareto`, `fig4_heatmaps`,
+//! `table1_finetune`) checkpoint every completed `(distribution,
+//! threshold, run)` task in the cache, so a killed overnight run resumed
+//! later — or `n` shard processes pointed at one cache directory followed
+//! by a final unsharded run — only computes tasks nobody finished yet.
+//! `bench_sweep` measures throughput, so it only uses a cache when
+//! `APX_CACHE_DIR` is set explicitly.
 //!
 //! Results are printed as paper-style rows and mirrored as CSV under
 //! `results/`.
@@ -21,6 +31,7 @@
 #![warn(missing_docs)]
 
 use apx_core::nn_flow::{prepare_case, CaseConfig, CaseKind, CaseStudy};
+use apx_core::{Shard, SweepStats};
 use apx_dist::Pmf;
 use std::path::PathBuf;
 
@@ -87,6 +98,105 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// The sweep result cache directory for the figure binaries
+/// (`APX_CACHE_DIR`): defaults to `results/cache`; an empty value or
+/// `off` disables caching.
+#[must_use]
+pub fn cache_dir() -> Option<PathBuf> {
+    match std::env::var("APX_CACHE_DIR") {
+        Ok(v) if v.is_empty() || v == "off" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(results_dir().join("cache")),
+    }
+}
+
+/// Like [`cache_dir`], but with no default: `Some` only when
+/// `APX_CACHE_DIR` is set (and not disabled). Used by `bench_sweep`,
+/// whose job is to *measure* the sweep — an implicit warm cache would
+/// quietly turn its throughput numbers into cache-read numbers.
+#[must_use]
+pub fn explicit_cache_dir() -> Option<PathBuf> {
+    std::env::var("APX_CACHE_DIR").ok().filter(|v| !v.is_empty() && v != "off").map(PathBuf::from)
+}
+
+/// Parses an `APX_SHARD`-style `i/n` split.
+///
+/// # Errors
+///
+/// Describes the defect (shape, parse, `index >= count`).
+pub fn parse_shard(spec: &str) -> Result<Shard, String> {
+    let (i, n) = spec.split_once('/').ok_or_else(|| format!("`{spec}`: expected `i/n`"))?;
+    let index: usize = i.trim().parse().map_err(|_| format!("`{spec}`: bad shard index"))?;
+    let count: usize = n.trim().parse().map_err(|_| format!("`{spec}`: bad shard count"))?;
+    if count == 0 || index >= count {
+        return Err(format!("`{spec}`: need 0 <= index < count"));
+    }
+    Ok(Shard { index, count })
+}
+
+/// The shard this process should compute (`APX_SHARD=i/n`), if any.
+///
+/// # Panics
+///
+/// Panics on a malformed specification — a typo silently computing the
+/// whole grid would defeat the point of sharding.
+#[must_use]
+pub fn shard() -> Option<Shard> {
+    std::env::var("APX_SHARD")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .map(|v| parse_shard(&v).expect("APX_SHARD"))
+}
+
+/// Renders one [`SweepStats`] as a JSON object for `BENCH_sweep.json`.
+///
+/// The rate is re-derived through [`SweepStats::rate`] over the
+/// evaluations *this* run computed: the clamped denominator keeps it a
+/// finite JSON number even when `wall_seconds` is (or rounds to) zero —
+/// `{:.1}` of an unclamped division emitted `inf`, which no JSON parser
+/// accepts — and rating cache hits would claim CGP throughput for file
+/// reads.
+#[must_use]
+pub fn sweep_stats_json(s: &SweepStats) -> String {
+    format!(
+        "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
+         \"computed_evaluations\": {}, \"evaluations_per_second\": {:.1}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"shard_skipped\": {}}}",
+        s.threads,
+        s.wall_seconds,
+        s.total_evaluations,
+        s.computed_evaluations,
+        SweepStats::rate(s.computed_evaluations, s.wall_seconds),
+        s.cache_hits,
+        s.cache_misses,
+        s.shard_skipped
+    )
+}
+
+/// Assembles the complete `BENCH_sweep.json` document from the two
+/// benchmark passes (full pool vs. one thread).
+#[must_use]
+pub fn bench_sweep_json(
+    distributions: usize,
+    thresholds: usize,
+    runs_per_threshold: usize,
+    iterations: u64,
+    cpu_cores: usize,
+    multi: &SweepStats,
+    single: &SweepStats,
+) -> String {
+    let speedup = single.wall_seconds / multi.wall_seconds.max(1e-9);
+    format!(
+        "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {distributions}, \
+         \"thresholds\": {thresholds}, \"runs_per_threshold\": {runs_per_threshold}, \"tasks\": \
+         {}}},\n  \"iterations\": {iterations},\n  \"cpu_cores\": {cpu_cores},\n  \
+         \"multi_thread\": {},\n  \"single_thread\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+        multi.tasks,
+        sweep_stats_json(multi),
+        sweep_stats_json(single),
+    )
+}
+
 /// Prepares the MNIST-like MLP case at bench scale.
 #[must_use]
 pub fn mlp_case() -> CaseStudy {
@@ -130,6 +240,15 @@ mod tests {
     fn env_knobs_fall_back_to_defaults() {
         assert_eq!(env_u64("APX_DEFINITELY_UNSET_VAR", 7), 7);
         assert!(iterations() > 0);
+    }
+
+    #[test]
+    fn shard_specs_parse_or_explain() {
+        assert_eq!(parse_shard("0/4"), Ok(Shard { index: 0, count: 4 }));
+        assert_eq!(parse_shard(" 3 / 4 "), Ok(Shard { index: 3, count: 4 }));
+        for bad in ["", "3", "4/4", "5/4", "a/4", "1/b", "1/0", "-1/4"] {
+            assert!(parse_shard(bad).is_err(), "`{bad}` should be rejected");
+        }
     }
 
     #[test]

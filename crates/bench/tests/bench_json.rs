@@ -1,0 +1,195 @@
+//! `results/BENCH_sweep.json` must always be valid JSON.
+//!
+//! Regression: the bin hand-rolled its JSON and formatted
+//! `evaluations_per_second` with `{:.1}`, which prints `inf` — not a JSON
+//! token — whenever `wall_seconds` rounds to zero on a tiny grid. The
+//! rate now goes through `SweepStats::rate` (clamped denominator) and the
+//! document through `apx_bench::bench_sweep_json`; this test feeds the
+//! formatter the degenerate stats that used to corrupt the file and runs
+//! a real JSON grammar check over the output (no leniency: `f64::parse`
+//! would happily accept `inf`, so numbers are validated against the JSON
+//! number grammar, not Rust's).
+
+use apx_bench::{bench_sweep_json, sweep_stats_json};
+use apx_core::SweepStats;
+
+/// A minimal strict JSON recognizer (grammar check only, no tree).
+mod json {
+    pub fn validate(text: &str) -> Result<(), String> {
+        let bytes = text.as_bytes();
+        let mut pos = value(bytes, skip_ws(bytes, 0))?;
+        pos = skip_ws(bytes, pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], mut p: usize) -> usize {
+        while p < b.len() && matches!(b[p], b' ' | b'\t' | b'\n' | b'\r') {
+            p += 1;
+        }
+        p
+    }
+
+    fn value(b: &[u8], p: usize) -> Result<usize, String> {
+        match b.get(p) {
+            Some(b'{') => object(b, p),
+            Some(b'[') => array(b, p),
+            Some(b'"') => string(b, p),
+            Some(b't') => literal(b, p, b"true"),
+            Some(b'f') => literal(b, p, b"false"),
+            Some(b'n') => literal(b, p, b"null"),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, p),
+            other => Err(format!("unexpected {other:?} at {p}")),
+        }
+    }
+
+    fn literal(b: &[u8], p: usize, lit: &[u8]) -> Result<usize, String> {
+        if b.len() >= p + lit.len() && &b[p..p + lit.len()] == lit {
+            Ok(p + lit.len())
+        } else {
+            Err(format!("bad literal at {p}"))
+        }
+    }
+
+    fn object(b: &[u8], mut p: usize) -> Result<usize, String> {
+        p = skip_ws(b, p + 1);
+        if b.get(p) == Some(&b'}') {
+            return Ok(p + 1);
+        }
+        loop {
+            p = string(b, skip_ws(b, p))?;
+            p = skip_ws(b, p);
+            if b.get(p) != Some(&b':') {
+                return Err(format!("expected `:` at {p}"));
+            }
+            p = value(b, skip_ws(b, p + 1))?;
+            p = skip_ws(b, p);
+            match b.get(p) {
+                Some(b',') => p += 1,
+                Some(b'}') => return Ok(p + 1),
+                other => return Err(format!("expected `,`/`}}`, got {other:?} at {p}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], mut p: usize) -> Result<usize, String> {
+        p = skip_ws(b, p + 1);
+        if b.get(p) == Some(&b']') {
+            return Ok(p + 1);
+        }
+        loop {
+            p = value(b, skip_ws(b, p))?;
+            p = skip_ws(b, p);
+            match b.get(p) {
+                Some(b',') => p += 1,
+                Some(b']') => return Ok(p + 1),
+                other => return Err(format!("expected `,`/`]`, got {other:?} at {p}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], p: usize) -> Result<usize, String> {
+        if b.get(p) != Some(&b'"') {
+            return Err(format!("expected string at {p}"));
+        }
+        let mut q = p + 1;
+        while let Some(&c) = b.get(q) {
+            match c {
+                b'"' => return Ok(q + 1),
+                b'\\' => q += 2,
+                _ => q += 1,
+            }
+        }
+        Err(format!("unterminated string at {p}"))
+    }
+
+    /// JSON number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+    /// Deliberately rejects `inf`, `NaN`, `+1`, `01`, `1.` and `.5`.
+    fn number(b: &[u8], mut p: usize) -> Result<usize, String> {
+        let start = p;
+        if b.get(p) == Some(&b'-') {
+            p += 1;
+        }
+        match b.get(p) {
+            Some(b'0') => p += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while b.get(p).is_some_and(u8::is_ascii_digit) {
+                    p += 1;
+                }
+            }
+            _ => return Err(format!("bad number at {start}")),
+        }
+        if b.get(p) == Some(&b'.') {
+            p += 1;
+            if !b.get(p).is_some_and(u8::is_ascii_digit) {
+                return Err(format!("bad fraction at {start}"));
+            }
+            while b.get(p).is_some_and(u8::is_ascii_digit) {
+                p += 1;
+            }
+        }
+        if matches!(b.get(p), Some(b'e' | b'E')) {
+            p += 1;
+            if matches!(b.get(p), Some(b'+' | b'-')) {
+                p += 1;
+            }
+            if !b.get(p).is_some_and(u8::is_ascii_digit) {
+                return Err(format!("bad exponent at {start}"));
+            }
+            while b.get(p).is_some_and(u8::is_ascii_digit) {
+                p += 1;
+            }
+        }
+        Ok(p)
+    }
+}
+
+fn stats(wall_seconds: f64, total_evaluations: u64) -> SweepStats {
+    SweepStats {
+        wall_seconds,
+        total_evaluations,
+        computed_evaluations: total_evaluations,
+        evaluations_per_second: SweepStats::rate(total_evaluations, wall_seconds),
+        threads: 4,
+        tasks: 42,
+        cache_hits: 40,
+        cache_misses: 1,
+        shard_skipped: 1,
+    }
+}
+
+#[test]
+fn json_checker_rejects_what_it_should() {
+    assert!(json::validate("{\"a\": 1.5e-3, \"b\": [true, null, \"x\"]}").is_ok());
+    for bad in
+        ["{\"a\": inf}", "{\"a\": NaN}", "{\"a\": 1.}", "{\"a\": 01}", "{\"a\": 1} trailing", "{"]
+    {
+        assert!(json::validate(bad).is_err(), "`{bad}` should be rejected");
+    }
+}
+
+#[test]
+fn bench_sweep_json_stays_valid_for_degenerate_timings() {
+    // The regression case: a grid so tiny the wall clock reads ~0 — the
+    // unclamped rate was `4200 / 0.0 = inf`.
+    for (wall, evals) in
+        [(0.0, 4_200), (0.0, 0), (1e-12, u64::MAX), (f64::MIN_POSITIVE, 1), (3.7, 123_456)]
+    {
+        let s = stats(wall, evals);
+        assert!(s.evaluations_per_second.is_finite(), "rate must be clamped finite");
+        let obj = sweep_stats_json(&s);
+        json::validate(&obj).unwrap_or_else(|e| panic!("invalid stats JSON ({e}): {obj}"));
+        let doc = bench_sweep_json(3, 14, 1, 50, 4, &s, &stats(wall * 2.0, evals));
+        json::validate(&doc).unwrap_or_else(|e| panic!("invalid document ({e}): {doc}"));
+    }
+}
+
+#[test]
+fn committed_bench_sweep_json_parses() {
+    // The tracked perf-history file must itself be valid JSON.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sweep.json");
+    let text = std::fs::read_to_string(path).expect("results/BENCH_sweep.json is committed");
+    json::validate(&text).unwrap_or_else(|e| panic!("committed BENCH_sweep.json invalid: {e}"));
+}

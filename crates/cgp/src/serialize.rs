@@ -66,6 +66,13 @@ impl Chromosome {
         if genes.len() != expected {
             return Err(parse_err(&format!("expected {expected} genes, found {}", genes.len())));
         }
+        // Anything after the three sections is not ours: a fourth
+        // non-empty line means the caller handed us a concatenation or a
+        // corrupt container (e.g. a damaged sweep-cache entry), and
+        // silently ignoring it would mask the damage.
+        if let Some(extra) = lines.next() {
+            return Err(parse_err(&format!("unexpected trailing content: {extra:?}")));
+        }
         let chrom = Chromosome::from_parts(ni, no, cols, funcs, genes);
         if !chrom.is_valid() {
             return Err(parse_err("gene values violate CGP legality rules"));
@@ -123,6 +130,11 @@ mod tests {
         assert!(Chromosome::from_text("cgp 2 1 1\nfuncs and\ngenes 5 0 0 2").is_err());
         // Zero dimensions.
         assert!(Chromosome::from_text("cgp 0 1 1\nfuncs and\ngenes 0 0 0 0").is_err());
+        // Trailing content (two concatenated chromosomes, stray line).
+        let valid = "cgp 2 1 1\nfuncs and\ngenes 0 1 0 2\n";
+        assert!(Chromosome::from_text(valid).is_ok());
+        assert!(Chromosome::from_text(&format!("{valid}{valid}")).is_err());
+        assert!(Chromosome::from_text(&format!("{valid}junk")).is_err());
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Content-addressed persistence for completed sweep tasks.
+//!
+//! At paper scale one `(distribution × threshold × run)` task is a CGP run
+//! of ~10^6 generations — hours of compute per grid — yet the figure
+//! binaries used to re-evolve identical tasks from scratch and a killed
+//! sweep lost everything. This module gives [`run_sweep`](crate::run_sweep)
+//! a durable memo: every completed task is written to disk keyed by *what
+//! was computed*, so re-running the same configuration (the same binary
+//! after Ctrl-C, a figure regenerated at the same scale, another shard of
+//! a distributed run) loads the finished entries and computes only the
+//! missing tail. Note that the master seed participates in every key (via
+//! the per-task seed), so two binaries only share entries if they
+//! configure the *same* seeded grid — the stock figure binaries use
+//! distinct seeds and therefore maintain disjoint key sets in one shared
+//! directory.
+//!
+//! # Key derivation
+//!
+//! A cache key is a 128-bit FNV-1a digest (two 64-bit passes with distinct
+//! offset bases) of a canonical description of everything that determines
+//! a task's result bit for bit:
+//!
+//! * the distribution as content — [`Pmf::content_digest`] over the exact
+//!   probability bit patterns;
+//! * the operand encoding: `width`, `signed`;
+//! * the task itself: the WMED `threshold` (IEEE-754 bits, not a decimal
+//!   rendering), the `run` index, and the per-task RNG seed (which folds
+//!   in the master seed and the task's grid position, see
+//!   `flow::task_seed`);
+//! * the CGP knobs: `iterations`, `lambda`, `mutations`, `cols_slack`;
+//! * the estimate knob: `activity_blocks`;
+//! * a format tag (`apx-sweep-task v1`) — bump it whenever the evolution
+//!   or estimation algorithm changes meaning, which atomically orphans
+//!   every stale entry instead of replaying it.
+//!
+//! Anything *not* in the key must not influence the stored bytes: display
+//! names, distribution order, thread counts and shard splits all map to
+//! the same entries, which is what makes a warm run bit-identical to a
+//! cold one.
+//!
+//! # Entry format
+//!
+//! One task per file, `<32 hex digits>.sweep` under the cache directory, a
+//! line-oriented text format in the spirit of `apx_cgp::serialize`:
+//!
+//! ```text
+//! apxsweep v1
+//! key 9f…e2
+//! threshold 3f50624dd2f1a9fc
+//! run 0
+//! evaluations 804
+//! stats 3f1a… 3f08… 3f30… 3fe0… 3f2b… 37
+//! estimate 40c3… 3ff4… 4059… 408e… 4093…
+//! cgp 16 16 490
+//! funcs buf not and nand or nor xor xnor
+//! genes 0 1 2 …
+//! ```
+//!
+//! Every `f64` is stored as the 16-hex-digit IEEE-754 bit pattern —
+//! round-tripping is exact by construction, never `{:.17}`-approximate.
+//! The phenotype netlist is not stored: it is re-derived from the
+//! chromosome (`decode_active` is deterministic), and the chromosome line
+//! reuses the existing `.cgp` serialization. Loading is strict: a missing
+//! line, a short field list, a key mismatch or trailing bytes all reject
+//! the entry (the caller recomputes — corruption can cost time, never
+//! correctness).
+//!
+//! # Atomicity
+//!
+//! [`SweepCache::store`] writes to a per-process temp file in the cache
+//! directory and `rename`s it into place, so a killed run leaves either no
+//! entry or a complete one — never a torn file that a resume would have to
+//! distrust. Concurrent writers (two shards finishing the same key) race
+//! benignly: both rename complete, identical bytes.
+//!
+//! The sweep driver decides *where* the cache lives
+//! ([`SweepConfig::cache_dir`](crate::SweepConfig)); the figure binaries
+//! default it to `results/cache/` and expose the `APX_CACHE_DIR`
+//! environment knob (empty or `off` disables caching entirely).
+
+use crate::flow::{EvolvedMultiplier, FlowConfig};
+use apx_cgp::Chromosome;
+use apx_dist::{fnv1a64, Pmf, FNV1A64_OFFSET};
+use apx_metrics::ErrorStats;
+use apx_techlib::CircuitEstimate;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version tag mixed into every key and written into every entry. Bump it
+/// whenever the semantics of a stored task change (evolution algorithm,
+/// estimate model, seed derivation): old entries then simply stop
+/// matching instead of resurfacing as wrong results.
+const FORMAT_TAG: &str = "apx-sweep-task v1";
+
+/// Magic first line of an entry file.
+const MAGIC: &str = "apxsweep v1";
+
+/// A 128-bit content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CacheKey {
+    /// The key as 32 lowercase hex digits (also the entry's file stem).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Derives the content-addressed key of one sweep task (see the module
+/// docs for exactly which inputs participate and why).
+#[must_use]
+pub fn task_key(
+    flow: &FlowConfig,
+    pmf: &Pmf,
+    threshold: f64,
+    run: usize,
+    task_seed: u64,
+) -> CacheKey {
+    let canonical = format!(
+        "{FORMAT_TAG}\npmf {:016x}\nwidth {} signed {}\nthreshold {:016x}\nrun {run}\n\
+         task_seed {task_seed:016x}\niterations {} lambda {} mutations {} cols_slack {}\n\
+         activity_blocks {}\n",
+        pmf.content_digest(),
+        flow.width,
+        flow.signed,
+        threshold.to_bits(),
+        flow.iterations,
+        flow.lambda,
+        flow.mutations,
+        flow.cols_slack,
+        flow.activity_blocks,
+    );
+    // Two independent 64-bit passes (standard offset basis, then a
+    // decorrelated one) make accidental collisions across a design-space
+    // exploration astronomically unlikely without any external hash dep.
+    CacheKey {
+        hi: fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET),
+        lo: fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET ^ 0x9E37_79B9_7F4A_7C15),
+    }
+}
+
+/// A directory of completed sweep tasks, one file per [`CacheKey`].
+#[derive(Debug, Clone)]
+pub struct SweepCache {
+    dir: PathBuf,
+}
+
+impl SweepCache {
+    /// Opens (without touching the filesystem) a cache rooted at `dir`.
+    /// The directory is created lazily on the first [`store`](Self::store).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SweepCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.sweep", key.hex()))
+    }
+
+    /// Loads the completed task stored under `key`, or `None` when the
+    /// entry is absent, truncated, corrupt or belongs to a different key —
+    /// a rejected entry is indistinguishable from a miss, so the caller
+    /// always falls back to recomputing (and then overwrites the bad
+    /// file).
+    ///
+    /// The returned multiplier carries the *stored* task data; its display
+    /// `name` is whatever the storing run used, and [`run_sweep`]
+    /// (crate::run_sweep) re-stamps it for the current configuration.
+    #[must_use]
+    pub fn load(&self, key: CacheKey) -> Option<EvolvedMultiplier> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        entry_from_text(&text, key)
+    }
+
+    /// Atomically stores `entry` under `key`: the bytes are written to a
+    /// per-process temp file in the cache directory and renamed into
+    /// place, so no interleaving of crashes and concurrent writers can
+    /// leave a torn file behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (unwritable directory, full disk). Callers
+    /// inside the sweep treat a failed store as "cache disabled for this
+    /// task" — the computed result is still returned.
+    pub fn store(&self, key: CacheKey, entry: &EvolvedMultiplier) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_of(key);
+        let tmp = self.dir.join(format!(".{}.tmp.{}", key.hex(), std::process::id()));
+        std::fs::write(&tmp, entry_to_text(entry, key))?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                // Never leave temp litter next to real entries.
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+fn push_f64_bits(out: &mut String, values: &[f64]) {
+    for v in values {
+        let _ = write!(out, " {:016x}", v.to_bits());
+    }
+}
+
+/// Serializes one completed task to the entry format (module docs).
+fn entry_to_text(m: &EvolvedMultiplier, key: CacheKey) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{MAGIC}");
+    let _ = writeln!(s, "key {}", key.hex());
+    let _ = writeln!(s, "threshold {:016x}", m.threshold.to_bits());
+    let _ = writeln!(s, "run {}", m.run);
+    let _ = writeln!(s, "evaluations {}", m.evaluations);
+    s.push_str("stats");
+    push_f64_bits(
+        &mut s,
+        &[m.stats.med, m.stats.wmed, m.stats.wce, m.stats.error_rate, m.stats.mred],
+    );
+    let _ = writeln!(s, " {}", m.stats.max_abs_error);
+    s.push_str("estimate");
+    push_f64_bits(
+        &mut s,
+        &[
+            m.estimate.area_um2,
+            m.estimate.delay_ns,
+            m.estimate.leakage_uw,
+            m.estimate.dynamic_uw,
+            m.estimate.clock_mhz,
+        ],
+    );
+    s.push('\n');
+    s.push_str(&m.chromosome.to_text());
+    s
+}
+
+/// Parses an entry, validating it belongs to `key`. `None` on any defect.
+fn entry_from_text(text: &str, key: CacheKey) -> Option<EvolvedMultiplier> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    if lines.next()? != format!("key {}", key.hex()) {
+        return None;
+    }
+    let threshold = f64::from_bits(field(lines.next()?, "threshold", 1)?.parse_hex()?);
+    let run = field(lines.next()?, "run", 1)?.parse_dec()?;
+    let evaluations = field(lines.next()?, "evaluations", 1)?.parse_dec()?;
+
+    let stats_line = field(lines.next()?, "stats", 6)?;
+    let s = stats_line.f64s::<5>()?;
+    let stats = ErrorStats {
+        med: s[0],
+        wmed: s[1],
+        wce: s[2],
+        error_rate: s[3],
+        mred: s[4],
+        max_abs_error: stats_line.values.last()?.parse().ok()?,
+    };
+    let est_line = field(lines.next()?, "estimate", 5)?;
+    let e = est_line.f64s::<5>()?;
+    let estimate = CircuitEstimate {
+        area_um2: e[0],
+        delay_ns: e[1],
+        leakage_uw: e[2],
+        dynamic_uw: e[3],
+        clock_mhz: e[4],
+    };
+
+    // The remainder is exactly one `.cgp` chromosome; `from_text` rejects
+    // truncation and trailing bytes itself.
+    let rest: Vec<&str> = lines.collect();
+    let chromosome = Chromosome::from_text(&rest.join("\n")).ok()?;
+    let netlist = chromosome.decode_active();
+    Some(EvolvedMultiplier {
+        name: String::new(), // re-stamped by the caller for its grid
+        chromosome,
+        netlist,
+        threshold,
+        run,
+        stats,
+        estimate,
+        evaluations,
+    })
+}
+
+/// One parsed `tag v1 v2 …` line with exactly `expected` values.
+struct Fields<'a> {
+    values: Vec<&'a str>,
+}
+
+impl Fields<'_> {
+    fn parse_hex(&self) -> Option<u64> {
+        u64::from_str_radix(self.values[0], 16).ok()
+    }
+
+    fn parse_dec<T: std::str::FromStr>(&self) -> Option<T> {
+        self.values[0].parse().ok()
+    }
+
+    fn f64s<const N: usize>(&self) -> Option<[f64; N]> {
+        let mut out = [0.0; N];
+        for (o, v) in out.iter_mut().zip(&self.values) {
+            *o = f64::from_bits(u64::from_str_radix(v, 16).ok()?);
+        }
+        Some(out)
+    }
+}
+
+fn field<'a>(line: &'a str, tag: &str, expected: usize) -> Option<Fields<'a>> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != tag {
+        return None;
+    }
+    let values: Vec<&str> = parts.collect();
+    (values.len() == expected).then_some(Fields { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_cgp::FunctionSet;
+    use apx_rng::Xoshiro256;
+    use proptest::prelude::*;
+
+    /// Per-test unique scratch directory (parallel test binaries must not
+    /// race on a shared fixed path — see the report-module regression).
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("apx_cache_test_{}_{tag}", std::process::id()))
+    }
+
+    fn some_key(salt: u64) -> CacheKey {
+        task_key(&FlowConfig::default(), &Pmf::uniform(8), 0.01, 0, salt)
+    }
+
+    /// A synthetic but structurally valid entry with every field driven
+    /// from `seed`, including awkward float values (negative zero,
+    /// subnormals, huge magnitudes).
+    fn synthetic_entry(seed: u64) -> EvolvedMultiplier {
+        let mut rng = Xoshiro256::from_seed(seed);
+        let chromosome = Chromosome::random(6, 4, 20, &FunctionSet::extended(), &mut rng);
+        let mut f = |i: usize| match i % 4 {
+            0 => -0.0,
+            1 => f64::from_bits(1), // smallest subnormal
+            2 => rng.f64() * 1e300,
+            _ => rng.f64(),
+        };
+        let netlist = chromosome.decode_active();
+        EvolvedMultiplier {
+            name: format!("D_t{}_r{}", seed % 7, seed % 3),
+            chromosome,
+            netlist,
+            threshold: f(3),
+            run: (seed % 25) as usize,
+            stats: ErrorStats {
+                med: f(0),
+                wmed: f(1),
+                wce: f(2),
+                error_rate: f(3),
+                mred: f(2),
+                max_abs_error: (seed as i64).rotate_left(17),
+            },
+            estimate: CircuitEstimate {
+                area_um2: f(2),
+                delay_ns: f(3),
+                leakage_uw: f(0),
+                dynamic_uw: f(1),
+                clock_mhz: f(2),
+            },
+            evaluations: seed.rotate_left(29),
+        }
+    }
+
+    fn assert_bit_identical(a: &EvolvedMultiplier, b: &EvolvedMultiplier) {
+        assert_eq!(a.chromosome, b.chromosome);
+        assert_eq!(a.run, b.run);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+        for (x, y) in [
+            (a.stats.med, b.stats.med),
+            (a.stats.wmed, b.stats.wmed),
+            (a.stats.wce, b.stats.wce),
+            (a.stats.error_rate, b.stats.error_rate),
+            (a.stats.mred, b.stats.mred),
+            (a.estimate.area_um2, b.estimate.area_um2),
+            (a.estimate.delay_ns, b.estimate.delay_ns),
+            (a.estimate.leakage_uw, b.estimate.leakage_uw),
+            (a.estimate.dynamic_uw, b.estimate.dynamic_uw),
+            (a.estimate.clock_mhz, b.estimate.clock_mhz),
+        ] {
+            // Stricter than PartialEq: -0.0 must stay -0.0.
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.stats.max_abs_error, b.stats.max_abs_error);
+        assert_eq!(a.netlist.gate_count(), b.netlist.gate_count());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn store_load_round_trips_bit_for_bit(seed in 0u64..u64::MAX, salt in 0u64..u64::MAX) {
+            let entry = synthetic_entry(seed);
+            let key = some_key(salt);
+            let dir = scratch("prop");
+            let cache = SweepCache::new(&dir);
+            cache.store(key, &entry).expect("store");
+            let back = cache.load(key).expect("hit");
+            assert_bit_identical(&entry, &back);
+            // In-memory round trip agrees with the on-disk one.
+            let back2 = entry_from_text(&entry_to_text(&entry, key), key).expect("parse");
+            assert_bit_identical(&entry, &back2);
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss() {
+        let cache = SweepCache::new(scratch("missing"));
+        assert!(cache.load(some_key(1)).is_none());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_rejected_not_panicked() {
+        let entry = synthetic_entry(42);
+        let key = some_key(42);
+        let text = entry_to_text(&entry, key);
+        assert!(entry_from_text(&text, key).is_some(), "sanity: intact entry loads");
+
+        // Truncation at every line boundary (a killed non-atomic writer).
+        let lines: Vec<&str> = text.lines().collect();
+        for n in 0..lines.len() {
+            let cut = lines[..n].join("\n");
+            assert!(entry_from_text(&cut, key).is_none(), "truncated to {n} lines accepted");
+        }
+        // Truncation mid-line and single-byte corruption in the genes.
+        assert!(entry_from_text(&text[..text.len() - 3], key).is_none());
+        assert!(entry_from_text(&text.replace("genes", "genus"), key).is_none());
+        // Trailing garbage / doubled entry.
+        assert!(entry_from_text(&format!("{text}{text}"), key).is_none());
+        assert!(entry_from_text(&format!("{text}trailing junk\n"), key).is_none());
+        // Wrong magic or an entry stored under another key.
+        assert!(entry_from_text(&text.replace(MAGIC, "apxsweep v0"), key).is_none());
+        assert!(entry_from_text(&text, some_key(43)).is_none());
+
+        // End to end: a corrupt file on disk behaves as a miss.
+        let dir = scratch("corrupt");
+        let cache = SweepCache::new(&dir);
+        let path = cache.store(key, &entry).expect("store");
+        std::fs::write(&path, &text.as_bytes()[..40]).unwrap();
+        assert!(cache.load(key).is_none());
+    }
+
+    #[test]
+    fn keys_separate_every_input_that_shapes_the_result() {
+        let flow = FlowConfig::default();
+        let pmf = Pmf::uniform(8);
+        let base = task_key(&flow, &pmf, 0.01, 0, 7);
+        assert_eq!(base, task_key(&flow.clone(), &pmf.clone(), 0.01, 0, 7), "deterministic");
+        let variants = [
+            task_key(&flow, &Pmf::half_normal(8, 48.0), 0.01, 0, 7),
+            task_key(&flow, &pmf, 0.02, 0, 7),
+            task_key(&flow, &pmf, 0.01, 1, 7),
+            task_key(&flow, &pmf, 0.01, 0, 8),
+            task_key(&FlowConfig { iterations: 3_000, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { lambda: 5, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { mutations: 6, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { cols_slack: 61, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { signed: true, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { activity_blocks: 47, ..flow.clone() }, &pmf, 0.01, 0, 7),
+        ];
+        let mut seen = std::collections::HashSet::from([base]);
+        for v in variants {
+            assert!(seen.insert(v), "key failed to separate a result-shaping input");
+        }
+        // Thresholds that differ only in bits invisible to `{:e}`-style
+        // printing still separate (keys hash the IEEE bits).
+        let tiny = f64::from_bits(0.01f64.to_bits() + 1);
+        assert_ne!(task_key(&flow, &pmf, 0.01, 0, 7), task_key(&flow, &pmf, tiny, 0, 7));
+    }
+
+    #[test]
+    fn store_is_atomic_in_place_and_leaves_no_temp_litter() {
+        let dir = scratch("atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        let key = some_key(9);
+        cache.store(key, &synthetic_entry(9)).expect("store");
+        // Overwrite with different content: still one file, new content.
+        cache.store(key, &synthetic_entry(10)).expect("overwrite");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![format!("{}.sweep", key.hex())]);
+        let back = cache.load(key).expect("hit");
+        assert_bit_identical(&synthetic_entry(10), &back);
+    }
+}

@@ -158,15 +158,30 @@ pub(crate) fn seed_circuit(cfg: &FlowConfig) -> Result<(Netlist, Chromosome), Co
     Ok((seed_netlist, seed_chrom))
 }
 
+/// One SplitMix64 finalization step (Steele, Lea & Flood's `mix64`):
+/// bijective on `u64` with full avalanche, so absorbing each index through
+/// it cannot collapse distinct index tuples the way shifted adds did.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Decorrelates the per-task RNG streams deterministically: the stream
 /// depends only on `(master seed, distribution, threshold, run)`, never on
 /// scheduling, so any thread count reproduces the same results bit for
-/// bit.
+/// bit. The value is also the seed component of the sweep cache key
+/// ([`crate::cache::task_key`]), so it must separate *every* distinct
+/// index tuple — the former shifted-add packing aliased e.g.
+/// `(dist, ti, run) = (1, 0, 0)` with `(0, 2^16, 0)` once a grid grew past
+/// 2^16 thresholds, silently reusing one task's RNG stream (and cache
+/// entry) for another.
 pub(crate) fn task_seed(seed: u64, dist: usize, ti: usize, run: usize) -> u64 {
-    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((dist as u64) << 48)
-        .wrapping_add((ti as u64) << 32)
-        .wrapping_add(run as u64 + 1)
+    let mut s = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
+    s = splitmix64(s ^ dist as u64);
+    s = splitmix64(s ^ ti as u64);
+    splitmix64(s ^ run as u64)
 }
 
 /// Runs one `(threshold, run)` task: evolve under Eq. 1 (or keep the exact
@@ -416,6 +431,34 @@ mod tests {
                 assert!(b.estimate.area_um2 <= m.estimate.area_um2);
             }
         }
+    }
+
+    #[test]
+    fn task_seed_never_aliases_distinct_tasks() {
+        // Regression: the former shifted-add packing computed
+        // `seed·φ + (dist << 48) + (ti << 32) + run + 1`, so a threshold
+        // index ≥ 2^16 carried straight into the distribution bits and
+        // two different tasks shared one RNG stream. The exact old
+        // aliasing pair must now map to different seeds …
+        assert_ne!(task_seed(0, 1, 0, 0), task_seed(0, 0, 1 << 16, 0));
+        assert_ne!(task_seed(7, 2, 0, 5), task_seed(7, 0, 2 << 16, 4));
+        // … and a large index grid must stay collision-free (the grid
+        // deliberately crosses both overflow boundaries of the old
+        // packing: ti near 2^16·k and run near 2^32).
+        let mut seen = std::collections::HashMap::new();
+        for seed in [0u64, 0xF163, u64::MAX] {
+            for dist in [0usize, 1, 2, 3, 31] {
+                for ti in (0..48).chain([1 << 16, (1 << 16) + 1, 1 << 20, 1 << 17]) {
+                    for run in [0usize, 1, 2, 3, 4, 5, 6, 7, 1 << 16, 1 << 20] {
+                        let s = task_seed(seed, dist, ti, run);
+                        if let Some(prev) = seen.insert(s, (seed, dist, ti, run)) {
+                            panic!("seed collision: {prev:?} vs {:?}", (seed, dist, ti, run));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 3 * 5 * 52 * 10);
     }
 
     #[test]

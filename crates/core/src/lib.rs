@@ -14,6 +14,11 @@
 //!   `(distribution × threshold × run)` grid on one persistent
 //!   [`apx_pool`] worker pool, with each WMED evaluator built once per
 //!   distribution and shared across all of its tasks;
+//! * [`cache`] — content-addressed persistence of completed sweep tasks:
+//!   every finished `(distribution, threshold, run)` task is checkpointed
+//!   under a digest of exactly what was computed, so re-runs, interrupted
+//!   overnight sweeps and multi-process [`Shard`] splits reuse evolved
+//!   multipliers instead of re-evolving them;
 //! * [`pareto_indices`] — non-dominated filtering for the trade-off plots;
 //! * [`cross_wmed`] / [`error_heatmap`] — cross-distribution evaluation
 //!   (the off-diagonal panels of Fig. 3 and the heat maps of Fig. 4);
@@ -28,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 mod evaluate;
 mod fitness;
@@ -47,4 +53,4 @@ pub use flow::{
 };
 pub use mac_report::{mac_metrics, MacMetrics};
 pub use pareto::pareto_indices;
-pub use sweep::{run_sweep, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats};
+pub use sweep::{run_sweep, Shard, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats};

@@ -152,7 +152,11 @@ mod tests {
     fn csv_round_trips_to_disk() {
         let mut t = TextTable::new(vec!["k", "v"]);
         t.row(vec!["1", "2"]);
-        let dir = std::env::temp_dir().join("apx_core_report_test");
+        // The directory must be unique per process: a fixed name raced
+        // concurrent test runs (`cargo test` in two checkouts, or a test
+        // runner re-invoking the binary), with one process deleting the
+        // directory under the other.
+        let dir = std::env::temp_dir().join(format!("apx_core_report_test_{}", std::process::id()));
         let path = dir.join("t.csv");
         t.write_csv(&path).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();

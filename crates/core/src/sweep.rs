@@ -24,6 +24,7 @@
 //! count: per-task RNG streams derive from `(seed, distribution,
 //! threshold, run)`, never from scheduling.
 
+use crate::cache::{task_key, CacheKey, SweepCache};
 use crate::flow::{
     evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedMultiplier, FlowConfig,
 };
@@ -33,6 +34,7 @@ use apx_gates::Netlist;
 use apx_metrics::MultEvaluator;
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,14 +55,40 @@ impl SweepDist {
     }
 }
 
+/// One shard of a sweep grid: this process computes every task whose
+/// index in the flat deterministic task list satisfies
+/// `index % count == shard.index`.
+///
+/// The task list is flattened in `(distribution, threshold, run)` order
+/// and is identical for every participant, so `n` processes (or machines)
+/// each running one shard of `n` against a shared
+/// [`cache_dir`](SweepConfig::cache_dir) together cover the grid exactly
+/// once. Striding — rather than contiguous ranges — spreads the expensive
+/// high-threshold tasks evenly across shards. A final unsharded run then
+/// assembles the full result from cache hits alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// This process's shard, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the grid is split into.
+    pub count: usize,
+}
+
 /// Configuration of a full Pareto sweep.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepConfig {
     /// The distributions to sweep (each gets one shared evaluator).
     pub distributions: Vec<SweepDist>,
     /// Everything else — thresholds, CGP knobs, seed, thread count —
     /// shared with the single-distribution flow.
     pub flow: FlowConfig,
+    /// Content-addressed result cache directory ([`crate::cache`]):
+    /// completed tasks are stored there as they finish and matching tasks
+    /// are loaded instead of recomputed. `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Restrict this run to one shard of the task grid. `None` runs every
+    /// task.
+    pub shard: Option<Shard>,
 }
 
 /// One completed `(distribution, threshold, run)` task.
@@ -79,20 +107,47 @@ pub struct SweepEntry {
 pub struct SweepStats {
     /// Wall-clock time of the task grid, in seconds.
     pub wall_seconds: f64,
-    /// Total fitness evaluations spent across all tasks.
+    /// Total fitness evaluations represented by the returned entries
+    /// (including evaluations a previous run spent on now-cached tasks).
     pub total_evaluations: u64,
-    /// `total_evaluations / wall_seconds`.
+    /// Fitness evaluations actually spent by *this* run (cache misses
+    /// only) — zero for a fully warm run.
+    pub computed_evaluations: u64,
+    /// [`SweepStats::rate`] of `computed_evaluations` over
+    /// `wall_seconds`: the throughput of the work this run performed. A
+    /// warm all-hits run honestly reports `0.0` instead of dividing
+    /// replayed evaluations by a near-zero wall clock.
     pub evaluations_per_second: f64,
     /// Worker threads the pool ran with.
     pub threads: usize,
-    /// Number of `(distribution × threshold × run)` tasks.
+    /// Number of `(distribution × threshold × run)` tasks in the *full*
+    /// grid: `cache_hits + cache_misses + shard_skipped`.
     pub tasks: usize,
+    /// Tasks loaded from the result cache instead of evolved.
+    pub cache_hits: usize,
+    /// Tasks evolved by this run (every executed task counts as a miss
+    /// when caching is disabled).
+    pub cache_misses: usize,
+    /// Tasks excluded by the [`Shard`] filter (computed by other shards).
+    pub shard_skipped: usize,
+}
+
+impl SweepStats {
+    /// Evaluations per second with a clamped denominator, so the rate is
+    /// finite for every input — a warm all-hits or otherwise near-instant
+    /// run must serialize as a JSON number, never as `inf` (which is not
+    /// valid JSON and corrupted `BENCH_sweep.json` on tiny grids).
+    #[must_use]
+    pub fn rate(total_evaluations: u64, wall_seconds: f64) -> f64 {
+        total_evaluations as f64 / wall_seconds.max(1e-9)
+    }
 }
 
 /// Result of [`run_sweep`].
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// Every completed task, ordered by `(distribution, threshold, run)`.
+    /// Every completed task, ordered by `(distribution, threshold, run)`
+    /// — restricted to the configured [`Shard`] when one is set.
     pub entries: Vec<SweepEntry>,
     /// The shared evaluators, one per distribution in configuration
     /// order — reuse them for cross-distribution evaluation (the
@@ -140,17 +195,33 @@ impl SweepResult {
 /// [`Arc`]) by the Eq. 1 fitness of every task and by the post-hoc
 /// statistics pass. Task names are `"<dist>_t<threshold>_r<run>"`.
 ///
+/// With a [`cache_dir`](SweepConfig::cache_dir), already-completed tasks
+/// are loaded from the content-addressed cache ([`crate::cache`]) and
+/// every freshly evolved task is persisted the moment it finishes — an
+/// interrupted sweep restarted later recomputes only the missing tail,
+/// and the loaded entries are bit-identical to what the evolution would
+/// have produced. With a [`shard`](SweepConfig::shard), only that shard's
+/// slice of the grid is computed (and returned).
+///
 /// # Errors
 ///
 /// Returns [`CoreError::BadConfig`] for an empty distribution list, a
-/// PMF/width mismatch, empty thresholds or zero iterations, and
-/// [`CoreError::WorkerPanic`] if a task panicked.
+/// PMF/width mismatch, empty thresholds, zero iterations or an invalid
+/// shard, and [`CoreError::WorkerPanic`] if a task panicked.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
     if cfg.distributions.is_empty() {
         return Err(CoreError::BadConfig("no distributions given".into()));
     }
     for d in &cfg.distributions {
         validate_config(&d.pmf, &cfg.flow)?;
+    }
+    if let Some(s) = cfg.shard {
+        if s.count == 0 || s.index >= s.count {
+            return Err(CoreError::BadConfig(format!(
+                "shard index {} of {} is not a valid `index < count` split",
+                s.index, s.count
+            )));
+        }
     }
     let flow = &cfg.flow;
     let tech = TechLibrary::nangate45();
@@ -161,7 +232,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         .map(|d| MultEvaluator::new(flow.width, flow.signed, &d.pmf).map(Arc::new))
         .collect::<Result<_, _>>()?;
 
-    let tasks: Vec<(usize, usize, usize)> = (0..cfg.distributions.len())
+    let grid: Vec<(usize, usize, usize)> = (0..cfg.distributions.len())
         .flat_map(|di| {
             flow.thresholds
                 .iter()
@@ -169,34 +240,90 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                 .flat_map(move |(ti, _)| (0..flow.runs_per_threshold).map(move |r| (di, ti, r)))
         })
         .collect();
-    let n_tasks = tasks.len();
+    let n_tasks = grid.len();
+    let tasks: Vec<(usize, usize, usize)> = match cfg.shard {
+        Some(s) => grid.iter().copied().skip(s.index).step_by(s.count).collect(),
+        None => grid,
+    };
+    let shard_skipped = n_tasks - tasks.len();
     let threads = flow.threads.max(1);
     let name_of = |(di, ti, run): (usize, usize, usize)| {
         format!("{}_t{ti}_r{run}", cfg.distributions[di].name)
     };
 
     let started = Instant::now();
-    let results = run_tasks(threads, tasks, name_of, |_, (di, ti, run)| {
-        evolve_one(
-            flow,
-            &cfg.distributions[di].pmf,
-            &tech,
-            &seed_chrom,
-            &evaluators[di],
-            ti,
-            run,
-            task_seed(flow.seed, di, ti, run),
-            name_of((di, ti, run)),
-        )
-    })?;
+    let cache = cfg.cache_dir.as_ref().map(SweepCache::new);
+
+    /// A task that missed the cache: its slot in the entry list, its grid
+    /// coordinates, and (when caching) the key to checkpoint it under.
+    type Pending = (usize, (usize, usize, usize), Option<CacheKey>);
+
+    // Resolve cache hits up front (cheap deserialization, no point going
+    // through the pool), leaving only the tasks that truly need CGP time.
+    let mut slots: Vec<Option<EvolvedMultiplier>> = Vec::with_capacity(tasks.len());
+    let mut to_compute: Vec<Pending> = Vec::new();
+    for (pos, &(di, ti, run)) in tasks.iter().enumerate() {
+        let key = cache.as_ref().map(|_| {
+            task_key(
+                flow,
+                &cfg.distributions[di].pmf,
+                flow.thresholds[ti],
+                run,
+                task_seed(flow.seed, di, ti, run),
+            )
+        });
+        let hit = key.and_then(|k| cache.as_ref().expect("key implies cache").load(k));
+        slots.push(hit.map(|mut m| {
+            m.name = name_of((di, ti, run));
+            m
+        }));
+        if slots[pos].is_none() {
+            to_compute.push((pos, (di, ti, run), key));
+        }
+    }
+    let cache_hits = tasks.len() - to_compute.len();
+    let cache_misses = to_compute.len();
+
+    // Each task is persisted by its worker the moment it completes, so an
+    // interrupted run checkpoints everything already finished.
+    let computed = run_tasks(
+        threads,
+        to_compute,
+        |(_, t, _)| name_of(t),
+        |_, (pos, (di, ti, run), key)| {
+            let m = evolve_one(
+                flow,
+                &cfg.distributions[di].pmf,
+                &tech,
+                &seed_chrom,
+                &evaluators[di],
+                ti,
+                run,
+                task_seed(flow.seed, di, ti, run),
+                name_of((di, ti, run)),
+            );
+            if let (Some(c), Some(k)) = (&cache, key) {
+                // A failed store (read-only dir, full disk) only costs a
+                // future recompute; the in-memory result stands.
+                let _ = c.store(k, &m);
+            }
+            (pos, m)
+        },
+    )?;
     let wall_seconds = started.elapsed().as_secs_f64();
 
-    let entries: Vec<SweepEntry> = results
+    let mut computed_evaluations = 0u64;
+    for (pos, m) in computed {
+        computed_evaluations += m.evaluations;
+        slots[pos] = Some(m);
+    }
+    let entries: Vec<SweepEntry> = slots
         .into_iter()
-        .enumerate()
-        .map(|(i, multiplier)| {
-            let di = i / (flow.thresholds.len() * flow.runs_per_threshold);
-            SweepEntry { dist: cfg.distributions[di].name.clone(), dist_index: di, multiplier }
+        .zip(&tasks)
+        .map(|(m, &(di, _, _))| SweepEntry {
+            dist: cfg.distributions[di].name.clone(),
+            dist_index: di,
+            multiplier: m.expect("every task is either cached or computed"),
         })
         .collect();
     let total_evaluations: u64 = entries.iter().map(|e| e.multiplier.evaluations).sum();
@@ -231,13 +358,13 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         stats: SweepStats {
             wall_seconds,
             total_evaluations,
-            evaluations_per_second: if wall_seconds > 0.0 {
-                total_evaluations as f64 / wall_seconds
-            } else {
-                0.0
-            },
+            computed_evaluations,
+            evaluations_per_second: SweepStats::rate(computed_evaluations, wall_seconds),
             threads,
             tasks: n_tasks,
+            cache_hits,
+            cache_misses,
+            shard_skipped,
         },
     })
 }
@@ -262,6 +389,30 @@ mod tests {
                 activity_blocks: 8,
                 ..FlowConfig::default()
             },
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Per-test unique cache directory, cleaned before use.
+    fn fresh_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("apx_sweep_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_entries_bit_identical(a: &SweepResult, b: &SweepResult) {
+        assert_eq!(a.entries.len(), b.entries.len());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.dist, y.dist);
+            assert_eq!(x.dist_index, y.dist_index);
+            let (mx, my) = (&x.multiplier, &y.multiplier);
+            assert_eq!(mx.name, my.name);
+            assert_eq!(mx.chromosome, my.chromosome, "{} differs", mx.name);
+            assert_eq!(mx.threshold.to_bits(), my.threshold.to_bits());
+            assert_eq!(mx.run, my.run);
+            assert_eq!(mx.stats, my.stats, "{} stats differ", mx.name);
+            assert_eq!(mx.estimate, my.estimate, "{} estimate differs", mx.name);
+            assert_eq!(mx.evaluations, my.evaluations);
         }
     }
 
@@ -327,7 +478,7 @@ mod tests {
 
     #[test]
     fn sweep_rejects_bad_configurations() {
-        let empty = SweepConfig { distributions: vec![], flow: FlowConfig::default() };
+        let empty = SweepConfig::default();
         assert!(matches!(run_sweep(&empty), Err(CoreError::BadConfig(_))));
         let mut mismatch = tiny_sweep();
         mismatch.distributions.push(SweepDist::new("bad", Pmf::uniform(8)));
@@ -335,6 +486,142 @@ mod tests {
         let mut no_thresholds = tiny_sweep();
         no_thresholds.flow.thresholds.clear();
         assert!(matches!(run_sweep(&no_thresholds), Err(CoreError::BadConfig(_))));
+        for shard in [Shard { index: 0, count: 0 }, Shard { index: 3, count: 3 }] {
+            let mut bad_shard = tiny_sweep();
+            bad_shard.shard = Some(shard);
+            assert!(matches!(run_sweep(&bad_shard), Err(CoreError::BadConfig(_))));
+        }
+    }
+
+    #[test]
+    fn warm_cache_run_is_bit_identical_and_all_hits() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let cold_no_cache = run_sweep(&cfg).unwrap();
+        assert_eq!(cold_no_cache.stats.cache_hits, 0);
+        assert_eq!(cold_no_cache.stats.cache_misses, 8, "no cache dir: every task computed");
+
+        cfg.cache_dir = Some(fresh_cache_dir("warm"));
+        let cold = run_sweep(&cfg).unwrap();
+        assert_eq!(cold.stats.cache_misses, 8);
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8, "second run must load every task");
+        assert_eq!(warm.stats.cache_misses, 0);
+        // Cached entries are bit-identical to freshly computed ones, and
+        // the cache itself never changes results vs. an uncached run.
+        assert_entries_bit_identical(&cold, &warm);
+        assert_entries_bit_identical(&cold_no_cache, &warm);
+        assert_eq!(cold.seed_estimates, warm.seed_estimates);
+        assert_eq!(
+            cold.stats.total_evaluations, warm.stats.total_evaluations,
+            "hits carry the evaluations their original computation spent"
+        );
+        assert_eq!(cold.stats.computed_evaluations, cold.stats.total_evaluations);
+        assert_eq!(
+            warm.stats.computed_evaluations, 0,
+            "a fully warm run performs zero CGP evolutions"
+        );
+        assert_eq!(warm.stats.evaluations_per_second, 0.0, "no work, no claimed throughput");
+    }
+
+    #[test]
+    fn cache_hits_do_not_depend_on_thread_count() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        cfg.cache_dir = Some(fresh_cache_dir("threads"));
+        cfg.flow.threads = 4;
+        let cold = run_sweep(&cfg).unwrap();
+        cfg.flow.threads = 1;
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8);
+        assert_entries_bit_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_only_the_missing_tail() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("resume");
+        cfg.cache_dir = Some(dir.clone());
+        let full = run_sweep(&cfg).unwrap();
+
+        // Simulate a sweep killed partway: drop 3 of the 8 checkpointed
+        // entries (a torn write is impossible by construction — files are
+        // renamed into place whole — so deletion is the honest model).
+        let mut files: Vec<_> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(files.len(), 8);
+        files.sort();
+        for f in &files[..3] {
+            std::fs::remove_file(f).unwrap();
+        }
+
+        let resumed = run_sweep(&cfg).unwrap();
+        assert_eq!(resumed.stats.cache_hits, 5);
+        assert_eq!(resumed.stats.cache_misses, 3, "only the missing tail is recomputed");
+        assert_entries_bit_identical(&full, &resumed);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_falls_back_to_recompute() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("corrupt");
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg).unwrap();
+
+        let mut files: Vec<_> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        files.sort();
+        // One truncated, one outright garbage.
+        let bytes = std::fs::read(&files[0]).unwrap();
+        std::fs::write(&files[0], &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::write(&files[1], b"not a sweep entry at all\n").unwrap();
+
+        let rerun = run_sweep(&cfg).unwrap();
+        assert_eq!(rerun.stats.cache_hits, 6);
+        assert_eq!(rerun.stats.cache_misses, 2, "corrupt entries recompute, never panic");
+        assert_entries_bit_identical(&cold, &rerun);
+        // The recompute overwrote the damage: next run is all hits again.
+        assert_eq!(run_sweep(&cfg).unwrap().stats.cache_hits, 8);
+    }
+
+    #[test]
+    fn sharded_runs_cover_the_grid_and_reassemble_to_the_unsharded_result() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let unsharded = run_sweep(&cfg).unwrap();
+
+        let dir = fresh_cache_dir("shards");
+        cfg.cache_dir = Some(dir.clone());
+        let n = 3;
+        let mut covered = 0;
+        for index in 0..n {
+            cfg.shard = Some(Shard { index, count: n });
+            let part = run_sweep(&cfg).unwrap();
+            assert_eq!(part.stats.tasks, 8, "`tasks` reports the full grid");
+            assert_eq!(part.stats.shard_skipped, 8 - part.entries.len());
+            assert_eq!(part.stats.cache_misses, part.entries.len(), "shards are disjoint");
+            // Each shard's entries are the matching slice of the unsharded
+            // run, bit for bit.
+            for (e, full) in
+                part.entries.iter().zip(unsharded.entries.iter().skip(index).step_by(n))
+            {
+                assert_eq!(e.multiplier.name, full.multiplier.name);
+                assert_eq!(e.multiplier.chromosome, full.multiplier.chromosome);
+                assert_eq!(e.multiplier.stats, full.multiplier.stats);
+                assert_eq!(e.multiplier.estimate, full.multiplier.estimate);
+            }
+            covered += part.entries.len();
+        }
+        assert_eq!(covered, 8, "the shards partition the grid exactly");
+
+        // The final unsharded resume assembles the whole grid from cache.
+        cfg.shard = None;
+        let assembled = run_sweep(&cfg).unwrap();
+        assert_eq!(assembled.stats.cache_hits, 8);
+        assert_eq!(assembled.stats.cache_misses, 0);
+        assert_entries_bit_identical(&unsharded, &assembled);
     }
 
     #[test]
@@ -354,6 +641,7 @@ mod tests {
                 cols_slack: 20,
                 ..FlowConfig::default()
             },
+            ..SweepConfig::default()
         };
         let sweep = run_sweep(&cfg).unwrap();
         let flow = crate::evolve_multipliers(&pmf, &cfg.flow).unwrap();

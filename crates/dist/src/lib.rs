@@ -59,6 +59,24 @@ use std::fmt;
 /// Maximum supported operand width in bits (the PMF stores `2^w` entries).
 pub const MAX_WIDTH: u32 = 16;
 
+/// The standard FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a, 64-bit, from the given offset basis — the workspace's one
+/// dependency-free stable hash, shared by [`Pmf::content_digest`] and the
+/// content-addressed cache keys built on top of it (`apx_core::cache`).
+/// Stable by spec; both consumers pin the resulting digests with
+/// golden-value tests.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8], offset: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = offset;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Error constructing a [`Pmf`] from explicit weights or samples.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PmfError {
@@ -352,6 +370,31 @@ impl Pmf {
         let probs =
             self.probs.iter().zip(&other.probs).map(|(&a, &b)| (1.0 - t) * a + t * b).collect();
         Pmf { width: self.width, probs }
+    }
+
+    /// A stable 64-bit content digest of the distribution.
+    ///
+    /// The digest is FNV-1a over the operand width and the exact IEEE-754
+    /// bit patterns of every probability, so it identifies the PMF *as
+    /// content*: two `Pmf` values compare equal if and only if their
+    /// digests were fed identical bytes, regardless of which constructor
+    /// produced them. Downstream layers use it as the distribution
+    /// component of content-addressed cache keys (`apx_core::cache`),
+    /// which is why the digest must never depend on allocation, ordering
+    /// of construction, or anything else that is not the distribution
+    /// itself.
+    ///
+    /// The mapping is part of the crate's stability contract: changing it
+    /// invalidates every persisted cache entry, so it is pinned by a
+    /// golden-value test.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(4 + 8 * self.probs.len());
+        bytes.extend_from_slice(&self.width.to_le_bytes());
+        for &p in &self.probs {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+        fnv1a64(&bytes, FNV1A64_OFFSET)
     }
 
     /// A reusable inverse-CDF sampler drawing raw encodings from `D` —
@@ -660,6 +703,39 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(sampler.sample(&mut r1), sampler.sample(&mut r2));
         }
+    }
+
+    #[test]
+    fn content_digest_identifies_distribution_content() {
+        // Equal content → equal digest, however the value was obtained.
+        let a = Pmf::half_normal(8, 48.0);
+        assert_eq!(a.content_digest(), a.clone().content_digest());
+        assert_eq!(a.content_digest(), a.mix(&a, 0.0).content_digest());
+        // Any change to width, shape or a single weight changes it.
+        let mut seen = std::collections::HashSet::new();
+        for pmf in [
+            Pmf::uniform(8),
+            Pmf::uniform(4),
+            Pmf::half_normal(8, 48.0),
+            Pmf::half_normal(8, 47.0),
+            Pmf::normal(8, 127.0, 32.0),
+            Pmf::signed_normal(8, 0.0, 32.0),
+            Pmf::from_samples_i64(8, &[1, 2, 3], false).unwrap(),
+            Pmf::from_samples_i64(8, &[1, 2, 4], false).unwrap(),
+        ] {
+            assert!(seen.insert(pmf.content_digest()), "digest collision for {pmf:?}");
+        }
+    }
+
+    #[test]
+    fn content_digest_is_stable_across_releases() {
+        // Golden values: cache keys derived from the digest are persisted
+        // on disk (`apx_core::cache`), so the mapping must never drift. If
+        // this test fails the digest changed and every stored sweep cache
+        // entry is silently orphaned — bump the cache format version
+        // instead of updating these constants blindly.
+        assert_eq!(Pmf::uniform(4).content_digest(), 0x2aee_f3c0_9345_04b1);
+        assert_eq!(Pmf::half_normal(8, 48.0).content_digest(), 0xa530_88e9_13be_2b2e);
     }
 
     #[test]

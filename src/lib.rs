@@ -88,7 +88,7 @@ pub mod prelude {
     pub use apx_core::{
         cross_wmed, default_thresholds, error_heatmap, evolve_multipliers, mac_metrics,
         pareto_indices, run_sweep, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig,
-        FlowResult, SweepConfig, SweepDist, SweepResult,
+        FlowResult, Shard, SweepConfig, SweepDist, SweepResult,
     };
     pub use apx_dist::Pmf;
     pub use apx_gates::{Netlist, NetlistBuilder};
