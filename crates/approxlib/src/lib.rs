@@ -15,6 +15,14 @@
 //! uniformly-evolved multipliers — which is literally how EvoApprox8b was
 //! built.
 //!
+//! These conventional designs are no longer comparison-only: they feed
+//! `apx_core::library::ComponentLibrary` as seed candidates (ingested
+//! behind the same unified `LibraryEntry` form as cached evolutions), so
+//! a library-mode sweep can take a truncated or broken-array multiplier
+//! directly when it already meets a task's WMED budget, or warm-start a
+//! CGP run from it — the autoAx-style reuse the paper's baselines were
+//! previously excluded from.
+//!
 //! # Examples
 //!
 //! ```

@@ -8,13 +8,17 @@
 //! is tracked from PR to PR.
 //!
 //! Scale knobs: `APX_ITERS` (default 200), `APX_RUNS` (default 1),
-//! `APX_THREADS` (default: available parallelism), `APX_SHARD` (`i/n`).
+//! `APX_THREADS` (default: available parallelism), `APX_SHARD` (`i/n`),
+//! `APX_LIBRARY` (component-library reuse; counters land in the JSON).
 //! Unlike the figure binaries this bench only touches the result cache
 //! when `APX_CACHE_DIR` is set explicitly — its purpose is to measure
-//! evolution throughput, and a warm cache would measure file reads.
+//! evolution throughput, and a warm cache would measure file reads. The
+//! same applies to `APX_LIBRARY`: set it deliberately to measure
+//! library-mode throughput (re-scoring instead of evolution), and read
+//! the `library_hits`/`seeded_evolutions` counters next to the rate.
 
 use apx_bench::{
-    bench_sweep_json, env_u64, env_usize, explicit_cache_dir, results_dir, shard,
+    bench_sweep_json, env_u64, env_usize, explicit_cache_dir, parse_library, results_dir, shard,
     sweep_distributions,
 };
 use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
@@ -22,8 +26,14 @@ use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
 fn print_stats(label: &str, s: &SweepStats) {
     println!(
         "{label:<14} threads = {:<3} wall = {:>8.3} s   {:>10.0} evaluations/s   \
-         cache: {} hits, {} misses",
-        s.threads, s.wall_seconds, s.evaluations_per_second, s.cache_hits, s.cache_misses
+         cache: {} hits, {} misses   library: {} hits, {} seeded",
+        s.threads,
+        s.wall_seconds,
+        s.evaluations_per_second,
+        s.cache_hits,
+        s.cache_misses,
+        s.library_hits,
+        s.seeded_evolutions
     );
 }
 
@@ -45,6 +55,12 @@ fn main() {
     let multi = env_usize("APX_THREADS", cores);
     println!("=== bench_sweep: Fig. 3 grid, {iters} iterations/run, {n_runs} run(s)/level ===\n");
 
+    let library =
+        parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), explicit_cache_dir());
+    // With a library, the two passes must do identical work: disable the
+    // checkpoint cache so the multi-thread pass cannot feed the
+    // single-thread pass exact replays through the harvested directory.
+    let cache_dir = if library.is_some() { None } else { explicit_cache_dir() };
     let mut cfg = SweepConfig {
         distributions: sweep_distributions(),
         flow: FlowConfig {
@@ -56,14 +72,16 @@ fn main() {
             threads: multi,
             ..FlowConfig::default()
         },
-        cache_dir: explicit_cache_dir(),
+        cache_dir,
         shard: shard(),
+        library,
     };
     let multi_result = run_sweep(&cfg).expect("sweep");
     print_stats("multi-thread", &multi_result.stats);
     cfg.flow.threads = 1;
     // The single-thread reference must re-evolve, not replay what the
-    // multi-thread pass just checkpointed.
+    // multi-thread pass just checkpointed. (Library mode is symmetric:
+    // both passes consult the same pre-existing directory.)
     cfg.cache_dir = None;
     let single_result = run_sweep(&cfg).expect("sweep");
     print_stats("single-thread", &single_result.stats);

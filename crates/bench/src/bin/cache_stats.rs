@@ -1,0 +1,49 @@
+//! Maintenance view of a sweep cache / component-library directory.
+//!
+//! Overnight design-space explorations leave every historical entry
+//! behind (nothing evicts yet — the future orchestrator's GC will need
+//! this same view). This bin answers "what is in that directory?" before
+//! an operator points a library-mode sweep (`APX_LIBRARY`) at it:
+//! intact-entry and corrupt-file counts, total size, and how the intact
+//! entries split per `(width, signedness)` operand encoding.
+//!
+//! Usage: `cache_stats [dir]` — the directory argument falls back to
+//! `APX_CACHE_DIR`, then to the default `results/cache`.
+
+use apx_bench::{cache_dir, results_dir};
+use apx_core::cache::cache_dir_stats;
+use apx_core::report::TextTable;
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(cache_dir)
+        .unwrap_or_else(|| results_dir().join("cache"));
+    let stats = cache_dir_stats(&dir);
+    println!("=== cache_stats: {} ===\n", dir.display());
+    if stats.files == 0 {
+        println!("no .sweep entries (missing or empty directory)");
+        return;
+    }
+    println!(
+        "{} files, {} intact entries, {} corrupt/stale, {} bytes total",
+        stats.files, stats.entries, stats.corrupt, stats.total_bytes
+    );
+    let mut table = TextTable::new(vec!["width", "operands", "entries"]);
+    for ((width, signed), count) in &stats.per_op {
+        table.row(vec![
+            format!("{width}"),
+            if *signed { "signed" } else { "unsigned" }.to_owned(),
+            format!("{count}"),
+        ]);
+    }
+    println!("{}", table.to_text());
+    if stats.corrupt > 0 {
+        println!(
+            "note: corrupt/stale files are treated as misses by sweeps and \
+             skipped by library scans; deleting them is always safe"
+        );
+    }
+}

@@ -10,9 +10,15 @@
 //! Scale knobs: `APX_ITERS` (default 2000; paper ≈ 10^6), `APX_RUNS`,
 //! `APX_CACHE_DIR` (sweep result cache, default `results/cache`),
 //! `APX_SHARD` (`i/n` — compute one slice of the grid into the shared
-//! cache; a later unsharded run assembles the figure from hits alone).
+//! cache; a later unsharded run assembles the figure from hits alone),
+//! `APX_LIBRARY` (`on`/`full`/a directory — reuse multipliers from a
+//! previously populated cache as a component library instead of evolving
+//! every task from scratch).
 
-use apx_bench::{cache_dir, iterations, results_dir, runs, shard, sweep_distributions};
+use apx_bench::{
+    cache_dir, iterations, library_config, print_sweep_counters, results_dir, runs, shard,
+    sweep_distributions,
+};
 use apx_core::report::TextTable;
 use apx_core::{pareto_indices, run_sweep, FlowConfig, SweepConfig};
 use apx_rng::Xoshiro256;
@@ -44,6 +50,7 @@ fn main() {
         },
         cache_dir: cache_dir(),
         shard: shard(),
+        library: library_config(),
     };
     let result = run_sweep(&sweep_cfg).expect("sweep");
     println!(
@@ -53,15 +60,7 @@ fn main() {
         result.stats.wall_seconds,
         result.stats.evaluations_per_second
     );
-    if let Some(dir) = &sweep_cfg.cache_dir {
-        println!(
-            "cache: {} hits, {} misses, {} shard-skipped ({})",
-            result.stats.cache_hits,
-            result.stats.cache_misses,
-            result.stats.shard_skipped,
-            dir.display()
-        );
-    }
+    print_sweep_counters(&sweep_cfg, &result.stats);
     let dists = &sweep_cfg.distributions;
     let evaluators = &result.evaluators;
     let tech = TechLibrary::nangate45();

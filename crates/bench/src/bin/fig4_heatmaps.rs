@@ -5,8 +5,14 @@
 //! selection) — all three through one [`apx_core::run_sweep`] pool —
 //! prints a 16×16 ASCII heat map of `|x·y − M̃(x,y)|` and the
 //! per-operand-band mean errors. CSV mirror: `results/fig4_heatmaps.csv`.
+//!
+//! Knobs: `APX_ITERS`, `APX_CACHE_DIR`, `APX_SHARD` (`i/n`; shard passes
+//! fill the shared cache and skip foreign panels), `APX_LIBRARY`.
 
-use apx_bench::{cache_dir, iterations, results_dir, sweep_distributions};
+use apx_bench::{
+    cache_dir, iterations, library_config, print_sweep_counters, results_dir, shard,
+    sweep_distributions,
+};
 use apx_core::report::TextTable;
 use apx_core::{error_heatmap, run_sweep, FlowConfig, SweepConfig};
 
@@ -27,18 +33,26 @@ fn main() {
             ..FlowConfig::default()
         },
         cache_dir: cache_dir(),
-        // The grid is 3 tasks and every panel needs its entry, so this
-        // binary does not take APX_SHARD.
-        shard: None,
+        // The grid is only 3 tasks, but sharding still composes: a shard
+        // run checkpoints its slice into the shared cache and skips the
+        // panels it did not compute; the final unsharded run renders the
+        // full figure from hits alone (shared `APX_SHARD` parsing,
+        // `apx_bench::shard`).
+        shard: shard(),
+        library: library_config(),
     };
     let result = run_sweep(&sweep_cfg).expect("sweep");
-    if sweep_cfg.cache_dir.is_some() {
-        println!("cache: {} hits, {} misses\n", result.stats.cache_hits, result.stats.cache_misses);
-    }
+    print_sweep_counters(&sweep_cfg, &result.stats);
+    println!();
     let mut csv = TextTable::new(vec!["multiplier", "x_band", "mean_err_pct"]);
     for (di, dist) in sweep_cfg.distributions.iter().enumerate() {
         let name = &dist.name;
-        let m = &result.entries_for(di).next().expect("one entry per distribution").multiplier;
+        let Some(entry) = result.entries_for(di).next() else {
+            // Sharded pass: this panel's task belongs to another shard.
+            println!("Multiplier {name}: computed by another shard, skipping panel\n");
+            continue;
+        };
+        let m = &entry.multiplier;
         let heat = error_heatmap(&m.netlist, 8, false).expect("heatmap");
         println!(
             "Multiplier {name} (WMED_{name} = {:.4} %, power {:.4} mW, {} gates)",

@@ -4,11 +4,17 @@
 //! CSV mirror: `results/table1.csv`.
 //!
 //! Scale knobs: `APX_ITERS` (CGP), `APX_FT_ITERS` (fine-tuning passes,
-//! paper: 10), `APX_TRAIN_N` / `APX_TEST_N` / `APX_EPOCHS` (classifier).
+//! paper: 10), `APX_TRAIN_N` / `APX_TEST_N` / `APX_EPOCHS` (classifier),
+//! `APX_CACHE_DIR`, `APX_SHARD` (`i/n`; shard passes fill the shared
+//! cache and emit only their threshold rows) and `APX_LIBRARY`
+//! (component-library reuse of previously evolved multipliers).
 
 use apx_arith::mac::accumulator_width;
 use apx_arith::{baugh_wooley_multiplier, OpTable};
-use apx_bench::{cache_dir, finetune_iters, iterations, lenet_case, mlp_case, results_dir};
+use apx_bench::{
+    cache_dir, finetune_iters, iterations, lenet_case, library_config, mlp_case,
+    print_sweep_counters, results_dir, shard,
+};
 use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
 use apx_core::report::{signed_percent, TextTable};
 use apx_core::{mac_metrics, run_sweep, table1_thresholds, FlowConfig, SweepConfig, SweepDist};
@@ -33,15 +39,26 @@ fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
             ..FlowConfig::default()
         },
         cache_dir: cache_dir(),
-        // Every threshold row of the table needs its entry; no sharding.
-        shard: None,
+        // A shard pass computes its slice of the ten threshold levels
+        // into the shared cache and prints only those rows; the final
+        // unsharded run assembles the complete table from hits (shared
+        // `APX_SHARD` parsing, `apx_bench::shard`).
+        shard: shard(),
+        library: library_config(),
     };
     let evolved = run_sweep(&sweep_cfg).expect("sweep");
+    print_sweep_counters(&sweep_cfg, &evolved.stats);
     if sweep_cfg.cache_dir.is_some() {
         println!(
-            "cache: {} hits, {} misses (the two cases share no tasks — the measured weight\n\
-             PMFs differ, and the PMF is part of the cache key)",
-            evolved.stats.cache_hits, evolved.stats.cache_misses
+            "(the two cases share no tasks — the measured weight PMFs differ, and the PMF is\n\
+             part of the cache key)"
+        );
+    }
+    if evolved.stats.shard_skipped > 0 {
+        println!(
+            "shard pass: {} of {} levels computed here, table rows limited to them",
+            evolved.entries.len(),
+            evolved.stats.tasks
         );
     }
     let exact_mult = baugh_wooley_multiplier(8);

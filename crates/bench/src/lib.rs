@@ -15,6 +15,7 @@
 //! | `APX_FT_ITERS` | fine-tuning iterations (paper: 10) | 2 |
 //! | `APX_CACHE_DIR` | sweep result cache directory (`apx_core::cache`); empty or `off` disables caching | `results/cache` |
 //! | `APX_SHARD` | `i/n`: compute only shard `i` of `n` of the sweep grid | unsharded |
+//! | `APX_LIBRARY` | component-library mode (`apx_core::library`): `on` harvests the cache directory, `full` additionally ingests the conventional `apx_approxlib` designs, any other non-empty value is a directory to harvest; empty or `off` disables | off |
 //!
 //! The sweep-backed binaries (`fig3_pareto`, `fig4_heatmaps`,
 //! `table1_finetune`) checkpoint every completed `(distribution,
@@ -31,7 +32,7 @@
 #![warn(missing_docs)]
 
 use apx_core::nn_flow::{prepare_case, CaseConfig, CaseKind, CaseStudy};
-use apx_core::{Shard, SweepStats};
+use apx_core::{LibraryConfig, Shard, SweepStats};
 use apx_dist::Pmf;
 use std::path::PathBuf;
 
@@ -148,6 +149,59 @@ pub fn shard() -> Option<Shard> {
         .map(|v| parse_shard(&v).expect("APX_SHARD"))
 }
 
+/// Parses an `APX_LIBRARY`-style component-library specification against
+/// the process's cache directory:
+///
+/// * empty or `off` — library mode disabled (`None`);
+/// * `on` — harvest `cache_dir` (a warm cache becomes a component
+///   library; candidates that meet a task's threshold under the task's
+///   distribution are taken without evolution);
+/// * `full` — `on` plus the conventional [`apx_approxlib`] designs as
+///   additional candidates;
+/// * anything else — a directory to harvest (e.g. another experiment's
+///   cache, while this run checkpoints elsewhere or not at all).
+#[must_use]
+pub fn parse_library(spec: &str, cache_dir: Option<PathBuf>) -> Option<LibraryConfig> {
+    match spec {
+        "" | "off" => None,
+        "on" => Some(LibraryConfig { dir: cache_dir, ..LibraryConfig::default() }),
+        "full" => {
+            Some(LibraryConfig { dir: cache_dir, conventional: true, ..LibraryConfig::default() })
+        }
+        dir => Some(LibraryConfig { dir: Some(PathBuf::from(dir)), ..LibraryConfig::default() }),
+    }
+}
+
+/// The component-library mode for the figure binaries (`APX_LIBRARY`,
+/// resolved against [`cache_dir`]). Defaults to off: library reuse
+/// changes which multiplier serves a task (that is its point), so it is
+/// strictly opt-in — unlike the exact-replay cache, which is transparent.
+#[must_use]
+pub fn library_config() -> Option<LibraryConfig> {
+    parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), cache_dir())
+}
+
+/// Prints the reuse counters of a sweep in the shared format every
+/// figure binary (and the CI smoke greps) rely on — one line per enabled
+/// mechanism, nothing when the sweep ran without cache and library.
+pub fn print_sweep_counters(cfg: &apx_core::SweepConfig, stats: &SweepStats) {
+    if let Some(dir) = &cfg.cache_dir {
+        println!(
+            "cache: {} hits, {} misses, {} shard-skipped ({})",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.shard_skipped,
+            dir.display()
+        );
+    }
+    if cfg.library.is_some() {
+        println!(
+            "library: {} hits, {} seeded evolutions",
+            stats.library_hits, stats.seeded_evolutions
+        );
+    }
+}
+
 /// Renders one [`SweepStats`] as a JSON object for `BENCH_sweep.json`.
 ///
 /// The rate is re-derived through [`SweepStats::rate`] over the
@@ -161,7 +215,8 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
     format!(
         "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
          \"computed_evaluations\": {}, \"evaluations_per_second\": {:.1}, \"cache_hits\": {}, \
-         \"cache_misses\": {}, \"shard_skipped\": {}}}",
+         \"cache_misses\": {}, \"shard_skipped\": {}, \"library_hits\": {}, \
+         \"seeded_evolutions\": {}}}",
         s.threads,
         s.wall_seconds,
         s.total_evaluations,
@@ -169,7 +224,9 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
         SweepStats::rate(s.computed_evaluations, s.wall_seconds),
         s.cache_hits,
         s.cache_misses,
-        s.shard_skipped
+        s.shard_skipped,
+        s.library_hits,
+        s.seeded_evolutions
     )
 }
 
@@ -249,6 +306,26 @@ mod tests {
         for bad in ["", "3", "4/4", "5/4", "a/4", "1/b", "1/0", "-1/4"] {
             assert!(parse_shard(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn library_specs_resolve_against_the_cache_dir() {
+        let cache = Some(PathBuf::from("/tmp/somecache"));
+        assert_eq!(parse_library("", cache.clone()), None);
+        assert_eq!(parse_library("off", cache.clone()), None);
+        let on = parse_library("on", cache.clone()).unwrap();
+        assert_eq!(on.dir, cache);
+        assert!(!on.conventional);
+        assert!(on.take_hits);
+        let full = parse_library("full", cache.clone()).unwrap();
+        assert_eq!(full.dir, cache);
+        assert!(full.conventional);
+        let explicit = parse_library("/some/other/dir", None).unwrap();
+        assert_eq!(explicit.dir, Some(PathBuf::from("/some/other/dir")));
+        assert!(!explicit.conventional);
+        // `on` with caching disabled scans nothing (still a valid mode:
+        // bit-identical to off, by the library-mode contract).
+        assert_eq!(parse_library("on", None).unwrap().dir, None);
     }
 
     #[test]

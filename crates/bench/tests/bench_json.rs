@@ -154,9 +154,11 @@ fn stats(wall_seconds: f64, total_evaluations: u64) -> SweepStats {
         evaluations_per_second: SweepStats::rate(total_evaluations, wall_seconds),
         threads: 4,
         tasks: 42,
-        cache_hits: 40,
+        cache_hits: 38,
         cache_misses: 1,
         shard_skipped: 1,
+        library_hits: 2,
+        seeded_evolutions: 1,
     }
 }
 
@@ -181,6 +183,9 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
         assert!(s.evaluations_per_second.is_finite(), "rate must be clamped finite");
         let obj = sweep_stats_json(&s);
         json::validate(&obj).unwrap_or_else(|e| panic!("invalid stats JSON ({e}): {obj}"));
+        // The component-library counters are part of the tracked schema.
+        assert!(obj.contains("\"library_hits\": 2"), "missing library_hits: {obj}");
+        assert!(obj.contains("\"seeded_evolutions\": 1"), "missing seeded_evolutions: {obj}");
         let doc = bench_sweep_json(3, 14, 1, 50, 4, &s, &stats(wall * 2.0, evals));
         json::validate(&doc).unwrap_or_else(|e| panic!("invalid document ({e}): {doc}"));
     }
@@ -188,8 +193,12 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
 
 #[test]
 fn committed_bench_sweep_json_parses() {
-    // The tracked perf-history file must itself be valid JSON.
+    // The tracked perf-history file must itself be valid JSON and carry
+    // the current counter schema.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sweep.json");
     let text = std::fs::read_to_string(path).expect("results/BENCH_sweep.json is committed");
     json::validate(&text).unwrap_or_else(|e| panic!("committed BENCH_sweep.json invalid: {e}"));
+    for key in ["\"library_hits\"", "\"seeded_evolutions\"", "\"cache_hits\""] {
+        assert!(text.contains(key), "committed BENCH_sweep.json lacks {key}");
+    }
 }

@@ -11,7 +11,11 @@
 //!   gates" in the paper's experiments);
 //! * [`mutate`] — point mutation of up to `h` randomly selected genes;
 //! * [`evolve`] — the `(1 + λ)` evolution strategy with optional parallel
-//!   offspring evaluation and neutral-drift parent replacement.
+//!   offspring evaluation and neutral-drift parent replacement;
+//! * [`evolve_seeded`] — the same strategy warm-started from a set of
+//!   candidate chromosomes (e.g. a component library re-scored under a
+//!   new data distribution): the best of seed-parent-plus-seeds becomes
+//!   the initial parent.
 //!
 //! The fitness function is supplied by the caller (the paper's Eq. 1 lives
 //! in `apx-core`), so this crate stays application-agnostic.
@@ -48,4 +52,4 @@ pub use error::CgpError;
 pub use function_set::FunctionSet;
 pub use genome::Chromosome;
 pub use mutation::mutate;
-pub use search::{evolve, EvolutionConfig, EvolutionResult};
+pub use search::{evolve, evolve_seeded, EvolutionConfig, EvolutionResult};

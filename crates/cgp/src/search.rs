@@ -47,10 +47,14 @@ pub struct EvolutionResult {
     pub best_fitness: f64,
     /// Generations executed.
     pub iterations: u64,
-    /// Fitness evaluations spent (`1 + λ·iterations`).
+    /// Fitness evaluations spent (`1 + seeds + λ·iterations`).
     pub evaluations: u64,
     /// `(iteration, fitness)` at every strict improvement.
     pub history: Vec<(u64, f64)>,
+    /// Which extra seed of [`evolve_seeded`] won the initial-parent
+    /// selection, or `None` when the run started from `seed_parent`
+    /// (always `None` for plain [`evolve`]).
+    pub initial_seed: Option<usize>,
 }
 
 /// Runs the `(1 + λ)` strategy from `seed_parent`, minimizing `fitness`.
@@ -77,8 +81,55 @@ pub fn evolve<F>(seed_parent: &Chromosome, fitness: F, config: &EvolutionConfig)
 where
     F: Fn(&Chromosome) -> f64 + Sync,
 {
+    evolve_seeded(seed_parent, &[], fitness, config)
+}
+
+/// [`evolve`] with a warm-start hook: before the first generation, every
+/// chromosome in `seeds` is evaluated alongside `seed_parent` and the
+/// **strictly best** one becomes the initial parent (ties keep
+/// `seed_parent`, then the earliest seed). An empty seed list reproduces
+/// [`evolve`] bit for bit; seeds that all lose leave the search
+/// trajectory identical too (seed evaluation happens before the run's
+/// RNG stream is touched), with only `evaluations` counting the extra
+/// `seeds.len()` warm-start fitness calls.
+///
+/// This is the component-library entry point: candidates re-scored from a
+/// previous design-space exploration start the search near the Pareto
+/// front instead of at the exact circuit every time. Seeds may have any
+/// grid geometry (`cols` need not match `seed_parent`); they only need the
+/// same primary input/output counts for the fitness to be meaningful,
+/// which the caller is responsible for.
+///
+/// `EvolutionResult::initial_seed` reports which seed (index into
+/// `seeds`) won, or `None` when the run started from `seed_parent`.
+///
+/// # Panics
+///
+/// Panics if `lambda == 0` or `mutations == 0`, and re-raises a panic of
+/// `fitness` naming the offending offspring.
+pub fn evolve_seeded<F>(
+    seed_parent: &Chromosome,
+    seeds: &[Chromosome],
+    fitness: F,
+    config: &EvolutionConfig,
+) -> EvolutionResult
+where
+    F: Fn(&Chromosome) -> f64 + Sync,
+{
     assert!(config.lambda > 0, "lambda must be at least 1");
     assert!(config.mutations > 0, "mutation rate must be at least 1");
+    let mut parent = seed_parent.clone();
+    let mut parent_fit = fitness(&parent);
+    let mut initial_seed = None;
+    for (i, seed) in seeds.iter().enumerate() {
+        let fit = fitness(seed);
+        if fit < parent_fit {
+            parent = seed.clone();
+            parent_fit = fit;
+            initial_seed = Some(i);
+        }
+    }
+    let start = Start { parent, parent_fit, evaluations: 1 + seeds.len() as u64, initial_seed };
     if config.parallel && config.lambda > 1 {
         apx_pool::Pool::scope(
             config.lambda,
@@ -86,17 +137,25 @@ where
                 let fit = fitness(&child);
                 (child, fit)
             },
-            |pool| generation_loop(seed_parent, &fitness, config, Some(pool)),
+            |pool| generation_loop(start, &fitness, config, Some(pool)),
         )
     } else {
-        generation_loop(seed_parent, &fitness, config, None)
+        generation_loop(start, &fitness, config, None)
     }
+}
+
+/// The selected initial parent handed to the generation loop.
+struct Start {
+    parent: Chromosome,
+    parent_fit: f64,
+    evaluations: u64,
+    initial_seed: Option<usize>,
 }
 
 /// The generation loop, with offspring scored either inline or on the
 /// scope's persistent pool.
 fn generation_loop<F>(
-    seed_parent: &Chromosome,
+    start: Start,
     fitness: &F,
     config: &EvolutionConfig,
     pool: Option<&apx_pool::Executor<'_, Chromosome, (Chromosome, f64)>>,
@@ -105,9 +164,7 @@ where
     F: Fn(&Chromosome) -> f64 + Sync,
 {
     let mut rng = Xoshiro256::from_seed(config.seed);
-    let mut parent = seed_parent.clone();
-    let mut parent_fit = fitness(&parent);
-    let mut evaluations = 1u64;
+    let Start { mut parent, mut parent_fit, mut evaluations, initial_seed } = start;
     let mut history = Vec::new();
     if config.keep_history {
         history.push((0, parent_fit));
@@ -154,7 +211,14 @@ where
             parent_fit = best_fit;
         }
     }
-    EvolutionResult { best: parent, best_fitness: parent_fit, iterations, evaluations, history }
+    EvolutionResult {
+        best: parent,
+        best_fitness: parent_fit,
+        iterations,
+        evaluations,
+        history,
+        initial_seed,
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +357,57 @@ mod tests {
             .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
             .unwrap_or_default();
         assert!(msg.contains("task") && msg.contains("fitness exploded"), "message was: {msg}");
+    }
+
+    #[test]
+    fn empty_seed_list_reproduces_plain_evolve_bit_for_bit() {
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        let fitness = exactness_area_fitness(2);
+        let config = EvolutionConfig { max_iterations: 300, seed: 11, ..Default::default() };
+        let plain = evolve(&seed, &fitness, &config);
+        let seeded = evolve_seeded(&seed, &[], &fitness, &config);
+        assert_eq!(plain.best, seeded.best);
+        assert_eq!(plain.best_fitness, seeded.best_fitness);
+        assert_eq!(plain.history, seeded.history);
+        assert_eq!(plain.evaluations, seeded.evaluations);
+        assert_eq!(seeded.initial_seed, None);
+    }
+
+    #[test]
+    fn strictly_better_seed_wins_the_initial_parent_selection() {
+        let nl = array_multiplier(2);
+        let funcs = FunctionSet::standard();
+        let parent = Chromosome::from_netlist(&nl, &funcs, nl.gate_count() + 8).unwrap();
+        let fitness = exactness_area_fitness(2);
+        // Shrink the grid's spare columns: an already-evolved, smaller
+        // exact multiplier (different cols on purpose) seeds the run.
+        let better = evolve(
+            &parent,
+            &fitness,
+            &EvolutionConfig { max_iterations: 3000, seed: 7, ..Default::default() },
+        )
+        .best;
+        assert!(fitness(&better) < fitness(&parent), "evolution found a smaller circuit");
+        // A worthless seed (ties lose) and the genuinely better one.
+        let result = evolve_seeded(
+            &parent,
+            &[parent.clone(), better.clone()],
+            &fitness,
+            &EvolutionConfig { max_iterations: 1, seed: 3, ..Default::default() },
+        );
+        assert_eq!(result.initial_seed, Some(1), "the strictly better seed must win");
+        assert!(result.best_fitness <= fitness(&better));
+        assert_eq!(result.evaluations, 1 + 2 + 4, "parent + 2 seeds + lambda");
+        // Infeasible (infinite-fitness) seeds never displace the parent.
+        let rejected = evolve_seeded(
+            &parent,
+            &[better],
+            |c| if fitness(c) < fitness(&parent) { f64::INFINITY } else { fitness(c) },
+            &EvolutionConfig { max_iterations: 1, seed: 3, ..Default::default() },
+        );
+        assert_eq!(rejected.initial_seed, None);
     }
 
     #[test]

@@ -44,8 +44,9 @@
 //! line-oriented text format in the spirit of `apx_cgp::serialize`:
 //!
 //! ```text
-//! apxsweep v1
+//! apxsweep v2
 //! key 9f…e2
+//! op 8 unsigned
 //! threshold 3f50624dd2f1a9fc
 //! run 0
 //! evaluations 804
@@ -55,6 +56,13 @@
 //! funcs buf not and nand or nor xor xnor
 //! genes 0 1 2 …
 //! ```
+//!
+//! The `op` line (v2) records the operand encoding so a directory can be
+//! *scanned* — [`SweepCache::scan`] turns an overnight cache into the raw
+//! material of [`crate::library::ComponentLibrary`], which indexes
+//! entries by `(width, signedness)` and re-scores them under new
+//! distributions. v1 entries (no `op` line) simply stop matching and are
+//! recomputed; strict rejection is the upgrade path.
 //!
 //! Every `f64` is stored as the 16-hex-digit IEEE-754 bit pattern —
 //! round-tripping is exact by construction, never `{:.17}`-approximate.
@@ -94,8 +102,10 @@ use std::path::{Path, PathBuf};
 /// matching instead of resurfacing as wrong results.
 const FORMAT_TAG: &str = "apx-sweep-task v1";
 
-/// Magic first line of an entry file.
-const MAGIC: &str = "apxsweep v1";
+/// Magic first line of an entry file. Bumped to v2 when the `op`
+/// (width/signedness) line was added for library scanning; v1 files are
+/// rejected by the strict loader and transparently recomputed.
+const MAGIC: &str = "apxsweep v2";
 
 /// A 128-bit content-addressed cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +119,19 @@ impl CacheKey {
     #[must_use]
     pub fn hex(&self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses the 32-hex-digit form produced by [`CacheKey::hex`] (e.g. a
+    /// cache entry's file stem). `None` on any other shape.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some(CacheKey {
+            hi: u64::from_str_radix(&s[..16], 16).ok()?,
+            lo: u64::from_str_radix(&s[16..], 16).ok()?,
+        })
     }
 }
 
@@ -187,7 +210,7 @@ impl SweepCache {
     #[must_use]
     pub fn load(&self, key: CacheKey) -> Option<EvolvedMultiplier> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        entry_from_text(&text, key)
+        entry_from_text(&text, key).map(|e| e.multiplier)
     }
 
     /// Atomically stores `entry` under `key`: the bytes are written to a
@@ -195,16 +218,25 @@ impl SweepCache {
     /// place, so no interleaving of crashes and concurrent writers can
     /// leave a torn file behind.
     ///
+    /// `signed` records the operand encoding in the entry's `op` line (the
+    /// width is taken from the entry's netlist) so directory scans can
+    /// index the entry without guessing.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors (unwritable directory, full disk). Callers
     /// inside the sweep treat a failed store as "cache disabled for this
     /// task" — the computed result is still returned.
-    pub fn store(&self, key: CacheKey, entry: &EvolvedMultiplier) -> io::Result<PathBuf> {
+    pub fn store(
+        &self,
+        key: CacheKey,
+        entry: &EvolvedMultiplier,
+        signed: bool,
+    ) -> io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path_of(key);
         let tmp = self.dir.join(format!(".{}.tmp.{}", key.hex(), std::process::id()));
-        std::fs::write(&tmp, entry_to_text(entry, key))?;
+        std::fs::write(&tmp, entry_to_text(entry, key, signed))?;
         match std::fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {
@@ -214,6 +246,98 @@ impl SweepCache {
             }
         }
     }
+
+    /// Scans the whole directory: every intact `*.sweep` entry, keyed and
+    /// tagged with its operand encoding, in deterministic (key-sorted)
+    /// order regardless of filesystem enumeration order.
+    ///
+    /// Corrupt, truncated, foreign or v1 files are silently skipped — a
+    /// scan is a best-effort harvest (the library layer treats the cache
+    /// as found material), unlike the keyed [`SweepCache::load`] path
+    /// where a rejected entry triggers a recompute. A missing directory
+    /// scans as empty.
+    #[must_use]
+    pub fn scan(&self) -> Vec<ScannedEntry> {
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<ScannedEntry> = read
+            .filter_map(Result::ok)
+            .filter_map(|f| {
+                let path = f.path();
+                let stem = path.file_name()?.to_str()?.strip_suffix(".sweep")?;
+                let key = CacheKey::from_hex(stem)?;
+                let text = std::fs::read_to_string(&path).ok()?;
+                entry_from_text(&text, key)
+            })
+            .collect();
+        entries.sort_by_key(|e| (e.key.hi, e.key.lo));
+        entries
+    }
+}
+
+/// One entry harvested by [`SweepCache::scan`].
+#[derive(Debug, Clone)]
+pub struct ScannedEntry {
+    /// The content-addressed key the entry was stored under.
+    pub key: CacheKey,
+    /// Operand width in bits (from the entry's `op` line).
+    pub width: u32,
+    /// Two's-complement operand encoding.
+    pub signed: bool,
+    /// The stored task result.
+    pub multiplier: EvolvedMultiplier,
+}
+
+/// Aggregate shape of a cache directory ([`cache_dir_stats`]) — the
+/// maintenance view an operator checks before pointing a library-mode
+/// sweep (or, later, an orchestrator's garbage collector) at an overnight
+/// cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheDirStats {
+    /// `*.sweep` files present.
+    pub files: usize,
+    /// Files that parse as intact entries.
+    pub entries: usize,
+    /// Files rejected by the strict loader (torn, foreign, stale format).
+    pub corrupt: usize,
+    /// Total size of all `*.sweep` files in bytes.
+    pub total_bytes: u64,
+    /// Intact entries per `(width, signed)` operand encoding.
+    pub per_op: std::collections::BTreeMap<(u32, bool), usize>,
+}
+
+/// Walks `dir` and summarizes its `*.sweep` population: file and intact
+/// entry counts, total bytes, and per-`(width, signedness)` entry counts.
+/// A missing directory reports all zeros.
+#[must_use]
+pub fn cache_dir_stats(dir: &Path) -> CacheDirStats {
+    let mut stats = CacheDirStats::default();
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return stats;
+    };
+    for f in read.filter_map(Result::ok) {
+        let path = f.path();
+        let Some(stem) =
+            path.file_name().and_then(|n| n.to_str()).and_then(|n| n.strip_suffix(".sweep"))
+        else {
+            continue;
+        };
+        stats.files += 1;
+        stats.total_bytes += f.metadata().map_or(0, |m| m.len());
+        let parsed = CacheKey::from_hex(stem).and_then(|key| {
+            let text = std::fs::read_to_string(&path).ok()?;
+            entry_from_text(&text, key)
+        });
+        match parsed {
+            Some(e) => {
+                stats.entries += 1;
+                *stats.per_op.entry((e.width, e.signed)).or_insert(0) += 1;
+            }
+            None => stats.corrupt += 1,
+        }
+    }
+    stats
 }
 
 fn push_f64_bits(out: &mut String, values: &[f64]) {
@@ -223,10 +347,16 @@ fn push_f64_bits(out: &mut String, values: &[f64]) {
 }
 
 /// Serializes one completed task to the entry format (module docs).
-fn entry_to_text(m: &EvolvedMultiplier, key: CacheKey) -> String {
+fn entry_to_text(m: &EvolvedMultiplier, key: CacheKey, signed: bool) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{MAGIC}");
     let _ = writeln!(s, "key {}", key.hex());
+    let _ = writeln!(
+        s,
+        "op {} {}",
+        m.netlist.num_inputs() / 2,
+        if signed { "signed" } else { "unsigned" }
+    );
     let _ = writeln!(s, "threshold {:016x}", m.threshold.to_bits());
     let _ = writeln!(s, "run {}", m.run);
     let _ = writeln!(s, "evaluations {}", m.evaluations);
@@ -253,12 +383,22 @@ fn entry_to_text(m: &EvolvedMultiplier, key: CacheKey) -> String {
 }
 
 /// Parses an entry, validating it belongs to `key`. `None` on any defect.
-fn entry_from_text(text: &str, key: CacheKey) -> Option<EvolvedMultiplier> {
+fn entry_from_text(text: &str, key: CacheKey) -> Option<ScannedEntry> {
     let mut lines = text.lines();
     if lines.next()? != MAGIC {
         return None;
     }
     if lines.next()? != format!("key {}", key.hex()) {
+        return None;
+    }
+    let op_line = field(lines.next()?, "op", 2)?;
+    let width: u32 = op_line.parse_dec()?;
+    let signed = match op_line.values[1] {
+        "signed" => true,
+        "unsigned" => false,
+        _ => return None,
+    };
+    if width == 0 || width > 16 {
         return None;
     }
     let threshold = f64::from_bits(field(lines.next()?, "threshold", 1)?.parse_hex()?);
@@ -289,16 +429,24 @@ fn entry_from_text(text: &str, key: CacheKey) -> Option<EvolvedMultiplier> {
     // truncation and trailing bytes itself.
     let rest: Vec<&str> = lines.collect();
     let chromosome = Chromosome::from_text(&rest.join("\n")).ok()?;
+    if chromosome.num_inputs() != 2 * width as usize {
+        return None; // the `op` line must agree with the genotype
+    }
     let netlist = chromosome.decode_active();
-    Some(EvolvedMultiplier {
-        name: String::new(), // re-stamped by the caller for its grid
-        chromosome,
-        netlist,
-        threshold,
-        run,
-        stats,
-        estimate,
-        evaluations,
+    Some(ScannedEntry {
+        key,
+        width,
+        signed,
+        multiplier: EvolvedMultiplier {
+            name: String::new(), // re-stamped by the caller for its grid
+            chromosome,
+            netlist,
+            threshold,
+            run,
+            stats,
+            estimate,
+            evaluations,
+        },
     })
 }
 
@@ -420,14 +568,19 @@ mod tests {
         fn store_load_round_trips_bit_for_bit(seed in 0u64..u64::MAX, salt in 0u64..u64::MAX) {
             let entry = synthetic_entry(seed);
             let key = some_key(salt);
+            let signed = seed % 2 == 0;
             let dir = scratch("prop");
             let cache = SweepCache::new(&dir);
-            cache.store(key, &entry).expect("store");
+            cache.store(key, &entry, signed).expect("store");
             let back = cache.load(key).expect("hit");
             assert_bit_identical(&entry, &back);
-            // In-memory round trip agrees with the on-disk one.
-            let back2 = entry_from_text(&entry_to_text(&entry, key), key).expect("parse");
-            assert_bit_identical(&entry, &back2);
+            // In-memory round trip agrees with the on-disk one, and the
+            // `op` line round-trips the operand encoding.
+            let back2 = entry_from_text(&entry_to_text(&entry, key, signed), key).expect("parse");
+            assert_bit_identical(&entry, &back2.multiplier);
+            assert_eq!(back2.signed, signed);
+            assert_eq!(back2.width as usize, entry.netlist.num_inputs() / 2);
+            assert_eq!(back2.key, key);
         }
     }
 
@@ -441,7 +594,7 @@ mod tests {
     fn corrupt_and_truncated_entries_are_rejected_not_panicked() {
         let entry = synthetic_entry(42);
         let key = some_key(42);
-        let text = entry_to_text(&entry, key);
+        let text = entry_to_text(&entry, key, false);
         assert!(entry_from_text(&text, key).is_some(), "sanity: intact entry loads");
 
         // Truncation at every line boundary (a killed non-atomic writer).
@@ -457,13 +610,18 @@ mod tests {
         assert!(entry_from_text(&format!("{text}{text}"), key).is_none());
         assert!(entry_from_text(&format!("{text}trailing junk\n"), key).is_none());
         // Wrong magic or an entry stored under another key.
-        assert!(entry_from_text(&text.replace(MAGIC, "apxsweep v0"), key).is_none());
+        assert!(entry_from_text(&text.replace(MAGIC, "apxsweep v1"), key).is_none());
         assert!(entry_from_text(&text, some_key(43)).is_none());
+        // A tampered `op` line (bad encoding word, zero width, width that
+        // contradicts the genotype) is a defect, not a guess.
+        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 3 sideways"), key).is_none());
+        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 0 unsigned"), key).is_none());
+        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 4 unsigned"), key).is_none());
 
         // End to end: a corrupt file on disk behaves as a miss.
         let dir = scratch("corrupt");
         let cache = SweepCache::new(&dir);
-        let path = cache.store(key, &entry).expect("store");
+        let path = cache.store(key, &entry, false).expect("store");
         std::fs::write(&path, &text.as_bytes()[..40]).unwrap();
         assert!(cache.load(key).is_none());
     }
@@ -502,9 +660,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = SweepCache::new(&dir);
         let key = some_key(9);
-        cache.store(key, &synthetic_entry(9)).expect("store");
+        cache.store(key, &synthetic_entry(9), false).expect("store");
         // Overwrite with different content: still one file, new content.
-        cache.store(key, &synthetic_entry(10)).expect("overwrite");
+        cache.store(key, &synthetic_entry(10), false).expect("overwrite");
         let names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -512,5 +670,61 @@ mod tests {
         assert_eq!(names, vec![format!("{}.sweep", key.hex())]);
         let back = cache.load(key).expect("hit");
         assert_bit_identical(&synthetic_entry(10), &back);
+    }
+
+    #[test]
+    fn cache_key_hex_round_trips_and_rejects_other_shapes() {
+        for salt in [0u64, 7, u64::MAX] {
+            let key = some_key(salt);
+            assert_eq!(CacheKey::from_hex(&key.hex()), Some(key));
+        }
+        for bad in ["", "xyz", "0123", &"f".repeat(31), &"f".repeat(33), &"g".repeat(32)] {
+            assert_eq!(CacheKey::from_hex(bad), None, "`{bad}` accepted");
+        }
+    }
+
+    #[test]
+    fn scan_harvests_intact_entries_in_key_order_and_skips_damage() {
+        let dir = scratch("scan");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        assert!(cache.scan().is_empty(), "missing directory scans as empty");
+
+        let mut stored: Vec<(CacheKey, EvolvedMultiplier, bool)> =
+            (0..5u64).map(|i| (some_key(i), synthetic_entry(100 + i), i % 2 == 0)).collect();
+        for (key, entry, signed) in &stored {
+            cache.store(*key, entry, *signed).expect("store");
+        }
+        // Damage one entry, add a foreign file and a misnamed file: all
+        // three must be skipped without failing the scan.
+        let victim = dir.join(format!("{}.sweep", stored[0].0.hex()));
+        std::fs::write(&victim, b"apxsweep v2\ngarbage\n").unwrap();
+        std::fs::write(dir.join("README.txt"), b"not an entry").unwrap();
+        std::fs::write(dir.join("nothex.sweep"), b"apxsweep v2\n").unwrap();
+
+        let scanned = cache.scan();
+        assert_eq!(scanned.len(), 4, "one damaged entry dropped");
+        stored.remove(0);
+        stored.sort_by_key(|(k, _, _)| (k.hi, k.lo));
+        for (got, (key, entry, signed)) in scanned.iter().zip(&stored) {
+            assert_eq!(got.key, *key);
+            assert_eq!(got.signed, *signed);
+            assert_eq!(got.width as usize, entry.netlist.num_inputs() / 2);
+            assert_bit_identical(&got.multiplier, entry);
+        }
+        let hexes: Vec<String> = scanned.iter().map(|e| e.key.hex()).collect();
+        let mut sorted = hexes.clone();
+        sorted.sort();
+        assert_eq!(hexes, sorted, "scan order is key-sorted, not filesystem order");
+
+        // The maintenance view agrees with the scan.
+        let stats = cache_dir_stats(&dir);
+        assert_eq!(stats.files, 6, "five stored + one misnamed .sweep");
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.corrupt, 2);
+        assert!(stats.total_bytes > 0);
+        assert_eq!(stats.per_op.values().sum::<usize>(), 4);
+        assert_eq!(stats.per_op.keys().map(|(w, _)| *w).collect::<Vec<_>>(), vec![3, 3]);
+        assert_eq!(cache_dir_stats(&scratch("scan_missing")), CacheDirStats::default());
     }
 }

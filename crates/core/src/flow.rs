@@ -2,7 +2,7 @@
 
 use crate::{CoreError, Eq1Fitness};
 use apx_arith::{array_multiplier, baugh_wooley_multiplier};
-use apx_cgp::{evolve, Chromosome, EvolutionConfig, FunctionSet};
+use apx_cgp::{evolve_seeded, Chromosome, EvolutionConfig, FunctionSet};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
 use apx_metrics::{ErrorStats, MultEvaluator};
@@ -188,6 +188,12 @@ pub(crate) fn task_seed(seed: u64, dist: usize, ti: usize, run: usize) -> u64 {
 /// seed at threshold 0), then measure exhaustive error statistics and the
 /// physical estimate. The expensive [`MultEvaluator`] is shared, not
 /// rebuilt per task.
+///
+/// `seeds` warm-starts the CGP run ([`apx_cgp::evolve_seeded`]): the
+/// strictly best of the exact seed and the given candidates becomes the
+/// initial parent. The second return value reports which seed won (`None`
+/// when the run started from the exact seed — always the case with an
+/// empty list, which reproduces the unseeded flow bit for bit).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evolve_one(
     cfg: &FlowConfig,
@@ -199,14 +205,16 @@ pub(crate) fn evolve_one(
     run: usize,
     seed: u64,
     name: String,
-) -> EvolvedMultiplier {
+    seeds: &[Chromosome],
+) -> (EvolvedMultiplier, Option<usize>) {
     let threshold = cfg.thresholds[ti];
-    let (chromosome, evaluations) = if threshold == 0.0 {
-        (seed_chrom.clone(), 0)
+    let (chromosome, evaluations, initial_seed) = if threshold == 0.0 {
+        (seed_chrom.clone(), 0, None)
     } else {
         let fitness = Eq1Fitness::with_evaluator(Arc::clone(evaluator), tech.clone(), threshold);
-        let result = evolve(
+        let result = evolve_seeded(
             seed_chrom,
+            seeds,
             |c| fitness.of(c),
             &EvolutionConfig {
                 lambda: cfg.lambda,
@@ -218,7 +226,7 @@ pub(crate) fn evolve_one(
                 keep_history: false,
             },
         );
-        (result.best, result.evaluations)
+        (result.best, result.evaluations, result.initial_seed)
     };
     let netlist = chromosome.decode_active();
     let stats = evaluator.stats(&netlist);
@@ -231,13 +239,27 @@ pub(crate) fn evolve_one(
         cfg.activity_blocks,
         &mut est_rng,
     );
-    EvolvedMultiplier { name, chromosome, netlist, threshold, run, stats, estimate, evaluations }
+    (
+        EvolvedMultiplier {
+            name,
+            chromosome,
+            netlist,
+            threshold,
+            run,
+            stats,
+            estimate,
+            evaluations,
+        },
+        initial_seed,
+    )
 }
 
 /// Maps `worker` over `tasks` on an [`apx_pool`] pool, converting a
 /// captured task panic into a [`CoreError::WorkerPanic`] that names the
 /// failing task (instead of the poisoned-lock panic the old ad-hoc
-/// scaffolding produced).
+/// scaffolding produced). Names are rendered up front so the task list —
+/// which may carry seed chromosomes and netlists in library mode — is
+/// moved into the pool, not deep-cloned for the error path.
 pub(crate) fn run_tasks<T, R, W, N>(
     threads: usize,
     tasks: Vec<T>,
@@ -245,13 +267,14 @@ pub(crate) fn run_tasks<T, R, W, N>(
     worker: W,
 ) -> Result<Vec<R>, CoreError>
 where
-    T: Send + Copy,
+    T: Send,
     R: Send,
     W: Fn(usize, T) -> R + Sync,
-    N: Fn(T) -> String,
+    N: Fn(&T) -> String,
 {
-    apx_pool::scope_map(threads.max(1), tasks.clone(), worker)
-        .map_err(|p| CoreError::WorkerPanic { task: name_of(tasks[p.index]), message: p.message })
+    let names: Vec<String> = tasks.iter().map(&name_of).collect();
+    apx_pool::scope_map(threads.max(1), tasks, worker)
+        .map_err(|p| CoreError::WorkerPanic { task: names[p.index].clone(), message: p.message })
 }
 
 /// Runs the complete flow: for every threshold `E_i` and every run, evolve
@@ -296,7 +319,9 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
                 run,
                 task_seed(cfg.seed, 0, ti, run),
                 format!("t{ti}_r{run}"),
+                &[],
             )
+            .0
         },
     )?;
 

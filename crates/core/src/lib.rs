@@ -19,6 +19,12 @@
 //!   under a digest of exactly what was computed, so re-runs, interrupted
 //!   overnight sweeps and multi-process [`Shard`] splits reuse evolved
 //!   multipliers instead of re-evolving them;
+//! * [`library`] — the autoAx-style component library on top of that
+//!   cache: harvested evolutions and conventional [`apx_approxlib`]
+//!   designs unified as [`library::LibraryEntry`] candidates, indexed by
+//!   `(width, signedness)`, re-scored under *new* distributions (one
+//!   evaluator pass, no evolution) and consulted by the sweep via
+//!   [`LibraryConfig`] — direct hits or CGP population seeding;
 //! * [`pareto_indices`] — non-dominated filtering for the trade-off plots;
 //! * [`cross_wmed`] / [`error_heatmap`] — cross-distribution evaluation
 //!   (the off-diagonal panels of Fig. 3 and the heat maps of Fig. 4);
@@ -38,6 +44,7 @@ mod error;
 mod evaluate;
 mod fitness;
 mod flow;
+pub mod library;
 mod mac_report;
 pub mod nn_flow;
 mod pareto;
@@ -53,4 +60,6 @@ pub use flow::{
 };
 pub use mac_report::{mac_metrics, MacMetrics};
 pub use pareto::pareto_indices;
-pub use sweep::{run_sweep, Shard, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats};
+pub use sweep::{
+    run_sweep, LibraryConfig, Shard, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats,
+};

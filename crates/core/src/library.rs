@@ -1,0 +1,457 @@
+//! Component-library mode: autoAx-style reuse of already-built
+//! multipliers across design-space explorations.
+//!
+//! A paper-scale sweep re-runs CGP from scratch for every `(distribution,
+//! threshold)` point, yet the expensive artifact — an approximate
+//! multiplier — does not care which distribution it was evolved under:
+//! its WMED under a *new* [`Pmf`] is one exhaustive [`MultEvaluator`]
+//! pass, no evolution at all (this is exactly the cheap re-scoring that
+//! makes autoAx-style library reuse work; Mrazek et al., DAC'19). This
+//! module turns the per-task [`crate::cache`] into such a reusable
+//! library:
+//!
+//! * [`ComponentLibrary`] scans a cache directory
+//!   ([`SweepCache::scan`]), deduplicates harvested chromosomes by a
+//!   structural digest of their active netlist, ingests the
+//!   conventionally designed multipliers of [`apx_approxlib`] through
+//!   the same unified [`LibraryEntry`] form, and indexes everything by
+//!   `(width, signedness)`;
+//! * [`ComponentLibrary::rescore`] re-prices every matching candidate
+//!   under the current sweep's distribution — full [`ErrorStats`] via
+//!   the batched evaluator ([`MultEvaluator::stats_batch`], fanned out
+//!   on `apx_pool`) plus the technology-library area — yielding a
+//!   [`RescoredLibrary`]: a deterministic ranking with a per-
+//!   distribution Pareto front of `(WMED, area)` that keeps each
+//!   candidate's [`Provenance`];
+//! * [`run_sweep`](crate::run_sweep) consults the result (see
+//!   [`LibraryConfig`](crate::LibraryConfig)): a candidate already
+//!   meeting a task's threshold is taken directly (`library_hits`),
+//!   otherwise the best candidates seed the CGP population
+//!   ([`apx_cgp::evolve_seeded`], `seeded_evolutions`) instead of every
+//!   run starting from the exact multiplier.
+//!
+//! Determinism is preserved end to end: scans are key-sorted (never
+//! filesystem order), re-scoring is bit-identical to the sweep's own
+//! statistics pass for any thread count, and all rankings are total
+//! orders (ties broken by error bits, then name). An empty library is a
+//! guaranteed no-op: the sweep behaves bit-for-bit as if library mode
+//! were off.
+
+use crate::cache::{CacheKey, SweepCache};
+use crate::flow::EvolvedMultiplier;
+use crate::pareto_indices;
+use apx_approxlib::{Family, MultiplierLibrary};
+use apx_cgp::{Chromosome, FunctionSet};
+use apx_dist::{fnv1a64, FNV1A64_OFFSET};
+use apx_gates::Netlist;
+use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_techlib::{area_of, TechLibrary};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Which exploration produced a library candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Harvested from a sweep-cache entry: a CGP run checkpointed under
+    /// `source_key` by some earlier (possibly differently-distributed)
+    /// exploration.
+    Evolved {
+        /// The content-addressed key the entry was stored under.
+        source_key: CacheKey,
+    },
+    /// A conventionally designed multiplier ingested from
+    /// [`apx_approxlib::MultiplierLibrary`] (truncated, broken-array,
+    /// zero-guarded, … — the paper's §IV baselines).
+    Conventional {
+        /// The approxlib construction family.
+        family: Family,
+    },
+}
+
+/// One candidate of a [`ComponentLibrary`] — the unified form behind
+/// which evolved cache entries and conventional [`apx_approxlib`]
+/// designs become indistinguishable to the sweep.
+#[derive(Debug, Clone)]
+pub struct LibraryEntry {
+    /// Stable display name (`evo_<key prefix>` or the approxlib name).
+    pub name: String,
+    /// The genotype: evolved entries keep their stored chromosome;
+    /// conventional netlists are encoded onto an exact-fit CGP grid so
+    /// they can seed an evolution like any other candidate.
+    pub chromosome: Chromosome,
+    /// The active-cone phenotype (`chromosome.decode_active()`), the
+    /// object every re-scoring pass evaluates.
+    pub netlist: Netlist,
+    /// Operand width in bits.
+    pub width: u32,
+    /// Two's-complement operand encoding.
+    pub signed: bool,
+    /// Structural digest of the compacted netlist (dedup identity).
+    pub digest: u128,
+    /// Where the candidate came from.
+    pub provenance: Provenance,
+}
+
+/// 128-bit structural digest of a netlist's *compacted* form: dead nodes
+/// do not change identity, so a chromosome re-encoded on a wider grid
+/// deduplicates against its original.
+#[must_use]
+pub fn netlist_digest(netlist: &Netlist) -> u128 {
+    let compact = netlist.compact();
+    let mut canonical = String::new();
+    let _ = write!(canonical, "nl {} {}", compact.num_inputs(), compact.num_outputs());
+    for node in compact.nodes() {
+        let _ = write!(canonical, " {}:{}:{}", node.kind.name(), node.a.0, node.b.0);
+    }
+    for out in compact.outputs() {
+        let _ = write!(canonical, " o{}", out.0);
+    }
+    let hi = fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET);
+    let lo = fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET ^ 0x9E37_79B9_7F4A_7C15);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// A deduplicated, `(width, signedness)`-indexed collection of candidate
+/// multipliers harvested from sweep caches and conventional libraries.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentLibrary {
+    entries: Vec<LibraryEntry>,
+    by_digest: HashMap<u128, usize>,
+    /// Full stored task results by cache key, for exact replay: when a
+    /// sweep task's own key shows up here, the stored entry *is* what
+    /// that task would compute, bit for bit.
+    exact: HashMap<CacheKey, (u32, bool, EvolvedMultiplier)>,
+}
+
+impl ComponentLibrary {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of deduplicated candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library holds no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All candidates, in deterministic ingestion order.
+    pub fn entries(&self) -> impl Iterator<Item = &LibraryEntry> {
+        self.entries.iter()
+    }
+
+    /// The candidates matching one operand encoding, in deterministic
+    /// ingestion order — the `(width, signedness)` index a sweep draws
+    /// from.
+    pub fn candidates(&self, width: u32, signed: bool) -> impl Iterator<Item = &LibraryEntry> {
+        self.entries.iter().filter(move |e| e.width == width && e.signed == signed)
+    }
+
+    /// The stored task result for `key`, when this library harvested the
+    /// exact entry a `(width, signed)` sweep task would compute. Replaying
+    /// it is bit-identical to a cache hit (the key is content-addressed
+    /// over everything that shapes the result).
+    #[must_use]
+    pub fn exact_match(
+        &self,
+        key: CacheKey,
+        width: u32,
+        signed: bool,
+    ) -> Option<&EvolvedMultiplier> {
+        self.exact.get(&key).filter(|(w, s, _)| *w == width && *s == signed).map(|(_, _, m)| m)
+    }
+
+    /// Harvests every intact entry of the sweep cache at `dir`
+    /// (deduplicating against what is already present) and returns how
+    /// many new candidates were added. A missing directory adds nothing.
+    pub fn scan_cache(&mut self, dir: impl AsRef<Path>) -> usize {
+        let mut added = 0;
+        for scanned in SweepCache::new(dir.as_ref()).scan() {
+            let name = format!("evo_{}", &scanned.key.hex()[..12]);
+            let entry = LibraryEntry {
+                name,
+                digest: netlist_digest(&scanned.multiplier.netlist),
+                chromosome: scanned.multiplier.chromosome.clone(),
+                netlist: scanned.multiplier.netlist.clone(),
+                width: scanned.width,
+                signed: scanned.signed,
+                provenance: Provenance::Evolved { source_key: scanned.key },
+            };
+            if self.insert(entry) {
+                added += 1;
+            }
+            self.exact.insert(scanned.key, (scanned.width, scanned.signed, scanned.multiplier));
+        }
+        added
+    }
+
+    /// Ingests every entry of a conventional [`MultiplierLibrary`] —
+    /// truncated, broken-array and zero-guarded designs become seed
+    /// candidates exactly like cached evolutions. Returns how many new
+    /// candidates were added (structural duplicates of already-present
+    /// entries are skipped).
+    pub fn ingest_conventional(&mut self, lib: &MultiplierLibrary) -> usize {
+        let funcs = FunctionSet::extended();
+        let mut added = 0;
+        for e in lib.iter() {
+            // Exact-fit grid: the netlist *is* the genotype, no slack. The
+            // extended function set covers every `GateKind`, so encoding
+            // only fails on truly foreign netlists — skip those.
+            let Ok(chromosome) =
+                Chromosome::from_netlist(&e.netlist, &funcs, e.netlist.gate_count())
+            else {
+                continue;
+            };
+            let netlist = chromosome.decode_active();
+            let entry = LibraryEntry {
+                name: e.name.clone(),
+                digest: netlist_digest(&netlist),
+                chromosome,
+                netlist,
+                width: lib.width(),
+                signed: lib.is_signed(),
+                provenance: Provenance::Conventional { family: e.family },
+            };
+            if self.insert(entry) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    fn insert(&mut self, entry: LibraryEntry) -> bool {
+        if self.by_digest.contains_key(&entry.digest) {
+            return false;
+        }
+        self.by_digest.insert(entry.digest, self.entries.len());
+        self.entries.push(entry);
+        true
+    }
+
+    /// Re-prices every candidate matching the evaluator's operand
+    /// encoding under the evaluator's distribution: one exhaustive
+    /// statistics pass per candidate (fanned out over `threads` pool
+    /// workers, bit-identical to a sequential pass) plus the
+    /// technology-library area. The returned ranking is a total order, so
+    /// selection never depends on thread count or ingestion accidents.
+    #[must_use]
+    pub fn rescore(
+        &self,
+        evaluator: &MultEvaluator,
+        tech: &TechLibrary,
+        threads: usize,
+    ) -> RescoredLibrary<'_> {
+        let matching: Vec<&LibraryEntry> =
+            self.candidates(evaluator.width(), evaluator.is_signed()).collect();
+        let netlists: Vec<Netlist> = matching.iter().map(|e| e.netlist.clone()).collect();
+        let stats = evaluator.stats_batch(&netlists, threads);
+        let mut candidates: Vec<RescoredCandidate<'_>> = matching
+            .into_iter()
+            .zip(stats)
+            .map(|(entry, stats)| RescoredCandidate {
+                area: area_of(&entry.netlist, tech),
+                entry,
+                stats,
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.area
+                .total_cmp(&b.area)
+                .then_with(|| a.stats.wmed.total_cmp(&b.stats.wmed))
+                .then_with(|| a.entry.name.cmp(&b.entry.name))
+        });
+        RescoredLibrary { candidates }
+    }
+}
+
+/// One candidate re-priced under a specific distribution.
+#[derive(Debug, Clone)]
+pub struct RescoredCandidate<'a> {
+    /// The underlying library candidate (with its provenance).
+    pub entry: &'a LibraryEntry,
+    /// Exhaustive error statistics under the re-scoring distribution —
+    /// bit-identical to what [`run_sweep`](crate::run_sweep) would report
+    /// for the same chromosome.
+    pub stats: ErrorStats,
+    /// Technology-library area of the candidate's active netlist (the
+    /// cost axis of Eq. 1).
+    pub area: f64,
+}
+
+/// A [`ComponentLibrary`] re-priced under one distribution: candidates in
+/// ascending `(area, WMED bits, name)` order.
+#[derive(Debug, Clone)]
+pub struct RescoredLibrary<'a> {
+    candidates: Vec<RescoredCandidate<'a>>,
+}
+
+impl<'a> RescoredLibrary<'a> {
+    /// All re-scored candidates, cheapest first.
+    #[must_use]
+    pub fn candidates(&self) -> &[RescoredCandidate<'a>] {
+        &self.candidates
+    }
+
+    /// The cheapest candidate whose re-scored WMED meets `threshold` —
+    /// the library-hit rule: taking it satisfies the task's Eq. 1
+    /// constraint with zero evolutions.
+    #[must_use]
+    pub fn best_meeting(&self, threshold: f64) -> Option<&RescoredCandidate<'a>> {
+        self.candidates.iter().find(|c| c.stats.wmed <= threshold)
+    }
+
+    /// Up to `max` seed candidates for a CGP run constrained by
+    /// `threshold`: candidates meeting the budget first (cheapest first —
+    /// each is a feasible, finite-fitness starting point), then the
+    /// near-misses by ascending WMED. Deterministic like every ranking
+    /// here.
+    #[must_use]
+    pub fn seeds(&self, threshold: f64, max: usize) -> Vec<&RescoredCandidate<'a>> {
+        let mut ranked: Vec<&RescoredCandidate<'a>> = self.candidates.iter().collect();
+        ranked.sort_by(|a, b| {
+            let (fa, fb) = (a.stats.wmed <= threshold, b.stats.wmed <= threshold);
+            fb.cmp(&fa)
+                .then_with(|| {
+                    if fa && fb {
+                        a.area.total_cmp(&b.area)
+                    } else {
+                        a.stats.wmed.total_cmp(&b.stats.wmed)
+                    }
+                })
+                .then_with(|| a.entry.name.cmp(&b.entry.name))
+        });
+        ranked.truncate(max);
+        ranked
+    }
+
+    /// The `(WMED, area)` Pareto front of this distribution's re-scored
+    /// library, provenance preserved — the autoAx-style per-distribution
+    /// trade-off view.
+    #[must_use]
+    pub fn pareto(&self) -> Vec<&RescoredCandidate<'a>> {
+        let points: Vec<(f64, f64)> =
+            self.candidates.iter().map(|c| (c.stats.wmed, c.area)).collect();
+        pareto_indices(&points).into_iter().map(|i| &self.candidates[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apx_dist::Pmf;
+
+    fn evoapprox4() -> ComponentLibrary {
+        let mut lib = ComponentLibrary::new();
+        lib.ingest_conventional(&MultiplierLibrary::truncated_family(4));
+        lib
+    }
+
+    #[test]
+    fn conventional_ingestion_unifies_and_deduplicates() {
+        let mut lib = evoapprox4();
+        let n = lib.len();
+        assert!(n > 4, "truncated family should yield several candidates");
+        // Re-ingesting the same family adds nothing (structural dedup).
+        assert_eq!(lib.ingest_conventional(&MultiplierLibrary::truncated_family(4)), 0);
+        assert_eq!(lib.len(), n);
+        // A different width lands in a different index slice.
+        assert!(lib.ingest_conventional(&MultiplierLibrary::truncated_family(3)) > 0);
+        assert_eq!(lib.candidates(4, false).count(), n);
+        assert!(lib.candidates(3, false).count() > 0);
+        assert_eq!(lib.candidates(4, true).count(), 0, "signedness separates");
+        for e in lib.entries() {
+            assert!(matches!(e.provenance, Provenance::Conventional { .. }));
+            // The chromosome and phenotype agree by construction.
+            assert_eq!(netlist_digest(&e.chromosome.decode_active()), e.digest);
+        }
+    }
+
+    #[test]
+    fn digest_ignores_dead_nodes_but_separates_structures() {
+        let nl = apx_arith::array_multiplier(3);
+        let chrom =
+            Chromosome::from_netlist(&nl, &FunctionSet::extended(), nl.gate_count() + 30).unwrap();
+        // Same circuit on a padded grid: digest unchanged.
+        assert_eq!(netlist_digest(&nl), netlist_digest(&chrom.decode_active()));
+        assert_ne!(netlist_digest(&nl), netlist_digest(&apx_arith::truncated_multiplier(3, 1)));
+    }
+
+    #[test]
+    fn rescoring_ranks_deterministically_and_fronts_are_nondominated() {
+        let lib = evoapprox4();
+        let pmf = Pmf::half_normal(4, 3.0);
+        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let tech = TechLibrary::nangate45();
+        let a = lib.rescore(&eval, &tech, 1);
+        let b = lib.rescore(&eval, &tech, 4);
+        assert_eq!(a.candidates().len(), lib.len());
+        for (x, y) in a.candidates().iter().zip(b.candidates()) {
+            assert_eq!(x.entry.name, y.entry.name, "thread count changed the ranking");
+            assert_eq!(x.stats.wmed.to_bits(), y.stats.wmed.to_bits());
+            assert_eq!(x.area.to_bits(), y.area.to_bits());
+        }
+        // Sorted cheapest-first.
+        for w in a.candidates().windows(2) {
+            assert!(w[0].area <= w[1].area);
+        }
+        // Every candidate re-scored under an evaluator is *really* its
+        // WMED: the exact multiplier scores zero.
+        let exact = a.candidates().iter().find(|c| c.entry.name == "exact_array").unwrap();
+        assert_eq!(exact.stats.wmed, 0.0);
+        // Pareto front: no member dominated by any candidate.
+        let front = a.pareto();
+        assert!(!front.is_empty());
+        for f in &front {
+            for c in a.candidates() {
+                assert!(
+                    !(c.stats.wmed <= f.stats.wmed
+                        && c.area <= f.area
+                        && (c.stats.wmed < f.stats.wmed || c.area < f.area)),
+                    "{} dominates front member {}",
+                    c.entry.name,
+                    f.entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hit_and_seed_selection_respect_the_threshold() {
+        let lib = evoapprox4();
+        let eval = MultEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
+        let tech = TechLibrary::nangate45();
+        let rescored = lib.rescore(&eval, &tech, 2);
+        // A generous budget admits an approximate (cheaper-than-exact)
+        // candidate; the hit is the cheapest admissible one.
+        let hit = rescored.best_meeting(0.05).expect("loose budget must hit");
+        assert!(hit.stats.wmed <= 0.05);
+        for c in rescored.candidates() {
+            if c.stats.wmed <= 0.05 {
+                assert!(hit.area <= c.area);
+            }
+        }
+        // An impossible budget hits nothing but still yields seeds, the
+        // nearest-miss first.
+        assert!(rescored.best_meeting(-1.0).is_none());
+        let seeds = rescored.seeds(-1.0, 3);
+        assert_eq!(seeds.len(), 3);
+        for w in seeds.windows(2) {
+            assert!(w[0].stats.wmed <= w[1].stats.wmed);
+        }
+        // Feasible seeds come before infeasible ones.
+        let mid = rescored.candidates()[rescored.candidates().len() / 2].stats.wmed;
+        let seeded = rescored.seeds(mid, rescored.candidates().len());
+        let first_infeasible =
+            seeded.iter().position(|c| c.stats.wmed > mid).unwrap_or(seeded.len());
+        assert!(seeded[..first_infeasible].iter().all(|c| c.stats.wmed <= mid));
+        assert!(seeded[first_infeasible..].iter().all(|c| c.stats.wmed > mid));
+    }
+}

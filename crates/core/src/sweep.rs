@@ -28,12 +28,15 @@ use crate::cache::{task_key, CacheKey, SweepCache};
 use crate::flow::{
     evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedMultiplier, FlowConfig,
 };
+use crate::library::{ComponentLibrary, RescoredLibrary};
 use crate::CoreError;
+use apx_approxlib::MultiplierLibrary;
+use apx_cgp::Chromosome;
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::MultEvaluator;
+use apx_metrics::{ErrorStats, MultEvaluator};
 use apx_rng::Xoshiro256;
-use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
+use apx_techlib::{area_of, estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,6 +77,39 @@ pub struct Shard {
     pub count: usize,
 }
 
+/// Component-library mode of a sweep ([`crate::library`]): how
+/// [`run_sweep`] may reuse multipliers built by *other* explorations.
+///
+/// An empty library (no directory, nothing scanned, no conventional
+/// entries) is a guaranteed no-op: results are bit-identical to running
+/// with `SweepConfig::library = None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryConfig {
+    /// Cache directory to harvest candidates from (usually a previous
+    /// run's [`SweepConfig::cache_dir`], possibly populated under
+    /// different distributions). `None` scans nothing.
+    pub dir: Option<PathBuf>,
+    /// Also ingest the conventional [`apx_approxlib`] designs (truncated,
+    /// broken-array, zero-guarded) as candidates.
+    pub conventional: bool,
+    /// Take a re-scored candidate directly when it already meets the
+    /// task's threshold (counted as `library_hits`). With `false` the
+    /// library only warm-starts evolutions — the refinement mode where
+    /// feasible candidates become initial CGP parents and are improved
+    /// further (counted as `seeded_evolutions` when a seed wins).
+    pub take_hits: bool,
+    /// Maximum library candidates offered as seeds to one evolution.
+    pub max_seeds: usize,
+}
+
+impl Default for LibraryConfig {
+    /// Hits taken, up to 4 seeds (one per default-λ offspring lineage),
+    /// no directory, no conventional entries.
+    fn default() -> Self {
+        LibraryConfig { dir: None, conventional: false, take_hits: true, max_seeds: 4 }
+    }
+}
+
 /// Configuration of a full Pareto sweep.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepConfig {
@@ -89,6 +125,10 @@ pub struct SweepConfig {
     /// Restrict this run to one shard of the task grid. `None` runs every
     /// task.
     pub shard: Option<Shard>,
+    /// Component-library mode ([`crate::library`]): reuse multipliers
+    /// evolved by previous (differently-distributed) explorations, either
+    /// directly or as CGP population seeds. `None` disables the library.
+    pub library: Option<LibraryConfig>,
 }
 
 /// One completed `(distribution, threshold, run)` task.
@@ -121,7 +161,7 @@ pub struct SweepStats {
     /// Worker threads the pool ran with.
     pub threads: usize,
     /// Number of `(distribution × threshold × run)` tasks in the *full*
-    /// grid: `cache_hits + cache_misses + shard_skipped`.
+    /// grid: `cache_hits + library_hits + cache_misses + shard_skipped`.
     pub tasks: usize,
     /// Tasks loaded from the result cache instead of evolved.
     pub cache_hits: usize,
@@ -130,6 +170,14 @@ pub struct SweepStats {
     pub cache_misses: usize,
     /// Tasks excluded by the [`Shard`] filter (computed by other shards).
     pub shard_skipped: usize,
+    /// Tasks satisfied by the component library instead of evolved —
+    /// either an exact stored-task replay or a re-scored candidate that
+    /// already met the task's threshold ([`LibraryConfig::take_hits`]).
+    pub library_hits: usize,
+    /// Evolved tasks whose initial CGP parent came from the library (a
+    /// seed strictly beat the exact multiplier in the warm-start
+    /// selection of [`apx_cgp::evolve_seeded`]).
+    pub seeded_evolutions: usize,
 }
 
 impl SweepStats {
@@ -203,6 +251,18 @@ impl SweepResult {
 /// have produced. With a [`shard`](SweepConfig::shard), only that shard's
 /// slice of the grid is computed (and returned).
 ///
+/// With a [`library`](SweepConfig::library), candidates harvested from
+/// previous explorations are consulted before any CGP time is spent: a
+/// task whose content-addressed key matches a harvested entry replays it
+/// bit for bit; otherwise the candidates are re-scored under the task's
+/// distribution and the cheapest one meeting the threshold — if strictly
+/// cheaper than the exact seed, which trivially meets everything — is
+/// taken directly (`library_hits`); otherwise the best candidates seed the
+/// evolution's initial parent (`seeded_evolutions` counts the tasks where
+/// a seed won). Library-derived results are **not** written back to the
+/// exact-task cache: the cache's contract is "what this task's evolution
+/// computes", and a hit or seeded run computes something else.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::BadConfig`] for an empty distribution list, a
@@ -254,16 +314,67 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
     let started = Instant::now();
     let cache = cfg.cache_dir.as_ref().map(SweepCache::new);
 
-    /// A task that missed the cache: its slot in the entry list, its grid
-    /// coordinates, and (when caching) the key to checkpoint it under.
-    type Pending = (usize, (usize, usize, usize), Option<CacheKey>);
+    // Build the component library once, then re-price its candidates under
+    // every distribution of this sweep (one batched statistics pass per
+    // distribution on the same worker width the grid will use).
+    let library: Option<ComponentLibrary> = cfg.library.as_ref().map(|lc| {
+        let mut lib = ComponentLibrary::new();
+        if let Some(dir) = &lc.dir {
+            lib.scan_cache(dir);
+        }
+        if lc.conventional && flow.width >= 3 {
+            if flow.signed {
+                lib.ingest_conventional(&MultiplierLibrary::broken_family_signed(flow.width));
+                lib.ingest_conventional(&MultiplierLibrary::zero_guard_family_signed(flow.width));
+            } else {
+                lib.ingest_conventional(&MultiplierLibrary::evoapprox_like(flow.width));
+            }
+        }
+        lib
+    });
+    // Re-scoring is lazy per distribution: an all-replay warm run (every
+    // task an exact key match) never pays the batched evaluator passes
+    // for rankings nobody consults.
+    let rescored: Vec<std::cell::OnceCell<RescoredLibrary<'_>>> =
+        cfg.distributions.iter().map(|_| std::cell::OnceCell::new()).collect();
+    let rescored_for = |di: usize| -> Option<&RescoredLibrary<'_>> {
+        match &library {
+            Some(lib) if !lib.is_empty() => {
+                Some(rescored[di].get_or_init(|| lib.rescore(&evaluators[di], &tech, threads)))
+            }
+            _ => None,
+        }
+    };
+    // The Eq. 1 cost of the trivial feasible solution (the exact seed):
+    // the bar a library hit has to clear.
+    let seed_area = area_of(&seed_chrom.decode_active(), &tech);
 
-    // Resolve cache hits up front (cheap deserialization, no point going
-    // through the pool), leaving only the tasks that truly need CGP time.
+    /// How a task that was not replayed from the cache gets its result.
+    enum Work {
+        /// Run CGP, warm-started by the given library seeds (empty when
+        /// the library has nothing to offer — bit-identical to no
+        /// library at all).
+        Evolve(Vec<Chromosome>),
+        /// A re-scored library candidate already meets the threshold:
+        /// finish it (physical estimate under this task's stimulus
+        /// stream) without any evolution.
+        TakeCandidate { chromosome: Chromosome, netlist: Netlist, stats: ErrorStats },
+    }
+
+    /// A task for the pool: its slot in the entry list, its grid
+    /// coordinates, the key to checkpoint it under (when caching), and
+    /// how to compute it.
+    type Pending = (usize, (usize, usize, usize), Option<CacheKey>, Work);
+
+    // Resolve cache hits and library replays up front (cheap
+    // deserialization, no point going through the pool), leaving only the
+    // tasks that truly need simulation or CGP time.
     let mut slots: Vec<Option<EvolvedMultiplier>> = Vec::with_capacity(tasks.len());
     let mut to_compute: Vec<Pending> = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut library_hits = 0usize;
     for (pos, &(di, ti, run)) in tasks.iter().enumerate() {
-        let key = cache.as_ref().map(|_| {
+        let key = (cache.is_some() || library.is_some()).then(|| {
             task_key(
                 flow,
                 &cfg.distributions[di].pmf,
@@ -272,49 +383,143 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                 task_seed(flow.seed, di, ti, run),
             )
         });
-        let hit = key.and_then(|k| cache.as_ref().expect("key implies cache").load(k));
+        let mut hit =
+            cache.as_ref().and_then(|c| key.and_then(|k| c.load(k))).inspect(|_| cache_hits += 1);
+        if hit.is_none() && cfg.library.as_ref().is_some_and(|l| l.take_hits) {
+            // The library may have harvested this exact task (content-
+            // addressed key match) from another run's cache directory:
+            // replaying it is bit-identical to a cache hit. Seed-only
+            // mode skips this too — its contract is to *refine* every
+            // task, and the harvested entry will come back anyway as the
+            // warm-start seed to beat.
+            hit = library
+                .as_ref()
+                .and_then(|lib| {
+                    key.and_then(|k| lib.exact_match(k, flow.width, flow.signed)).cloned()
+                })
+                .inspect(|m| {
+                    library_hits += 1;
+                    // Unlike re-scored hits, an exact replay *is* what
+                    // this task's evolution computes (that is what the
+                    // key addresses), so checkpointing it into our own
+                    // cache is contract-safe — and keeps the result if
+                    // the donor directory is later GC'd or lost.
+                    if let (Some(c), Some(k)) = (&cache, key) {
+                        let _ = c.store(k, m, flow.signed);
+                    }
+                });
+        }
         slots.push(hit.map(|mut m| {
             m.name = name_of((di, ti, run));
             m
         }));
-        if slots[pos].is_none() {
-            to_compute.push((pos, (di, ti, run), key));
+        if slots[pos].is_some() {
+            continue;
         }
+        let lc = cfg.library.as_ref();
+        let work = match rescored_for(di) {
+            Some(r) if lc.is_some_and(|l| l.take_hits) => {
+                // A hit must beat the trivial feasible answer: the exact
+                // multiplier meets *every* threshold, so a candidate that
+                // is not strictly cheaper than the seed saves nothing and
+                // would only suppress a potentially better evolution.
+                match r.best_meeting(flow.thresholds[ti]) {
+                    Some(c) if c.area < seed_area => {
+                        library_hits += 1;
+                        Work::TakeCandidate {
+                            chromosome: c.entry.chromosome.clone(),
+                            netlist: c.entry.netlist.clone(),
+                            stats: c.stats,
+                        }
+                    }
+                    _ => Work::Evolve(task_seeds(r, flow, ti, lc)),
+                }
+            }
+            Some(r) => Work::Evolve(task_seeds(r, flow, ti, lc)),
+            None => Work::Evolve(Vec::new()),
+        };
+        to_compute.push((pos, (di, ti, run), key, work));
     }
-    let cache_hits = tasks.len() - to_compute.len();
-    let cache_misses = to_compute.len();
+    let cache_misses =
+        to_compute.iter().filter(|(_, _, _, w)| matches!(w, Work::Evolve(_))).count();
 
-    // Each task is persisted by its worker the moment it completes, so an
-    // interrupted run checkpoints everything already finished.
+    // Each evolved task is persisted by its worker the moment it
+    // completes, so an interrupted run checkpoints everything already
+    // finished. Library-derived results are never stored under the exact
+    // task key (they are not what the task's evolution would compute).
     let computed = run_tasks(
         threads,
         to_compute,
-        |(_, t, _)| name_of(t),
-        |_, (pos, (di, ti, run), key)| {
-            let m = evolve_one(
-                flow,
-                &cfg.distributions[di].pmf,
-                &tech,
-                &seed_chrom,
-                &evaluators[di],
-                ti,
-                run,
-                task_seed(flow.seed, di, ti, run),
-                name_of((di, ti, run)),
-            );
-            if let (Some(c), Some(k)) = (&cache, key) {
-                // A failed store (read-only dir, full disk) only costs a
-                // future recompute; the in-memory result stands.
-                let _ = c.store(k, &m);
+        |(_, t, _, _)| name_of(*t),
+        |_, (pos, (di, ti, run), key, work)| {
+            let seed = task_seed(flow.seed, di, ti, run);
+            match work {
+                Work::Evolve(seeds) => {
+                    let (m, initial_seed) = evolve_one(
+                        flow,
+                        &cfg.distributions[di].pmf,
+                        &tech,
+                        &seed_chrom,
+                        &evaluators[di],
+                        ti,
+                        run,
+                        seed,
+                        name_of((di, ti, run)),
+                        &seeds,
+                    );
+                    if initial_seed.is_none() {
+                        if let (Some(c), Some(k)) = (&cache, key) {
+                            // When every seed lost, the search trajectory
+                            // is exactly the unseeded one and only the
+                            // warm-start fitness calls inflate the
+                            // counter — checkpoint the entry as a plain
+                            // evolution would have computed it, keeping
+                            // the cache key → content contract intact.
+                            // (A failed store — read-only dir, full disk
+                            // — only costs a future recompute; the
+                            // in-memory result stands.)
+                            let mut plain = m.clone();
+                            plain.evaluations -= seeds.len() as u64;
+                            let _ = c.store(k, &plain, flow.signed);
+                        }
+                    }
+                    (pos, m, initial_seed.is_some())
+                }
+                Work::TakeCandidate { chromosome, netlist, stats } => {
+                    // Same estimate stream as an evolution of this task
+                    // (`seed ^ 0xE57`), so taking a candidate is exactly
+                    // as deterministic as evolving one.
+                    let mut est_rng = Xoshiro256::from_seed(seed ^ 0xE57);
+                    let estimate = estimate_under_pmf(
+                        &netlist,
+                        &tech,
+                        &cfg.distributions[di].pmf,
+                        DEFAULT_CLOCK_MHZ,
+                        flow.activity_blocks,
+                        &mut est_rng,
+                    );
+                    let m = EvolvedMultiplier {
+                        name: name_of((di, ti, run)),
+                        chromosome,
+                        netlist,
+                        threshold: flow.thresholds[ti],
+                        run,
+                        stats,
+                        estimate,
+                        evaluations: 0,
+                    };
+                    (pos, m, false)
+                }
             }
-            (pos, m)
         },
     )?;
     let wall_seconds = started.elapsed().as_secs_f64();
 
     let mut computed_evaluations = 0u64;
-    for (pos, m) in computed {
+    let mut seeded_evolutions = 0usize;
+    for (pos, m, seeded) in computed {
         computed_evaluations += m.evaluations;
+        seeded_evolutions += usize::from(seeded);
         slots[pos] = Some(m);
     }
     let entries: Vec<SweepEntry> = slots
@@ -365,8 +570,29 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
             cache_hits,
             cache_misses,
             shard_skipped,
+            library_hits,
+            seeded_evolutions,
         },
     })
+}
+
+/// The chromosomes a task's evolution is warm-started with: the library's
+/// deterministic seed ranking for this threshold, capped by the
+/// configured [`LibraryConfig::max_seeds`]. Threshold-0 tasks get none —
+/// they keep the exact seed without running CGP, so offered seeds would
+/// never even be evaluated.
+fn task_seeds(
+    rescored: &RescoredLibrary<'_>,
+    flow: &FlowConfig,
+    ti: usize,
+    lc: Option<&LibraryConfig>,
+) -> Vec<Chromosome> {
+    let threshold = flow.thresholds[ti];
+    if threshold == 0.0 {
+        return Vec::new();
+    }
+    let max = lc.map_or(0, |l| l.max_seeds);
+    rescored.seeds(threshold, max).into_iter().map(|c| c.entry.chromosome.clone()).collect()
 }
 
 #[cfg(test)]
@@ -622,6 +848,249 @@ mod tests {
         assert_eq!(assembled.stats.cache_hits, 8);
         assert_eq!(assembled.stats.cache_misses, 0);
         assert_entries_bit_identical(&unsharded, &assembled);
+    }
+
+    #[test]
+    fn empty_library_is_bit_identical_to_no_library() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let off = run_sweep(&cfg).unwrap();
+        // Empty/missing directory, no conventional entries: library mode
+        // must be a provable no-op (the acceptance contract for turning
+        // `APX_LIBRARY=on` into the default some day).
+        cfg.library = Some(LibraryConfig {
+            dir: Some(fresh_cache_dir("libempty")),
+            ..LibraryConfig::default()
+        });
+        let on = run_sweep(&cfg).unwrap();
+        assert_eq!(on.stats.library_hits, 0);
+        assert_eq!(on.stats.seeded_evolutions, 0);
+        assert_entries_bit_identical(&off, &on);
+        assert_eq!(off.stats.total_evaluations, on.stats.total_evaluations);
+    }
+
+    #[test]
+    fn library_replays_its_own_tasks_bit_for_bit_via_key_match() {
+        // Populate a cache, then run the *same* grid with caching off but
+        // the library pointed at that directory: every task's content-
+        // addressed key matches a harvested entry, so the whole sweep is
+        // library hits and bit-identical to the original.
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("libreplay");
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg).unwrap();
+
+        // A fresh cache of our own: replays must be adopted into it (an
+        // exact key match is bit-identical to what the task computes, so
+        // checkpointing it is contract-safe), insuring this run against
+        // the donor directory being GC'd later.
+        let own_dir = fresh_cache_dir("libreplay_own");
+        cfg.cache_dir = Some(own_dir);
+        cfg.library = Some(LibraryConfig { dir: Some(dir), ..LibraryConfig::default() });
+        let replayed = run_sweep(&cfg).unwrap();
+        assert_eq!(replayed.stats.cache_hits, 0);
+        assert_eq!(replayed.stats.library_hits, 8, "every task is an exact key match");
+        assert_eq!(replayed.stats.cache_misses, 0);
+        assert_eq!(replayed.stats.computed_evaluations, 0, "no CGP at all");
+        assert_entries_bit_identical(&cold, &replayed);
+
+        // Donor gone, library off: the adopted checkpoints carry the run.
+        cfg.library = None;
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8, "adopted entries replay without the donor");
+        assert_entries_bit_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn library_reuses_a_foreign_distribution_cache() {
+        // The acceptance scenario: an overnight cache populated under one
+        // distribution serves a sweep under *different* distributions.
+        let donor = SweepConfig {
+            distributions: vec![SweepDist::new("Dh", Pmf::half_normal(4, 3.0))],
+            flow: FlowConfig {
+                width: 4,
+                thresholds: vec![0.0, 0.02, 0.1],
+                iterations: 300,
+                runs_per_threshold: 2,
+                cols_slack: 20,
+                threads: 2,
+                activity_blocks: 8,
+                ..FlowConfig::default()
+            },
+            cache_dir: Some(fresh_cache_dir("libforeign")),
+            ..SweepConfig::default()
+        };
+        run_sweep(&donor).unwrap();
+
+        // Different distribution, different seed → different task keys:
+        // nothing can exact-replay, only re-scoring can help.
+        let mut cfg = SweepConfig {
+            distributions: vec![SweepDist::new("Du", Pmf::uniform(4))],
+            flow: FlowConfig { seed: 99, thresholds: vec![0.05, 0.2], ..donor.flow.clone() },
+            library: Some(LibraryConfig {
+                dir: donor.cache_dir.clone(),
+                ..LibraryConfig::default()
+            }),
+            ..SweepConfig::default()
+        };
+        let reused = run_sweep(&cfg).unwrap();
+        assert!(
+            reused.stats.library_hits > 0,
+            "a loose budget must admit some donor candidate: {:?}",
+            reused.stats
+        );
+        // Library or not, every result obeys its threshold.
+        for e in &reused.entries {
+            assert!(
+                e.multiplier.stats.wmed <= e.multiplier.threshold + 1e-12,
+                "{}: wmed {} over budget {}",
+                e.multiplier.name,
+                e.multiplier.stats.wmed,
+                e.multiplier.threshold
+            );
+        }
+        // Hits carry zero evaluations (no evolution happened for them).
+        assert!(reused.entries.iter().any(|e| e.multiplier.evaluations == 0));
+        // Determinism: thread count does not change library-mode results.
+        cfg.flow.threads = 1;
+        let single = run_sweep(&cfg).unwrap();
+        assert_eq!(single.stats.library_hits, reused.stats.library_hits);
+        assert_eq!(single.stats.seeded_evolutions, reused.stats.seeded_evolutions);
+        assert_entries_bit_identical(&reused, &single);
+    }
+
+    #[test]
+    fn seed_only_mode_warm_starts_evolutions_from_the_library() {
+        // take_hits = false: the library never short-circuits a task; it
+        // hands feasible candidates to CGP as initial parents instead
+        // (the refinement mode).
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("libseed");
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg).unwrap();
+
+        cfg.cache_dir = None;
+        // Deliberately the *same* configuration: every task's key matches
+        // a harvested entry, and seed-only mode must still refuse to
+        // short-circuit (an exact replay would skip the refinement that
+        // is this mode's whole point — the harvested entry comes back as
+        // the warm-start seed to beat instead).
+        cfg.library =
+            Some(LibraryConfig { dir: Some(dir), take_hits: false, ..LibraryConfig::default() });
+        let seeded = run_sweep(&cfg).unwrap();
+        assert_eq!(
+            seeded.stats.library_hits, 0,
+            "seed-only mode never takes hits, not even exact key matches"
+        );
+        assert!(
+            seeded.stats.seeded_evolutions > 0,
+            "an already-shrunk feasible candidate must beat the exact seed: {:?}",
+            seeded.stats
+        );
+        for (s, c) in seeded.entries.iter().zip(&cold.entries) {
+            let (sm, cm) = (&s.multiplier, &c.multiplier);
+            assert!(sm.stats.wmed <= sm.threshold + 1e-12, "{} over budget", sm.name);
+            // Warm-started evolution can only match or improve the donor
+            // candidate pool it started from (area is the Eq. 1 cost).
+            if sm.threshold > 0.0 {
+                assert!(
+                    sm.estimate.area_um2 <= cm.estimate.area_um2 + 1e-9,
+                    "{}: seeded {} vs cold {}",
+                    sm.name,
+                    sm.estimate.area_um2,
+                    cm.estimate.area_um2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_but_lost_evolutions_checkpoint_the_plain_result() {
+        // Regression: a library-mode evolution whose seeds all lose runs
+        // the exact unseeded trajectory, but its in-memory `evaluations`
+        // includes the warm-start fitness calls. The checkpoint written
+        // under the exact task key must be what a *plain* evolution
+        // computes — a later no-library warm run replays it and must be
+        // bit-identical (evaluations included) to a plain cold run.
+        let mut donor_cfg = tiny_sweep();
+        donor_cfg.flow.iterations = 120;
+        let donor_dir = fresh_cache_dir("libplain_donor");
+        donor_cfg.cache_dir = Some(donor_dir.clone());
+        run_sweep(&donor_cfg).unwrap();
+
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        cfg.flow.seed = 0x5EED_FACE; // fresh keys: no exact replays
+        cfg.flow.thresholds = vec![0.0, 1e-9]; // nothing can hit or win
+        let plain = run_sweep(&cfg).unwrap();
+
+        let dir = fresh_cache_dir("libplain_cache");
+        cfg.cache_dir = Some(dir);
+        cfg.library = Some(LibraryConfig {
+            dir: Some(donor_dir),
+            // Seed-only mode: candidates are offered to every evolution
+            // (and at threshold 1e-9 can only tie or violate, so they
+            // all lose) — the checkpoint path under test.
+            take_hits: false,
+            ..LibraryConfig::default()
+        });
+        let libbed = run_sweep(&cfg).unwrap();
+        assert_eq!(libbed.stats.library_hits, 0);
+        assert_eq!(libbed.stats.seeded_evolutions, 0, "ties must keep the exact parent");
+        // The library run itself matches the plain run except for the
+        // honestly-reported warm-start evaluations.
+        for (p, l) in plain.entries.iter().zip(&libbed.entries) {
+            assert_eq!(p.multiplier.chromosome, l.multiplier.chromosome);
+            assert_eq!(p.multiplier.stats, l.multiplier.stats);
+            assert!(l.multiplier.evaluations >= p.multiplier.evaluations);
+        }
+        // The replayed checkpoints are indistinguishable from plain work.
+        cfg.library = None;
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8, "every checkpoint replays");
+        assert_entries_bit_identical(&plain, &warm);
+    }
+
+    #[test]
+    fn library_rescore_is_bit_identical_to_sweep_reported_wmed() {
+        use crate::library::{netlist_digest, ComponentLibrary};
+        // Satellite contract: re-scoring a harvested chromosome under a
+        // Pmf must reproduce the WMED the sweep itself reports for that
+        // chromosome — threads 1 vs 4, cold run vs warm replay.
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("librescore");
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg).unwrap();
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8);
+
+        let mut lib = ComponentLibrary::new();
+        assert!(lib.scan_cache(&dir) > 0);
+        let tech = TechLibrary::nangate45();
+        for (di, evaluator) in cold.evaluators.iter().enumerate() {
+            for threads in [1, 4] {
+                let rescored = lib.rescore(evaluator, &tech, threads);
+                for source in cold.entries_for(di).chain(warm.entries_for(di)) {
+                    let digest = netlist_digest(&source.multiplier.netlist);
+                    let candidate = rescored
+                        .candidates()
+                        .iter()
+                        .find(|c| c.entry.digest == digest)
+                        .expect("every swept chromosome was harvested");
+                    assert_eq!(
+                        candidate.stats.wmed.to_bits(),
+                        source.multiplier.stats.wmed.to_bits(),
+                        "{} rescored wmed differs ({} threads)",
+                        source.multiplier.name,
+                        threads
+                    );
+                    assert_eq!(candidate.stats, source.multiplier.stats);
+                }
+            }
+        }
     }
 
     #[test]

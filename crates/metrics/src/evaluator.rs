@@ -313,6 +313,28 @@ impl MultEvaluator {
         }
     }
 
+    /// Batch re-scoring: full [`MultEvaluator::stats`] for every netlist,
+    /// fanned out over an [`apx_pool`] worker pool.
+    ///
+    /// This is the component-library primitive: re-pricing a whole library
+    /// of already-built multipliers under a *new* data distribution is one
+    /// exhaustive pass per candidate and no evolution at all, so a sweep
+    /// can consult hundreds of prior designs for less than the cost of a
+    /// single CGP run. Results come back in input order and each slot is
+    /// bit-identical to a sequential [`MultEvaluator::stats`] call — the
+    /// thread count can never change a reported WMED.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any netlist does not have `2·width` inputs and outputs
+    /// (re-raising the worker's panic message).
+    #[must_use]
+    pub fn stats_batch(&self, netlists: &[Netlist], threads: usize) -> Vec<ErrorStats> {
+        let tasks: Vec<&Netlist> = netlists.iter().collect();
+        apx_pool::scope_map(threads.max(1), tasks, |_, nl| self.stats(nl))
+            .unwrap_or_else(|p| panic!("stats_batch candidate {}: {}", p.index, p.message))
+    }
+
     /// Per-input-pair normalized absolute error (Fig. 4's heat-map data).
     ///
     /// # Panics
@@ -453,6 +475,29 @@ mod tests {
         // mean of matrix equals MED.
         let stats = eval.stats(&nl);
         assert!((m.mean() - stats.med).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_batch_matches_sequential_stats_bit_for_bit() {
+        let pmf = Pmf::half_normal(4, 3.0);
+        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let netlists = vec![
+            array_multiplier(4),
+            truncated_multiplier(4, 3),
+            truncated_multiplier(4, 5),
+            broken_array_multiplier(4, 3, 2),
+            broken_array_multiplier(4, 2, 4),
+        ];
+        let sequential: Vec<_> = netlists.iter().map(|nl| eval.stats(nl)).collect();
+        for threads in [1, 4] {
+            let batch = eval.stats_batch(&netlists, threads);
+            assert_eq!(batch.len(), sequential.len());
+            for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                assert_eq!(b, s, "candidate {i} differs on {threads} thread(s)");
+                assert_eq!(b.wmed.to_bits(), s.wmed.to_bits(), "wmed bits, candidate {i}");
+            }
+        }
+        assert!(eval.stats_batch(&[], 4).is_empty());
     }
 
     #[test]
