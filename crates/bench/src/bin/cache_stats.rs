@@ -1,11 +1,12 @@
 //! Maintenance view of a sweep cache / component-library directory.
 //!
-//! Overnight design-space explorations leave every historical entry
-//! behind (nothing evicts yet — the future orchestrator's GC will need
-//! this same view). This bin answers "what is in that directory?" before
-//! an operator points a library-mode sweep (`APX_LIBRARY`) at it:
-//! intact-entry and corrupt-file counts, total size, and how the intact
-//! entries split per `(width, signedness)` operand encoding.
+//! This bin answers "what is in that directory?" before an operator
+//! points a library-mode sweep (`APX_LIBRARY`) or a garbage-collection
+//! pass (`orchestrate` with `APX_GC`) at it: intact-entry, corrupt-file
+//! and orphaned-temp-litter counts, total size, and how the intact
+//! entries split per `(width, signedness)` operand encoding. The view is
+//! strictly read-only — collection itself lives in
+//! `apx_core::cache::gc_cache_dir`.
 //!
 //! Usage: `cache_stats [dir]` — the directory argument falls back to
 //! `APX_CACHE_DIR`, then to the default `results/cache`.
@@ -23,13 +24,13 @@ fn main() {
         .unwrap_or_else(|| results_dir().join("cache"));
     let stats = cache_dir_stats(&dir);
     println!("=== cache_stats: {} ===\n", dir.display());
-    if stats.files == 0 {
+    if stats.files == 0 && stats.tmp_litter == 0 {
         println!("no .sweep entries (missing or empty directory)");
         return;
     }
     println!(
-        "{} files, {} intact entries, {} corrupt/stale, {} bytes total",
-        stats.files, stats.entries, stats.corrupt, stats.total_bytes
+        "{} files, {} intact entries, {} corrupt/stale, {} bytes total, {} orphaned temp files",
+        stats.files, stats.entries, stats.corrupt, stats.total_bytes, stats.tmp_litter
     );
     let mut table = TextTable::new(vec!["width", "operands", "entries"]);
     for ((width, signed), count) in &stats.per_op {
@@ -44,6 +45,12 @@ fn main() {
         println!(
             "note: corrupt/stale files are treated as misses by sweeps and \
              skipped by library scans; deleting them is always safe"
+        );
+    }
+    if stats.tmp_litter > 0 {
+        println!(
+            "note: orphaned temp files are litter from writers killed mid-store; \
+             a GC pass (`orchestrate` with APX_GC) removes them once stale"
         );
     }
 }

@@ -16,11 +16,11 @@
 //! every task from scratch).
 
 use apx_bench::{
-    cache_dir, iterations, library_config, print_sweep_counters, results_dir, runs, shard,
-    sweep_distributions,
+    cache_dir, fig3_sweep_grid, iterations, library_config, print_sweep_counters, results_dir,
+    runs, shard,
 };
 use apx_core::report::TextTable;
-use apx_core::{pareto_indices, run_sweep, FlowConfig, SweepConfig};
+use apx_core::{pareto_indices, run_sweep};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
 
@@ -37,21 +37,13 @@ fn main() {
     println!("=== Fig. 3: Pareto fronts (iterations/run = {iters}, runs/level = {n_runs}) ===\n");
 
     // Proposed: evolve under each distribution — one pool, one shared
-    // evaluator per distribution, for the whole 3 × 14 × runs grid.
-    let sweep_cfg = SweepConfig {
-        distributions: sweep_distributions(),
-        flow: FlowConfig {
-            width: 8,
-            signed: false,
-            iterations: iters,
-            runs_per_threshold: n_runs,
-            seed: 0xF163,
-            ..FlowConfig::default()
-        },
-        cache_dir: cache_dir(),
-        shard: shard(),
-        library: library_config(),
-    };
+    // evaluator per distribution, for the whole 3 × 14 × runs grid. The
+    // grid itself is shared with the orchestrator (`fig3_sweep_grid`), so
+    // supervision and GC always agree on the live key set.
+    let mut sweep_cfg = fig3_sweep_grid();
+    sweep_cfg.cache_dir = cache_dir();
+    sweep_cfg.shard = shard();
+    sweep_cfg.library = library_config();
     let result = run_sweep(&sweep_cfg).expect("sweep");
     println!(
         "swept {} tasks on {} threads in {:.2} s ({:.0} evaluations/s)",

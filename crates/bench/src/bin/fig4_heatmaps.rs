@@ -10,37 +10,30 @@
 //! fill the shared cache and skip foreign panels), `APX_LIBRARY`.
 
 use apx_bench::{
-    cache_dir, iterations, library_config, print_sweep_counters, results_dir, shard,
-    sweep_distributions,
+    cache_dir, fig4_sweep_grid, iterations, library_config, print_sweep_counters, results_dir,
+    shard,
 };
 use apx_core::report::TextTable;
-use apx_core::{error_heatmap, run_sweep, FlowConfig, SweepConfig};
+use apx_core::{error_heatmap, run_sweep};
 
 fn main() {
-    let budget = 2e-3; // 0.2 % — a mid-range point of Fig. 3
+    // The one-budget grid is shared with the orchestrator
+    // (`fig4_sweep_grid`), so supervision and GC agree on the live keys.
+    let mut sweep_cfg = fig4_sweep_grid();
+    let budget = sweep_cfg.flow.thresholds[0]; // 0.2 % — mid-range in Fig. 3
     let iters = iterations();
     println!(
         "=== Fig. 4: error heat maps (WMED budget {:.2} %, {iters} iterations) ===\n",
         budget * 100.0
     );
-    let sweep_cfg = SweepConfig {
-        distributions: sweep_distributions(),
-        flow: FlowConfig {
-            width: 8,
-            thresholds: vec![budget],
-            iterations: iters,
-            seed: 0xF164,
-            ..FlowConfig::default()
-        },
-        cache_dir: cache_dir(),
-        // The grid is only 3 tasks, but sharding still composes: a shard
-        // run checkpoints its slice into the shared cache and skips the
-        // panels it did not compute; the final unsharded run renders the
-        // full figure from hits alone (shared `APX_SHARD` parsing,
-        // `apx_bench::shard`).
-        shard: shard(),
-        library: library_config(),
-    };
+    sweep_cfg.cache_dir = cache_dir();
+    // The grid is only 3 tasks, but sharding still composes: a shard
+    // run checkpoints its slice into the shared cache and skips the
+    // panels it did not compute; the final unsharded run renders the
+    // full figure from hits alone (shared `APX_SHARD` parsing,
+    // `apx_bench::shard`).
+    sweep_cfg.shard = shard();
+    sweep_cfg.library = library_config();
     let result = run_sweep(&sweep_cfg).expect("sweep");
     print_sweep_counters(&sweep_cfg, &result.stats);
     println!();

@@ -16,6 +16,16 @@
 //! | `APX_CACHE_DIR` | sweep result cache directory (`apx_core::cache`); empty or `off` disables caching | `results/cache` |
 //! | `APX_SHARD` | `i/n`: compute only shard `i` of `n` of the sweep grid | unsharded |
 //! | `APX_LIBRARY` | component-library mode (`apx_core::library`): `on` harvests the cache directory, `full` additionally ingests the conventional `apx_approxlib` designs, any other non-empty value is a directory to harvest; empty or `off` disables | off |
+//! | `APX_ORCH_SHARDS` | `orchestrate`: local shard processes to spawn over the shared cache | 2 |
+//! | `APX_ORCH_BIN` | `orchestrate`: worker binary (`fig3_pareto`, `fig4_heatmaps`, `table1_finetune`, `sweep_smoke`) | `fig3_pareto` |
+//! | `APX_ORCH_RELAUNCHES` | `orchestrate`: relaunch budget per dead shard | 2 |
+//! | `APX_GC` | `orchestrate`: cache garbage collection — `on` runs a GC pass after the grid and assembly, `only` skips the grid and just collects; empty or `off` disables | off |
+//! | `APX_GC_TMP_TTL_SECS` | GC: minimum age before writer temp litter counts as stale (`orchestrate` uses 0 for the pass right after its own grid — all of its writers have exited) | 900 |
+//!
+//! A malformed *non-empty* numeric knob is a hard error, never a silent
+//! fallback: `APX_ITERS=2k` must not quietly run the 2000-iteration
+//! default (same rationale as the strict `APX_SHARD` parsing — a typo
+//! must not silently change the computation).
 //!
 //! The sweep-backed binaries (`fig3_pareto`, `fig4_heatmaps`,
 //! `table1_finetune`) checkpoint every completed `(distribution,
@@ -32,17 +42,37 @@
 #![warn(missing_docs)]
 
 use apx_core::nn_flow::{prepare_case, CaseConfig, CaseKind, CaseStudy};
-use apx_core::{LibraryConfig, Shard, SweepStats};
+use apx_core::{FlowConfig, LibraryConfig, Shard, SweepConfig, SweepStats};
 use apx_dist::Pmf;
 use std::path::PathBuf;
 
-/// Reads an integer environment knob.
+/// Reads an integer environment knob. Unset or empty (after trimming)
+/// falls back to `default`.
+///
+/// # Panics
+///
+/// Panics on a malformed non-empty value. Falling back silently would let
+/// `APX_ITERS=2k` quietly run the 2000-iteration default — a typo must
+/// not change the computation (the strict-`APX_SHARD` rationale).
 #[must_use]
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) if v.trim().is_empty() => default,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            panic!(
+                "{name}=`{v}` is not an integer — refusing to fall back to the default \
+                 ({default}); fix or unset the variable"
+            )
+        }),
+    }
 }
 
 /// Reads a `usize` environment knob.
+///
+/// # Panics
+///
+/// Panics on a malformed non-empty value, like [`env_u64`].
 #[must_use]
 pub fn env_usize(name: &str, default: usize) -> usize {
     env_u64(name, default as u64) as usize
@@ -140,13 +170,15 @@ pub fn parse_shard(spec: &str) -> Result<Shard, String> {
 /// # Panics
 ///
 /// Panics on a malformed specification — a typo silently computing the
-/// whole grid would defeat the point of sharding.
+/// whole grid would defeat the point of sharding. The panic carries
+/// [`parse_shard`]'s diagnosis (shape, parse, `index >= count`), not a
+/// bare unwrap.
 #[must_use]
 pub fn shard() -> Option<Shard> {
     std::env::var("APX_SHARD")
         .ok()
         .filter(|v| !v.is_empty())
-        .map(|v| parse_shard(&v).expect("APX_SHARD"))
+        .map(|v| parse_shard(&v).unwrap_or_else(|e| panic!("APX_SHARD {e}")))
 }
 
 /// Parses an `APX_LIBRARY`-style component-library specification against
@@ -179,6 +211,155 @@ pub fn parse_library(spec: &str, cache_dir: Option<PathBuf>) -> Option<LibraryCo
 #[must_use]
 pub fn library_config() -> Option<LibraryConfig> {
     parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), cache_dir())
+}
+
+/// Number of local shard processes the `orchestrate` binary spawns
+/// (`APX_ORCH_SHARDS`).
+#[must_use]
+pub fn orch_shards() -> usize {
+    env_usize("APX_ORCH_SHARDS", 2)
+}
+
+/// The worker binary the `orchestrate` binary supervises
+/// (`APX_ORCH_BIN`). Validated against the known sweep workloads by the
+/// orchestrator itself.
+#[must_use]
+pub fn orch_bin() -> String {
+    std::env::var("APX_ORCH_BIN")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "fig3_pareto".to_owned())
+}
+
+/// Relaunch budget per dead shard (`APX_ORCH_RELAUNCHES`).
+#[must_use]
+pub fn orch_relaunches() -> usize {
+    env_usize("APX_ORCH_RELAUNCHES", 2)
+}
+
+/// Garbage-collection mode of the `orchestrate` binary (`APX_GC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcMode {
+    /// No collection (the default).
+    Off,
+    /// Collect after the grid completed and the assembly run succeeded.
+    After,
+    /// Skip the grid entirely: just collect the directory and exit.
+    Only,
+}
+
+/// Parses an `APX_GC`-style mode specification.
+///
+/// # Errors
+///
+/// Describes the accepted values on anything unrecognized.
+pub fn parse_gc_mode(spec: &str) -> Result<GcMode, String> {
+    match spec {
+        "" | "off" => Ok(GcMode::Off),
+        "on" => Ok(GcMode::After),
+        "only" => Ok(GcMode::Only),
+        other => Err(format!("`{other}`: expected `off`, `on` or `only`")),
+    }
+}
+
+/// The garbage-collection mode for the `orchestrate` binary (`APX_GC`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — silently skipping a requested
+/// collection would leave the operator believing the directory was
+/// curated.
+#[must_use]
+pub fn gc_mode() -> GcMode {
+    parse_gc_mode(&std::env::var("APX_GC").unwrap_or_default())
+        .unwrap_or_else(|e| panic!("APX_GC {e}"))
+}
+
+/// Minimum age before a writer temp file counts as stale litter for a
+/// standalone GC pass (`APX_GC_TMP_TTL_SECS`, default 900 s). The
+/// orchestrator's own post-grid pass uses zero instead: every writer it
+/// spawned has already exited.
+#[must_use]
+pub fn gc_tmp_ttl() -> std::time::Duration {
+    std::time::Duration::from_secs(env_u64("APX_GC_TMP_TTL_SECS", 900))
+}
+
+/// The sweep grid `fig3_pareto` serves, reconstructed from the same
+/// environment knobs the binary itself reads (`APX_ITERS`, `APX_RUNS`).
+/// One definition keeps the binary, the orchestrator's progress target
+/// and the GC pass's live-key set in lockstep.
+#[must_use]
+pub fn fig3_sweep_grid() -> SweepConfig {
+    SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
+            width: 8,
+            signed: false,
+            iterations: iterations(),
+            runs_per_threshold: runs(1),
+            seed: 0xF163,
+            ..FlowConfig::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
+/// The sweep grid `fig4_heatmaps` serves (one mid-range WMED budget per
+/// distribution), under the same knobs as the binary.
+#[must_use]
+pub fn fig4_sweep_grid() -> SweepConfig {
+    SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
+            width: 8,
+            thresholds: vec![2e-3],
+            iterations: iterations(),
+            seed: 0xF164,
+            ..FlowConfig::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
+/// The deliberately tiny 4-bit grid of the `sweep_smoke` binary: 2
+/// distributions × 3 thresholds × 2 runs, minutes of debug-profile
+/// compute instead of hours. It exists so orchestrator end-to-end tests
+/// (spawn, kill, relaunch, assemble, GC) can exercise real shard
+/// processes without paying for the 8-bit figure grids.
+#[must_use]
+pub fn smoke_sweep_grid() -> SweepConfig {
+    SweepConfig {
+        distributions: vec![
+            apx_core::SweepDist::new("Dh", Pmf::half_normal(4, 3.0)),
+            apx_core::SweepDist::new("Du", Pmf::uniform(4)),
+        ],
+        flow: FlowConfig {
+            width: 4,
+            thresholds: vec![0.0, 0.02, 0.1],
+            iterations: env_u64("APX_ITERS", 150),
+            runs_per_threshold: 2,
+            cols_slack: 20,
+            activity_blocks: 8,
+            seed: 0x500E,
+            ..FlowConfig::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
+/// The statically known sweep grid a worker binary serves, by binary
+/// name — `None` for binaries the orchestrator can run but whose grid it
+/// cannot reconstruct (`table1_finetune`'s cache keys depend on measured
+/// NN weight distributions, so its live set would require training the
+/// classifiers here).
+#[must_use]
+pub fn sweep_grid_of(bin: &str) -> Option<SweepConfig> {
+    match bin {
+        "fig3_pareto" => Some(fig3_sweep_grid()),
+        "fig4_heatmaps" => Some(fig4_sweep_grid()),
+        "sweep_smoke" => Some(smoke_sweep_grid()),
+        _ => None,
+    }
 }
 
 /// Prints the reuse counters of a sweep in the shared format every
@@ -293,10 +474,115 @@ pub fn finetune_iters() -> usize {
 mod tests {
     use super::*;
 
+    /// The process environment and the panic hook are process-global;
+    /// the default test harness is multi-threaded. Every test that calls
+    /// `set_var`/`remove_var`, reads a variable another test writes, or
+    /// swaps the panic hook must hold this lock — concurrent
+    /// getenv/setenv is a data race, and interleaved hook swaps can leave
+    /// the silencing no-op hook installed for the rest of the run.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Runs `f` with the panic hook silenced, returning the panic message
+    /// (if any) — `#[should_panic]` can't assert several cases per test.
+    /// Callers must hold [`env_lock`].
+    fn panic_message_of(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<String> {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(f);
+        std::panic::set_hook(hook);
+        result.err().map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_default()
+        })
+    }
+
     #[test]
     fn env_knobs_fall_back_to_defaults() {
+        let _guard = env_lock();
         assert_eq!(env_u64("APX_DEFINITELY_UNSET_VAR", 7), 7);
         assert!(iterations() > 0);
+        // Empty and whitespace-only values count as unset; surrounding
+        // whitespace around a valid number is tolerated.
+        std::env::set_var("APX_TEST_EMPTY_KNOB", "");
+        assert_eq!(env_u64("APX_TEST_EMPTY_KNOB", 9), 9);
+        std::env::set_var("APX_TEST_BLANK_KNOB", "  ");
+        assert_eq!(env_u64("APX_TEST_BLANK_KNOB", 9), 9);
+        std::env::set_var("APX_TEST_PADDED_KNOB", " 123 ");
+        assert_eq!(env_u64("APX_TEST_PADDED_KNOB", 9), 123);
+        assert_eq!(env_usize("APX_TEST_PADDED_KNOB", 9), 123);
+    }
+
+    #[test]
+    fn malformed_env_knobs_fail_loudly_not_silently() {
+        let _guard = env_lock();
+        // Regression: `APX_ITERS=2k` used to quietly run the default 2000
+        // iterations. A malformed non-empty value must name the variable
+        // and the offending value, never fall back.
+        for bad in ["2k", "12.5", "-3", "1_000", "0x10"] {
+            std::env::set_var("APX_TEST_BAD_KNOB", bad);
+            let msg = panic_message_of(|| {
+                let _ = env_u64("APX_TEST_BAD_KNOB", 2_000);
+            })
+            .unwrap_or_else(|| panic!("`{bad}` must be rejected"));
+            assert!(msg.contains("APX_TEST_BAD_KNOB"), "missing variable name: {msg}");
+            assert!(msg.contains(bad), "missing offending value: {msg}");
+            let msg = panic_message_of(|| {
+                let _ = env_usize("APX_TEST_BAD_KNOB", 4);
+            })
+            .expect("env_usize inherits the strictness");
+            assert!(msg.contains("APX_TEST_BAD_KNOB"), "{msg}");
+        }
+        std::env::remove_var("APX_TEST_BAD_KNOB");
+    }
+
+    #[test]
+    fn malformed_shard_spec_surfaces_the_parse_diagnosis() {
+        let _guard = env_lock();
+        // Regression: `.expect("APX_SHARD")` threw away `parse_shard`'s
+        // message. The panic must carry the actual defect.
+        std::env::set_var("APX_SHARD", "5/4");
+        let msg = panic_message_of(|| {
+            let _ = shard();
+        })
+        .expect("out-of-range shard must panic");
+        std::env::remove_var("APX_SHARD");
+        assert!(msg.contains("APX_SHARD"), "{msg}");
+        assert!(msg.contains("`5/4`"), "offending spec missing: {msg}");
+        assert!(msg.contains("need 0 <= index < count"), "diagnosis missing: {msg}");
+    }
+
+    #[test]
+    fn gc_modes_parse_or_explain() {
+        assert_eq!(parse_gc_mode(""), Ok(GcMode::Off));
+        assert_eq!(parse_gc_mode("off"), Ok(GcMode::Off));
+        assert_eq!(parse_gc_mode("on"), Ok(GcMode::After));
+        assert_eq!(parse_gc_mode("only"), Ok(GcMode::Only));
+        let err = parse_gc_mode("yes").unwrap_err();
+        assert!(err.contains("`yes`") && err.contains("only"), "{err}");
+    }
+
+    #[test]
+    fn orchestratable_grids_are_reconstructible_by_name() {
+        // Reads `APX_ITERS`/`APX_RUNS` while other tests may write env.
+        let _guard = env_lock();
+        let fig3 = sweep_grid_of("fig3_pareto").expect("fig3 grid");
+        assert_eq!(fig3.distributions.len(), 3);
+        assert_eq!(fig3.flow.thresholds.len(), 14);
+        assert_eq!(fig3.flow.seed, 0xF163);
+        let fig4 = sweep_grid_of("fig4_heatmaps").expect("fig4 grid");
+        assert_eq!(fig4.flow.thresholds, vec![2e-3]);
+        let smoke = sweep_grid_of("sweep_smoke").expect("smoke grid");
+        assert_eq!(smoke.flow.width, 4, "the smoke grid must stay cheap");
+        assert_eq!(apx_core::grid_keys(&smoke).len(), 12);
+        // table1's grid depends on measured weight PMFs: not static.
+        assert_eq!(sweep_grid_of("table1_finetune"), None);
+        assert_eq!(sweep_grid_of("nonsense"), None);
     }
 
     #[test]

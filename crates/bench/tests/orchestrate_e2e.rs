@@ -1,0 +1,140 @@
+//! End-to-end orchestrator coverage over real processes.
+//!
+//! Drives the actual `orchestrate` binary over the tiny `sweep_smoke`
+//! workload (width-4 grid — the 8-bit figure grids are a release-profile
+//! CI concern): a 2-shard run where *every* shard dies mid-grid once and
+//! is relaunched must assemble a CSV byte-identical to a cold unsharded
+//! run, and a subsequent GC pass must remove fabricated writer litter
+//! while leaving the live grid untouched and still warm.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("apx_orch_e2e_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs one of this crate's binaries with exactly the given `APX_*`
+/// environment (ambient knobs are stripped so a developer's shell cannot
+/// skew the grid), returning its stdout.
+fn run(exe: &str, envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(exe);
+    for knob in [
+        "APX_ITERS",
+        "APX_RUNS",
+        "APX_CACHE_DIR",
+        "APX_SHARD",
+        "APX_LIBRARY",
+        "APX_GC",
+        "APX_GC_TMP_TTL_SECS",
+        "APX_ORCH_BIN",
+        "APX_ORCH_SHARDS",
+        "APX_ORCH_RELAUNCHES",
+        "APX_SMOKE_CRASH_ONCE",
+        "APX_OUT_DIR",
+    ] {
+        cmd.env_remove(knob);
+    }
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn bench binary");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "{exe} failed ({}):\nstdout:\n{stdout}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+}
+
+#[test]
+fn orchestrated_crashing_grid_assembles_bit_identically_and_gc_keeps_it_warm() {
+    const ITERS: &str = "60";
+    let csv_of = |dir: &PathBuf| std::fs::read(dir.join("sweep_smoke.csv")).expect("csv");
+
+    // 1. The reference: a cold, unsharded, cache-less run.
+    let out_cold = scratch("out_cold");
+    run(
+        env!("CARGO_BIN_EXE_sweep_smoke"),
+        &[
+            ("APX_ITERS", ITERS),
+            ("APX_CACHE_DIR", "off"),
+            ("APX_OUT_DIR", out_cold.to_str().unwrap()),
+        ],
+    );
+    let cold_csv = csv_of(&out_cold);
+
+    // 2. Orchestrated: 2 shards, each deterministically dying mid-grid on
+    //    its first launch (APX_SMOKE_CRASH_ONCE), then relaunched on its
+    //    checkpointed remainder; the final assembly pass writes the CSV.
+    let cache = scratch("cache");
+    let out_orch = scratch("out_orch");
+    let stdout = run(
+        env!("CARGO_BIN_EXE_orchestrate"),
+        &[
+            ("APX_ITERS", ITERS),
+            ("APX_ORCH_BIN", "sweep_smoke"),
+            ("APX_ORCH_SHARDS", "2"),
+            ("APX_CACHE_DIR", cache.to_str().unwrap()),
+            ("APX_OUT_DIR", out_orch.to_str().unwrap()),
+            ("APX_SMOKE_CRASH_ONCE", "1"),
+        ],
+    );
+    assert!(stdout.contains("relaunched shard 0"), "shard 0 crash not supervised:\n{stdout}");
+    assert!(stdout.contains("relaunched shard 1"), "shard 1 crash not supervised:\n{stdout}");
+    assert!(stdout.contains("shard 0: ok after 2 launches"), "{stdout}");
+    assert!(stdout.contains("shard 1: ok after 2 launches"), "{stdout}");
+    assert!(stdout.contains("cache: 12 hits, 0 misses"), "assembly must be all hits:\n{stdout}");
+    assert_eq!(
+        csv_of(&out_orch),
+        cold_csv,
+        "orchestrated assembly differs from the cold unsharded run"
+    );
+
+    // 3. Fabricate the litter of a writer killed between write and
+    //    rename; the maintenance view must count it.
+    let litter = cache.join(format!(".{}.tmp.31337", "deadbeef".repeat(4)));
+    std::fs::write(&litter, b"half-written entry").unwrap();
+    let stats =
+        run(env!("CARGO_BIN_EXE_cache_stats"), &[("APX_CACHE_DIR", cache.to_str().unwrap())]);
+    assert!(stats.contains("12 intact entries"), "{stats}");
+    assert!(stats.contains("1 orphaned temp files"), "{stats}");
+
+    // 4. GC through the binary: the whole directory is the live grid, so
+    //    nothing is evicted, but the litter goes.
+    let gc = run(
+        env!("CARGO_BIN_EXE_orchestrate"),
+        &[
+            ("APX_ITERS", ITERS),
+            ("APX_ORCH_BIN", "sweep_smoke"),
+            ("APX_CACHE_DIR", cache.to_str().unwrap()),
+            ("APX_GC", "only"),
+            ("APX_GC_TMP_TTL_SECS", "0"),
+        ],
+    );
+    assert!(gc.contains("kept 12 of 12 entries (12 live, 0 pareto)"), "{gc}");
+    assert!(gc.contains("1 temp litter"), "{gc}");
+    assert!(!litter.exists(), "stale litter must be deleted");
+    let stats =
+        run(env!("CARGO_BIN_EXE_cache_stats"), &[("APX_CACHE_DIR", cache.to_str().unwrap())]);
+    assert!(stats.contains("12 intact entries"), "entry count may not shrink here: {stats}");
+    assert!(stats.contains("0 orphaned temp files"), "{stats}");
+
+    // 5. The GC'd directory still serves a fully warm, bit-identical run.
+    let out_warm = scratch("out_warm");
+    let warm = run(
+        env!("CARGO_BIN_EXE_sweep_smoke"),
+        &[
+            ("APX_ITERS", ITERS),
+            ("APX_CACHE_DIR", cache.to_str().unwrap()),
+            ("APX_OUT_DIR", out_warm.to_str().unwrap()),
+        ],
+    );
+    assert!(warm.contains("cache: 12 hits, 0 misses"), "{warm}");
+    assert_eq!(csv_of(&out_warm), cold_csv);
+}

@@ -79,7 +79,21 @@
 //! directory and `rename`s it into place, so a killed run leaves either no
 //! entry or a complete one — never a torn file that a resume would have to
 //! distrust. Concurrent writers (two shards finishing the same key) race
-//! benignly: both rename complete, identical bytes.
+//! benignly: both rename complete, identical bytes. A writer killed
+//! *between* write and rename does leave its `.{key}.tmp.{pid}` file
+//! behind; such litter is invisible to loads and scans, counted by
+//! [`cache_dir_stats`] (`tmp_litter`), and deleted by [`gc_cache_dir`]
+//! once stale.
+//!
+//! # Garbage collection
+//!
+//! [`gc_cache_dir`] is the eviction policy an orchestrated overnight
+//! exploration runs after its grid completes: keep every live-grid key
+//! (exact resume stays bit-identical) plus, per `(width, signedness)`,
+//! the `(WMED, area)` Pareto set of components under the live
+//! distributions (what autoAx-style library reuse could still take), and
+//! drop dominated historical entries, corrupt files and stale temp
+//! litter. See [`GcConfig`] / [`GcReport`].
 //!
 //! The sweep driver decides *where* the cache lives
 //! ([`SweepConfig::cache_dir`](crate::SweepConfig)); the figure binaries
@@ -87,14 +101,18 @@
 //! environment knob (empty or `off` disables caching entirely).
 
 use crate::flow::{EvolvedMultiplier, FlowConfig};
+use crate::library::{ComponentLibrary, Provenance};
+use crate::pareto_indices;
 use apx_cgp::Chromosome;
 use apx_dist::{fnv1a64, Pmf, FNV1A64_OFFSET};
-use apx_metrics::ErrorStats;
-use apx_techlib::CircuitEstimate;
+use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_techlib::{CircuitEstimate, TechLibrary};
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// Version tag mixed into every key and written into every entry. Bump it
 /// whenever the semantics of a stored task change (evolution algorithm,
@@ -303,6 +321,11 @@ pub struct CacheDirStats {
     pub corrupt: usize,
     /// Total size of all `*.sweep` files in bytes.
     pub total_bytes: u64,
+    /// Orphaned writer temp files (`.{key}.tmp.{pid}`): litter left by a
+    /// writer killed between `fs::write` and `rename` in
+    /// [`SweepCache::store`]. Invisible to loads and scans, but they
+    /// accumulate forever unless a [`gc_cache_dir`] pass removes them.
+    pub tmp_litter: usize,
     /// Intact entries per `(width, signed)` operand encoding.
     pub per_op: std::collections::BTreeMap<(u32, bool), usize>,
 }
@@ -318,9 +341,14 @@ pub fn cache_dir_stats(dir: &Path) -> CacheDirStats {
     };
     for f in read.filter_map(Result::ok) {
         let path = f.path();
-        let Some(stem) =
-            path.file_name().and_then(|n| n.to_str()).and_then(|n| n.strip_suffix(".sweep"))
-        else {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if is_tmp_litter(name) {
+            stats.tmp_litter += 1;
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".sweep") else {
             continue;
         };
         stats.files += 1;
@@ -338,6 +366,246 @@ pub fn cache_dir_stats(dir: &Path) -> CacheDirStats {
         }
     }
     stats
+}
+
+/// Whether `name` matches the `.{key}.tmp.{pid}` pattern of
+/// [`SweepCache::store`]'s temp files. Dotfiles that real entries can
+/// never collide with — entry names are bare hex stems.
+fn is_tmp_litter(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp.")
+}
+
+/// Policy of one [`gc_cache_dir`] pass.
+///
+/// Survival is the union of two rules; everything else in the directory
+/// that belongs to the cache (entries, corrupt files, stale temp litter)
+/// is deleted:
+///
+/// * **live keys** — every intact entry whose [`CacheKey`] is in `keep`
+///   survives untouched. Callers pass the content-addressed keys of the
+///   grid they are still serving ([`crate::grid_keys`]), so an exact
+///   warm resume stays bit-identical after collection;
+/// * **Pareto front** — per `(width, signedness)` group, the autoAx-style
+///   component view: all candidates are re-scored
+///   ([`ComponentLibrary::rescore`]) under each matching-width
+///   distribution in `distributions` and every `(WMED, area)` front
+///   member survives (union over the distributions). Dominated historical
+///   entries — the ones a library-mode sweep would never take — are
+///   dropped. A group no distribution applies to falls back to the
+///   *stored* statistics (the WMED each entry was evolved under), so GC
+///   never silently deletes a whole foreign group.
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// Content-addressed keys of the live grid — kept unconditionally.
+    pub keep: HashSet<CacheKey>,
+    /// Distributions to re-score candidates under (typically the live
+    /// sweep's PMFs). Applied to every `(width, signedness)` group of
+    /// matching width.
+    pub distributions: Vec<Pmf>,
+    /// Worker threads for the re-scoring passes.
+    pub threads: usize,
+    /// Temp files younger than this are left alone — they may belong to a
+    /// *live* writer between `fs::write` and `rename`. An orchestrator
+    /// that just joined all of its shard processes can safely use
+    /// [`Duration::ZERO`].
+    pub tmp_ttl: Duration,
+}
+
+impl Default for GcConfig {
+    /// Keep nothing special, no re-scoring distributions (stored-stats
+    /// fronts), one thread, and a 15-minute temp-file grace period —
+    /// orders of magnitude longer than any write-to-rename window.
+    fn default() -> Self {
+        GcConfig {
+            keep: HashSet::new(),
+            distributions: Vec::new(),
+            threads: 1,
+            tmp_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+/// What one [`gc_cache_dir`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Intact entries found before collection.
+    pub entries_before: usize,
+    /// Entries kept because their key is in [`GcConfig::keep`].
+    pub kept_live: usize,
+    /// Additional entries kept as `(WMED, area)` Pareto front members.
+    pub kept_pareto: usize,
+    /// Dominated historical entries deleted.
+    pub evicted: usize,
+    /// Corrupt / stale-format `*.sweep` files deleted (they are treated
+    /// as misses by every reader, so removal is always safe).
+    pub corrupt_removed: usize,
+    /// Stale writer temp files deleted.
+    pub tmp_removed: usize,
+    /// Total bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+impl GcReport {
+    /// Intact entries surviving the pass.
+    #[must_use]
+    pub fn kept(&self) -> usize {
+        self.kept_live + self.kept_pareto
+    }
+}
+
+/// Removes `path`, tolerating a concurrent removal, and adds its size to
+/// `bytes_freed`. Returns whether a file was actually deleted.
+fn remove_counted(path: &Path, bytes_freed: &mut u64) -> io::Result<bool> {
+    let len = std::fs::metadata(path).map_or(0, |m| m.len());
+    match std::fs::remove_file(path) {
+        Ok(()) => {
+            *bytes_freed += len;
+            Ok(true)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Garbage-collects a sweep cache directory (policy: [`GcConfig`]).
+///
+/// Without eviction an overnight design-space exploration is append-only:
+/// every historical key stays behind forever and `cache_stats` only
+/// watches the pile grow. This pass keeps exactly what still has value —
+/// the live grid's exact checkpoints plus the per-encoding Pareto set of
+/// components a library-mode sweep could ever take — and deletes the
+/// dominated remainder, corrupt files and stale temp litter. Surviving
+/// files are never rewritten, so everything kept is bit-identical before
+/// and after.
+///
+/// A missing directory is a no-op reporting all zeros.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than concurrent-removal races (an entry
+/// vanishing between scan and delete is tolerated).
+pub fn gc_cache_dir(dir: &Path, cfg: &GcConfig) -> io::Result<GcReport> {
+    let mut report = GcReport::default();
+    let read = match std::fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+
+    // One walk classifies everything; foreign files (no `.sweep` suffix,
+    // not writer litter) are never touched.
+    let now = SystemTime::now();
+    let mut scanned: Vec<ScannedEntry> = Vec::new();
+    let mut corrupt: Vec<PathBuf> = Vec::new();
+    let mut stale_tmp: Vec<PathBuf> = Vec::new();
+    for f in read.filter_map(Result::ok) {
+        let path = f.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if is_tmp_litter(name) {
+            let stale = f
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| now.duration_since(t).ok())
+                .is_some_and(|age| age >= cfg.tmp_ttl);
+            if stale {
+                stale_tmp.push(path);
+            }
+            continue;
+        }
+        let Some(stem) = name.strip_suffix(".sweep") else {
+            continue;
+        };
+        let parsed = CacheKey::from_hex(stem).and_then(|key| {
+            let text = std::fs::read_to_string(&path).ok()?;
+            entry_from_text(&text, key)
+        });
+        match parsed {
+            Some(e) => scanned.push(e),
+            None => corrupt.push(path),
+        }
+    }
+    // Key order, like `SweepCache::scan`: survivor selection (and dedup
+    // provenance) must not depend on filesystem enumeration order.
+    scanned.sort_by_key(|e| (e.key.hi, e.key.lo));
+    report.entries_before = scanned.len();
+
+    let mut survivors: HashSet<CacheKey> = HashSet::new();
+    for e in &scanned {
+        if cfg.keep.contains(&e.key) {
+            survivors.insert(e.key);
+        }
+    }
+    report.kept_live = survivors.len();
+
+    let groups: BTreeSet<(u32, bool)> = scanned.iter().map(|e| (e.width, e.signed)).collect();
+    if !groups.is_empty() {
+        // The candidate library (a deep copy of every netlist) is only
+        // worth building when some group will actually be re-scored; a
+        // stored-stats-only pass reads `scanned` directly.
+        let needs_rescoring =
+            groups.iter().any(|(w, _)| cfg.distributions.iter().any(|p| p.width() == *w));
+        let mut lib = ComponentLibrary::new();
+        if needs_rescoring {
+            for e in &scanned {
+                lib.ingest_scanned(e.clone());
+            }
+        }
+        let tech = TechLibrary::nangate45();
+        for &(width, signed) in &groups {
+            let mut rescored_any = false;
+            for pmf in cfg.distributions.iter().filter(|p| p.width() == width) {
+                // Construction only fails on width/PMF mismatches, both
+                // excluded by the filter above — but stay graceful.
+                let Ok(evaluator) = MultEvaluator::new(width, signed, pmf) else {
+                    continue;
+                };
+                let rescored = lib.rescore(&evaluator, &tech, cfg.threads.max(1));
+                for c in rescored.pareto() {
+                    if let Provenance::Evolved { source_key } = c.entry.provenance {
+                        survivors.insert(source_key);
+                    }
+                }
+                rescored_any = true;
+            }
+            if !rescored_any {
+                // No distribution covers this encoding: keep the front of
+                // the stored statistics instead of deleting blindly.
+                let group: Vec<&ScannedEntry> =
+                    scanned.iter().filter(|e| e.width == width && e.signed == signed).collect();
+                let points: Vec<(f64, f64)> = group
+                    .iter()
+                    .map(|e| (e.multiplier.stats.wmed, e.multiplier.estimate.area_um2))
+                    .collect();
+                for i in pareto_indices(&points) {
+                    survivors.insert(group[i].key);
+                }
+            }
+        }
+    }
+    report.kept_pareto = survivors.len() - report.kept_live;
+
+    let cache = SweepCache::new(dir);
+    for e in &scanned {
+        if !survivors.contains(&e.key)
+            && remove_counted(&cache.path_of(e.key), &mut report.bytes_freed)?
+        {
+            report.evicted += 1;
+        }
+    }
+    for path in &corrupt {
+        if remove_counted(path, &mut report.bytes_freed)? {
+            report.corrupt_removed += 1;
+        }
+    }
+    for path in &stale_tmp {
+        if remove_counted(path, &mut report.bytes_freed)? {
+            report.tmp_removed += 1;
+        }
+    }
+    Ok(report)
 }
 
 fn push_f64_bits(out: &mut String, values: &[f64]) {
@@ -726,5 +994,163 @@ mod tests {
         assert_eq!(stats.per_op.values().sum::<usize>(), 4);
         assert_eq!(stats.per_op.keys().map(|(w, _)| *w).collect::<Vec<_>>(), vec![3, 3]);
         assert_eq!(cache_dir_stats(&scratch("scan_missing")), CacheDirStats::default());
+    }
+
+    /// A synthetic entry whose stored `(wmed, area)` point is pinned —
+    /// the stored-stats fallback front of the GC is then fully
+    /// controllable.
+    fn pinned_entry(seed: u64, wmed: f64, area: f64) -> EvolvedMultiplier {
+        let mut m = synthetic_entry(seed);
+        m.stats.wmed = wmed;
+        m.estimate.area_um2 = area;
+        m
+    }
+
+    #[test]
+    fn gc_on_missing_and_empty_dirs_is_a_noop() {
+        let cfg = GcConfig::default();
+        assert_eq!(gc_cache_dir(&scratch("gc_missing"), &cfg).unwrap(), GcReport::default());
+        let dir = scratch("gc_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(gc_cache_dir(&dir, &cfg).unwrap(), GcReport::default());
+    }
+
+    #[test]
+    fn gc_clears_an_all_corrupt_dir_and_spares_foreign_files() {
+        let dir = scratch("gc_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{}.sweep", some_key(1).hex())), b"garbage\n").unwrap();
+        std::fs::write(dir.join(format!("{}.sweep", some_key(2).hex())), b"apxsweep v2\n").unwrap();
+        std::fs::write(dir.join("nothex.sweep"), b"also damaged").unwrap();
+        std::fs::write(dir.join("README.txt"), b"not cache material").unwrap();
+
+        let report = gc_cache_dir(&dir, &GcConfig::default()).unwrap();
+        assert_eq!(report.entries_before, 0);
+        assert_eq!(report.corrupt_removed, 3);
+        assert_eq!(report.evicted, 0);
+        assert!(report.bytes_freed > 0);
+        let left: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(left, vec!["README.txt"], "foreign files are never touched");
+    }
+
+    #[test]
+    fn gc_keeps_live_keys_and_stored_stats_front_drops_dominated() {
+        let dir = scratch("gc_front");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        // A (front), B (front), C dominated by A, D dominated but live.
+        let population = [
+            (some_key(10), pinned_entry(10, 0.10, 5.0)),
+            (some_key(11), pinned_entry(11, 0.20, 4.0)),
+            (some_key(12), pinned_entry(12, 0.15, 6.0)),
+            (some_key(13), pinned_entry(13, 0.30, 9.0)),
+        ];
+        for (key, entry) in &population {
+            cache.store(*key, entry, false).unwrap();
+        }
+        let bytes_of = |key: CacheKey| std::fs::read(dir.join(format!("{}.sweep", key.hex()))).ok();
+        let before: Vec<_> = population.iter().map(|(k, _)| bytes_of(*k)).collect();
+
+        let cfg = GcConfig { keep: HashSet::from([population[3].0]), ..GcConfig::default() };
+        let report = gc_cache_dir(&dir, &cfg).unwrap();
+        assert_eq!(report.entries_before, 4);
+        assert_eq!(report.kept_live, 1);
+        assert_eq!(report.kept_pareto, 2);
+        assert_eq!(report.kept(), 3);
+        assert_eq!(report.evicted, 1);
+        assert!(report.bytes_freed > 0);
+
+        // Survivors are bit-identical, the dominated entry is gone.
+        for (i, (key, _)) in population.iter().enumerate() {
+            let now = bytes_of(*key);
+            if i == 2 {
+                assert_eq!(now, None, "dominated entry must be evicted");
+            } else {
+                assert_eq!(now, before[i], "survivor rewritten by GC");
+            }
+        }
+        // Idempotent: a second pass finds nothing left to do.
+        let again = gc_cache_dir(&dir, &cfg).unwrap();
+        assert_eq!(again.evicted, 0);
+        assert_eq!(again.entries_before, 3);
+        assert_eq!(again.kept(), 3);
+    }
+
+    #[test]
+    fn gc_rescored_front_survives_under_a_distribution() {
+        // With a distribution supplied the front comes from *re-scoring*
+        // (stored stats are ignored): entries whose stored stats look
+        // dominated but whose netlists are genuinely non-dominated under
+        // the PMF must survive, and vice versa.
+        let dir = scratch("gc_rescore");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        let keys: Vec<CacheKey> = (0..6u64).map(|i| some_key(20 + i)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            // Stored stats say "everyone is dominated by entry 0"; the
+            // rescored truth depends only on the actual circuits — which
+            // must be multiplier-shaped (2w outputs) to be evaluable.
+            let mut entry = pinned_entry(20 + i as u64, 0.5 + i as f64, 100.0);
+            let mut rng = Xoshiro256::from_seed(9000 + i as u64);
+            entry.chromosome = Chromosome::random(6, 6, 20, &FunctionSet::extended(), &mut rng);
+            entry.netlist = entry.chromosome.decode_active();
+            cache.store(*key, &entry, false).unwrap();
+        }
+        let pmf = Pmf::uniform(3);
+        let cfg = GcConfig { distributions: vec![pmf.clone()], ..GcConfig::default() };
+        let report = gc_cache_dir(&dir, &cfg).unwrap();
+        assert_eq!(report.entries_before, 6);
+        assert_eq!(report.kept_live, 0);
+        assert!(report.kept_pareto >= 1, "a rescored front is never empty");
+        assert_eq!(report.kept_pareto + report.evicted, 6);
+
+        // The survivors are exactly a non-dominated set under the PMF:
+        // re-score what's left and check nobody dominates anybody.
+        let mut lib = ComponentLibrary::new();
+        assert_eq!(lib.scan_cache(&dir), report.kept_pareto);
+        let evaluator = MultEvaluator::new(3, false, &pmf).unwrap();
+        let rescored = lib.rescore(&evaluator, &TechLibrary::nangate45(), 1);
+        assert_eq!(rescored.pareto().len(), rescored.candidates().len());
+    }
+
+    #[test]
+    fn tmp_litter_is_counted_and_collected_when_stale() {
+        let dir = scratch("gc_tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        let key = some_key(77);
+        cache.store(key, &synthetic_entry(77), false).unwrap();
+        // Fabricate the orphan a writer killed between write and rename
+        // leaves behind.
+        let orphan = dir.join(format!(".{}.tmp.424242", some_key(78).hex()));
+        std::fs::write(&orphan, b"half-written entry").unwrap();
+
+        let stats = cache_dir_stats(&dir);
+        assert_eq!(stats.tmp_litter, 1);
+        assert_eq!(stats.files, 1, "litter is not a .sweep file");
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.corrupt, 0, "litter is litter, not corruption");
+        assert_eq!(cache.scan().len(), 1, "scans never see litter");
+
+        // Young litter is protected (it may belong to a live writer)...
+        let grace = GcConfig { tmp_ttl: Duration::from_secs(3600), ..GcConfig::default() };
+        let kept = gc_cache_dir(&dir, &grace).unwrap();
+        assert_eq!(kept.tmp_removed, 0);
+        assert!(orphan.exists());
+        // ...stale litter is deleted; the intact entry (its own front)
+        // survives untouched.
+        let now = GcConfig { tmp_ttl: Duration::ZERO, ..GcConfig::default() };
+        let swept = gc_cache_dir(&dir, &now).unwrap();
+        assert_eq!(swept.tmp_removed, 1);
+        assert_eq!(swept.evicted, 0);
+        assert_eq!(swept.kept(), 1);
+        assert!(!orphan.exists());
+        assert!(cache.load(key).is_some());
+        assert_eq!(cache_dir_stats(&dir).tmp_litter, 0);
     }
 }

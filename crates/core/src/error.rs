@@ -19,6 +19,11 @@ pub enum CoreError {
         /// The captured panic message.
         message: String,
     },
+    /// The shard orchestrator could not spawn or supervise a worker
+    /// process ([`crate::orchestrate`]). Carries the rendered OS error —
+    /// `std::io::Error` is neither `Clone` nor `PartialEq`, which this
+    /// enum promises.
+    Orchestrate(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +35,7 @@ impl fmt::Display for CoreError {
             CoreError::WorkerPanic { task, message } => {
                 write!(f, "worker for task {task} panicked: {message}")
             }
+            CoreError::Orchestrate(msg) => write!(f, "orchestrator error: {msg}"),
         }
     }
 }
@@ -39,7 +45,9 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Cgp(e) => Some(e),
             CoreError::Evaluator(e) => Some(e),
-            CoreError::BadConfig(_) | CoreError::WorkerPanic { .. } => None,
+            CoreError::BadConfig(_) | CoreError::WorkerPanic { .. } | CoreError::Orchestrate(_) => {
+                None
+            }
         }
     }
 }

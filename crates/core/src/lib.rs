@@ -19,6 +19,13 @@
 //!   under a digest of exactly what was computed, so re-runs, interrupted
 //!   overnight sweeps and multi-process [`Shard`] splits reuse evolved
 //!   multipliers instead of re-evolving them;
+//! * [`orchestrate`] — the local multi-process supervisor over that
+//!   cache: spawn `n` shard processes (`APX_SHARD=i/n` over one
+//!   `APX_CACHE_DIR`), poll the shared directory for progress, relaunch
+//!   dead shards on their (mostly cached) remainder, and afterwards
+//!   garbage-collect with [`cache::gc_cache_dir`] — live-grid keys plus
+//!   the per-encoding `(WMED, area)` Pareto set survive, dominated
+//!   history and stale temp litter are dropped;
 //! * [`library`] — the autoAx-style component library on top of that
 //!   cache: harvested evolutions and conventional [`apx_approxlib`]
 //!   designs unified as [`library::LibraryEntry`] candidates, indexed by
@@ -47,6 +54,7 @@ mod flow;
 pub mod library;
 mod mac_report;
 pub mod nn_flow;
+pub mod orchestrate;
 mod pareto;
 pub mod report;
 mod sweep;
@@ -59,7 +67,11 @@ pub use flow::{
     FlowResult,
 };
 pub use mac_report::{mac_metrics, MacMetrics};
+pub use orchestrate::{
+    orchestrate, OrchestratorConfig, OrchestratorEvent, OrchestratorReport, ShardOutcome,
+};
 pub use pareto::pareto_indices;
 pub use sweep::{
-    run_sweep, LibraryConfig, Shard, SweepConfig, SweepDist, SweepEntry, SweepResult, SweepStats,
+    grid_keys, run_sweep, LibraryConfig, Shard, SweepConfig, SweepDist, SweepEntry, SweepResult,
+    SweepStats,
 };

@@ -37,7 +37,7 @@
 //! guaranteed no-op: the sweep behaves bit-for-bit as if library mode
 //! were off.
 
-use crate::cache::{CacheKey, SweepCache};
+use crate::cache::{CacheKey, ScannedEntry, SweepCache};
 use crate::flow::EvolvedMultiplier;
 use crate::pareto_indices;
 use apx_approxlib::{Family, MultiplierLibrary};
@@ -175,21 +175,38 @@ impl ComponentLibrary {
     pub fn scan_cache(&mut self, dir: impl AsRef<Path>) -> usize {
         let mut added = 0;
         for scanned in SweepCache::new(dir.as_ref()).scan() {
-            let name = format!("evo_{}", &scanned.key.hex()[..12]);
-            let entry = LibraryEntry {
-                name,
-                digest: netlist_digest(&scanned.multiplier.netlist),
-                chromosome: scanned.multiplier.chromosome.clone(),
-                netlist: scanned.multiplier.netlist.clone(),
-                width: scanned.width,
-                signed: scanned.signed,
-                provenance: Provenance::Evolved { source_key: scanned.key },
-            };
-            if self.insert(entry) {
+            if self.ingest_scanned(scanned) {
                 added += 1;
             }
-            self.exact.insert(scanned.key, (scanned.width, scanned.signed, scanned.multiplier));
         }
+        added
+    }
+
+    /// Ingests one already-[`scan`](SweepCache::scan)ned cache entry —
+    /// the building block of [`scan_cache`](Self::scan_cache), exposed so
+    /// callers that have a scan in hand (the garbage collector of
+    /// [`crate::cache`], a future persisted-front loader) can build a
+    /// library without re-reading the directory. Returns whether the
+    /// entry became a *new* candidate (structural duplicates only extend
+    /// the exact-replay index).
+    ///
+    /// Ingestion order matters for provenance: when several keys store
+    /// structurally identical netlists, the first ingested key becomes
+    /// the candidate's `source_key`, exactly as in a (key-sorted)
+    /// directory scan.
+    pub fn ingest_scanned(&mut self, scanned: ScannedEntry) -> bool {
+        let name = format!("evo_{}", &scanned.key.hex()[..12]);
+        let entry = LibraryEntry {
+            name,
+            digest: netlist_digest(&scanned.multiplier.netlist),
+            chromosome: scanned.multiplier.chromosome.clone(),
+            netlist: scanned.multiplier.netlist.clone(),
+            width: scanned.width,
+            signed: scanned.signed,
+            provenance: Provenance::Evolved { source_key: scanned.key },
+        };
+        let added = self.insert(entry);
+        self.exact.insert(scanned.key, (scanned.width, scanned.signed, scanned.multiplier));
         added
     }
 

@@ -1,0 +1,401 @@
+//! Local multi-process sweep orchestration: spawn, supervise and relaunch
+//! the shard processes of a design-space exploration.
+//!
+//! The cache layer ([`crate::cache`]) already lets `n` processes partition
+//! one sweep grid (`APX_SHARD=i/n` over a shared `APX_CACHE_DIR`), but
+//! until now a human was the supervisor: start `n` terminals, notice when
+//! one dies overnight, rerun it, assemble at the end. This module is that
+//! supervisor as code — the first piece of the multi-process serving
+//! story:
+//!
+//! * [`orchestrate`] spawns `shards` copies of one figure binary, each
+//!   with `APX_SHARD=i/n` and the shared `APX_CACHE_DIR` injected into
+//!   its environment;
+//! * progress is *observed through the filesystem*: the shared directory
+//!   is polled with [`cache_dir_stats`], so supervision needs no IPC
+//!   protocol with the workers — any binary that honors the two
+//!   environment knobs can be orchestrated;
+//! * a shard that dies (crash, OOM kill, power blip) is relaunched on the
+//!   **whole** shard, which is cheap by construction: every task the dead
+//!   process finished was checkpointed at completion, so the relaunch
+//!   replays the finished prefix from cache in milliseconds and computes
+//!   only the uncovered remainder;
+//! * relaunches are bounded ([`OrchestratorConfig::max_relaunches`]) so a
+//!   deterministically crashing workload cannot loop forever, and the
+//!   final [`OrchestratorReport`] says exactly which shards succeeded and
+//!   how many launches each one needed.
+//!
+//! The orchestrator deliberately does **not** assemble results itself —
+//! a final unsharded run of the same binary is the assembly step (all
+//! hits, bit-identical to a cold unsharded run), and a
+//! [`gc_cache_dir`](crate::cache::gc_cache_dir) pass afterwards keeps the
+//! directory sustainable instead of append-only. The `orchestrate` bench
+//! binary wires all three together.
+
+use crate::cache::{cache_dir_stats, CacheDirStats};
+use crate::CoreError;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// What to run and how to supervise it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrchestratorConfig {
+    /// The worker binary (typically a figure binary honoring `APX_SHARD`
+    /// and `APX_CACHE_DIR`).
+    pub program: PathBuf,
+    /// Extra command-line arguments for every shard process.
+    pub args: Vec<String>,
+    /// Extra environment for every shard process (on top of the inherited
+    /// environment; `APX_SHARD` / `APX_CACHE_DIR` are always overridden).
+    pub env: Vec<(String, String)>,
+    /// Number of shard processes (`APX_SHARD=0/n .. n-1/n`).
+    pub shards: usize,
+    /// The shared cache directory all shards checkpoint into (created up
+    /// front so progress polling starts from an existing directory).
+    pub cache_dir: PathBuf,
+    /// How often to poll the directory for a progress snapshot.
+    pub poll_interval: Duration,
+    /// How many times one shard may be relaunched after dying before the
+    /// orchestrator gives up on it.
+    pub max_relaunches: usize,
+}
+
+impl OrchestratorConfig {
+    /// A supervisor for `shards` copies of `program` over `cache_dir`,
+    /// with defaults for the rest: no extra args/env, 500 ms polling, up
+    /// to 2 relaunches per shard.
+    #[must_use]
+    pub fn new(program: impl Into<PathBuf>, shards: usize, cache_dir: impl Into<PathBuf>) -> Self {
+        OrchestratorConfig {
+            program: program.into(),
+            args: Vec::new(),
+            env: Vec::new(),
+            shards,
+            cache_dir: cache_dir.into(),
+            poll_interval: Duration::from_millis(500),
+            max_relaunches: 2,
+        }
+    }
+}
+
+/// How one shard ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The shard index (`APX_SHARD=index/count`).
+    pub index: usize,
+    /// Total launches this shard needed (1 = never died).
+    pub launches: usize,
+    /// Whether the final launch exited successfully.
+    pub succeeded: bool,
+}
+
+/// Final report of one [`orchestrate`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrchestratorReport {
+    /// Per-shard outcome, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// Total relaunches across all shards.
+    pub relaunches: usize,
+    /// The shared directory's shape after every shard terminated.
+    pub stats: CacheDirStats,
+}
+
+impl OrchestratorReport {
+    /// Whether every shard eventually exited successfully — the
+    /// precondition for the assembly run to be complete.
+    #[must_use]
+    pub fn all_succeeded(&self) -> bool {
+        self.shards.iter().all(|s| s.succeeded)
+    }
+}
+
+/// Supervision events, delivered to the observer callback of
+/// [`orchestrate`] as they happen.
+#[derive(Debug)]
+pub enum OrchestratorEvent<'a> {
+    /// Periodic snapshot of the shared directory (first one immediately
+    /// after spawning, then every [`OrchestratorConfig::poll_interval`]).
+    Progress {
+        /// Current shape of the shared cache directory.
+        stats: &'a CacheDirStats,
+        /// Shard processes currently alive.
+        running: usize,
+    },
+    /// A shard exited unsuccessfully and was relaunched on its (mostly
+    /// already-cached) remainder.
+    Relaunch {
+        /// The dead shard's index.
+        shard: usize,
+        /// Its new launch ordinal (2 = first relaunch).
+        launch: usize,
+    },
+    /// A shard exhausted its relaunch budget and was abandoned.
+    GaveUp {
+        /// The abandoned shard's index.
+        shard: usize,
+        /// Launches it burned through.
+        launches: usize,
+    },
+    /// A shard exited successfully.
+    ShardDone {
+        /// The finished shard's index.
+        shard: usize,
+    },
+}
+
+/// One supervised shard slot. `child == None` means terminal (succeeded
+/// or given up).
+struct Slot {
+    child: Option<Child>,
+    launches: usize,
+    succeeded: bool,
+}
+
+/// Kills and reaps every still-running child when the orchestrator exits
+/// early (spawn error mid-run): no zombie shard keeps writing into the
+/// directory after its supervisor is gone.
+struct Supervisor {
+    slots: Vec<Slot>,
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(child) = &mut slot.child {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Runs `cfg.shards` shard processes to completion, relaunching dead ones,
+/// and reports how it went. `on_event` observes supervision as it happens
+/// (progress snapshots, relaunches, terminal shard states).
+///
+/// The call returns when every shard is terminal — successful or
+/// abandoned; inspect [`OrchestratorReport::all_succeeded`]. Worker
+/// stdout is discarded (shards all print the same tables); stderr is
+/// inherited so a crashing shard's panic message reaches the operator.
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for zero shards and
+/// [`CoreError::Orchestrate`] when the cache directory cannot be created
+/// or a shard process cannot be spawned at all (missing binary — distinct
+/// from a shard that starts and then dies, which is relaunched).
+pub fn orchestrate(
+    cfg: &OrchestratorConfig,
+    mut on_event: impl FnMut(&OrchestratorEvent<'_>),
+) -> Result<OrchestratorReport, CoreError> {
+    if cfg.shards == 0 {
+        return Err(CoreError::BadConfig("orchestrator needs at least one shard".into()));
+    }
+    std::fs::create_dir_all(&cfg.cache_dir).map_err(|e| {
+        CoreError::Orchestrate(format!(
+            "cannot create cache directory {}: {e}",
+            cfg.cache_dir.display()
+        ))
+    })?;
+
+    let spawn_shard = |index: usize| -> Result<Child, CoreError> {
+        let mut cmd = Command::new(&cfg.program);
+        cmd.args(&cfg.args);
+        for (k, v) in &cfg.env {
+            cmd.env(k, v);
+        }
+        cmd.env("APX_SHARD", format!("{index}/{}", cfg.shards))
+            .env("APX_CACHE_DIR", &cfg.cache_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        cmd.spawn().map_err(|e| {
+            CoreError::Orchestrate(format!(
+                "cannot spawn shard {index}/{} ({}): {e}",
+                cfg.shards,
+                cfg.program.display()
+            ))
+        })
+    };
+
+    let mut sup = Supervisor { slots: Vec::with_capacity(cfg.shards) };
+    for index in 0..cfg.shards {
+        let child = spawn_shard(index)?;
+        sup.slots.push(Slot { child: Some(child), launches: 1, succeeded: false });
+    }
+
+    let mut relaunches = 0usize;
+    let mut next_poll = Instant::now();
+    loop {
+        for index in 0..sup.slots.len() {
+            let Some(mut child) = sup.slots[index].child.take() else {
+                continue;
+            };
+            match child.try_wait() {
+                Ok(None) => sup.slots[index].child = Some(child), // still running
+                Ok(Some(status)) if status.success() => {
+                    sup.slots[index].succeeded = true;
+                    on_event(&OrchestratorEvent::ShardDone { shard: index });
+                }
+                outcome => {
+                    if outcome.is_err() {
+                        // Unwaitable is not necessarily dead: make it so
+                        // before replacing it, or the dropped handle would
+                        // leave an untracked process racing its substitute
+                        // on the same directory.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    // Dead (nonzero exit, killed by a signal, or put down
+                    // above). Relaunching the whole shard is cheap: its
+                    // finished prefix replays from the cache.
+                    if sup.slots[index].launches <= cfg.max_relaunches {
+                        sup.slots[index].child = Some(spawn_shard(index)?);
+                        sup.slots[index].launches += 1;
+                        relaunches += 1;
+                        on_event(&OrchestratorEvent::Relaunch {
+                            shard: index,
+                            launch: sup.slots[index].launches,
+                        });
+                    } else {
+                        on_event(&OrchestratorEvent::GaveUp {
+                            shard: index,
+                            launches: sup.slots[index].launches,
+                        });
+                    }
+                }
+            }
+        }
+        let running = sup.slots.iter().filter(|s| s.child.is_some()).count();
+        if running == 0 || Instant::now() >= next_poll {
+            let stats = cache_dir_stats(&cfg.cache_dir);
+            on_event(&OrchestratorEvent::Progress { stats: &stats, running });
+            next_poll = Instant::now() + cfg.poll_interval;
+        }
+        if running == 0 {
+            break;
+        }
+        std::thread::sleep(cfg.poll_interval.min(Duration::from_millis(25)));
+    }
+
+    Ok(OrchestratorReport {
+        shards: sup
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(index, s)| ShardOutcome { index, launches: s.launches, succeeded: s.succeeded })
+            .collect(),
+        relaunches,
+        stats: cache_dir_stats(&cfg.cache_dir),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apx_orch_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// An orchestrator over an inline `sh` script — the worker contract
+    /// is just "honor `APX_SHARD` and `APX_CACHE_DIR`, exit 0 when your
+    /// slice is covered", so a shell one-liner is a valid workload.
+    fn sh(script: &str, shards: usize, dir: &Path) -> OrchestratorConfig {
+        let mut cfg = OrchestratorConfig::new("/bin/sh", shards, dir);
+        cfg.args = vec!["-c".into(), script.into()];
+        cfg.poll_interval = Duration::from_millis(10);
+        cfg
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let cfg = OrchestratorConfig::new("/bin/true", 0, scratch("zero"));
+        assert!(matches!(orchestrate(&cfg, |_| {}), Err(CoreError::BadConfig(_))));
+    }
+
+    #[test]
+    fn unspawnable_program_is_an_orchestrate_error() {
+        let cfg = OrchestratorConfig::new("/definitely/not/a/binary", 1, scratch("nosuch"));
+        match orchestrate(&cfg, |_| {}) {
+            Err(CoreError::Orchestrate(msg)) => {
+                assert!(msg.contains("shard 0/1"), "{msg}");
+                assert!(msg.contains("/definitely/not/a/binary"), "{msg}");
+            }
+            other => panic!("expected an orchestrate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn healthy_shards_run_once_and_succeed() {
+        let dir = scratch("healthy");
+        // Each shard records the slice it was given.
+        let cfg = sh(r#"echo "$APX_SHARD" > "$APX_CACHE_DIR/shard.${APX_SHARD%%/*}""#, 3, &dir);
+        let mut progress = 0usize;
+        let mut done = 0usize;
+        let report = orchestrate(&cfg, |e| match e {
+            OrchestratorEvent::Progress { .. } => progress += 1,
+            OrchestratorEvent::ShardDone { .. } => done += 1,
+            other => panic!("unexpected event {other:?}"),
+        })
+        .unwrap();
+        assert!(report.all_succeeded());
+        assert_eq!(report.relaunches, 0);
+        assert_eq!(done, 3);
+        assert!(progress >= 1, "at least the final snapshot is delivered");
+        for (i, s) in report.shards.iter().enumerate() {
+            assert_eq!((s.index, s.launches, s.succeeded), (i, 1, true));
+            let slice = std::fs::read_to_string(dir.join(format!("shard.{i}"))).unwrap();
+            assert_eq!(slice.trim(), format!("{i}/3"), "shard saw the wrong slice");
+        }
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn dead_shards_are_relaunched_until_they_cover_their_slice() {
+        let dir = scratch("relaunch");
+        // First launch: leave a marker and die. Relaunch: marker present,
+        // cover the slice and exit 0 — the checkpoint-resume pattern in
+        // miniature.
+        let script = r#"m="$APX_CACHE_DIR/marker.${APX_SHARD%%/*}"
+if [ -e "$m" ]; then exit 0; else : > "$m"; exit 7; fi"#;
+        let cfg = sh(script, 2, &dir);
+        let mut relaunch_events = Vec::new();
+        let report = orchestrate(&cfg, |e| {
+            if let OrchestratorEvent::Relaunch { shard, launch } = e {
+                relaunch_events.push((*shard, *launch));
+            }
+        })
+        .unwrap();
+        assert!(report.all_succeeded(), "{report:?}");
+        assert_eq!(report.relaunches, 2);
+        relaunch_events.sort_unstable();
+        assert_eq!(relaunch_events, vec![(0, 2), (1, 2)]);
+        for s in &report.shards {
+            assert_eq!(s.launches, 2, "shard {} should die exactly once", s.index);
+        }
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn a_permanently_crashing_shard_is_abandoned_not_looped() {
+        let dir = scratch("giveup");
+        let mut cfg = sh("exit 3", 1, &dir);
+        cfg.max_relaunches = 1;
+        let mut gave_up = None;
+        let report = orchestrate(&cfg, |e| {
+            if let OrchestratorEvent::GaveUp { shard, launches } = e {
+                gave_up = Some((*shard, *launches));
+            }
+        })
+        .unwrap();
+        assert!(!report.all_succeeded());
+        assert_eq!(report.shards[0].launches, 2, "initial launch + one relaunch");
+        assert_eq!(report.relaunches, 1);
+        assert_eq!(gave_up, Some((0, 2)));
+    }
+}

@@ -292,14 +292,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         .map(|d| MultEvaluator::new(flow.width, flow.signed, &d.pmf).map(Arc::new))
         .collect::<Result<_, _>>()?;
 
-    let grid: Vec<(usize, usize, usize)> = (0..cfg.distributions.len())
-        .flat_map(|di| {
-            flow.thresholds
-                .iter()
-                .enumerate()
-                .flat_map(move |(ti, _)| (0..flow.runs_per_threshold).map(move |r| (di, ti, r)))
-        })
-        .collect();
+    let grid = flat_grid(cfg);
     let n_tasks = grid.len();
     let tasks: Vec<(usize, usize, usize)> = match cfg.shard {
         Some(s) => grid.iter().copied().skip(s.index).step_by(s.count).collect(),
@@ -574,6 +567,44 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
             seeded_evolutions,
         },
     })
+}
+
+/// Flattens `cfg`'s full `(distribution, threshold, run)` grid in the
+/// deterministic order every sweep participant shares — the order task
+/// indices (and therefore [`Shard`] strides) are defined over.
+fn flat_grid(cfg: &SweepConfig) -> Vec<(usize, usize, usize)> {
+    (0..cfg.distributions.len())
+        .flat_map(|di| {
+            cfg.flow
+                .thresholds
+                .iter()
+                .enumerate()
+                .flat_map(move |(ti, _)| (0..cfg.flow.runs_per_threshold).map(move |r| (di, ti, r)))
+        })
+        .collect()
+}
+
+/// The content-addressed cache keys of every task of `cfg`'s **full**
+/// grid (any [`Shard`] restriction is ignored — the keys describe what
+/// the whole exploration serves), in flat grid order.
+///
+/// This is the "live set" a garbage collection pass
+/// ([`crate::cache::gc_cache_dir`]) must never evict: exactly the keys a
+/// warm or resumed run of `cfg` will ask the cache for.
+#[must_use]
+pub fn grid_keys(cfg: &SweepConfig) -> Vec<CacheKey> {
+    flat_grid(cfg)
+        .into_iter()
+        .map(|(di, ti, run)| {
+            task_key(
+                &cfg.flow,
+                &cfg.distributions[di].pmf,
+                cfg.flow.thresholds[ti],
+                run,
+                task_seed(cfg.flow.seed, di, ti, run),
+            )
+        })
+        .collect()
 }
 
 /// The chromosomes a task's evolution is warm-started with: the library's
@@ -1089,6 +1120,95 @@ mod tests {
                     );
                     assert_eq!(candidate.stats, source.multiplier.stats);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_keys_cover_the_full_grid_and_ignore_sharding() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120; // iterations are part of every key
+        let keys = grid_keys(&cfg);
+        assert_eq!(keys.len(), 8);
+        let unique: std::collections::HashSet<_> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), 8, "every task has a distinct key");
+        cfg.shard = Some(Shard { index: 1, count: 3 });
+        assert_eq!(grid_keys(&cfg), keys, "the live set is the whole grid, shard or not");
+        // The keys are exactly the files a cold cached run leaves behind.
+        cfg.shard = None;
+        cfg.cache_dir = Some(fresh_cache_dir("gridkeys"));
+        run_sweep(&cfg).unwrap();
+        let cache = SweepCache::new(cfg.cache_dir.as_ref().unwrap());
+        for key in keys {
+            assert!(cache.load(key).is_some(), "{key} not checkpointed");
+        }
+    }
+
+    #[test]
+    fn gc_preserves_live_grid_and_library_hits() {
+        use crate::cache::{cache_dir_stats, gc_cache_dir, GcConfig};
+
+        // Two generations of the same grid share one cache directory; GC
+        // driven by the *current* generation's live keys evicts the
+        // dominated remains of the old one, while a library-mode consumer
+        // reports the same hits before and after (the autoAx contract:
+        // only dominated — never takeable — candidates were dropped).
+        let dir = fresh_cache_dir("gc_live");
+        let mut old_gen = tiny_sweep();
+        old_gen.flow.iterations = 120;
+        old_gen.cache_dir = Some(dir.clone());
+        run_sweep(&old_gen).unwrap();
+
+        let mut live = old_gen.clone();
+        live.flow.seed = 0xA11CE; // same grid shape, disjoint keys
+        let live_cold = run_sweep(&live).unwrap();
+        assert_eq!(live_cold.stats.cache_misses, 8);
+        assert_eq!(cache_dir_stats(&dir).entries, 16);
+
+        // A library consumer with fresh keys (nothing exact-replays):
+        // every hit is a re-scored Pareto-front candidate.
+        let consumer = SweepConfig {
+            distributions: vec![SweepDist::new("Dc", Pmf::uniform(4))],
+            flow: FlowConfig { seed: 31337, thresholds: vec![0.05, 0.2], ..live.flow.clone() },
+            library: Some(LibraryConfig { dir: Some(dir.clone()), ..LibraryConfig::default() }),
+            ..SweepConfig::default()
+        };
+        let before = run_sweep(&consumer).unwrap();
+        assert!(before.stats.library_hits > 0, "loose budgets must hit: {:?}", before.stats);
+
+        let gc = GcConfig {
+            keep: grid_keys(&live).into_iter().collect(),
+            distributions: live
+                .distributions
+                .iter()
+                .chain(&consumer.distributions)
+                .map(|d| d.pmf.clone())
+                .collect(),
+            threads: 2,
+            tmp_ttl: std::time::Duration::ZERO,
+        };
+        let report = gc_cache_dir(&dir, &gc).unwrap();
+        assert_eq!(report.entries_before, 16);
+        assert_eq!(report.kept_live, 8, "the live grid is untouchable");
+        assert!(report.evicted > 0, "dominated historical entries must go");
+        assert_eq!(report.kept(), cache_dir_stats(&dir).entries);
+
+        // The live grid still warm-replays bit-identically...
+        let warm = run_sweep(&live).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8);
+        assert_entries_bit_identical(&live_cold, &warm);
+
+        // ...and the consumer takes the same hits from the survivors.
+        let after = run_sweep(&consumer).unwrap();
+        assert_eq!(after.stats.library_hits, before.stats.library_hits);
+        for (b, a) in before.entries.iter().zip(&after.entries) {
+            assert!(a.multiplier.stats.wmed <= a.multiplier.threshold + 1e-12);
+            if b.multiplier.evaluations == 0 {
+                // A pre-GC hit is on the surviving front: same candidate,
+                // same estimate, bit for bit.
+                assert_eq!(b.multiplier.chromosome, a.multiplier.chromosome);
+                assert_eq!(b.multiplier.stats, a.multiplier.stats);
+                assert_eq!(b.multiplier.estimate, a.multiplier.estimate);
             }
         }
     }
