@@ -11,7 +11,7 @@
 //! EvoApprox8b itself is a published artifact we cannot download in this
 //! offline reproduction; [`MultiplierLibrary::evoapprox_like`] plays its
 //! role with a spread of truncated/broken configurations covering the same
-//! error range (DESIGN.md §4), and `apx-core` can extend the library with
+//! error range (see ARCHITECTURE.md), and `apx-core` can extend the library with
 //! uniformly-evolved multipliers — which is literally how EvoApprox8b was
 //! built.
 //!

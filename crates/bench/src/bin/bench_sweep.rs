@@ -16,10 +16,12 @@
 //! same applies to `APX_LIBRARY`: set it deliberately to measure
 //! library-mode throughput (re-scoring instead of evolution), and read
 //! the `library_hits`/`seeded_evolutions` counters next to the rate.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
     bench_sweep_json, env_u64, env_usize, explicit_cache_dir, parse_library, results_dir, shard,
-    sweep_distributions,
+    sweep_distributions, BenchGrid,
 };
 use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
 
@@ -53,7 +55,11 @@ fn main() {
     let n_runs = env_usize("APX_RUNS", 1);
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let multi = env_usize("APX_THREADS", cores);
-    println!("=== bench_sweep: Fig. 3 grid, {iters} iterations/run, {n_runs} run(s)/level ===\n");
+    let backend = apx_metrics::EvalBackend::from_env();
+    println!(
+        "=== bench_sweep: Fig. 3 grid, {iters} iterations/run, {n_runs} run(s)/level, \
+         {backend} backend ===\n"
+    );
 
     let library =
         parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), explicit_cache_dir());
@@ -90,12 +96,16 @@ fn main() {
     let speedup = single_result.stats.wall_seconds / multi_result.stats.wall_seconds.max(1e-9);
     println!("\nspeedup over 1 thread: {speedup:.2}x on {cores} core(s); results bit-identical");
 
+    let grid = BenchGrid {
+        distributions: cfg.distributions.len(),
+        thresholds: cfg.flow.thresholds.len(),
+        runs_per_threshold: n_runs,
+    };
     let json = bench_sweep_json(
-        cfg.distributions.len(),
-        cfg.flow.thresholds.len(),
-        n_runs,
+        grid,
         iters,
         cores,
+        backend.name(),
         &multi_result.stats,
         &single_result.stats,
     );

@@ -10,6 +10,8 @@
 //!
 //! Usage: `cache_stats [dir]` — the directory argument falls back to
 //! `APX_CACHE_DIR`, then to the default `results/cache`.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{cache_dir, results_dir};
 use apx_core::cache::cache_dir_stats;
@@ -24,6 +26,8 @@ fn main() {
         .unwrap_or_else(|| results_dir().join("cache"));
     let stats = cache_dir_stats(&dir);
     println!("=== cache_stats: {} ===\n", dir.display());
+    // Library-mode re-scoring of these entries runs on this backend.
+    println!("evaluator backend: {}\n", apx_metrics::EvalBackend::from_env());
     if stats.files == 0 && stats.tmp_litter == 0 {
         println!("no .sweep entries (missing or empty directory)");
         return;

@@ -14,6 +14,8 @@
 //! `APX_LIBRARY` (`on`/`full`/a directory — reuse multipliers from a
 //! previously populated cache as a component library instead of evolving
 //! every task from scratch).
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
     cache_dir, fig3_sweep_grid, iterations, library_config, print_sweep_counters, results_dir,

@@ -8,6 +8,8 @@
 //!
 //! Knobs: `APX_ITERS`, `APX_CACHE_DIR`, `APX_SHARD` (`i/n`; shard passes
 //! fill the shared cache and skip foreign panels), `APX_LIBRARY`.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
     cache_dir, fig4_sweep_grid, iterations, library_config, print_sweep_counters, results_dir,

@@ -5,6 +5,8 @@
 //!
 //! Scale knobs: `APX_ITERS`, `APX_RUNS` (default 5; paper 25),
 //! `APX_TRAIN_N` / `APX_EPOCHS` for the classifiers.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{iterations, lenet_case, mlp_case, results_dir, runs};
 use apx_core::report::TextTable;

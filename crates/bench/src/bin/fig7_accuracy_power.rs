@@ -5,6 +5,8 @@
 //! CSV mirror: `results/fig7_accuracy_power.csv`.
 //!
 //! Scale knobs: `APX_ITERS`, `APX_TRAIN_N`, `APX_TEST_N`, `APX_EPOCHS`.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_approxlib::MultiplierLibrary;
 use apx_arith::mac::accumulator_width;

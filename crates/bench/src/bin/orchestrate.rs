@@ -28,6 +28,8 @@
 //! `APX_RUNS`, `APX_ORCH_SHARDS`, `APX_ORCH_BIN`, `APX_ORCH_RELAUNCHES`,
 //! `APX_GC`, `APX_GC_TMP_TTL_SECS`). All other knobs are inherited by
 //! the shard processes unchanged.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
     cache_dir, gc_mode, gc_tmp_ttl, orch_bin, orch_relaunches, orch_shards, sweep_grid_of, GcMode,

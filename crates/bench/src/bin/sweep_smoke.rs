@@ -25,6 +25,8 @@
 //!
 //! The CSV is derived purely from the sweep entries, so a warm, sharded,
 //! resumed or orchestrated run is byte-identical to a cold unsharded one.
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
     cache_dir, library_config, print_sweep_counters, results_dir, shard, smoke_sweep_grid,

@@ -8,6 +8,8 @@
 //! `APX_CACHE_DIR`, `APX_SHARD` (`i/n`; shard passes fill the shared
 //! cache and emit only their threshold rows) and `APX_LIBRARY`
 //! (component-library reuse of previously evolved multipliers).
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_arith::mac::accumulator_width;
 use apx_arith::{baugh_wooley_multiplier, OpTable};

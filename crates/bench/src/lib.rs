@@ -1,43 +1,4 @@
-//! Shared harness utilities for the figure-regeneration binaries.
-//!
-//! Every binary in `src/bin/` regenerates one figure or table of the
-//! paper (see DESIGN.md §5 for the index). Experiment scale is controlled
-//! by environment variables so the same binaries serve quick smoke runs
-//! and overnight full-scale reproductions:
-//!
-//! | Variable | Meaning | Default |
-//! |----------|---------|---------|
-//! | `APX_ITERS` | CGP generations per run | 2000 |
-//! | `APX_RUNS` | independent CGP runs per error level | 1 (fig6: 5) |
-//! | `APX_TRAIN_N` | NN training samples | per-case |
-//! | `APX_TEST_N` | NN test samples | per-case |
-//! | `APX_EPOCHS` | NN training epochs | per-case |
-//! | `APX_FT_ITERS` | fine-tuning iterations (paper: 10) | 2 |
-//! | `APX_CACHE_DIR` | sweep result cache directory (`apx_core::cache`); empty or `off` disables caching | `results/cache` |
-//! | `APX_SHARD` | `i/n`: compute only shard `i` of `n` of the sweep grid | unsharded |
-//! | `APX_LIBRARY` | component-library mode (`apx_core::library`): `on` harvests the cache directory, `full` additionally ingests the conventional `apx_approxlib` designs, any other non-empty value is a directory to harvest; empty or `off` disables | off |
-//! | `APX_ORCH_SHARDS` | `orchestrate`: local shard processes to spawn over the shared cache | 2 |
-//! | `APX_ORCH_BIN` | `orchestrate`: worker binary (`fig3_pareto`, `fig4_heatmaps`, `table1_finetune`, `sweep_smoke`) | `fig3_pareto` |
-//! | `APX_ORCH_RELAUNCHES` | `orchestrate`: relaunch budget per dead shard | 2 |
-//! | `APX_GC` | `orchestrate`: cache garbage collection — `on` runs a GC pass after the grid and assembly, `only` skips the grid and just collects; empty or `off` disables | off |
-//! | `APX_GC_TMP_TTL_SECS` | GC: minimum age before writer temp litter counts as stale (`orchestrate` uses 0 for the pass right after its own grid — all of its writers have exited) | 900 |
-//!
-//! A malformed *non-empty* numeric knob is a hard error, never a silent
-//! fallback: `APX_ITERS=2k` must not quietly run the 2000-iteration
-//! default (same rationale as the strict `APX_SHARD` parsing — a typo
-//! must not silently change the computation).
-//!
-//! The sweep-backed binaries (`fig3_pareto`, `fig4_heatmaps`,
-//! `table1_finetune`) checkpoint every completed `(distribution,
-//! threshold, run)` task in the cache, so a killed overnight run resumed
-//! later — or `n` shard processes pointed at one cache directory followed
-//! by a final unsharded run — only computes tasks nobody finished yet.
-//! `bench_sweep` measures throughput, so it only uses a cache when
-//! `APX_CACHE_DIR` is set explicitly.
-//!
-//! Results are printed as paper-style rows and mirrored as CSV under
-//! `results/`.
-
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -366,6 +327,7 @@ pub fn sweep_grid_of(bin: &str) -> Option<SweepConfig> {
 /// figure binary (and the CI smoke greps) rely on — one line per enabled
 /// mechanism, nothing when the sweep ran without cache and library.
 pub fn print_sweep_counters(cfg: &apx_core::SweepConfig, stats: &SweepStats) {
+    println!("evaluator backend: {}", apx_metrics::EvalBackend::from_env());
     if let Some(dir) = &cfg.cache_dir {
         println!(
             "cache: {} hits, {} misses, {} shard-skipped ({})",
@@ -411,24 +373,41 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
     )
 }
 
+/// Shape of the benchmarked sweep grid, recorded in `BENCH_sweep.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchGrid {
+    /// Number of input distributions in the grid.
+    pub distributions: usize,
+    /// Number of WMED thresholds per distribution.
+    pub thresholds: usize,
+    /// Independent CGP runs per threshold.
+    pub runs_per_threshold: usize,
+}
+
 /// Assembles the complete `BENCH_sweep.json` document from the two
 /// benchmark passes (full pool vs. one thread).
+///
+/// `backend` records which simulation engine produced the numbers (the
+/// [`apx_metrics::EvalBackend`] name) — a scalar-backend rate must never
+/// be mistaken for a bit-parallel regression in the perf history.
 #[must_use]
 pub fn bench_sweep_json(
-    distributions: usize,
-    thresholds: usize,
-    runs_per_threshold: usize,
+    grid: BenchGrid,
     iterations: u64,
     cpu_cores: usize,
+    backend: &str,
     multi: &SweepStats,
     single: &SweepStats,
 ) -> String {
     let speedup = single.wall_seconds / multi.wall_seconds.max(1e-9);
     format!(
-        "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {distributions}, \
-         \"thresholds\": {thresholds}, \"runs_per_threshold\": {runs_per_threshold}, \"tasks\": \
-         {}}},\n  \"iterations\": {iterations},\n  \"cpu_cores\": {cpu_cores},\n  \
-         \"multi_thread\": {},\n  \"single_thread\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+        "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {}, \"thresholds\": \
+         {}, \"runs_per_threshold\": {}, \"tasks\": {}}},\n  \"iterations\": {iterations},\n  \
+         \"cpu_cores\": {cpu_cores},\n  \"backend\": \"{backend}\",\n  \"multi_thread\": {},\n  \
+         \"single_thread\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+        grid.distributions,
+        grid.thresholds,
+        grid.runs_per_threshold,
         multi.tasks,
         sweep_stats_json(multi),
         sweep_stats_json(single),

@@ -31,7 +31,7 @@
 //! let seed = Chromosome::from_netlist(&seed_netlist, &FunctionSet::standard(), 20)?;
 //! let result = evolve(
 //!     &seed,
-//!     |c| c.decode_active().active_gate_count() as f64,
+//!     |c: &Chromosome| c.decode_active().active_gate_count() as f64,
 //!     &EvolutionConfig { max_iterations: 50, ..EvolutionConfig::default() },
 //! );
 //! assert!(result.best_fitness <= seed.decode_active().active_gate_count() as f64);
@@ -52,4 +52,4 @@ pub use error::CgpError;
 pub use function_set::FunctionSet;
 pub use genome::Chromosome;
 pub use mutation::mutate;
-pub use search::{evolve, evolve_seeded, EvolutionConfig, EvolutionResult};
+pub use search::{evolve, evolve_seeded, EvolutionConfig, EvolutionResult, FitnessFn};

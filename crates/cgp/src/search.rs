@@ -57,6 +57,54 @@ pub struct EvolutionResult {
     pub initial_seed: Option<usize>,
 }
 
+/// A fitness function with an optional incremental-evaluation hook.
+///
+/// The evolution loop calls [`FitnessFn::rebase`] every time the parent
+/// chromosome changes — once after the initial parent is selected, then on
+/// every promotion — so stateful implementations can cache simulation
+/// state for the current parent and score offspring by re-simulating only
+/// what a mutation touched (`apx_core`'s Eq. 1 fitness does exactly this
+/// over `apx_metrics`' cached `WmedState`). Every `eval` between two
+/// `rebase` calls is therefore guaranteed to see a chromosome derived from
+/// the most recently rebased parent.
+///
+/// Plain closures implement the trait with a no-op `rebase`, so stateless
+/// fitnesses keep working unchanged:
+///
+/// ```
+/// use apx_cgp::FitnessFn;
+///
+/// let f = |c: &apx_cgp::Chromosome| c.decode_active().active_gate_count() as f64;
+/// fn assert_fitness(_: &impl FitnessFn) {}
+/// assert_fitness(&f);
+/// ```
+pub trait FitnessFn: Sync {
+    /// Scores a chromosome (lower is better; `f64::INFINITY` rejects a
+    /// candidate outright).
+    fn eval(&self, c: &Chromosome) -> f64;
+
+    /// Notification that `parent` is the new baseline all following
+    /// offspring are mutated from. Defaults to a no-op.
+    fn rebase(&self, parent: &Chromosome) {
+        let _ = parent;
+    }
+
+    /// [`rebase`](FitnessFn::rebase), but also handing over `parent`'s
+    /// just-computed fitness — the evolution loop always knows it at
+    /// promotion time, so stateful implementations can cache the value
+    /// instead of re-scoring the parent. Defaults to plain `rebase`.
+    fn rebase_scored(&self, parent: &Chromosome, fit: f64) {
+        let _ = fit;
+        self.rebase(parent);
+    }
+}
+
+impl<F: Fn(&Chromosome) -> f64 + Sync> FitnessFn for F {
+    fn eval(&self, c: &Chromosome) -> f64 {
+        self(c)
+    }
+}
+
 /// Runs the `(1 + λ)` strategy from `seed_parent`, minimizing `fitness`.
 ///
 /// Each generation clones the parent λ times, mutates every clone with up
@@ -79,7 +127,7 @@ pub struct EvolutionResult {
 /// `fitness` naming the offending offspring.
 pub fn evolve<F>(seed_parent: &Chromosome, fitness: F, config: &EvolutionConfig) -> EvolutionResult
 where
-    F: Fn(&Chromosome) -> f64 + Sync,
+    F: FitnessFn,
 {
     evolve_seeded(seed_parent, &[], fitness, config)
 }
@@ -114,27 +162,29 @@ pub fn evolve_seeded<F>(
     config: &EvolutionConfig,
 ) -> EvolutionResult
 where
-    F: Fn(&Chromosome) -> f64 + Sync,
+    F: FitnessFn,
 {
     assert!(config.lambda > 0, "lambda must be at least 1");
     assert!(config.mutations > 0, "mutation rate must be at least 1");
     let mut parent = seed_parent.clone();
-    let mut parent_fit = fitness(&parent);
+    let mut parent_fit = fitness.eval(&parent);
     let mut initial_seed = None;
     for (i, seed) in seeds.iter().enumerate() {
-        let fit = fitness(seed);
+        let fit = fitness.eval(seed);
         if fit < parent_fit {
             parent = seed.clone();
             parent_fit = fit;
             initial_seed = Some(i);
         }
     }
+    // The initial parent is now fixed: let stateful fitnesses cache it.
+    fitness.rebase_scored(&parent, parent_fit);
     let start = Start { parent, parent_fit, evaluations: 1 + seeds.len() as u64, initial_seed };
     if config.parallel && config.lambda > 1 {
         apx_pool::Pool::scope(
             config.lambda,
             |_, child: Chromosome| {
-                let fit = fitness(&child);
+                let fit = fitness.eval(&child);
                 (child, fit)
             },
             |pool| generation_loop(start, &fitness, config, Some(pool)),
@@ -161,7 +211,7 @@ fn generation_loop<F>(
     pool: Option<&apx_pool::Executor<'_, Chromosome, (Chromosome, f64)>>,
 ) -> EvolutionResult
 where
-    F: Fn(&Chromosome) -> f64 + Sync,
+    F: FitnessFn,
 {
     let mut rng = Xoshiro256::from_seed(config.seed);
     let Start { mut parent, mut parent_fit, mut evaluations, initial_seed } = start;
@@ -189,7 +239,7 @@ where
             None => offspring
                 .into_iter()
                 .map(|child| {
-                    let fit = fitness(&child);
+                    let fit = fitness.eval(&child);
                     (child, fit)
                 })
                 .collect(),
@@ -209,6 +259,7 @@ where
             }
             parent = scored.swap_remove(best_idx).0;
             parent_fit = best_fit;
+            fitness.rebase_scored(&parent, parent_fit);
         }
     }
     EvolutionResult {
@@ -404,10 +455,73 @@ mod tests {
         let rejected = evolve_seeded(
             &parent,
             &[better],
-            |c| if fitness(c) < fitness(&parent) { f64::INFINITY } else { fitness(c) },
+            |c: &Chromosome| if fitness(c) < fitness(&parent) { f64::INFINITY } else { fitness(c) },
             &EvolutionConfig { max_iterations: 1, seed: 3, ..Default::default() },
         );
         assert_eq!(rejected.initial_seed, None);
+    }
+
+    #[test]
+    fn rebase_tracks_every_parent_change() {
+        use std::sync::Mutex;
+
+        /// Wraps a closure fitness and checks the incremental contract:
+        /// every evaluated offspring differs from the latest rebased parent
+        /// in at most `3·mutations` genes (a mutation redraws whole genes
+        /// of the parent), and every promotion is announced via `rebase`
+        /// before the next generation is scored.
+        struct Spy<F> {
+            inner: F,
+            state: std::sync::Arc<Mutex<SpyState>>,
+        }
+        #[derive(Default)]
+        struct SpyState {
+            base: Option<Chromosome>,
+            rebases: usize,
+            evals_since_rebase: usize,
+        }
+        impl<F: Fn(&Chromosome) -> f64 + Sync> FitnessFn for Spy<F> {
+            fn eval(&self, c: &Chromosome) -> f64 {
+                let mut st = self.state.lock().unwrap();
+                if let Some(base) = &st.base {
+                    let diff = base.genes().iter().zip(c.genes()).filter(|(a, b)| a != b).count();
+                    assert!(diff <= 3 * 5, "offspring drifted {diff} genes from rebased parent");
+                }
+                st.evals_since_rebase += 1;
+                (self.inner)(c)
+            }
+            fn rebase(&self, parent: &Chromosome) {
+                let mut st = self.state.lock().unwrap();
+                st.base = Some(parent.clone());
+                st.rebases += 1;
+                st.evals_since_rebase = 0;
+            }
+        }
+
+        let nl = array_multiplier(2);
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count() + 8).unwrap();
+        let state = std::sync::Arc::new(Mutex::new(SpyState::default()));
+        let spy = Spy { inner: exactness_area_fitness(2), state: state.clone() };
+        let result = evolve(
+            &seed,
+            spy,
+            &EvolutionConfig { max_iterations: 300, seed: 5, ..Default::default() },
+        );
+        let st = state.lock().unwrap();
+        // One initial rebase plus one per promotion; promotions include
+        // neutral drift, so there are at least as many as strict
+        // improvements (history also counts the iteration-0 entry).
+        assert!(st.rebases >= result.history.len(), "{} < {}", st.rebases, result.history.len());
+        assert_eq!(st.base.as_ref(), Some(&result.best), "last rebase is the final parent");
+        // Same trajectory as the plain closure.
+        let plain = evolve(
+            &seed,
+            exactness_area_fitness(2),
+            &EvolutionConfig { max_iterations: 300, seed: 5, ..Default::default() },
+        );
+        assert_eq!(plain.best, result.best);
+        assert_eq!(plain.best_fitness, result.best_fitness);
     }
 
     #[test]
@@ -416,6 +530,10 @@ mod tests {
         let nl = array_multiplier(2);
         let seed =
             Chromosome::from_netlist(&nl, &FunctionSet::standard(), nl.gate_count()).unwrap();
-        let _ = evolve(&seed, |_| 0.0, &EvolutionConfig { lambda: 0, ..Default::default() });
+        let _ = evolve(
+            &seed,
+            |_: &Chromosome| 0.0,
+            &EvolutionConfig { lambda: 0, ..Default::default() },
+        );
     }
 }

@@ -1,10 +1,32 @@
 //! Eq. 1: area under a WMED budget.
 
-use apx_cgp::Chromosome;
+use apx_cgp::{Chromosome, FitnessFn};
 use apx_dist::Pmf;
-use apx_metrics::MultEvaluator;
+use apx_metrics::{MultEvaluator, WmedState};
 use apx_techlib::{area_of, TechLibrary};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Cap on the cached-simulation footprint before the incremental protocol
+/// is declined (the CGP inner loop then falls back to full evaluation).
+const MAX_STATE_BYTES: usize = 32 << 20;
+
+/// Cached incremental-evaluation context: the most recently rebased parent
+/// and the simulation state describing it.
+#[derive(Debug)]
+struct IncrSlot {
+    /// The chromosome the cached rows describe. May lag the evolution
+    /// loop's current parent by neutral (dead-node) drift: deltas and
+    /// shortcuts diff offspring against this base, which yields the same
+    /// exact scores.
+    base: Chromosome,
+    /// Cached full-grid signal rows for `base.decode_full()`.
+    state: WmedState,
+    /// Per-signal activity of the base (`ni + k` for node `k`): mutations
+    /// confined to inactive nodes cannot change the phenotype.
+    base_active: Vec<bool>,
+    /// The base's own fitness, for neutral-mutation shortcuts.
+    base_fit: f64,
+}
 
 /// The paper's fitness function (Eq. 1):
 ///
@@ -23,11 +45,39 @@ use std::sync::Arc;
 /// weight-sorted blocks), so sweeps build it **once** per `(width,
 /// signed, pmf)` and share it across every threshold and run via
 /// [`Eq1Fitness::with_evaluator`].
-#[derive(Debug, Clone)]
+///
+/// # Incremental evaluation
+///
+/// When the evaluator [supports it](MultEvaluator::supports_incremental),
+/// the [`FitnessFn`] implementation keeps a cached simulation state for
+/// the current CGP parent (installed by [`FitnessFn::rebase`], which
+/// `apx_cgp`'s evolution loop calls on every parent change). Offspring
+/// are then scored by re-simulating only the mutated nodes' fanout cones
+/// ([`MultEvaluator::wmed_bounded_delta`]), and mutations confined to
+/// inactive genes short-circuit to the parent's fitness without touching
+/// the simulator at all. Every score is bit-identical to the stateless
+/// [`Eq1Fitness::of`], so search trajectories — and therefore sweep
+/// caches — do not depend on whether the shortcut was available.
+#[derive(Debug)]
 pub struct Eq1Fitness {
     evaluator: Arc<MultEvaluator>,
     tech: TechLibrary,
     threshold: f64,
+    /// Incremental context; `None` until the first [`FitnessFn::rebase`].
+    incr: Mutex<Option<IncrSlot>>,
+}
+
+impl Clone for Eq1Fitness {
+    /// Clones share the evaluator but start with a fresh (empty)
+    /// incremental slot — cached state is tied to one search loop.
+    fn clone(&self) -> Self {
+        Eq1Fitness {
+            evaluator: Arc::clone(&self.evaluator),
+            tech: self.tech.clone(),
+            threshold: self.threshold,
+            incr: Mutex::new(None),
+        }
+    }
 }
 
 impl Eq1Fitness {
@@ -56,7 +106,7 @@ impl Eq1Fitness {
         tech: TechLibrary,
         threshold: f64,
     ) -> Self {
-        Eq1Fitness { evaluator, tech, threshold }
+        Eq1Fitness { evaluator, tech, threshold, incr: Mutex::new(None) }
     }
 
     /// The WMED budget `E_i`.
@@ -79,6 +129,142 @@ impl Eq1Fitness {
     #[must_use]
     pub fn evaluator(&self) -> &MultEvaluator {
         &self.evaluator
+    }
+
+    /// Gene-level diff against `base`: the node indices whose gene triple
+    /// differs (a safe superset of the functionally changed nodes —
+    /// e.g. the unused second operand of a unary gate counts too), plus
+    /// whether any output gene differs. Returns `None` on a shape
+    /// mismatch, which forces the stateless path.
+    fn diff_nodes(base: &Chromosome, child: &Chromosome) -> Option<(Vec<u32>, bool)> {
+        if base.cols() != child.cols() || base.genes().len() != child.genes().len() {
+            return None;
+        }
+        let (bg, cg) = (base.genes(), child.genes());
+        let changed: Vec<u32> = (0..base.cols())
+            .filter(|&k| bg[3 * k..3 * k + 3] != cg[3 * k..3 * k + 3])
+            .map(|k| k as u32)
+            .collect();
+        let outputs_changed = bg[3 * base.cols()..] != cg[3 * base.cols()..];
+        Some((changed, outputs_changed))
+    }
+}
+
+impl FitnessFn for Eq1Fitness {
+    /// Scores `chromosome`; bit-identical to [`Eq1Fitness::of`], but after
+    /// a [`FitnessFn::rebase`] only the mutated fanout cone is
+    /// re-simulated, and purely neutral mutations (inactive genes only,
+    /// outputs untouched) return the cached parent fitness outright.
+    fn eval(&self, chromosome: &Chromosome) -> f64 {
+        // `try_lock`: under parallel offspring scoring the slot is a
+        // single resource — a contended sibling just takes the (equally
+        // correct) stateless path instead of serializing on the lock.
+        let Ok(mut guard) = self.incr.try_lock() else { return self.of(chromosome) };
+        let Some(slot) = guard.as_mut() else { return self.of(chromosome) };
+        let Some((changed, outputs_changed)) = Self::diff_nodes(&slot.base, chromosome) else {
+            return self.of(chromosome);
+        };
+        if !outputs_changed {
+            // Inactive nodes are never read by the backward activity walk,
+            // so mutating only them leaves the phenotype — and hence the
+            // fitness — exactly the parent's.
+            let ni = chromosome.num_inputs();
+            if changed.iter().all(|&k| !slot.base_active[ni + k as usize]) {
+                return slot.base_fit;
+            }
+        }
+        let full = chromosome.decode_full();
+        match self.evaluator.wmed_bounded_delta(&mut slot.state, &full, &changed, self.threshold) {
+            // `area_of` prices the active cone only, in grid order — the
+            // same terms, in the same order, as `of`'s compacted decode.
+            Some(_) => area_of(&full, &self.tech),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Installs (or rebases) the cached simulation state onto `parent`,
+    /// re-scoring the parent from the cache.
+    ///
+    /// The evolution loop calls [`FitnessFn::rebase_scored`] instead,
+    /// which skips the re-score because the promotion already knows the
+    /// parent's fitness.
+    fn rebase(&self, parent: &Chromosome) {
+        self.rebase_impl(parent, None);
+    }
+
+    /// [`rebase`](FitnessFn::rebase) with the parent's known fitness.
+    fn rebase_scored(&self, parent: &Chromosome, fit: f64) {
+        self.rebase_impl(parent, Some(fit));
+    }
+}
+
+impl Eq1Fitness {
+    /// Rebase workhorse: commits the cached rows onto `parent` (or keeps
+    /// them, when the promotion was neutral dead-node drift) and records
+    /// the parent's fitness — taken from `known_fit` when the evolution
+    /// loop supplied it, re-scored from the cache otherwise.
+    ///
+    /// Skipped entirely — leaving subsequent [`eval`](FitnessFn::eval)
+    /// calls on the stateless path — when the evaluator cannot run
+    /// incrementally or the cached rows would exceed [`MAX_STATE_BYTES`].
+    fn rebase_impl(&self, parent: &Chromosome, known_fit: Option<f64>) {
+        if !self.evaluator.supports_incremental() {
+            return;
+        }
+        let Ok(mut guard) = self.incr.lock() else { return };
+        let full = parent.decode_full();
+        if self.evaluator.state_bytes(&full) > MAX_STATE_BYTES {
+            *guard = None;
+            return;
+        }
+        let state = match guard.take() {
+            // Rebase the existing state: re-simulate the changed cone in
+            // place instead of rebuilding every cached row.
+            Some(mut slot) => match Self::diff_nodes(&slot.base, parent) {
+                Some((changed, outputs_changed)) => {
+                    let ni = parent.num_inputs();
+                    if !outputs_changed
+                        && changed.iter().all(|&k| !slot.base_active[ni + k as usize])
+                    {
+                        // Neutral drift: the promotion changed only nodes
+                        // that are inactive in the slot base, so the active
+                        // cone — and with it `base_fit`/`base_active` — is
+                        // untouched. The delta path diffs offspring against
+                        // the slot base (not the parent), so the cached
+                        // rows remain exactly right; committing here would
+                        // re-simulate a dead fanout cone over every block
+                        // for nothing. Keep the slot as is.
+                        *guard = Some(slot);
+                        return;
+                    }
+                    self.evaluator.commit_state(&mut slot.state, &full, &changed);
+                    slot.state
+                }
+                None => self.evaluator.new_state(&full),
+            },
+            None => self.evaluator.new_state(&full),
+        };
+        let mut slot = IncrSlot {
+            base: parent.clone(),
+            state,
+            base_active: full.active_mask(),
+            base_fit: f64::INFINITY,
+        };
+        slot.base_fit = match known_fit {
+            // The promotion's own score — bit-identical to what a re-score
+            // from the (freshly committed) cache would produce.
+            Some(fit) => fit,
+            None => self.rescore(&mut slot.state, &full, &[]),
+        };
+        *guard = Some(slot);
+    }
+
+    /// Scores `full` from the cached state without perturbing it.
+    fn rescore(&self, state: &mut WmedState, full: &apx_gates::Netlist, changed: &[u32]) -> f64 {
+        match self.evaluator.wmed_bounded_delta(state, full, changed, self.threshold) {
+            Some(_) => area_of(full, &self.tech),
+            None => f64::INFINITY,
+        }
     }
 }
 
@@ -108,6 +294,170 @@ mod tests {
         let nl = truncated_multiplier(4, 6);
         let fit = Eq1Fitness::new(4, false, &Pmf::uniform(4), TechLibrary::unit(), 1e-4).unwrap();
         assert_eq!(fit.of(&chrom_of(&nl)), f64::INFINITY);
+    }
+
+    #[test]
+    fn incremental_evolution_matches_stateless_closure() {
+        // The whole point of the FitnessFn implementation: an evolution
+        // run scored through the incremental slot (rebase + delta +
+        // neutral shortcut) must reproduce the stateless `of` trajectory
+        // bit for bit. Width 6 so the evaluator supports the protocol.
+        use apx_cgp::{evolve, EvolutionConfig};
+        let nl = apx_arith::array_multiplier(6);
+        let pmf = Pmf::half_normal(6, 10.0);
+        let fit = Eq1Fitness::new(6, false, &pmf, TechLibrary::nangate45(), 0.01).unwrap();
+        assert!(fit.evaluator().supports_incremental());
+        let seed = chrom_of(&nl);
+        let cfg = EvolutionConfig {
+            max_iterations: 120,
+            seed: 42,
+            keep_history: true,
+            ..EvolutionConfig::default()
+        };
+        let stateless = fit.clone();
+        let a = evolve(&seed, fit, &cfg);
+        let b = evolve(&seed, move |c: &Chromosome| stateless.of(c), &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+        assert_eq!(a.evaluations, b.evaluations);
+        let bits = |h: &[(u64, f64)]| h.iter().map(|&(i, f)| (i, f.to_bits())).collect::<Vec<_>>();
+        assert_eq!(bits(&a.history), bits(&b.history));
+    }
+
+    #[test]
+    fn clones_start_with_an_empty_incremental_slot() {
+        let nl = array_multiplier(6);
+        let fit = Eq1Fitness::new(6, false, &Pmf::uniform(6), TechLibrary::unit(), 0.01).unwrap();
+        let parent = chrom_of(&nl);
+        fit.rebase(&parent);
+        assert!(fit.incr.lock().unwrap().is_some());
+        let clone = fit.clone();
+        assert!(clone.incr.lock().unwrap().is_none());
+        // … and the clone still scores identically through the full path.
+        assert_eq!(fit.eval(&parent).to_bits(), clone.of(&parent).to_bits());
+    }
+
+    #[test]
+    #[ignore = "manual perf probe"]
+    fn perf_breakdown() {
+        use apx_cgp::{mutate, FunctionSet};
+        use std::time::Instant;
+        let w = 8u32;
+        let nl = apx_arith::array_multiplier(w);
+        let pmf = Pmf::half_normal(w, 20.0);
+        let fit = Eq1Fitness::new(w, false, &pmf, TechLibrary::nangate45(), 1e-3).unwrap();
+        let seed =
+            Chromosome::from_netlist(&nl, &FunctionSet::extended(), nl.gate_count() + 60).unwrap();
+        let mut rng = apx_rng::Xoshiro256::from_seed(7);
+        let n = 2000usize;
+
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(seed.decode_full());
+        }
+        println!("decode_full      {:>8.2} us", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+        let t = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(seed.decode_active());
+        }
+        println!("decode_active    {:>8.2} us", t.elapsed().as_secs_f64() * 1e6 / n as f64);
+
+        let t = Instant::now();
+        fit.rebase(&seed);
+        println!("rebase (cold)    {:>8.2} us", t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        fit.rebase(&seed);
+        println!("rebase (warm)    {:>8.2} us", t.elapsed().as_secs_f64() * 1e6);
+
+        // Typical offspring evals against the rebased parent.
+        let mut children = Vec::new();
+        for _ in 0..n {
+            let mut c = seed.clone();
+            mutate(&mut c, 5, &mut rng);
+            children.push(c);
+        }
+        for _ in 0..3 {
+            let (mut t_inf, mut t_feas) = (0.0f64, 0.0f64);
+            let (mut inf, mut feas) = (0usize, 0usize);
+            for c in &children {
+                let t = Instant::now();
+                let f = fit.eval(c);
+                let dt = t.elapsed().as_secs_f64();
+                if f.is_infinite() {
+                    inf += 1;
+                    t_inf += dt;
+                } else {
+                    feas += 1;
+                    t_feas += dt;
+                }
+            }
+            println!(
+                "eval (incr)      {:>8.2} us   [{inf} infeasible @ {:.2} us, {feas} feasible @ {:.2} us]",
+                (t_inf + t_feas) * 1e6 / n as f64,
+                t_inf * 1e6 / inf as f64,
+                t_feas * 1e6 / feas as f64,
+            );
+        }
+        let t = Instant::now();
+        for c in children.iter().take(200) {
+            std::hint::black_box(fit.of(c));
+        }
+        println!("eval (of)        {:>8.2} us", t.elapsed().as_secs_f64() * 1e6 / 200.0);
+
+        let active = seed.decode_active();
+        let t = Instant::now();
+        for _ in 0..20 {
+            std::hint::black_box(fit.evaluator().stats(&active));
+        }
+        println!("stats            {:>8.2} us", t.elapsed().as_secs_f64() * 1e6 / 20.0);
+
+        // Per-threshold evolution cost (one 200-iteration run each), then
+        // the eval mix against the *evolved* parent of that threshold.
+        use apx_cgp::{evolve, EvolutionConfig};
+        for thr in [5e-7, 1e-5, 1e-3, 2e-2, 2e-1] {
+            let f = Eq1Fitness::new(w, false, &pmf, TechLibrary::nangate45(), thr).unwrap();
+            let t = Instant::now();
+            let r = evolve(
+                &seed,
+                f,
+                &EvolutionConfig { max_iterations: 200, seed: 11, ..EvolutionConfig::default() },
+            );
+            let dt = t.elapsed().as_secs_f64();
+            println!(
+                "evolve thr={thr:<7} {:>7.1} ms  ({:.0} evals/s, best {:.1})",
+                dt * 1e3,
+                r.evaluations as f64 / dt,
+                r.best_fitness
+            );
+            let f = Eq1Fitness::new(w, false, &pmf, TechLibrary::nangate45(), thr).unwrap();
+            f.rebase(&r.best);
+            let base_fit = f.eval(&r.best);
+            let mut buckets = [(0usize, 0.0f64); 3]; // neutral, infeasible, feasible
+            for _ in 0..2000 {
+                let mut c = r.best.clone();
+                mutate(&mut c, 5, &mut rng);
+                let t = Instant::now();
+                let v = f.eval(&c);
+                let dt = t.elapsed().as_secs_f64();
+                let b = if v == base_fit {
+                    0
+                } else if v.is_infinite() {
+                    1
+                } else {
+                    2
+                };
+                buckets[b].0 += 1;
+                buckets[b].1 += dt;
+            }
+            for (name, (cnt, tt)) in ["same-fit", "infeas  ", "feasible"].iter().zip(buckets) {
+                println!(
+                    "    {name} {cnt:>5}  @ {:>7.2} us  (total {:.1} ms)",
+                    tt * 1e6 / cnt.max(1) as f64,
+                    tt * 1e3
+                );
+            }
+        }
     }
 
     #[test]

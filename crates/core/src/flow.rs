@@ -211,11 +211,14 @@ pub(crate) fn evolve_one(
     let (chromosome, evaluations, initial_seed) = if threshold == 0.0 {
         (seed_chrom.clone(), 0, None)
     } else {
+        // Passed by value as a `FitnessFn`: the evolution loop rebases its
+        // incremental simulation state onto every new parent, so offspring
+        // only re-simulate their mutated fanout cones.
         let fitness = Eq1Fitness::with_evaluator(Arc::clone(evaluator), tech.clone(), threshold);
         let result = evolve_seeded(
             seed_chrom,
             seeds,
-            |c| fitness.of(c),
+            fitness,
             &EvolutionConfig {
                 lambda: cfg.lambda,
                 mutations: cfg.mutations,

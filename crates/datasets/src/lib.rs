@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates its approximate MAC units on MNIST (MLP) and SVHN
 //! (LeNet-5). Neither dataset can be downloaded in this offline
-//! reproduction, so this crate synthesizes equivalents (DESIGN.md §4):
+//! reproduction, so this crate synthesizes equivalents (see ARCHITECTURE.md):
 //! digits 0–9 are rendered from vector strokes with randomized pose,
 //! thickness and noise.
 //!

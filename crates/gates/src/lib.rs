@@ -42,6 +42,7 @@ mod blif;
 mod dot;
 mod error;
 mod gate;
+mod level;
 mod netlist;
 mod sim;
 
@@ -50,5 +51,6 @@ pub use blif::to_blif;
 pub use dot::to_dot;
 pub use error::NetlistError;
 pub use gate::GateKind;
+pub use level::{fanout_cone, AsapSchedule};
 pub use netlist::{Netlist, NetlistBuilder, Node, SignalId};
 pub use sim::{unpack_lanes, BlockSim, Exhaustive};

@@ -7,7 +7,7 @@
 //!
 //! * [`GrayImage`] — 8-bit grayscale images;
 //! * [`synth::test_images`] — 25 deterministic synthetic scenes standing in
-//!   for the paper's image set (offline substitution, DESIGN.md §4);
+//!   for the paper's image set (offline substitution; see ARCHITECTURE.md);
 //! * [`noise::add_gaussian`] — noise injection for denoising scenarios;
 //! * [`Kernel3`] — integer Gaussian kernels whose coefficients sum to 256,
 //!   so the hardware divide is a plain 8-bit shift (the paper's "sum has to

@@ -1,0 +1,135 @@
+//! The evaluator backend seam: exhaustive-scalar vs bit-parallel.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which simulation engine a [`crate::MultEvaluator`] runs on.
+///
+/// Both backends produce **bit-identical** results — every per-block error
+/// sum is an exact integer and the floating-point accumulation order is
+/// shared — so the backend is purely a speed/reference trade-off:
+///
+/// * [`EvalBackend::BitParallel`] (the default) levelizes the netlist into
+///   an ASAP schedule and simulates 64 operand pairs per gate operation on
+///   bit-sliced `u64` words, with bit-sliced error summation;
+/// * [`EvalBackend::Scalar`] interprets the netlist one operand pair at a
+///   time. It is orders of magnitude slower and exists as the independent
+///   reference implementation that property tests (and the CI smoke run)
+///   cross-check the fast engine against.
+///
+/// # Examples
+///
+/// Selecting a backend explicitly:
+///
+/// ```
+/// use apx_dist::Pmf;
+/// use apx_metrics::{EvalBackend, MultEvaluator};
+///
+/// let pmf = Pmf::uniform(4);
+/// let fast = MultEvaluator::with_backend(4, false, &pmf, EvalBackend::BitParallel)?;
+/// let reference = MultEvaluator::with_backend(4, false, &pmf, EvalBackend::Scalar)?;
+/// assert_eq!(fast.backend(), EvalBackend::BitParallel);
+/// assert_eq!(reference.backend(), EvalBackend::Scalar);
+/// # Ok::<(), apx_metrics::EvaluatorError>(())
+/// ```
+///
+/// Or via the `APX_EVAL_BACKEND` environment variable (each doctest runs
+/// in its own process, so mutating the environment here is safe):
+///
+/// ```
+/// use apx_metrics::EvalBackend;
+///
+/// std::env::remove_var("APX_EVAL_BACKEND");
+/// assert_eq!(EvalBackend::from_env(), EvalBackend::BitParallel);
+/// std::env::set_var("APX_EVAL_BACKEND", "scalar");
+/// assert_eq!(EvalBackend::from_env(), EvalBackend::Scalar);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalBackend {
+    /// One operand pair per netlist interpretation (reference path).
+    Scalar,
+    /// 64 operand pairs per gate op on bit-sliced words (default).
+    #[default]
+    BitParallel,
+}
+
+impl EvalBackend {
+    /// The environment variable consulted by [`EvalBackend::from_env`].
+    pub const ENV_VAR: &'static str = "APX_EVAL_BACKEND";
+
+    /// Reads the backend from `APX_EVAL_BACKEND`.
+    ///
+    /// Unset, empty or whitespace-only values select the default
+    /// ([`EvalBackend::BitParallel`]). Like the other `APX_*` knobs this is
+    /// fail-loud: any other unrecognized value panics, naming the variable
+    /// and the offending value, instead of silently falling back (a silent
+    /// fallback could hide a perf regression behind the wrong backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed non-empty value.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(raw) => {
+                let v = raw.trim();
+                if v.is_empty() {
+                    EvalBackend::default()
+                } else {
+                    v.parse().unwrap_or_else(|_| {
+                        panic!("{} must be 'scalar' or 'bitpar', got '{raw}'", Self::ENV_VAR)
+                    })
+                }
+            }
+            Err(_) => EvalBackend::default(),
+        }
+    }
+
+    /// Canonical lowercase name (`"scalar"` / `"bitpar"`), the spelling
+    /// `APX_EVAL_BACKEND` accepts and reports record.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalBackend::Scalar => "scalar",
+            EvalBackend::BitParallel => "bitpar",
+        }
+    }
+}
+
+impl fmt::Display for EvalBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EvalBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(EvalBackend::Scalar),
+            "bitpar" => Ok(EvalBackend::BitParallel),
+            other => Err(format!("unknown evaluator backend '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for b in [EvalBackend::Scalar, EvalBackend::BitParallel] {
+            assert_eq!(b.name().parse::<EvalBackend>().unwrap(), b);
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!("Bitpar".parse::<EvalBackend>().is_err());
+        assert!("".parse::<EvalBackend>().is_err());
+    }
+
+    #[test]
+    fn default_is_bit_parallel() {
+        assert_eq!(EvalBackend::default(), EvalBackend::BitParallel);
+    }
+}

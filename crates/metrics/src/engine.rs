@@ -1,0 +1,1054 @@
+//! The simulation engines behind [`crate::MultEvaluator`].
+//!
+//! Three evaluation strategies live here, all producing bit-identical
+//! numbers (every per-block error sum is an exact `u64`, and callers share
+//! one floating-point accumulation order):
+//!
+//! * **tile evaluation** — the netlist is walked node-major over a tile of
+//!   [`TILE`] simulation blocks at once, so each gate dispatches once and
+//!   then runs a tight, auto-vectorizable loop of word ops;
+//! * a **bit-sliced error kernel** ([`abs_err_sum`]) — instead of unpacking
+//!   64 lanes and subtracting per lane, the per-block `Σ|exact − got|` is
+//!   computed directly on the output bit-planes with a ripple-borrow
+//!   subtract and per-plane popcounts;
+//! * **incremental re-evaluation** ([`WmedState`]) — a full grid of cached
+//!   signal rows (every signal × every weighted block) lets a mutated
+//!   netlist be re-scored by simulating only the fanout cone of the changed
+//!   nodes, reading everything else from the cache.
+//!
+//! The scalar reference interpreter ([`ScalarSim`]) evaluates one operand
+//! pair at a time and exists so property tests and the CI smoke run can
+//! cross-check the fast paths against an independent implementation.
+
+use apx_gates::{fanout_cone, unpack_lanes, BlockSim, Exhaustive, Netlist};
+use apx_gates::{GateKind, SignalId};
+
+use crate::backend::EvalBackend;
+
+/// Simulation blocks processed per tile in the bounded-WMED hot path.
+///
+/// Small enough that an early abort (most CGP offspring bust the error
+/// budget within a few high-weight blocks) wastes little work, large enough
+/// that the per-gate dispatch amortizes and the inner word loops vectorize.
+pub(crate) const TILE: usize = 16;
+
+/// Tiles the incremental path simulates tile-by-tile before switching to
+/// node-major bulk simulation of the remaining positions.
+///
+/// Infeasible offspring overwhelmingly bust the error budget within the
+/// first few (highest-weight) tiles, where per-tile simulation keeps the
+/// wasted work small; offspring that survive this prefix almost always run
+/// to completion, and for them one gate dispatch per node over the whole
+/// remaining row is far cheaper than re-dispatching every node in every
+/// tile.
+const BULK_AFTER: usize = 4;
+
+/// Upper bound on error-kernel planes: `2·width + 1` at the maximum
+/// supported operand width of 10.
+pub(crate) const MAX_PLANES: usize = 21;
+
+/// All-zero tile, the source slice for zero-extension planes.
+static ZERO_TILE: [u64; TILE] = [0; TILE];
+
+/// Evaluates one gate over a row of simulation words.
+///
+/// `a`/`b`/`dst` have equal length; each element is one 64-lane block.
+/// The gate function is matched once, outside the element loop.
+#[inline]
+fn eval_row(kind: GateKind, a: &[u64], b: &[u64], dst: &mut [u64]) {
+    macro_rules! bin {
+        ($f:expr) => {{
+            let f: fn(u64, u64) -> u64 = $f;
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                *d = f(x, y);
+            }
+        }};
+    }
+    match kind {
+        GateKind::Const0 => dst.fill(0),
+        GateKind::Const1 => dst.fill(!0u64),
+        GateKind::Buf => dst.copy_from_slice(a),
+        GateKind::Not => {
+            for (d, &x) in dst.iter_mut().zip(a) {
+                *d = !x;
+            }
+        }
+        GateKind::And => bin!(|x, y| x & y),
+        GateKind::Nand => bin!(|x, y| !(x & y)),
+        GateKind::Or => bin!(|x, y| x | y),
+        GateKind::Nor => bin!(|x, y| !(x | y)),
+        GateKind::Xor => bin!(|x, y| x ^ y),
+        GateKind::Xnor => bin!(|x, y| !(x ^ y)),
+        GateKind::AndNotB => bin!(|x, y| x & !y),
+        GateKind::AndNotA => bin!(|x, y| !x & y),
+        GateKind::OrNotB => bin!(|x, y| x | !y),
+        GateKind::OrNotA => bin!(|x, y| !x | y),
+    }
+}
+
+/// Evaluates one gate over a row in place, reporting whether any word
+/// changed.
+///
+/// `dst` holds the old row on entry and the fresh one on return; the
+/// change check folds into the same pass (one read-modify-write stream
+/// instead of simulate-into-scratch + compare + copy), which is what the
+/// commit path wants: a changed row gets rewritten anyway, so the early
+/// exit a `!=` comparison offers buys nothing there.
+#[inline]
+fn eval_row_diff(kind: GateKind, a: &[u64], b: &[u64], dst: &mut [u64]) -> bool {
+    macro_rules! unary {
+        ($f:expr) => {{
+            let f: fn(u64) -> u64 = $f;
+            let mut diff = 0u64;
+            for (d, &x) in dst.iter_mut().zip(a) {
+                let v = f(x);
+                diff |= v ^ *d;
+                *d = v;
+            }
+            diff != 0
+        }};
+    }
+    macro_rules! bin {
+        ($f:expr) => {{
+            let f: fn(u64, u64) -> u64 = $f;
+            let mut diff = 0u64;
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                let v = f(x, y);
+                diff |= v ^ *d;
+                *d = v;
+            }
+            diff != 0
+        }};
+    }
+    match kind {
+        GateKind::Const0 => unary!(|_| 0),
+        GateKind::Const1 => unary!(|_| !0u64),
+        GateKind::Buf => unary!(|x| x),
+        GateKind::Not => unary!(|x| !x),
+        GateKind::And => bin!(|x, y| x & y),
+        GateKind::Nand => bin!(|x, y| !(x & y)),
+        GateKind::Or => bin!(|x, y| x | y),
+        GateKind::Nor => bin!(|x, y| !(x | y)),
+        GateKind::Xor => bin!(|x, y| x ^ y),
+        GateKind::Xnor => bin!(|x, y| !(x ^ y)),
+        GateKind::AndNotB => bin!(|x, y| x & !y),
+        GateKind::AndNotA => bin!(|x, y| !x & y),
+        GateKind::OrNotB => bin!(|x, y| x | !y),
+        GateKind::OrNotA => bin!(|x, y| !x | y),
+    }
+}
+
+/// Bit-sliced `Σ_lanes |exact − got|` over one 64-lane block.
+///
+/// `exact` and `got` hold `planes` bit-planes of the two `planes`-bit
+/// two's-complement values (bit `l` of plane `k` is bit `k` of lane `l`).
+/// The difference of a `2w`-bit product and a (sign-extended) `2w`-bit
+/// circuit output always fits `2w + 1` two's-complement bits, so with
+/// `planes = 2w + 1` the modular ripple-borrow subtraction below recovers
+/// the true signed difference of every lane:
+///
+/// `Σ|d| = Σ_k 2^k·pc(d_k ⊕ s) + pc(s)`
+///
+/// where `s = d_{P−1}` is the per-lane sign mask and `pc` is popcount: a
+/// non-negative lane contributes its value `Σ 2^k·d_k` unchanged, while a
+/// negative lane's absolute value is its two's complement `¬U + 1`, i.e.
+/// each plane bit flipped (`d_k ⊕ 1`) plus one — the `pc(s)` term.
+#[inline]
+pub(crate) fn abs_err_sum(exact: &[u64], got: &[u64], planes: usize) -> u64 {
+    debug_assert!((1..=MAX_PLANES).contains(&planes));
+    let mut d = [0u64; MAX_PLANES];
+    let mut borrow = 0u64;
+    for ((dk, &e), &g) in d.iter_mut().zip(&exact[..planes]).zip(&got[..planes]) {
+        let x = e ^ g;
+        *dk = x ^ borrow;
+        borrow = (!e & g) | (!x & borrow);
+    }
+    let s = d[planes - 1];
+    let mut sum = u64::from(s.count_ones());
+    for (k, &dk) in d.iter().enumerate().take(planes) {
+        sum += u64::from((dk ^ s).count_ones()) << k;
+    }
+    sum
+}
+
+/// Per-tile error terms with a compile-time plane count.
+///
+/// `got_tile` holds the tile's output bit-planes plane-major
+/// (`got_tile[k · TILE + t]`, sign-extension plane included); `exact` is the
+/// evaluator's block-major exact-product planes. Writes
+/// `weight · Σ|exact − got|` for each column into `terms` — exactly the
+/// `f64` the scalar-indexed path computes, just with the plane loops
+/// unrolled and the gather branch-free.
+#[inline]
+fn tile_terms<const P: usize>(
+    exact_planes: &[u64],
+    got_tile: &[u64; MAX_PLANES * TILE],
+    ordered_tile: &[(u32, f64)],
+    terms: &mut [f64; TILE],
+) {
+    for (t, &(block, weight)) in ordered_tile.iter().enumerate() {
+        let exact = &exact_planes[block as usize * P..][..P];
+        let mut d = [0u64; P];
+        let mut borrow = 0u64;
+        for k in 0..P {
+            let e = exact[k];
+            let g = got_tile[k * TILE + t];
+            let x = e ^ g;
+            d[k] = x ^ borrow;
+            borrow = (!e & g) | (!x & borrow);
+        }
+        let s = d[P - 1];
+        let mut sum = u64::from(s.count_ones());
+        for (k, &dk) in d.iter().enumerate() {
+            sum += u64::from((dk ^ s).count_ones()) << k;
+        }
+        terms[t] = weight * sum as f64;
+    }
+}
+
+/// Column-major variant of [`tile_terms`] for full tiles.
+///
+/// Processes the tile plane-by-plane with the 16 columns side by side, so
+/// the 16 independent ripple-borrow chains pipeline (and auto-vectorize)
+/// instead of serializing one column at a time. `exact_tile` is the
+/// evaluator's tile-major exact-plane copy for this tile; `srcs[k]` is
+/// plane `k`'s 16 output words, referenced straight from wherever they
+/// live (cached rows, scratch, bulk grid) — the kernel reads every word
+/// exactly once, so staging them into a contiguous buffer first would be
+/// pure overhead. The arithmetic per column is identical to
+/// [`tile_terms`], so every term is the same exact `f64`.
+#[inline]
+fn tile_terms_colmajor<const P: usize>(
+    exact_tile: &[u64],
+    srcs: &[&[u64]; MAX_PLANES],
+    ordered_tile: &[(u32, f64)],
+    terms: &mut [f64; TILE],
+) {
+    let mut d = [[0u64; TILE]; P];
+    let mut borrow = [0u64; TILE];
+    for k in 0..P {
+        let e = &exact_tile[k * TILE..][..TILE];
+        let g = &srcs[k][..TILE];
+        let dk = &mut d[k];
+        for t in 0..TILE {
+            let x = e[t] ^ g[t];
+            dk[t] = x ^ borrow[t];
+            borrow[t] = (!e[t] & g[t]) | (!x & borrow[t]);
+        }
+    }
+    let s = d[P - 1];
+    let mut sum = [0u64; TILE];
+    for t in 0..TILE {
+        sum[t] = u64::from(s[t].count_ones());
+    }
+    for (k, dk) in d.iter().enumerate() {
+        for t in 0..TILE {
+            sum[t] += u64::from((dk[t] ^ s[t]).count_ones()) << k;
+        }
+    }
+    for (t, &(_, weight)) in ordered_tile.iter().enumerate() {
+        terms[t] = weight * sum[t] as f64;
+    }
+}
+
+/// [`tile_terms_colmajor`] dispatched over the supported plane counts;
+/// callers fall back to [`tile_terms_dyn`] for partial tail tiles and
+/// unsupported counts.
+fn tile_terms_colmajor_dyn(
+    planes: usize,
+    exact_tile: &[u64],
+    srcs: &[&[u64]; MAX_PLANES],
+    ordered_tile: &[(u32, f64)],
+    terms: &mut [f64; TILE],
+) -> bool {
+    match planes {
+        13 => tile_terms_colmajor::<13>(exact_tile, srcs, ordered_tile, terms),
+        15 => tile_terms_colmajor::<15>(exact_tile, srcs, ordered_tile, terms),
+        17 => tile_terms_colmajor::<17>(exact_tile, srcs, ordered_tile, terms),
+        19 => tile_terms_colmajor::<19>(exact_tile, srcs, ordered_tile, terms),
+        21 => tile_terms_colmajor::<21>(exact_tile, srcs, ordered_tile, terms),
+        _ => return false,
+    }
+    true
+}
+
+/// [`tile_terms`] dispatched over the supported plane counts
+/// (`2·width + 1` for widths 6–10); the generic fallback covers any other
+/// count with identical arithmetic.
+fn tile_terms_dyn(
+    planes: usize,
+    exact_planes: &[u64],
+    got_tile: &[u64; MAX_PLANES * TILE],
+    ordered_tile: &[(u32, f64)],
+    terms: &mut [f64; TILE],
+) {
+    match planes {
+        13 => tile_terms::<13>(exact_planes, got_tile, ordered_tile, terms),
+        15 => tile_terms::<15>(exact_planes, got_tile, ordered_tile, terms),
+        17 => tile_terms::<17>(exact_planes, got_tile, ordered_tile, terms),
+        19 => tile_terms::<19>(exact_planes, got_tile, ordered_tile, terms),
+        21 => tile_terms::<21>(exact_planes, got_tile, ordered_tile, terms),
+        _ => {
+            for (t, &(block, weight)) in ordered_tile.iter().enumerate() {
+                let exact = &exact_planes[block as usize * planes..][..planes];
+                let mut got = [0u64; MAX_PLANES];
+                for k in 0..planes {
+                    got[k] = got_tile[k * TILE + t];
+                }
+                terms[t] = weight * abs_err_sum(exact, &got, planes) as f64;
+            }
+        }
+    }
+}
+
+/// Shared shape/lookup context for the width ≥ 6 engine paths.
+///
+/// Borrowed from the evaluator's fields for the duration of one call; keeps
+/// the engine functions at a sane arity.
+pub(crate) struct EngineCtx<'a> {
+    /// Operand width in bits (≥ 6 for all `EngineCtx` paths).
+    pub width: u32,
+    /// Two's-complement interpretation of operands and outputs.
+    pub signed: bool,
+    /// `(block, weight)` in decreasing weight order, zero weights removed.
+    pub ordered: &'a [(u32, f64)],
+    /// `exact_planes[block·planes + k]`: bit-plane `k` of the exact
+    /// products of `block`'s 64 lanes.
+    pub exact_planes: &'a [u64],
+    /// Tile-major exact planes in weighted-position order
+    /// (`exact_tiles[(tile·planes + k)·TILE + t]`).
+    pub exact_tiles: &'a [u64],
+    /// `input_rows[i·n_pos + pos]`: input `i`'s word at block position
+    /// `pos` (position-ordered, like the cached state rows).
+    pub input_rows: &'a [u64],
+    /// Error-kernel planes: `2·width + 1`.
+    pub planes: usize,
+}
+
+impl EngineCtx<'_> {
+    /// Gathers the `planes` output bit-planes of tile column `t` into `got`.
+    #[inline]
+    fn gather_got(
+        &self,
+        got: &mut [u64; MAX_PLANES],
+        read: impl Fn(usize) -> u64,
+        outs: &[SignalId],
+    ) {
+        for (g, o) in got.iter_mut().zip(outs) {
+            *g = read(o.index());
+        }
+        // Sign-extension plane: bit 2w of a signed output replicates bit
+        // 2w−1; unsigned outputs are zero-extended.
+        got[self.planes - 1] = if self.signed { got[self.planes - 2] } else { 0 };
+    }
+
+    /// Builds the per-plane source-slice table for a dense tile: plane `j`
+    /// is output `j`'s words wherever they currently live (`src` maps a
+    /// signal index to its slice for this tile), and the sign-extension
+    /// plane replicates the top output plane when signed (zero-extension
+    /// otherwise — [`ZERO_TILE`]).
+    #[inline]
+    fn dense_srcs<'b>(
+        &self,
+        outs: &[SignalId],
+        src: impl Fn(usize) -> &'b [u64],
+    ) -> [&'b [u64]; MAX_PLANES] {
+        let mut srcs: [&[u64]; MAX_PLANES] = [&ZERO_TILE; MAX_PLANES];
+        for (s, o) in srcs.iter_mut().zip(outs) {
+            *s = src(o.index());
+        }
+        srcs[self.planes - 1] = if self.signed { srcs[self.planes - 2] } else { &ZERO_TILE };
+        srcs
+    }
+
+    /// Error terms for a dense tile at `pos`: the column-major kernel for
+    /// full tiles, the column-at-a-time fallback for the tail.
+    #[inline]
+    fn dense_tile_terms(
+        &self,
+        pos: usize,
+        tcount: usize,
+        srcs: &[&[u64]; MAX_PLANES],
+        terms: &mut [f64; TILE],
+    ) {
+        if tcount == TILE {
+            let exact_tile =
+                &self.exact_tiles[(pos / TILE) * self.planes * TILE..][..self.planes * TILE];
+            if tile_terms_colmajor_dyn(
+                self.planes,
+                exact_tile,
+                srcs,
+                &self.ordered[pos..pos + TILE],
+                terms,
+            ) {
+                return;
+            }
+        }
+        // Tail tiles and unsupported plane counts: stage into a plane-major
+        // buffer for the column-at-a-time fallback.
+        let mut got_tile = [0u64; MAX_PLANES * TILE];
+        for k in 0..self.planes {
+            got_tile[k * TILE..][..tcount].copy_from_slice(&srcs[k][..tcount]);
+        }
+        tile_terms_dyn(
+            self.planes,
+            self.exact_planes,
+            &got_tile,
+            &self.ordered[pos..pos + tcount],
+            terms,
+        );
+    }
+
+    /// Bit-parallel bounded WMED: raw weighted error over `ordered`, or
+    /// `None` once the running total exceeds `raw_limit`.
+    pub(crate) fn wmed_raw_bitpar(&self, nl: &Netlist, raw_limit: f64) -> Option<f64> {
+        let w = self.width as usize;
+        let ni = nl.num_inputs();
+        let outs = nl.outputs();
+        let mut vals = vec![0u64; nl.num_signals() * TILE];
+        let mut terms = [0.0f64; TILE];
+        let mut total = 0.0f64;
+        let mut pos = 0;
+        let n_pos = self.ordered.len();
+        while pos < n_pos {
+            let tcount = TILE.min(n_pos - pos);
+            for i in 0..2 * w {
+                vals[i * TILE..][..tcount]
+                    .copy_from_slice(&self.input_rows[i * n_pos + pos..][..tcount]);
+            }
+            for (k, node) in nl.nodes().iter().enumerate() {
+                let (pre, rest) = vals.split_at_mut((ni + k) * TILE);
+                let a = &pre[node.a.index() * TILE..][..TILE];
+                let b = &pre[node.b.index() * TILE..][..TILE];
+                eval_row(node.kind, a, b, &mut rest[..TILE]);
+            }
+            let srcs = self.dense_srcs(outs, |sig| &vals[sig * TILE..][..tcount]);
+            self.dense_tile_terms(pos, tcount, &srcs, &mut terms);
+            for &term in &terms[..tcount] {
+                total += term;
+                if total > raw_limit {
+                    return None;
+                }
+            }
+            pos += tcount;
+        }
+        Some(total)
+    }
+
+    /// Scalar reference bounded WMED: same block order, same accumulation,
+    /// one operand pair at a time.
+    pub(crate) fn wmed_raw_scalar(&self, nl: &Netlist, raw_limit: f64) -> Option<f64> {
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        let mut sim = ScalarSim::default();
+        let mut total = 0.0f64;
+        for &(block, weight) in self.ordered {
+            let mut err = 0u64;
+            for lane in 0..64u64 {
+                let v = u64::from(block) * 64 + lane;
+                let x = interpret(self.signed, v >> w, w);
+                let y = interpret(self.signed, v & mask, w);
+                let got = interpret(self.signed, sim.run_packed(nl, w, v), 2 * w);
+                err += (x * y - got).unsigned_abs();
+            }
+            total += weight * err as f64;
+            if total > raw_limit {
+                return None;
+            }
+        }
+        Some(total)
+    }
+
+    /// Builds the cached full-grid state for `base` (every signal row over
+    /// every weighted block position, plus the per-block error terms).
+    pub(crate) fn new_state(&self, base: &Netlist) -> WmedState {
+        let n_pos = self.ordered.len();
+        let num_signals = base.num_signals();
+        let ni = base.num_inputs();
+        let mut rows = vec![0u64; num_signals * n_pos];
+        rows[..ni * n_pos].copy_from_slice(&self.input_rows[..ni * n_pos]);
+        let mut state = WmedState {
+            rows,
+            n_pos,
+            num_signals,
+            ni,
+            gate_count: base.gate_count(),
+            scratch: vec![0u64; num_signals * TILE],
+            bulk: vec![0u64; num_signals * n_pos],
+            dirty: vec![false; num_signals],
+            needed: vec![false; num_signals],
+            def_changed: vec![false; base.gate_count()],
+            touched: Vec::new(),
+            block_err: vec![0.0; n_pos],
+            // Sentinel no real output list matches, so the first commit
+            // always computes the error terms.
+            out_sigs: vec![u32::MAX],
+        };
+        // Simulate every node over its full row; operands always precede
+        // their consumer, so in-place forward order is safe.
+        let all: Vec<u32> = (0..base.gate_count() as u32).collect();
+        self.commit(&mut state, base, &all);
+        state
+    }
+
+    /// Recomputes every cached per-block error term from the (current)
+    /// cached rows under output list `outs`, and records that list.
+    fn refresh_block_err(&self, state: &mut WmedState, outs: &[SignalId]) {
+        let n_pos = state.n_pos;
+        let mut terms = [0.0f64; TILE];
+        let mut pos = 0;
+        while pos < n_pos {
+            let tcount = TILE.min(n_pos - pos);
+            let srcs = self.dense_srcs(outs, |sig| &state.rows[sig * n_pos + pos..][..tcount]);
+            self.dense_tile_terms(pos, tcount, &srcs, &mut terms);
+            state.block_err[pos..pos + tcount].copy_from_slice(&terms[..tcount]);
+            pos += tcount;
+        }
+        state.out_sigs.clear();
+        state.out_sigs.extend(outs.iter().map(|o| o.index() as u32));
+    }
+
+    /// Bounded WMED of `child` against the cached state of its parent.
+    ///
+    /// `changed` lists the nodes whose definition differs from the state's
+    /// base netlist (an empty list re-scores the base itself from cache).
+    /// Only the needed part of the changed nodes' fanout cone is simulated,
+    /// into scratch rows; the cached rows are left untouched, so the state
+    /// still describes the base afterwards.
+    ///
+    /// The walk is hybrid: the first [`BULK_AFTER`] (highest-weight) tiles
+    /// are simulated tile-by-tile so an early abort wastes little work,
+    /// then the survivors switch to one node-major pass over all remaining
+    /// positions (one gate dispatch per node instead of one per node per
+    /// tile) before accumulating the remaining tiles in order.
+    ///
+    /// Two prunings keep near-neutral offspring cheap without perturbing a
+    /// single bit of the result:
+    ///
+    /// * **equality pruning** — a re-simulated row that matches the cached
+    ///   base row stops the dirtiness propagation (readers use the cached
+    ///   copy of the identical value);
+    /// * **cached error terms** — a tile whose outputs are all clean (and
+    ///   whose output list matches the base's) skips the gather/kernel work
+    ///   and accumulates the stored `weight · err` terms, which are the
+    ///   exact `f64` values the full path would recompute.
+    pub(crate) fn wmed_raw_delta(
+        &self,
+        state: &mut WmedState,
+        child: &Netlist,
+        changed: &[u32],
+        raw_limit: f64,
+    ) -> Option<f64> {
+        state.check_shape(child);
+        let ni = state.ni;
+        let n_pos = state.n_pos;
+        let cone = fanout_cone(child, changed);
+        state.def_changed.fill(false);
+        for &k in changed {
+            state.def_changed[k as usize] = true;
+        }
+        state.needed.fill(false);
+        for o in child.outputs() {
+            state.needed[o.index()] = true;
+        }
+        for (k, node) in child.nodes().iter().enumerate().rev() {
+            if !state.needed[ni + k] {
+                continue;
+            }
+            match node.kind.arity() {
+                0 => {}
+                1 => state.needed[node.a.index()] = true,
+                _ => {
+                    state.needed[node.a.index()] = true;
+                    state.needed[node.b.index()] = true;
+                }
+            }
+        }
+        let sim_nodes: Vec<u32> =
+            cone.iter().copied().filter(|&k| state.needed[ni + k as usize]).collect();
+        let outs = child.outputs();
+        let terms_valid = outs.len() == state.out_sigs.len()
+            && outs.iter().zip(&state.out_sigs).all(|(o, &s)| o.index() as u32 == s);
+        state.dirty.fill(false);
+        state.touched.clear();
+        let mut got = [0u64; MAX_PLANES];
+        let mut terms = [0.0f64; TILE];
+        let mut total = 0.0f64;
+        let mut pos = 0;
+        let bulk_start = (BULK_AFTER * TILE).min(n_pos);
+        while pos < bulk_start {
+            let tcount = TILE.min(bulk_start - pos);
+            for &k in &sim_nodes {
+                let k = k as usize;
+                let node = &child.nodes()[k];
+                let (a_sig, b_sig) = (node.a.index(), node.b.index());
+                // Only re-simulate where the child can actually differ in
+                // this tile: a changed definition or a dirty operand.
+                if !(state.def_changed[k] || state.dirty[a_sig] || state.dirty[b_sig]) {
+                    continue;
+                }
+                let (pre, rest) = state.scratch.split_at_mut((ni + k) * TILE);
+                // A dirty operand's fresh row is in scratch (it is earlier
+                // in `sim_nodes`, so already computed); clean operands read
+                // the cached base rows.
+                let a = if state.dirty[a_sig] {
+                    &pre[a_sig * TILE..][..tcount]
+                } else {
+                    &state.rows[a_sig * n_pos + pos..][..tcount]
+                };
+                let b = if state.dirty[b_sig] {
+                    &pre[b_sig * TILE..][..tcount]
+                } else {
+                    &state.rows[b_sig * n_pos + pos..][..tcount]
+                };
+                eval_row(node.kind, a, b, &mut rest[..tcount]);
+                // Equality pruning: a row identical to the cached one need
+                // not (must not, for speed) propagate dirtiness.
+                if rest[..tcount] != state.rows[(ni + k) * n_pos + pos..][..tcount] {
+                    state.dirty[ni + k] = true;
+                    state.touched.push((ni + k) as u32);
+                }
+            }
+            // Columns whose outputs are all bit-identical to the base can
+            // accumulate the cached term (the same `f64` the kernel would
+            // recompute); only genuinely differing columns pay for the
+            // gather + error kernel.
+            let mut col_diff: u32 = if terms_valid { 0 } else { !0 };
+            if terms_valid {
+                for o in outs {
+                    let sig = o.index();
+                    if state.dirty[sig] {
+                        let fresh = &state.scratch[sig * TILE..][..tcount];
+                        let cached = &state.rows[sig * n_pos + pos..][..tcount];
+                        for t in 0..tcount {
+                            col_diff |= u32::from(fresh[t] != cached[t]) << t;
+                        }
+                        // Past the sparse cutoff the exact mask no longer
+                        // matters — the dense branch kernels every column.
+                        if col_diff.count_ones() > 4 {
+                            break;
+                        }
+                    }
+                }
+            }
+            if col_diff == 0 {
+                // Fully clean tile: cached terms only.
+                for t in 0..tcount {
+                    total += state.block_err[pos + t];
+                    if total > raw_limit {
+                        return None;
+                    }
+                }
+            } else if col_diff.count_ones() <= 4 {
+                // A few differing columns: kernel just those, cached terms
+                // for the rest.
+                for t in 0..tcount {
+                    if col_diff & (1 << t) == 0 {
+                        total += state.block_err[pos + t];
+                    } else {
+                        let (block, weight) = self.ordered[pos + t];
+                        self.gather_got(
+                            &mut got,
+                            |sig| {
+                                if state.dirty[sig] {
+                                    state.scratch[sig * TILE + t]
+                                } else {
+                                    state.rows[sig * n_pos + pos + t]
+                                }
+                            },
+                            outs,
+                        );
+                        let exact =
+                            &self.exact_planes[block as usize * self.planes..][..self.planes];
+                        let err = abs_err_sum(exact, &got, self.planes);
+                        total += weight * err as f64;
+                    }
+                    if total > raw_limit {
+                        return None;
+                    }
+                }
+            } else {
+                // Dense tile: unrolled kernel over in-place sources. Clean
+                // columns recompute to exactly their cached term, so no
+                // masking is needed.
+                let srcs = self.dense_srcs(outs, |sig| {
+                    if state.dirty[sig] {
+                        &state.scratch[sig * TILE..][..tcount]
+                    } else {
+                        &state.rows[sig * n_pos + pos..][..tcount]
+                    }
+                });
+                self.dense_tile_terms(pos, tcount, &srcs, &mut terms);
+                for &term in &terms[..tcount] {
+                    total += term;
+                    if total > raw_limit {
+                        return None;
+                    }
+                }
+            }
+            // Dirtiness is per tile; clear only what this tile set.
+            for &s in &state.touched {
+                state.dirty[s as usize] = false;
+            }
+            state.touched.clear();
+            pos += tcount;
+        }
+        if pos == n_pos {
+            return Some(total);
+        }
+        // Bulk phase: node-major passes over geometrically growing chunks
+        // of the remaining positions. Fresh rows go into the bulk grid
+        // (same `sig · n_pos + pos` indexing as the cached rows, valid only
+        // where `dirty` is set); each chunk's tiles are then accumulated in
+        // the same order with the same three branches, so every `f64` term
+        // — and therefore the abort decision — is identical to the
+        // tile-by-tile path's. Growing chunks keep the wasted simulation
+        // small when a mid-grid abort does happen while letting survivors
+        // amortize gate dispatch over long rows.
+        let mut chunk_tiles = 2 * BULK_AFTER;
+        while pos < n_pos {
+            let chunk_start = pos;
+            let chunk_end = (chunk_start + chunk_tiles * TILE).min(n_pos);
+            let rest = chunk_end - chunk_start;
+            for &k in &sim_nodes {
+                let k = k as usize;
+                let node = &child.nodes()[k];
+                let (a_sig, b_sig) = (node.a.index(), node.b.index());
+                if !(state.def_changed[k] || state.dirty[a_sig] || state.dirty[b_sig]) {
+                    continue;
+                }
+                let (pre, tail) = state.bulk.split_at_mut((ni + k) * n_pos);
+                let a = if state.dirty[a_sig] {
+                    &pre[a_sig * n_pos + chunk_start..][..rest]
+                } else {
+                    &state.rows[a_sig * n_pos + chunk_start..][..rest]
+                };
+                let b = if state.dirty[b_sig] {
+                    &pre[b_sig * n_pos + chunk_start..][..rest]
+                } else {
+                    &state.rows[b_sig * n_pos + chunk_start..][..rest]
+                };
+                eval_row(node.kind, a, b, &mut tail[chunk_start..chunk_end]);
+                if !state.dirty[ni + k]
+                    && tail[chunk_start..chunk_end]
+                        != state.rows[(ni + k) * n_pos + chunk_start..][..rest]
+                {
+                    state.dirty[ni + k] = true;
+                    state.touched.push((ni + k) as u32);
+                }
+            }
+            while pos < chunk_end {
+                let tcount = TILE.min(chunk_end - pos);
+                let mut col_diff: u32 = if terms_valid { 0 } else { !0 };
+                if terms_valid {
+                    for o in outs {
+                        let sig = o.index();
+                        if state.dirty[sig] {
+                            let fresh = &state.bulk[sig * n_pos + pos..][..tcount];
+                            let cached = &state.rows[sig * n_pos + pos..][..tcount];
+                            for t in 0..tcount {
+                                col_diff |= u32::from(fresh[t] != cached[t]) << t;
+                            }
+                            if col_diff.count_ones() > 4 {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if col_diff == 0 {
+                    for t in 0..tcount {
+                        total += state.block_err[pos + t];
+                        if total > raw_limit {
+                            return None;
+                        }
+                    }
+                } else if col_diff.count_ones() <= 4 {
+                    for t in 0..tcount {
+                        if col_diff & (1 << t) == 0 {
+                            total += state.block_err[pos + t];
+                        } else {
+                            let (block, weight) = self.ordered[pos + t];
+                            self.gather_got(
+                                &mut got,
+                                |sig| {
+                                    if state.dirty[sig] {
+                                        state.bulk[sig * n_pos + pos + t]
+                                    } else {
+                                        state.rows[sig * n_pos + pos + t]
+                                    }
+                                },
+                                outs,
+                            );
+                            let exact =
+                                &self.exact_planes[block as usize * self.planes..][..self.planes];
+                            let err = abs_err_sum(exact, &got, self.planes);
+                            total += weight * err as f64;
+                        }
+                        if total > raw_limit {
+                            return None;
+                        }
+                    }
+                } else {
+                    let srcs = self.dense_srcs(outs, |sig| {
+                        if state.dirty[sig] {
+                            &state.bulk[sig * n_pos + pos..][..tcount]
+                        } else {
+                            &state.rows[sig * n_pos + pos..][..tcount]
+                        }
+                    });
+                    self.dense_tile_terms(pos, tcount, &srcs, &mut terms);
+                    for &term in &terms[..tcount] {
+                        total += term;
+                        if total > raw_limit {
+                            return None;
+                        }
+                    }
+                }
+                pos += tcount;
+            }
+            chunk_tiles *= 2;
+        }
+        for &s in &state.touched {
+            state.dirty[s as usize] = false;
+        }
+        state.touched.clear();
+        Some(total)
+    }
+
+    /// Rebases the state onto `child`: re-simulates the full fanout cone of
+    /// `changed` (dead nodes included — a stale cached row for a currently
+    /// dead node would poison a later delta that reactivates it) in place,
+    /// with the same equality pruning as the delta path, and refreshes the
+    /// cached per-block error terms when the outputs were affected.
+    pub(crate) fn commit(&self, state: &mut WmedState, child: &Netlist, changed: &[u32]) {
+        state.check_shape(child);
+        let ni = state.ni;
+        let n_pos = state.n_pos;
+        state.def_changed.fill(false);
+        for &k in changed {
+            state.def_changed[k as usize] = true;
+        }
+        // `dirty` marks rows that actually changed; propagation stops at
+        // rows that re-simulate to their cached value. The re-simulation is
+        // one fused in-place pass per node (operand signals always precede
+        // their consumer, so splitting the row grid at the node's own row
+        // borrows both cleanly): the fresh value overwrites the cached row
+        // while the xor against the old value detects a change, instead of
+        // simulating into a scratch row, comparing, and copying back.
+        state.dirty.fill(false);
+        for &k in &fanout_cone(child, changed) {
+            let k = k as usize;
+            let node = &child.nodes()[k];
+            if !(state.def_changed[k] || state.dirty[node.a.index()] || state.dirty[node.b.index()])
+            {
+                continue;
+            }
+            let (pre, tail) = state.rows.split_at_mut((ni + k) * n_pos);
+            let a = &pre[node.a.index() * n_pos..][..n_pos];
+            let b = &pre[node.b.index() * n_pos..][..n_pos];
+            if eval_row_diff(node.kind, a, b, &mut tail[..n_pos]) {
+                state.dirty[ni + k] = true;
+            }
+        }
+        let outs = child.outputs();
+        let terms_valid = outs.len() == state.out_sigs.len()
+            && outs.iter().zip(&state.out_sigs).all(|(o, &s)| o.index() as u32 == s);
+        if !terms_valid || outs.iter().any(|o| state.dirty[o.index()]) {
+            self.refresh_block_err(state, outs);
+        }
+    }
+}
+
+#[inline]
+fn interpret(signed: bool, raw: u64, bits: u32) -> i64 {
+    if signed {
+        apx_arith::sign_extend(raw, bits)
+    } else {
+        raw as i64
+    }
+}
+
+/// Cached full-grid simulation state for incremental WMED re-evaluation.
+///
+/// Created by [`crate::MultEvaluator::new_state`] for a *base* netlist;
+/// [`crate::MultEvaluator::wmed_bounded_delta`] scores single-mutation
+/// children against it without touching the cache, and
+/// [`crate::MultEvaluator::commit_state`] rebases it when a child is
+/// promoted. The contract: the state always holds, for every signal of the
+/// base netlist and every weighted block, the exact simulation word — so a
+/// delta only ever recomputes the changed nodes' fanout cone.
+pub struct WmedState {
+    /// `rows[sig · n_pos + pos]`: signal `sig`'s word at weighted block
+    /// position `pos` (positions index the evaluator's `ordered_blocks`).
+    rows: Vec<u64>,
+    n_pos: usize,
+    num_signals: usize,
+    ni: usize,
+    gate_count: usize,
+    /// Per-tile scratch rows for dirty signals (`scratch[sig · TILE + t]`).
+    scratch: Vec<u64>,
+    /// Full-row scratch grid for the delta path's bulk phase
+    /// (`bulk[sig · n_pos + pos]`, valid only where `dirty` is set).
+    bulk: Vec<u64>,
+    dirty: Vec<bool>,
+    needed: Vec<bool>,
+    /// Per-node scratch flag: definition differs from the base.
+    def_changed: Vec<bool>,
+    /// Signals marked dirty in the current tile (for cheap clearing).
+    touched: Vec<u32>,
+    /// `weight · err` of the base at each block position — the exact `f64`
+    /// terms the accumulation loop adds, so clean tiles skip the kernel.
+    block_err: Vec<f64>,
+    /// The output signal list `block_err` was computed under.
+    out_sigs: Vec<u32>,
+}
+
+impl WmedState {
+    fn check_shape(&self, nl: &Netlist) {
+        assert_eq!(nl.num_inputs(), self.ni, "state/netlist input arity mismatch");
+        assert_eq!(nl.gate_count(), self.gate_count, "state/netlist gate count mismatch");
+        assert_eq!(nl.num_signals(), self.num_signals, "state/netlist signal count mismatch");
+    }
+
+    /// Approximate heap footprint in bytes (dominated by the cached rows).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        (self.rows.len() + self.bulk.len() + self.scratch.len() + self.block_err.len()) * 8
+            + self.dirty.len()
+            + self.needed.len()
+            + self.def_changed.len()
+    }
+}
+
+impl std::fmt::Debug for WmedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WmedState")
+            .field("num_signals", &self.num_signals)
+            .field("n_pos", &self.n_pos)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+/// Scalar reference interpreter: evaluates one operand pair per call on a
+/// reusable `bool` buffer.
+#[derive(Debug, Default)]
+pub(crate) struct ScalarSim {
+    vals: Vec<bool>,
+}
+
+impl ScalarSim {
+    /// Packed `2w`-bit output of `nl` on enumeration vector `v` (netlist
+    /// input `i < w` reads enumeration bit `w + i`, input `w + i` reads bit
+    /// `i` — the same high/low operand split the bit-parallel path uses).
+    pub(crate) fn run_packed(&mut self, nl: &Netlist, width: u32, v: u64) -> u64 {
+        let w = width as usize;
+        let ni = nl.num_inputs();
+        self.vals.clear();
+        self.vals.resize(nl.num_signals(), false);
+        for i in 0..w {
+            self.vals[i] = (v >> (w + i)) & 1 == 1;
+            self.vals[w + i] = (v >> i) & 1 == 1;
+        }
+        for (k, node) in nl.nodes().iter().enumerate() {
+            let a = self.vals[node.a.index()];
+            let b = self.vals[node.b.index()];
+            self.vals[ni + k] = node.kind.eval_bool(a, b);
+        }
+        nl.outputs().iter().enumerate().map(|(j, o)| u64::from(self.vals[o.index()]) << j).sum()
+    }
+}
+
+/// Backend-dispatched per-lane output reader for the exhaustive statistics
+/// paths (`stats`, `error_matrix`, the small-width WMED loop).
+///
+/// Fills a lane buffer with the packed output value of every lane of a
+/// block; both backends produce identical buffers, which is what makes the
+/// statistics surfaces backend-agnostic bit for bit.
+pub(crate) struct LaneReader {
+    backend: EvalBackend,
+    sim: BlockSim,
+    scalar: ScalarSim,
+    inputs: Vec<u64>,
+}
+
+impl LaneReader {
+    pub(crate) fn new(backend: EvalBackend, nl: &Netlist) -> Self {
+        LaneReader {
+            backend,
+            sim: BlockSim::new(nl),
+            scalar: ScalarSim::default(),
+            inputs: vec![0u64; nl.num_inputs()],
+        }
+    }
+
+    /// Reads all lanes of `block` into `lane_buf[..lanes]`.
+    pub(crate) fn read_block(
+        &mut self,
+        nl: &Netlist,
+        ex: &Exhaustive,
+        width: u32,
+        block: usize,
+        lane_buf: &mut [u64],
+    ) {
+        let w = width as usize;
+        let lanes = ex.lanes_per_block();
+        match self.backend {
+            EvalBackend::BitParallel => {
+                for i in 0..w {
+                    self.inputs[i] = ex.input_word(w + i, block);
+                    self.inputs[w + i] = ex.input_word(i, block);
+                }
+                let out_words = self.sim.run(nl, &self.inputs);
+                unpack_lanes(out_words, lanes, lane_buf);
+            }
+            EvalBackend::Scalar => {
+                for (lane, slot) in lane_buf.iter_mut().enumerate().take(lanes) {
+                    let v = (block * 64 + lane) as u64;
+                    *slot = self.scalar.run_packed(nl, width, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_err_sum_matches_per_lane_subtraction() {
+        // Random P-bit two's-complement pairs whose difference fits P bits.
+        let mut rng = apx_rng::Xoshiro256::from_seed(99);
+        for planes in [5usize, 13, 17, MAX_PLANES] {
+            let half = 1i64 << (planes - 1);
+            let mut exact = [0u64; MAX_PLANES];
+            let mut got = [0u64; MAX_PLANES];
+            let mut expect = 0u64;
+            for lane in 0..64u64 {
+                // Pick e, g with |e - g| < 2^(P-1) so the difference fits.
+                let e = rng.gen_range(half as usize) as i64 - half / 2;
+                let g = e + (rng.gen_range(half as usize) as i64 - half / 2) / 2;
+                expect += (e - g).unsigned_abs();
+                for k in 0..planes {
+                    exact[k] |= (((e as u64) >> k) & 1) << lane;
+                    got[k] |= (((g as u64) >> k) & 1) << lane;
+                }
+            }
+            assert_eq!(abs_err_sum(&exact, &got, planes), expect, "planes={planes}");
+        }
+    }
+
+    #[test]
+    fn eval_row_agrees_with_eval_words() {
+        let a = [0x0123_4567_89AB_CDEFu64, !0, 0, 0xAAAA_5555_AAAA_5555];
+        let b = [0xFEDC_BA98_7654_3210u64, 0, !0, 0x0F0F_F0F0_0F0F_F0F0];
+        let mut dst = [0u64; 4];
+        for kind in GateKind::ALL {
+            eval_row(kind, &a, &b, &mut dst);
+            for t in 0..4 {
+                assert_eq!(dst[t], kind.eval_words(a[t], b[t]), "{kind} col {t}");
+            }
+        }
+    }
+}

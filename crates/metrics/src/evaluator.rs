@@ -1,9 +1,21 @@
 //! The CGP hot path: exhaustive WMED evaluation of multiplier netlists.
+//!
+//! Evaluation is organized around the engines in [`crate::engine`]: a
+//! levelized bit-parallel simulator that processes 64 operand pairs per gate
+//! op (tiled over blocks so gate dispatch amortizes), a bit-sliced error
+//! kernel that sums `|exact − got|` directly on output bit-planes, and an
+//! incremental mode that re-simulates only the fanout cone of a mutation
+//! against cached signal rows. A scalar one-pair-at-a-time reference
+//! interpreter sits behind the same API as [`EvalBackend::Scalar`]; both
+//! backends are bit-identical by construction.
 
+use crate::backend::EvalBackend;
+pub use crate::engine::WmedState;
+use crate::engine::{EngineCtx, LaneReader, MAX_PLANES};
 use crate::stats::ErrorStats;
 use apx_arith::sign_extend;
 use apx_dist::Pmf;
-use apx_gates::{unpack_lanes, BlockSim, Exhaustive, Netlist};
+use apx_gates::{Exhaustive, Netlist};
 use std::fmt;
 
 /// Error constructing a [`MultEvaluator`].
@@ -43,9 +55,32 @@ impl std::error::Error for EvaluatorError {}
 ///   bits, so for `width >= 6` each 64-lane simulation block has a single
 ///   `x` value and a single weight `D(x)`;
 /// * pre-sorts blocks by decreasing weight and skips zero-weight blocks;
+/// * simulates on one of two [`EvalBackend`]s — the default bit-parallel
+///   engine (tiled 64-lane simulation plus a bit-sliced error kernel that
+///   never unpacks lanes) or the scalar reference interpreter — chosen via
+///   [`MultEvaluator::with_backend`] or the `APX_EVAL_BACKEND` environment
+///   variable (see [`EvalBackend::from_env`]). Both produce bit-identical
+///   results;
 /// * offers [`MultEvaluator::wmed_bounded`], which abandons a candidate as
 ///   soon as its running weighted error exceeds the fitness threshold
-///   (Eq. 1 only needs the comparison, not the exact value).
+///   (Eq. 1 only needs the comparison, not the exact value), and an
+///   incremental variant ([`MultEvaluator::wmed_bounded_delta`]) that
+///   re-simulates only a mutation's fanout cone against a cached
+///   [`WmedState`].
+///
+/// # WMED definition
+///
+/// With `x` drawn from `D` and `y` uniform, the paper's Eq. 2 normalized by
+/// the output range is
+///
+/// ```text
+/// WMED_D(M̃) = Σ_x D(x) · Σ_y |x·y − M̃(x,y)|  /  (2^w · 2^(2w))
+/// ```
+///
+/// The engine accumulates the inner sum per 64-lane block as an exact
+/// integer and applies `D(x)` once per block, so the only floating-point
+/// operations are one multiply-add per block — in a fixed (weight-sorted)
+/// order that every backend and the incremental path share.
 ///
 /// # Examples
 ///
@@ -65,10 +100,26 @@ pub struct MultEvaluator {
     signed: bool,
     weights: Vec<f64>,
     ex: Exhaustive,
+    backend: EvalBackend,
     /// `(block index, weight of the block's x value)`, zero-weight blocks
     /// removed, sorted by decreasing weight. Empty for `width < 6` (the
     /// whole domain fits one block; weights are applied per lane instead).
     ordered_blocks: Vec<(u32, f64)>,
+    /// Error-kernel planes: `2·width + 1` (difference of a product and a
+    /// sign-extended output always fits that many two's-complement bits).
+    planes: usize,
+    /// `exact_planes[block·planes + k]`: bit-plane `k` of the exact products
+    /// of `block`'s 64 lanes. Precomputed only for the bit-parallel backend
+    /// at `width >= 6`; empty otherwise.
+    exact_planes: Vec<u64>,
+    /// `exact_tiles[(tile·planes + k)·TILE + t]`: the same exact planes
+    /// rearranged tile-major in weighted-position order, so the column-major
+    /// error kernel reads them contiguously. Built alongside `exact_planes`.
+    exact_tiles: Vec<u64>,
+    /// `input_rows[i·n_pos + pos]`: netlist input `i`'s simulation word at
+    /// weighted block position `pos` — hoists the per-tile `input_word`
+    /// lookups out of the hot loop. Built alongside `exact_planes`.
+    input_rows: Vec<u64>,
     /// Normalizer `1 / (2^w · 2^(2w))`.
     norm: f64,
 }
@@ -77,11 +128,51 @@ impl MultEvaluator {
     /// Creates an evaluator for `width`-bit (optionally signed) multipliers
     /// weighted by `pmf` on the first operand.
     ///
+    /// The backend is read from the `APX_EVAL_BACKEND` environment variable
+    /// ([`EvalBackend::from_env`]); this is the single choke point through
+    /// which the sweep, library and orchestrator flows inherit the knob.
+    ///
     /// # Errors
     ///
     /// Returns [`EvaluatorError`] on unsupported widths or a PMF of the
     /// wrong width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `APX_EVAL_BACKEND` is set to a malformed value.
     pub fn new(width: u32, signed: bool, pmf: &Pmf) -> Result<Self, EvaluatorError> {
+        Self::with_backend(width, signed, pmf, EvalBackend::from_env())
+    }
+
+    /// Creates an evaluator on an explicitly chosen [`EvalBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluatorError`] on unsupported widths or a PMF of the
+    /// wrong width.
+    ///
+    /// # Examples
+    ///
+    /// The two backends agree bit for bit:
+    ///
+    /// ```
+    /// use apx_arith::truncated_multiplier;
+    /// use apx_dist::Pmf;
+    /// use apx_metrics::{EvalBackend, MultEvaluator};
+    ///
+    /// let pmf = Pmf::half_normal(6, 12.0);
+    /// let fast = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
+    /// let slow = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar)?;
+    /// let nl = truncated_multiplier(6, 5);
+    /// assert_eq!(fast.wmed(&nl).to_bits(), slow.wmed(&nl).to_bits());
+    /// # Ok::<(), apx_metrics::EvaluatorError>(())
+    /// ```
+    pub fn with_backend(
+        width: u32,
+        signed: bool,
+        pmf: &Pmf,
+        backend: EvalBackend,
+    ) -> Result<Self, EvaluatorError> {
         if width == 0 || width > 10 {
             return Err(EvaluatorError::BadWidth(width));
         }
@@ -102,8 +193,78 @@ impl MultEvaluator {
             }
             ordered_blocks.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
+        let planes = (2 * width + 1) as usize;
+        debug_assert!(planes <= MAX_PLANES);
         let norm = 1.0 / ((1u64 << width) as f64 * (1u64 << (2 * width)) as f64);
-        Ok(MultEvaluator { width, signed, weights, ex, ordered_blocks, norm })
+        let mut eval = MultEvaluator {
+            width,
+            signed,
+            weights,
+            ex,
+            backend,
+            ordered_blocks,
+            planes,
+            exact_planes: Vec::new(),
+            exact_tiles: Vec::new(),
+            input_rows: Vec::new(),
+            norm,
+        };
+        if width >= 6 && backend == EvalBackend::BitParallel {
+            eval.exact_planes = eval.build_exact_planes();
+            eval.exact_tiles = eval.build_exact_tiles();
+            eval.input_rows = eval.build_input_rows();
+        }
+        Ok(eval)
+    }
+
+    /// Tile-major copy of the exact planes in weighted-position order (see
+    /// `exact_tiles`).
+    fn build_exact_tiles(&self) -> Vec<u64> {
+        use crate::engine::TILE;
+        let n_pos = self.ordered_blocks.len();
+        let n_tiles = n_pos.div_ceil(TILE);
+        let mut tiles = vec![0u64; n_tiles * self.planes * TILE];
+        for (pos, &(block, _)) in self.ordered_blocks.iter().enumerate() {
+            let (tile, t) = (pos / TILE, pos % TILE);
+            let src = &self.exact_planes[block as usize * self.planes..][..self.planes];
+            for (k, &word) in src.iter().enumerate() {
+                tiles[(tile * self.planes + k) * TILE + t] = word;
+            }
+        }
+        tiles
+    }
+
+    /// Position-ordered input simulation words (see `input_rows`).
+    fn build_input_rows(&self) -> Vec<u64> {
+        let w = self.width as usize;
+        let n_pos = self.ordered_blocks.len();
+        let mut rows = vec![0u64; 2 * w * n_pos];
+        for i in 0..2 * w {
+            let ebit = if i < w { w + i } else { i - w };
+            for (pos, &(block, _)) in self.ordered_blocks.iter().enumerate() {
+                rows[i * n_pos + pos] = self.ex.input_word(ebit, block as usize);
+            }
+        }
+        rows
+    }
+
+    /// Bit-sliced exact products for every block (see `exact_planes`).
+    fn build_exact_planes(&self) -> Vec<u64> {
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        let mut planes = vec![0u64; self.ex.num_blocks() * self.planes];
+        for (block, chunk) in planes.chunks_exact_mut(self.planes).enumerate() {
+            for lane in 0..64u64 {
+                let v = (block as u64) * 64 + lane;
+                let x = self.interpret(v >> w, w);
+                let y = self.interpret(v & mask, w);
+                let p = (x * y) as u64;
+                for (k, word) in chunk.iter_mut().enumerate() {
+                    *word |= ((p >> k) & 1) << lane;
+                }
+            }
+        }
+        planes
     }
 
     /// Operand width in bits.
@@ -116,6 +277,12 @@ impl MultEvaluator {
     #[must_use]
     pub fn is_signed(&self) -> bool {
         self.signed
+    }
+
+    /// The simulation backend this evaluator runs on.
+    #[must_use]
+    pub fn backend(&self) -> EvalBackend {
+        self.backend
     }
 
     fn check_arity(&self, netlist: &Netlist) {
@@ -131,17 +298,15 @@ impl MultEvaluator {
         );
     }
 
-    /// Fills the simulation input words for `block`.
-    ///
-    /// Netlist inputs `0..w` (operand A = the distribution operand `x`) are
-    /// driven by the *high* enumeration bits, inputs `w..2w` (operand B =
-    /// `y`) by the low bits, so `x` is constant within a block when
-    /// `width >= 6`.
-    fn fill_inputs(&self, block: usize, inputs: &mut [u64]) {
-        let w = self.width as usize;
-        for i in 0..w {
-            inputs[i] = self.ex.input_word(w + i, block);
-            inputs[w + i] = self.ex.input_word(i, block);
+    fn ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            width: self.width,
+            signed: self.signed,
+            ordered: &self.ordered_blocks,
+            exact_planes: &self.exact_planes,
+            exact_tiles: &self.exact_tiles,
+            input_rows: &self.input_rows,
+            planes: self.planes,
         }
     }
 
@@ -152,33 +317,6 @@ impl MultEvaluator {
         } else {
             raw as i64
         }
-    }
-
-    /// Sum of absolute errors over the 64 lanes of `block` (raw LSBs).
-    fn block_abs_error(
-        &self,
-        netlist: &Netlist,
-        sim: &mut BlockSim,
-        inputs: &mut [u64],
-        lane_buf: &mut [u64],
-        block: usize,
-    ) -> u64 {
-        let w = self.width;
-        let mask = (1u64 << w) - 1;
-        self.fill_inputs(block, inputs);
-        let out_words = sim.run(netlist, inputs);
-        let lanes = self.ex.lanes_per_block();
-        unpack_lanes(out_words, lanes, lane_buf);
-        let base = (block * 64) as u64;
-        let mut sum = 0u64;
-        for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
-            let v = base + lane as u64;
-            let x = self.interpret(v >> w, w);
-            let y = self.interpret(v & mask, w);
-            let got = self.interpret(out_raw, 2 * w);
-            sum += (x * y - got).unsigned_abs();
-        }
-        sum
     }
 
     /// Exact WMED of `netlist` under the evaluator's distribution.
@@ -207,55 +345,141 @@ impl MultEvaluator {
 
     fn wmed_impl(&self, netlist: &Netlist, limit: f64) -> Option<f64> {
         self.check_arity(netlist);
-        let mut sim = BlockSim::new(netlist);
-        let mut inputs = vec![0u64; 2 * self.width as usize];
-        let mut lane_buf = vec![0u64; 64];
-        let mut total = 0.0f64;
         // `limit` in normalized units -> raw weighted-error budget.
         let raw_limit = if limit.is_finite() { limit / self.norm } else { f64::INFINITY };
         if self.width >= 6 {
-            for &(block, weight) in &self.ordered_blocks {
-                let err = self.block_abs_error(
-                    netlist,
-                    &mut sim,
-                    &mut inputs,
-                    &mut lane_buf,
-                    block as usize,
-                );
-                total += weight * err as f64;
-                if total > raw_limit {
-                    return None;
+            let ctx = self.ctx();
+            let total = match self.backend {
+                EvalBackend::BitParallel => ctx.wmed_raw_bitpar(netlist, raw_limit)?,
+                EvalBackend::Scalar => ctx.wmed_raw_scalar(netlist, raw_limit)?,
+            };
+            return Some(total * self.norm);
+        }
+        // Small domain: weights vary per lane inside the block(s); both
+        // backends feed the same per-lane loop via `LaneReader`.
+        let w = self.width;
+        let mask = (1u64 << w) - 1;
+        let lanes = self.ex.lanes_per_block();
+        let mut reader = LaneReader::new(self.backend, netlist);
+        let mut lane_buf = vec![0u64; 64];
+        let mut total = 0.0f64;
+        for block in 0..self.ex.num_blocks() {
+            reader.read_block(netlist, &self.ex, w, block, &mut lane_buf);
+            let base = (block * 64) as u64;
+            for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
+                let v = base + lane as u64;
+                let x_raw = v >> w;
+                let weight = self.weights[x_raw as usize];
+                if weight == 0.0 {
+                    continue;
                 }
+                let x = self.interpret(x_raw, w);
+                let y = self.interpret(v & mask, w);
+                let got = self.interpret(out_raw, 2 * w);
+                total += weight * (x * y - got).unsigned_abs() as f64;
             }
-        } else {
-            // Small domain: weights vary per lane inside the block(s).
-            let w = self.width;
-            let mask = (1u64 << w) - 1;
-            let lanes = self.ex.lanes_per_block();
-            for block in 0..self.ex.num_blocks() {
-                self.fill_inputs(block, &mut inputs);
-                let out_words = sim.run(netlist, &inputs);
-                unpack_lanes(out_words, lanes, &mut lane_buf);
-                let base = (block * 64) as u64;
-                for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
-                    let v = base + lane as u64;
-                    let x_raw = v >> w;
-                    let weight = self.weights[x_raw as usize];
-                    if weight == 0.0 {
-                        continue;
-                    }
-                    let x = self.interpret(x_raw, w);
-                    let y = self.interpret(v & mask, w);
-                    let got = self.interpret(out_raw, 2 * w);
-                    total += weight * (x * y - got).unsigned_abs() as f64;
-                }
-                if total > raw_limit {
-                    return None;
-                }
+            if total > raw_limit {
+                return None;
             }
         }
         // total = Σ_x D(x) Σ_y |err|; WMED = total / (2^w · 2^(2w)) = total·norm.
         Some(total * self.norm)
+    }
+
+    /// Whether this evaluator can run the incremental (delta) protocol.
+    ///
+    /// Incremental re-evaluation needs the bit-parallel backend and the
+    /// block-granular weighting of `width >= 6` (below that, the whole
+    /// domain is one block and a full pass is already trivial).
+    #[must_use]
+    pub fn supports_incremental(&self) -> bool {
+        self.width >= 6 && self.backend == EvalBackend::BitParallel
+    }
+
+    /// Heap footprint a [`WmedState`] for `netlist` would need, in bytes.
+    ///
+    /// Callers use this to cap memory before opting into the incremental
+    /// protocol (the state caches every signal row over every weighted
+    /// block).
+    #[must_use]
+    pub fn state_bytes(&self, netlist: &Netlist) -> usize {
+        (netlist.num_signals() * (2 * self.ordered_blocks.len() + crate::engine::TILE)
+            + 2 * self.ordered_blocks.len())
+            * 8
+    }
+
+    /// Builds the cached full-grid simulation state for `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluator does not
+    /// [support incremental evaluation](MultEvaluator::supports_incremental)
+    /// or on netlist arity mismatch.
+    #[must_use]
+    pub fn new_state(&self, base: &Netlist) -> WmedState {
+        assert!(self.supports_incremental(), "incremental mode unavailable on this evaluator");
+        self.check_arity(base);
+        self.ctx().new_state(base)
+    }
+
+    /// Bounded WMED of `child` evaluated incrementally against `state`.
+    ///
+    /// `changed` lists the node indices whose definition differs from the
+    /// state's base netlist (`child` must have the same shape). Only the
+    /// needed part of the changed nodes' fanout cone is re-simulated; the
+    /// cached rows are not modified, so the state keeps describing the base
+    /// (call [`MultEvaluator::commit_state`] to rebase). An empty `changed`
+    /// re-scores the base itself straight from the cache.
+    ///
+    /// The result — including the abort decision — is bit-identical to
+    /// [`MultEvaluator::wmed_bounded`] on `child`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/shape mismatch or if the evaluator does not support
+    /// incremental evaluation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use apx_arith::truncated_multiplier;
+    /// use apx_dist::Pmf;
+    /// use apx_metrics::{EvalBackend, MultEvaluator};
+    ///
+    /// let pmf = Pmf::half_normal(6, 12.0);
+    /// let eval = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
+    /// let base = truncated_multiplier(6, 4);
+    /// let mut state = eval.new_state(&base);
+    /// let cached = eval.wmed_bounded_delta(&mut state, &base, &[], f64::INFINITY);
+    /// assert_eq!(cached.unwrap().to_bits(), eval.wmed(&base).to_bits());
+    /// # Ok::<(), apx_metrics::EvaluatorError>(())
+    /// ```
+    #[must_use]
+    pub fn wmed_bounded_delta(
+        &self,
+        state: &mut WmedState,
+        child: &Netlist,
+        changed: &[u32],
+        limit: f64,
+    ) -> Option<f64> {
+        assert!(self.supports_incremental(), "incremental mode unavailable on this evaluator");
+        self.check_arity(child);
+        let raw_limit = if limit.is_finite() { limit / self.norm } else { f64::INFINITY };
+        self.ctx().wmed_raw_delta(state, child, changed, raw_limit).map(|t| t * self.norm)
+    }
+
+    /// Rebases `state` onto `child` after a mutation is accepted,
+    /// re-simulating the full fanout cone of `changed` (dead nodes
+    /// included, so every cached row stays consistent with `child`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity/shape mismatch or if the evaluator does not support
+    /// incremental evaluation.
+    pub fn commit_state(&self, state: &mut WmedState, child: &Netlist, changed: &[u32]) {
+        assert!(self.supports_incremental(), "incremental mode unavailable on this evaluator");
+        self.check_arity(child);
+        self.ctx().commit(state, child, changed);
     }
 
     /// Full error statistics (one exhaustive pass, no skipping).
@@ -269,8 +493,7 @@ impl MultEvaluator {
         let w = self.width;
         let mask = (1u64 << w) - 1;
         let range = (1u64 << (2 * w)) as f64;
-        let mut sim = BlockSim::new(netlist);
-        let mut inputs = vec![0u64; 2 * w as usize];
+        let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
         let lanes = self.ex.lanes_per_block();
         let mut sum_abs = 0.0f64;
@@ -279,9 +502,7 @@ impl MultEvaluator {
         let mut nonzero = 0u64;
         let mut max_abs = 0i64;
         for block in 0..self.ex.num_blocks() {
-            self.fill_inputs(block, &mut inputs);
-            let out_words = sim.run(netlist, &inputs);
-            unpack_lanes(out_words, lanes, &mut lane_buf);
+            reader.read_block(netlist, &self.ex, w, block, &mut lane_buf);
             let base = (block * 64) as u64;
             for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
                 let v = base + lane as u64;
@@ -348,14 +569,11 @@ impl MultEvaluator {
         let n = 1usize << w;
         let range = (1u64 << (2 * w)) as f64;
         let mut data = vec![0.0f64; n * n];
-        let mut sim = BlockSim::new(netlist);
-        let mut inputs = vec![0u64; 2 * w as usize];
+        let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
         let lanes = self.ex.lanes_per_block();
         for block in 0..self.ex.num_blocks() {
-            self.fill_inputs(block, &mut inputs);
-            let out_words = sim.run(netlist, &inputs);
-            unpack_lanes(out_words, lanes, &mut lane_buf);
+            reader.read_block(netlist, &self.ex, w, block, &mut lane_buf);
             let base = (block * 64) as u64;
             for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
                 let v = base + lane as u64;
@@ -516,5 +734,52 @@ mod tests {
     fn arity_mismatch_panics() {
         let eval = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
         let _ = eval.wmed(&array_multiplier(4));
+    }
+
+    #[test]
+    fn scalar_backend_matches_bit_parallel_wmed() {
+        for (width, signed) in [(4u32, false), (6, false), (6, true)] {
+            let pmf = if signed {
+                Pmf::signed_normal(width, 1.0, 6.0)
+            } else {
+                Pmf::half_normal(width, 9.0)
+            };
+            let fast =
+                MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel).unwrap();
+            let slow =
+                MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
+            let nl = if signed {
+                baugh_wooley_broken(width, 4, 3)
+            } else {
+                broken_array_multiplier(width, 4, 3)
+            };
+            assert_eq!(fast.wmed(&nl).to_bits(), slow.wmed(&nl).to_bits(), "w={width}");
+            assert_eq!(fast.stats(&nl), slow.stats(&nl), "stats w={width}");
+        }
+    }
+
+    #[test]
+    fn delta_with_empty_changes_matches_full_eval() {
+        let pmf = Pmf::half_normal(6, 12.0);
+        let eval = MultEvaluator::new(6, false, &pmf).unwrap();
+        assert!(eval.supports_incremental());
+        let base = broken_array_multiplier(6, 4, 3);
+        assert!(eval.state_bytes(&base) > 0);
+        let mut state = eval.new_state(&base);
+        let full = eval.wmed(&base);
+        let cached = eval.wmed_bounded_delta(&mut state, &base, &[], f64::INFINITY).unwrap();
+        assert_eq!(cached.to_bits(), full.to_bits());
+        // Abort decisions match too.
+        assert_eq!(
+            eval.wmed_bounded_delta(&mut state, &base, &[], full / 2.0).is_none(),
+            eval.wmed_bounded(&base, full / 2.0).is_none()
+        );
+    }
+
+    #[test]
+    fn scalar_backend_reports_no_incremental_support() {
+        let pmf = Pmf::uniform(6);
+        let eval = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar).unwrap();
+        assert!(!eval.supports_incremental());
     }
 }

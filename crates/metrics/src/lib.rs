@@ -10,7 +10,7 @@
 //! ```
 //!
 //! (The normalization by the output range `2^(2w)` keeps the metric in
-//! `[0, 1)`; see DESIGN.md §3 for why the paper's literal formula is
+//! `[0, 1)`; see ARCHITECTURE.md for why the paper's literal formula is
 //! adjusted.) With `D` uniform this reduces to the conventional normalized
 //! mean error distance, so a single code path serves both the proposed and
 //! the baseline metric.
@@ -20,19 +20,32 @@
 //! * [`table_stats`] — metrics over functional [`apx_arith::OpTable`]s
 //!   (library multipliers, quick experiments);
 //! * [`MultEvaluator`] — the CGP hot path: evaluates a gate-level
-//!   [`apx_gates::Netlist`] exhaustively with bit-parallel simulation,
-//!   skips zero-probability operand blocks, visits blocks in decreasing
-//!   weight order and aborts as soon as a WMED budget is exceeded
-//!   ([`MultEvaluator::wmed_bounded`]).
+//!   [`apx_gates::Netlist`] exhaustively, skips zero-probability operand
+//!   blocks, visits blocks in decreasing weight order and aborts as soon
+//!   as a WMED budget is exceeded ([`MultEvaluator::wmed_bounded`]).
+//!
+//! The evaluator runs on one of two interchangeable [`EvalBackend`]s:
+//! the default **bit-parallel** engine (tiled 64-lane simulation plus a
+//! bit-sliced error kernel; supports incremental re-evaluation of mutated
+//! netlists via [`WmedState`]) and a **scalar** one-pair-at-a-time
+//! reference interpreter. The two are bit-identical by construction — the
+//! per-block error sums are exact integers and the floating-point
+//! accumulation order is shared — so the scalar path serves as the
+//! independent oracle for property tests and CI cross-checks. Select a
+//! backend with [`MultEvaluator::with_backend`] or the `APX_EVAL_BACKEND`
+//! environment variable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod engine;
 mod evaluator;
 mod heatmap;
 mod stats;
 
-pub use evaluator::{EvaluatorError, MultEvaluator};
+pub use backend::EvalBackend;
+pub use evaluator::{EvaluatorError, MultEvaluator, WmedState};
 pub use heatmap::ErrorMatrix;
 pub use stats::{joint_wmed, table_stats, ErrorStats};
 

@@ -2,8 +2,46 @@
 
 use apx_arith::OpTable;
 use apx_dist::Pmf;
-use apx_metrics::{table_stats, MultEvaluator};
+use apx_gates::{GateKind, Netlist, Node, SignalId};
+use apx_metrics::{table_stats, ErrorStats, EvalBackend, MultEvaluator};
+use apx_rng::Xoshiro256;
 use proptest::prelude::*;
+
+/// Random multiplier-arity netlist. Operands always point strictly
+/// earlier, so validation passes by construction; any node the outputs
+/// never reach is dead — the same inactive genetic material CGP's neutral
+/// drift accumulates, which the evaluators must tolerate.
+fn random_netlist(width: u32, gates: usize, seed: u64) -> Netlist {
+    let mut rng = Xoshiro256::from_seed(seed);
+    let ni = 2 * width as usize;
+    let mut nodes = Vec::with_capacity(gates);
+    for k in 0..gates {
+        nodes.push(random_node(ni + k, &mut rng));
+    }
+    let total = ni + gates;
+    let outputs = (0..ni).map(|_| SignalId(rng.gen_range(total) as u32)).collect();
+    Netlist::new(ni, nodes, outputs).expect("operands always precede consumers")
+}
+
+/// Random node whose operands are drawn from the `sigs` earlier signals.
+fn random_node(sigs: usize, rng: &mut Xoshiro256) -> Node {
+    Node {
+        kind: GateKind::ALL[rng.gen_range(GateKind::ALL.len())],
+        a: SignalId(rng.gen_range(sigs) as u32),
+        b: SignalId(rng.gen_range(sigs) as u32),
+    }
+}
+
+/// Asserts two [`ErrorStats`] are equal down to the last mantissa bit.
+fn assert_stats_identical(a: &ErrorStats, b: &ErrorStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.med.to_bits(), b.med.to_bits());
+    prop_assert_eq!(a.wmed.to_bits(), b.wmed.to_bits());
+    prop_assert_eq!(a.wce.to_bits(), b.wce.to_bits());
+    prop_assert_eq!(a.error_rate.to_bits(), b.error_rate.to_bits());
+    prop_assert_eq!(a.mred.to_bits(), b.mred.to_bits());
+    prop_assert_eq!(a.max_abs_error, b.max_abs_error);
+    Ok(())
+}
 
 /// Random approximate 4-bit multiplier: exact product XOR a bounded
 /// perturbation selected by the proptest input.
@@ -93,6 +131,73 @@ proptest! {
                 prop_assert!(truth <= limit + 1e-15);
             }
             None => prop_assert!(truth > limit),
+        }
+    }
+
+    /// The backend seam's core contract: on any netlist — dead nodes,
+    /// constant outputs, garbage logic included — the scalar reference and
+    /// the bit-parallel engine produce identical `ErrorStats` down to the
+    /// last bit, and identical bounded verdicts.
+    #[test]
+    fn scalar_and_bitpar_stats_bit_identical(
+        width in 2u32..=6,
+        signed in any::<bool>(),
+        gates in 1usize..48,
+        seed in any::<u64>(),
+        limit_scale in 0.0f64..2.0,
+    ) {
+        let nl = random_netlist(width, gates, seed);
+        let pmf = Pmf::half_normal(width, f64::from(1u32 << (width - 1)));
+        let fast =
+            MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel).unwrap();
+        let slow = MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
+        assert_stats_identical(&fast.stats(&nl), &slow.stats(&nl))?;
+        // Bounded verdicts (feasible value and abort decision alike).
+        let limit = limit_scale * fast.stats(&nl).wmed;
+        prop_assert_eq!(
+            fast.wmed_bounded(&nl, limit).map(f64::to_bits),
+            slow.wmed_bounded(&nl, limit).map(f64::to_bits)
+        );
+    }
+
+    /// The incremental protocol's core contract: a delta evaluation against
+    /// a cached parent state — through arbitrary chains of single-node
+    /// mutations and commits — returns exactly what a from-scratch bounded
+    /// evaluation of the child returns, abort decision included.
+    #[test]
+    fn delta_matches_full_over_mutation_chains(
+        trunc in 0u32..8,
+        signed in any::<bool>(),
+        seed in any::<u64>(),
+        limit_scale in 0.0f64..2.0,
+    ) {
+        let w = 6u32;
+        let ni = 2 * w as usize;
+        let pmf = Pmf::half_normal(w, 16.0);
+        let eval =
+            MultEvaluator::with_backend(w, signed, &pmf, EvalBackend::BitParallel).unwrap();
+        let mut base = apx_arith::truncated_multiplier(w, trunc);
+        let mut state = eval.new_state(&base);
+        let mut rng = Xoshiro256::from_seed(seed);
+        let limit = limit_scale * (eval.wmed(&base) + 1e-4);
+        for _ in 0..12 {
+            let k = rng.gen_range(base.gate_count());
+            let mut nodes = base.nodes().to_vec();
+            nodes[k] = random_node(ni + k, &mut rng);
+            let child = Netlist::new(ni, nodes, base.outputs().to_vec()).unwrap();
+            // A superset changed list (extra indices whose definition is
+            // unchanged) must be harmless — equality pruning absorbs them.
+            let mut changed = vec![k as u32];
+            if rng.bernoulli(0.3) {
+                changed.push(rng.gen_range(base.gate_count()) as u32);
+            }
+            let got = eval.wmed_bounded_delta(&mut state, &child, &changed, limit);
+            let want = eval.wmed_bounded(&child, limit);
+            prop_assert_eq!(got.map(f64::to_bits), want.map(f64::to_bits));
+            if rng.bernoulli(0.5) {
+                eval.commit_state(&mut state, &child, &changed);
+                base = child;
+            }
         }
     }
 }

@@ -3,7 +3,7 @@
 //! The paper scores evolved circuits by *estimated area* during the search
 //! (Eq. 1) and re-synthesizes the best candidates with Synopsys Design
 //! Compiler on a 45 nm process for the final power numbers. This crate is
-//! the reproduction's substitute for both steps (DESIGN.md §4):
+//! the reproduction's substitute for both steps (see ARCHITECTURE.md):
 //!
 //! * [`TechLibrary`] holds per-gate-kind [`CellParams`] — area, intrinsic
 //!   delay, leakage and switching energy — with values inspired by the
