@@ -49,10 +49,17 @@ use apx_gates::{Netlist, NetlistBuilder, SignalId};
 pub enum Family {
     /// Exact reference multiplier.
     Exact,
-    /// Truncated array multiplier with `trunc_cols` dropped columns.
+    /// Truncated design (array multiplier or adder) with `trunc_cols`
+    /// dropped LSB columns.
     Truncated {
         /// Number of dropped LSB columns.
         trunc_cols: u32,
+    },
+    /// Lower-OR approximate adder: the `k` least significant columns are
+    /// replaced by a carry-free bitwise OR (Mahdiani et al. [13]).
+    LowerOr {
+        /// Number of OR-approximated LSB columns.
+        k: u32,
     },
     /// Broken-array multiplier with the given break levels.
     BrokenArray {
@@ -384,7 +391,7 @@ mod tests {
         let mut weights = vec![1.0; 64];
         weights[0] = 200.0; // heavy spike at zero, like NN weights
         let pmf = Pmf::from_weights(width, weights).unwrap();
-        let eval = apx_metrics::MultEvaluator::new(width, true, &pmf).unwrap();
+        let eval = apx_metrics::CircuitEvaluator::new(width, true, &pmf).unwrap();
         let wmed_base = eval.wmed(&base);
         let wmed_guarded = eval.wmed(&guarded);
         assert!(wmed_guarded < wmed_base, "guarded {wmed_guarded} vs base {wmed_base}");

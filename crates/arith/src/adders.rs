@@ -76,6 +76,39 @@ pub fn ripple_carry_adder(width: u32) -> Netlist {
     b.finish().expect("generated adder is structurally valid")
 }
 
+/// Signed `width`-bit adder: two's-complement operands, `width + 1`
+/// output bits carrying the exact (never-wrapping) sum.
+///
+/// The unsigned [`ripple_carry_adder`]'s raw `w + 1`-bit output is wrong
+/// under a two's-complement reading (its top bit is an unsigned
+/// carry-out, not a sign), so the signed variant sign-extends both
+/// operands to `width + 1` bits first and adds those: the sum of two
+/// `width`-bit two's-complement values always fits `width + 1`
+/// two's-complement bits, so truncating the extended ripple to
+/// `width + 1` outputs is exact.
+///
+/// Inputs: `a[0..width]` then `b[0..width]` (LSB first); outputs:
+/// `width + 1` bits whose two's-complement value is `a + b`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn signed_ripple_adder(width: u32) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let w = width as usize;
+    let mut b = NetlistBuilder::new(2 * w);
+    let mut a_bits: Vec<SignalId> = (0..w).map(|i| b.input(i)).collect();
+    let mut b_bits: Vec<SignalId> = (0..w).map(|i| b.input(w + i)).collect();
+    // Sign-extend each operand by one bit (duplicate its MSB).
+    a_bits.push(a_bits[w - 1]);
+    b_bits.push(b_bits[w - 1]);
+    let mut sum = add_ripple(&mut b, &a_bits, &b_bits, None);
+    sum.truncate(w + 1);
+    b.outputs(&sum);
+    b.finish().expect("generated adder is structurally valid")
+}
+
 /// `width`-bit wrap-around adder (carry-out discarded): the accumulator of
 /// a MAC processing element.
 ///
@@ -127,6 +160,22 @@ mod tests {
             let a = v & 15;
             let b = (v >> 4) & 15;
             assert_eq!(table[v as usize], (a + b) & 15);
+        }
+    }
+
+    #[test]
+    fn signed_adder_is_exhaustively_correct() {
+        use crate::sign_extend;
+        for w in 1..=5u32 {
+            let nl = signed_ripple_adder(w);
+            assert_eq!(nl.num_outputs(), w as usize + 1);
+            let table = Exhaustive::new(2 * w as usize).output_table(&nl);
+            let mask = (1u64 << w) - 1;
+            for v in 0..table.len() as u64 {
+                let a = sign_extend(v & mask, w);
+                let b = sign_extend((v >> w) & mask, w);
+                assert_eq!(sign_extend(table[v as usize], w + 1), a + b, "w={w} {a}+{b}");
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 
 use apx_arith::{array_multiplier, truncated_multiplier};
 use apx_dist::Pmf;
-use apx_metrics::MultEvaluator;
+use apx_metrics::CircuitEvaluator;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -13,7 +13,7 @@ fn bench_wmed(c: &mut Criterion) {
 
     let exact = array_multiplier(8);
     let bad = truncated_multiplier(8, 12);
-    let uniform = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+    let uniform = CircuitEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
 
     group.bench_function("full_pass_uniform", |b| {
         b.iter(|| black_box(uniform.wmed(black_box(&exact))))
@@ -32,7 +32,7 @@ fn bench_wmed(c: &mut Criterion) {
         *w = 1.0;
     }
     let concentrated = Pmf::from_weights(8, weights).unwrap();
-    let sparse = MultEvaluator::new(8, false, &concentrated).unwrap();
+    let sparse = CircuitEvaluator::new(8, false, &concentrated).unwrap();
     group.bench_function("sparse_support_skips_blocks", |b| {
         b.iter(|| black_box(sparse.wmed(black_box(&exact))))
     });

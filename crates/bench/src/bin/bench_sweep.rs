@@ -9,6 +9,8 @@
 //!
 //! Scale knobs: `APX_ITERS` (default 200), `APX_RUNS` (default 1),
 //! `APX_THREADS` (default: available parallelism), `APX_SHARD` (`i/n`),
+//! `APX_OP` (`mul`/`add`/`mac` — bench a different operator's grid; the
+//! active operator is recorded in the JSON),
 //! `APX_LIBRARY` (component-library reuse; counters land in the JSON).
 //! Unlike the figure binaries this bench only touches the result cache
 //! when `APX_CACHE_DIR` is set explicitly — its purpose is to measure
@@ -20,8 +22,8 @@
 //! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
-    bench_sweep_json, env_u64, env_usize, explicit_cache_dir, parse_library, results_dir, shard,
-    sweep_distributions, BenchGrid,
+    bench_sweep_json, env_u64, env_usize, explicit_cache_dir, operator, parse_library, results_dir,
+    shard, sweep_distributions, BenchGrid,
 };
 use apx_core::{run_sweep, FlowConfig, SweepConfig, SweepResult, SweepStats};
 
@@ -43,9 +45,9 @@ fn assert_identical(a: &SweepResult, b: &SweepResult) {
     assert_eq!(a.entries.len(), b.entries.len());
     for (x, y) in a.entries.iter().zip(&b.entries) {
         assert_eq!(
-            x.multiplier.chromosome, y.multiplier.chromosome,
+            x.circuit.chromosome, y.circuit.chromosome,
             "{} differs across thread counts",
-            x.multiplier.name
+            x.circuit.name
         );
     }
 }
@@ -56,9 +58,10 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let multi = env_usize("APX_THREADS", cores);
     let backend = apx_metrics::EvalBackend::from_env();
+    let op = operator();
     println!(
         "=== bench_sweep: Fig. 3 grid, {iters} iterations/run, {n_runs} run(s)/level, \
-         {backend} backend ===\n"
+         {backend} backend, {op} operator ===\n"
     );
 
     let library =
@@ -70,6 +73,7 @@ fn main() {
     let mut cfg = SweepConfig {
         distributions: sweep_distributions(),
         flow: FlowConfig {
+            operator: op,
             width: 8,
             signed: false,
             iterations: iters,
@@ -106,6 +110,7 @@ fn main() {
         iters,
         cores,
         backend.name(),
+        op,
         &multi_result.stats,
         &single_result.stats,
     );

@@ -4,8 +4,8 @@
 //! points a library-mode sweep (`APX_LIBRARY`) or a garbage-collection
 //! pass (`orchestrate` with `APX_GC`) at it: intact-entry, corrupt-file
 //! and orphaned-temp-litter counts, total size, and how the intact
-//! entries split per `(width, signedness)` operand encoding. The view is
-//! strictly read-only — collection itself lives in
+//! entries split per `(operator, width, signedness)` component class.
+//! The view is strictly read-only — collection itself lives in
 //! `apx_core::cache::gc_cache_dir`.
 //!
 //! Usage: `cache_stats [dir]` — the directory argument falls back to
@@ -36,9 +36,10 @@ fn main() {
         "{} files, {} intact entries, {} corrupt/stale, {} bytes total, {} orphaned temp files",
         stats.files, stats.entries, stats.corrupt, stats.total_bytes, stats.tmp_litter
     );
-    let mut table = TextTable::new(vec!["width", "operands", "entries"]);
-    for ((width, signed), count) in &stats.per_op {
+    let mut table = TextTable::new(vec!["operator", "width", "operands", "entries"]);
+    for ((op, width, signed), count) in &stats.per_op {
         table.row(vec![
+            op.to_string(),
             format!("{width}"),
             if *signed { "signed" } else { "unsigned" }.to_owned(),
             format!("{count}"),

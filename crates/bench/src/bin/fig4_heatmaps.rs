@@ -47,7 +47,7 @@ fn main() {
             println!("Multiplier {name}: computed by another shard, skipping panel\n");
             continue;
         };
-        let m = &entry.multiplier;
+        let m = &entry.circuit;
         let heat = error_heatmap(&m.netlist, 8, false).expect("heatmap");
         println!(
             "Multiplier {name} (WMED_{name} = {:.4} %, power {:.4} mW, {} gates)",

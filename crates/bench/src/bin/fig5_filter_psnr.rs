@@ -7,7 +7,7 @@
 
 use apx_bench::{d1, d2, du, iterations, results_dir};
 use apx_core::report::TextTable;
-use apx_core::{evolve_multipliers, FlowConfig};
+use apx_core::{evolve_circuits, FlowConfig};
 use apx_dist::Pmf;
 use apx_imgproc::{average_filter_psnr, synth, Kernel3};
 use apx_rng::Xoshiro256;
@@ -42,7 +42,7 @@ fn main() {
             seed: 0xF165,
             ..FlowConfig::default()
         };
-        let result = evolve_multipliers(&pmf, &cfg).expect("flow");
+        let result = evolve_circuits(&pmf, &cfg).expect("flow");
         for m in result.best_per_threshold() {
             let t = apx_arith::OpTable::from_netlist(&m.netlist, 8, false).expect("table");
             let psnr = average_filter_psnr(&images, &kernel, &t, 80.0);

@@ -10,7 +10,7 @@
 
 use apx_bench::{iterations, lenet_case, mlp_case, results_dir, runs};
 use apx_core::report::TextTable;
-use apx_core::{evolve_multipliers, FlowConfig};
+use apx_core::{evolve_circuits, FlowConfig};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, TechLibrary, DEFAULT_CLOCK_MHZ};
 
@@ -83,7 +83,7 @@ fn main() {
             seed: 0xF166,
             ..FlowConfig::default()
         };
-        let result = evolve_multipliers(&case.weight_pmf, &cfg).expect("flow");
+        let result = evolve_circuits(&case.weight_pmf, &cfg).expect("flow");
         let mut rng = Xoshiro256::from_seed(0xF166);
         let exact_est = estimate_under_pmf(
             &result.seed_netlist.compact(),
@@ -95,7 +95,7 @@ fn main() {
         );
         for (li, &level) in levels.iter().enumerate() {
             let rel_pdps: Vec<f64> = result
-                .multipliers
+                .circuits
                 .iter()
                 .filter(|m| (m.threshold - level).abs() < 1e-15)
                 .map(|m| m.estimate.pdp_fj() / exact_est.pdp_fj())

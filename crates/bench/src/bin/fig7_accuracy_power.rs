@@ -14,7 +14,7 @@ use apx_arith::{baugh_wooley_multiplier, OpTable};
 use apx_bench::{iterations, lenet_case, mlp_case, results_dir};
 use apx_core::nn_flow::{evaluate_multiplier, CaseStudy};
 use apx_core::report::TextTable;
-use apx_core::{evolve_multipliers, mac_metrics, pareto_indices, FlowConfig};
+use apx_core::{evolve_circuits, mac_metrics, pareto_indices, FlowConfig};
 use apx_gates::Netlist;
 
 fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
@@ -32,7 +32,7 @@ fn run_case(label: &str, case: &CaseStudy, fanin: usize, csv: &mut TextTable) {
         seed: 0xF167,
         ..FlowConfig::default()
     };
-    let evolved = evolve_multipliers(&case.weight_pmf, &cfg).expect("flow");
+    let evolved = evolve_circuits(&case.weight_pmf, &cfg).expect("flow");
     for m in evolved.best_per_threshold() {
         candidates.push((format!("proposed {:.2}%", m.threshold * 100.0), m.netlist.clone()));
     }

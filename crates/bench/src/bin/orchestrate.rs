@@ -1,8 +1,9 @@
 //! Sweep orchestrator: the overnight-exploration driver.
 //!
 //! Spawns `APX_ORCH_SHARDS` local shard processes of one figure binary
-//! (`APX_ORCH_BIN`: `fig3_pareto`, `fig4_heatmaps`, `table1_finetune` or
-//! the tiny `sweep_smoke`), all pointed at the shared `APX_CACHE_DIR`,
+//! (`APX_ORCH_BIN`: `fig3_pareto`, `fig_adders`, `fig4_heatmaps`,
+//! `table1_finetune` or the tiny `sweep_smoke`), all pointed at the
+//! shared `APX_CACHE_DIR`,
 //! polls the directory for global progress, relaunches any shard that
 //! dies (cheap: its finished prefix replays from cache in milliseconds)
 //! and, once every shard succeeded, runs the same binary once more
@@ -11,7 +12,7 @@
 //!
 //! With `APX_GC=on` the completed directory is then garbage-collected
 //! ([`apx_core::cache::gc_cache_dir`]): the live grid's exact keys plus
-//! the per-`(width, signedness)` `(WMED, area)` Pareto set under the
+//! the per-`(operator, width, signedness)` `(WMED, area)` Pareto set under the
 //! grid's distributions survive; dominated historical entries, corrupt
 //! files and stale writer temp litter are deleted. `APX_GC=only` skips
 //! the grid and just collects — the maintenance pass for a directory
@@ -41,7 +42,8 @@ use std::process::{Command, ExitCode};
 use std::time::Duration;
 
 /// Binaries the orchestrator knows how to supervise.
-const WORKLOADS: &[&str] = &["fig3_pareto", "fig4_heatmaps", "table1_finetune", "sweep_smoke"];
+const WORKLOADS: &[&str] =
+    &["fig3_pareto", "fig_adders", "fig4_heatmaps", "table1_finetune", "sweep_smoke"];
 
 fn main() -> ExitCode {
     let bin = orch_bin();

@@ -79,7 +79,7 @@ fn main() {
 
     let mut csv = TextTable::new(vec!["dist", "name", "threshold", "wmed", "area_um2", "power_mw"]);
     for e in &result.entries {
-        let m = &e.multiplier;
+        let m = &e.circuit;
         csv.row(vec![
             e.dist.clone(),
             m.name.clone(),

@@ -2,6 +2,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use apx_arith::Operator;
 use apx_core::nn_flow::{prepare_case, CaseConfig, CaseKind, CaseStudy};
 use apx_core::{FlowConfig, LibraryConfig, Shard, SweepConfig, SweepStats};
 use apx_dist::Pmf;
@@ -49,6 +50,23 @@ pub fn iterations() -> u64 {
 #[must_use]
 pub fn runs(default: usize) -> usize {
     env_usize("APX_RUNS", default)
+}
+
+/// The arithmetic operator a sweep binary evolves (`APX_OP`: `mul`,
+/// `add` or `mac`; unset or empty means `mul`).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — silently evolving multipliers when
+/// the run asked for adders would be a different experiment wearing the
+/// requested one's name (the strict-knob rationale of [`env_u64`]).
+#[must_use]
+pub fn operator() -> Operator {
+    match std::env::var("APX_OP") {
+        Err(_) => Operator::Mul,
+        Ok(v) if v.trim().is_empty() => Operator::Mul,
+        Ok(v) => v.trim().parse().unwrap_or_else(|e| panic!("APX_OP {e}")),
+    }
 }
 
 /// The paper's D1: a normal distribution centred mid-range (Fig. 2 left).
@@ -265,6 +283,29 @@ pub fn fig3_sweep_grid() -> SweepConfig {
     }
 }
 
+/// The sweep grid `fig_adders` serves: the paper's three distributions
+/// against unsigned 8-bit approximate *adders* — the same 14-threshold
+/// shape as Fig. 3, with [`Operator::Add`] threaded through evaluator,
+/// cache and library. Reconstructible here for the same reason as
+/// [`fig3_sweep_grid`]: orchestration and GC must agree with the binary
+/// on the live key set.
+#[must_use]
+pub fn fig_adders_sweep_grid() -> SweepConfig {
+    SweepConfig {
+        distributions: sweep_distributions(),
+        flow: FlowConfig {
+            operator: Operator::Add,
+            width: 8,
+            signed: false,
+            iterations: iterations(),
+            runs_per_threshold: runs(1),
+            seed: 0xADD5,
+            ..FlowConfig::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
 /// The sweep grid `fig4_heatmaps` serves (one mid-range WMED budget per
 /// distribution), under the same knobs as the binary.
 #[must_use]
@@ -317,6 +358,7 @@ pub fn smoke_sweep_grid() -> SweepConfig {
 pub fn sweep_grid_of(bin: &str) -> Option<SweepConfig> {
     match bin {
         "fig3_pareto" => Some(fig3_sweep_grid()),
+        "fig_adders" => Some(fig_adders_sweep_grid()),
         "fig4_heatmaps" => Some(fig4_sweep_grid()),
         "sweep_smoke" => Some(smoke_sweep_grid()),
         _ => None,
@@ -328,6 +370,7 @@ pub fn sweep_grid_of(bin: &str) -> Option<SweepConfig> {
 /// mechanism, nothing when the sweep ran without cache and library.
 pub fn print_sweep_counters(cfg: &apx_core::SweepConfig, stats: &SweepStats) {
     println!("evaluator backend: {}", apx_metrics::EvalBackend::from_env());
+    println!("operator: {}", cfg.flow.operator);
     if let Some(dir) = &cfg.cache_dir {
         println!(
             "cache: {} hits, {} misses, {} shard-skipped ({})",
@@ -389,13 +432,17 @@ pub struct BenchGrid {
 ///
 /// `backend` records which simulation engine produced the numbers (the
 /// [`apx_metrics::EvalBackend`] name) — a scalar-backend rate must never
-/// be mistaken for a bit-parallel regression in the perf history.
+/// be mistaken for a bit-parallel regression in the perf history. `op`
+/// records the arithmetic operator the grid evolved (the `APX_OP` knob)
+/// for the same reason: adder and multiplier grids have different
+/// evaluation costs.
 #[must_use]
 pub fn bench_sweep_json(
     grid: BenchGrid,
     iterations: u64,
     cpu_cores: usize,
     backend: &str,
+    op: Operator,
     multi: &SweepStats,
     single: &SweepStats,
 ) -> String {
@@ -403,8 +450,8 @@ pub fn bench_sweep_json(
     format!(
         "{{\n  \"bench\": \"fig3_sweep\",\n  \"grid\": {{\"distributions\": {}, \"thresholds\": \
          {}, \"runs_per_threshold\": {}, \"tasks\": {}}},\n  \"iterations\": {iterations},\n  \
-         \"cpu_cores\": {cpu_cores},\n  \"backend\": \"{backend}\",\n  \"multi_thread\": {},\n  \
-         \"single_thread\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+         \"cpu_cores\": {cpu_cores},\n  \"backend\": \"{backend}\",\n  \"op\": \"{op}\",\n  \
+         \"multi_thread\": {},\n  \"single_thread\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
         grid.distributions,
         grid.thresholds,
         grid.runs_per_threshold,
@@ -556,6 +603,16 @@ mod tests {
         assert_eq!(fig3.flow.seed, 0xF163);
         let fig4 = sweep_grid_of("fig4_heatmaps").expect("fig4 grid");
         assert_eq!(fig4.flow.thresholds, vec![2e-3]);
+        let adders = sweep_grid_of("fig_adders").expect("adder grid");
+        assert_eq!(adders.flow.operator, Operator::Add);
+        assert!(!adders.flow.signed);
+        assert_eq!(adders.flow.thresholds.len(), 14, "same threshold ladder as Fig. 3");
+        assert_eq!(adders.flow.seed, 0xADD5);
+        assert_ne!(
+            apx_core::grid_keys(&adders),
+            apx_core::grid_keys(&fig3),
+            "the adder grid must never collide with the multiplier cache"
+        );
         let smoke = sweep_grid_of("sweep_smoke").expect("smoke grid");
         assert_eq!(smoke.flow.width, 4, "the smoke grid must stay cheap");
         assert_eq!(apx_core::grid_keys(&smoke).len(), 12);
@@ -591,6 +648,30 @@ mod tests {
         // `on` with caching disabled scans nothing (still a valid mode:
         // bit-identical to off, by the library-mode contract).
         assert_eq!(parse_library("on", None).unwrap().dir, None);
+    }
+
+    #[test]
+    fn operator_knob_parses_or_fails_loudly() {
+        let _guard = env_lock();
+        std::env::remove_var("APX_OP");
+        assert_eq!(operator(), Operator::Mul, "unset defaults to the multiplier");
+        for (spec, want) in [("mul", Operator::Mul), ("add", Operator::Add), ("mac", Operator::Mac)]
+        {
+            std::env::set_var("APX_OP", spec);
+            assert_eq!(operator(), want);
+            std::env::set_var("APX_OP", format!(" {spec} "));
+            assert_eq!(operator(), want, "surrounding whitespace is tolerated");
+        }
+        std::env::set_var("APX_OP", "");
+        assert_eq!(operator(), Operator::Mul, "empty counts as unset");
+        std::env::set_var("APX_OP", "adder");
+        let msg = panic_message_of(|| {
+            let _ = operator();
+        })
+        .expect("unknown operator must panic, never fall back");
+        std::env::remove_var("APX_OP");
+        assert!(msg.contains("APX_OP"), "missing knob name: {msg}");
+        assert!(msg.contains("adder"), "missing offending value: {msg}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! would happily accept `inf`, so numbers are validated against the JSON
 //! number grammar, not Rust's).
 
+use apx_arith::Operator;
 use apx_bench::{bench_sweep_json, sweep_stats_json, BenchGrid};
 use apx_core::SweepStats;
 
@@ -187,9 +188,11 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
         assert!(obj.contains("\"library_hits\": 2"), "missing library_hits: {obj}");
         assert!(obj.contains("\"seeded_evolutions\": 1"), "missing seeded_evolutions: {obj}");
         let grid = BenchGrid { distributions: 3, thresholds: 14, runs_per_threshold: 1 };
-        let doc = bench_sweep_json(grid, 50, 4, "bitpar", &s, &stats(wall * 2.0, evals));
+        let doc =
+            bench_sweep_json(grid, 50, 4, "bitpar", Operator::Add, &s, &stats(wall * 2.0, evals));
         json::validate(&doc).unwrap_or_else(|e| panic!("invalid document ({e}): {doc}"));
         assert!(doc.contains("\"backend\": \"bitpar\""), "missing backend: {doc}");
+        assert!(doc.contains("\"op\": \"add\""), "missing operator: {doc}");
     }
 }
 
@@ -200,7 +203,9 @@ fn committed_bench_sweep_json_parses() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sweep.json");
     let text = std::fs::read_to_string(path).expect("results/BENCH_sweep.json is committed");
     json::validate(&text).unwrap_or_else(|e| panic!("committed BENCH_sweep.json invalid: {e}"));
-    for key in ["\"library_hits\"", "\"seeded_evolutions\"", "\"cache_hits\"", "\"backend\""] {
+    for key in
+        ["\"library_hits\"", "\"seeded_evolutions\"", "\"cache_hits\"", "\"backend\"", "\"op\""]
+    {
         assert!(text.contains(key), "committed BENCH_sweep.json lacks {key}");
     }
 }

@@ -22,14 +22,15 @@
 //!
 //! * the distribution as content — [`Pmf::content_digest`] over the exact
 //!   probability bit patterns;
-//! * the operand encoding: `width`, `signed`;
+//! * the component class and operand encoding: the [`Operator`] name,
+//!   `width`, `signed`;
 //! * the task itself: the WMED `threshold` (IEEE-754 bits, not a decimal
 //!   rendering), the `run` index, and the per-task RNG seed (which folds
 //!   in the master seed and the task's grid position, see
 //!   `flow::task_seed`);
 //! * the CGP knobs: `iterations`, `lambda`, `mutations`, `cols_slack`;
 //! * the estimate knob: `activity_blocks`;
-//! * a format tag (`apx-sweep-task v1`) — bump it whenever the evolution
+//! * a format tag (`apx-sweep-task v2`) — bump it whenever the evolution
 //!   or estimation algorithm changes meaning, which atomically orphans
 //!   every stale entry instead of replaying it.
 //!
@@ -44,9 +45,9 @@
 //! line-oriented text format in the spirit of `apx_cgp::serialize`:
 //!
 //! ```text
-//! apxsweep v2
+//! apxsweep v3
 //! key 9f…e2
-//! op 8 unsigned
+//! op mul 8 unsigned
 //! threshold 3f50624dd2f1a9fc
 //! run 0
 //! evaluations 804
@@ -57,12 +58,15 @@
 //! genes 0 1 2 …
 //! ```
 //!
-//! The `op` line (v2) records the operand encoding so a directory can be
-//! *scanned* — [`SweepCache::scan`] turns an overnight cache into the raw
-//! material of [`crate::library::ComponentLibrary`], which indexes
-//! entries by `(width, signedness)` and re-scores them under new
-//! distributions. v1 entries (no `op` line) simply stop matching and are
-//! recomputed; strict rejection is the upgrade path.
+//! The `op` line records the component class and operand encoding so a
+//! directory can be *scanned* — [`SweepCache::scan`] turns an overnight
+//! cache into the raw material of
+//! [`crate::library::ComponentLibrary`], which indexes entries by
+//! `(operator, width, signedness)` and re-scores them under new
+//! distributions. v3 prefixed the operator name to the line (v2 carried
+//! only `width signed`, v1 had no line at all); older entries simply
+//! stop matching and are recomputed; strict rejection is the upgrade
+//! path.
 //!
 //! Every `f64` is stored as the 16-hex-digit IEEE-754 bit pattern —
 //! round-tripping is exact by construction, never `{:.17}`-approximate.
@@ -89,8 +93,9 @@
 //!
 //! [`gc_cache_dir`] is the eviction policy an orchestrated overnight
 //! exploration runs after its grid completes: keep every live-grid key
-//! (exact resume stays bit-identical) plus, per `(width, signedness)`,
-//! the `(WMED, area)` Pareto set of components under the live
+//! (exact resume stays bit-identical) plus, per
+//! `(operator, width, signedness)`, the `(WMED, area)` Pareto set of
+//! components under the live
 //! distributions (what autoAx-style library reuse could still take), and
 //! drop dominated historical entries, corrupt files and stale temp
 //! litter. See [`GcConfig`] / [`GcReport`].
@@ -100,12 +105,13 @@
 //! default it to `results/cache/` and expose the `APX_CACHE_DIR`
 //! environment knob (empty or `off` disables caching entirely).
 
-use crate::flow::{EvolvedMultiplier, FlowConfig};
+use crate::flow::{EvolvedCircuit, FlowConfig};
 use crate::library::{ComponentLibrary, Provenance};
 use crate::pareto_indices;
+use apx_arith::Operator;
 use apx_cgp::Chromosome;
 use apx_dist::{fnv1a64, Pmf, FNV1A64_OFFSET};
-use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_techlib::{CircuitEstimate, TechLibrary};
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
@@ -118,12 +124,13 @@ use std::time::{Duration, SystemTime};
 /// whenever the semantics of a stored task change (evolution algorithm,
 /// estimate model, seed derivation): old entries then simply stop
 /// matching instead of resurfacing as wrong results.
-const FORMAT_TAG: &str = "apx-sweep-task v1";
+const FORMAT_TAG: &str = "apx-sweep-task v2";
 
-/// Magic first line of an entry file. Bumped to v2 when the `op`
-/// (width/signedness) line was added for library scanning; v1 files are
-/// rejected by the strict loader and transparently recomputed.
-const MAGIC: &str = "apxsweep v2";
+/// Magic first line of an entry file. Bumped to v3 when the operator name
+/// joined the `op` line (v2 had added the line with only the operand
+/// encoding); v1/v2 files are rejected by the strict loader and
+/// transparently recomputed.
+const MAGIC: &str = "apxsweep v3";
 
 /// A 128-bit content-addressed cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,10 +177,11 @@ pub fn task_key(
     task_seed: u64,
 ) -> CacheKey {
     let canonical = format!(
-        "{FORMAT_TAG}\npmf {:016x}\nwidth {} signed {}\nthreshold {:016x}\nrun {run}\n\
+        "{FORMAT_TAG}\npmf {:016x}\nop {} width {} signed {}\nthreshold {:016x}\nrun {run}\n\
          task_seed {task_seed:016x}\niterations {} lambda {} mutations {} cols_slack {}\n\
          activity_blocks {}\n",
         pmf.content_digest(),
+        flow.operator.name(),
         flow.width,
         flow.signed,
         threshold.to_bits(),
@@ -222,13 +230,13 @@ impl SweepCache {
     /// always falls back to recomputing (and then overwrites the bad
     /// file).
     ///
-    /// The returned multiplier carries the *stored* task data; its display
+    /// The returned circuit carries the *stored* task data; its display
     /// `name` is whatever the storing run used, and [`run_sweep`]
     /// (crate::run_sweep) re-stamps it for the current configuration.
     #[must_use]
-    pub fn load(&self, key: CacheKey) -> Option<EvolvedMultiplier> {
+    pub fn load(&self, key: CacheKey) -> Option<EvolvedCircuit> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        entry_from_text(&text, key).map(|e| e.multiplier)
+        entry_from_text(&text, key).map(|e| e.circuit)
     }
 
     /// Atomically stores `entry` under `key`: the bytes are written to a
@@ -236,9 +244,9 @@ impl SweepCache {
     /// place, so no interleaving of crashes and concurrent writers can
     /// leave a torn file behind.
     ///
-    /// `signed` records the operand encoding in the entry's `op` line (the
-    /// width is taken from the entry's netlist) so directory scans can
-    /// index the entry without guessing.
+    /// `op`, `width` and `signed` record the component class and operand
+    /// encoding in the entry's `op` line so directory scans can index the
+    /// entry without guessing.
     ///
     /// # Errors
     ///
@@ -248,13 +256,15 @@ impl SweepCache {
     pub fn store(
         &self,
         key: CacheKey,
-        entry: &EvolvedMultiplier,
+        entry: &EvolvedCircuit,
+        op: Operator,
+        width: u32,
         signed: bool,
     ) -> io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path_of(key);
         let tmp = self.dir.join(format!(".{}.tmp.{}", key.hex(), std::process::id()));
-        std::fs::write(&tmp, entry_to_text(entry, key, signed))?;
+        std::fs::write(&tmp, entry_to_text(entry, key, op, width, signed))?;
         match std::fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {
@@ -299,12 +309,14 @@ impl SweepCache {
 pub struct ScannedEntry {
     /// The content-addressed key the entry was stored under.
     pub key: CacheKey,
+    /// The component class (from the entry's `op` line).
+    pub op: Operator,
     /// Operand width in bits (from the entry's `op` line).
     pub width: u32,
     /// Two's-complement operand encoding.
     pub signed: bool,
     /// The stored task result.
-    pub multiplier: EvolvedMultiplier,
+    pub circuit: EvolvedCircuit,
 }
 
 /// Aggregate shape of a cache directory ([`cache_dir_stats`]) — the
@@ -326,13 +338,14 @@ pub struct CacheDirStats {
     /// [`SweepCache::store`]. Invisible to loads and scans, but they
     /// accumulate forever unless a [`gc_cache_dir`] pass removes them.
     pub tmp_litter: usize,
-    /// Intact entries per `(width, signed)` operand encoding.
-    pub per_op: std::collections::BTreeMap<(u32, bool), usize>,
+    /// Intact entries per `(operator, width, signed)` component class and
+    /// operand encoding.
+    pub per_op: std::collections::BTreeMap<(Operator, u32, bool), usize>,
 }
 
 /// Walks `dir` and summarizes its `*.sweep` population: file and intact
-/// entry counts, total bytes, and per-`(width, signedness)` entry counts.
-/// A missing directory reports all zeros.
+/// entry counts, total bytes, and per-`(operator, width, signedness)`
+/// entry counts. A missing directory reports all zeros.
 #[must_use]
 pub fn cache_dir_stats(dir: &Path) -> CacheDirStats {
     let mut stats = CacheDirStats::default();
@@ -360,7 +373,7 @@ pub fn cache_dir_stats(dir: &Path) -> CacheDirStats {
         match parsed {
             Some(e) => {
                 stats.entries += 1;
-                *stats.per_op.entry((e.width, e.signed)).or_insert(0) += 1;
+                *stats.per_op.entry((e.op, e.width, e.signed)).or_insert(0) += 1;
             }
             None => stats.corrupt += 1,
         }
@@ -385,8 +398,8 @@ fn is_tmp_litter(name: &str) -> bool {
 ///   survives untouched. Callers pass the content-addressed keys of the
 ///   grid they are still serving ([`crate::grid_keys`]), so an exact
 ///   warm resume stays bit-identical after collection;
-/// * **Pareto front** — per `(width, signedness)` group, the autoAx-style
-///   component view: all candidates are re-scored
+/// * **Pareto front** — per `(operator, width, signedness)` group, the
+///   autoAx-style component view: all candidates are re-scored
 ///   ([`ComponentLibrary::rescore`]) under each matching-width
 ///   distribution in `distributions` and every `(WMED, area)` front
 ///   member survives (union over the distributions). Dominated historical
@@ -399,8 +412,8 @@ pub struct GcConfig {
     /// Content-addressed keys of the live grid — kept unconditionally.
     pub keep: HashSet<CacheKey>,
     /// Distributions to re-score candidates under (typically the live
-    /// sweep's PMFs). Applied to every `(width, signedness)` group of
-    /// matching width.
+    /// sweep's PMFs). Applied to every `(operator, width, signedness)`
+    /// group of matching width.
     pub distributions: Vec<Pmf>,
     /// Worker threads for the re-scoring passes.
     pub threads: usize,
@@ -540,13 +553,14 @@ pub fn gc_cache_dir(dir: &Path, cfg: &GcConfig) -> io::Result<GcReport> {
     }
     report.kept_live = survivors.len();
 
-    let groups: BTreeSet<(u32, bool)> = scanned.iter().map(|e| (e.width, e.signed)).collect();
+    let groups: BTreeSet<(Operator, u32, bool)> =
+        scanned.iter().map(|e| (e.op, e.width, e.signed)).collect();
     if !groups.is_empty() {
         // The candidate library (a deep copy of every netlist) is only
         // worth building when some group will actually be re-scored; a
         // stored-stats-only pass reads `scanned` directly.
         let needs_rescoring =
-            groups.iter().any(|(w, _)| cfg.distributions.iter().any(|p| p.width() == *w));
+            groups.iter().any(|(_, w, _)| cfg.distributions.iter().any(|p| p.width() == *w));
         let mut lib = ComponentLibrary::new();
         if needs_rescoring {
             for e in &scanned {
@@ -554,12 +568,12 @@ pub fn gc_cache_dir(dir: &Path, cfg: &GcConfig) -> io::Result<GcReport> {
             }
         }
         let tech = TechLibrary::nangate45();
-        for &(width, signed) in &groups {
+        for &(op, width, signed) in &groups {
             let mut rescored_any = false;
             for pmf in cfg.distributions.iter().filter(|p| p.width() == width) {
                 // Construction only fails on width/PMF mismatches, both
                 // excluded by the filter above — but stay graceful.
-                let Ok(evaluator) = MultEvaluator::new(width, signed, pmf) else {
+                let Ok(evaluator) = CircuitEvaluator::for_operator(op, width, signed, pmf) else {
                     continue;
                 };
                 let rescored = lib.rescore(&evaluator, &tech, cfg.threads.max(1));
@@ -571,13 +585,15 @@ pub fn gc_cache_dir(dir: &Path, cfg: &GcConfig) -> io::Result<GcReport> {
                 rescored_any = true;
             }
             if !rescored_any {
-                // No distribution covers this encoding: keep the front of
+                // No distribution covers this group: keep the front of
                 // the stored statistics instead of deleting blindly.
-                let group: Vec<&ScannedEntry> =
-                    scanned.iter().filter(|e| e.width == width && e.signed == signed).collect();
+                let group: Vec<&ScannedEntry> = scanned
+                    .iter()
+                    .filter(|e| e.op == op && e.width == width && e.signed == signed)
+                    .collect();
                 let points: Vec<(f64, f64)> = group
                     .iter()
-                    .map(|e| (e.multiplier.stats.wmed, e.multiplier.estimate.area_um2))
+                    .map(|e| (e.circuit.stats.wmed, e.circuit.estimate.area_um2))
                     .collect();
                 for i in pareto_indices(&points) {
                     survivors.insert(group[i].key);
@@ -615,16 +631,17 @@ fn push_f64_bits(out: &mut String, values: &[f64]) {
 }
 
 /// Serializes one completed task to the entry format (module docs).
-fn entry_to_text(m: &EvolvedMultiplier, key: CacheKey, signed: bool) -> String {
+fn entry_to_text(
+    m: &EvolvedCircuit,
+    key: CacheKey,
+    op: Operator,
+    width: u32,
+    signed: bool,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{MAGIC}");
     let _ = writeln!(s, "key {}", key.hex());
-    let _ = writeln!(
-        s,
-        "op {} {}",
-        m.netlist.num_inputs() / 2,
-        if signed { "signed" } else { "unsigned" }
-    );
+    let _ = writeln!(s, "op {} {width} {}", op.name(), if signed { "signed" } else { "unsigned" });
     let _ = writeln!(s, "threshold {:016x}", m.threshold.to_bits());
     let _ = writeln!(s, "run {}", m.run);
     let _ = writeln!(s, "evaluations {}", m.evaluations);
@@ -659,14 +676,15 @@ fn entry_from_text(text: &str, key: CacheKey) -> Option<ScannedEntry> {
     if lines.next()? != format!("key {}", key.hex()) {
         return None;
     }
-    let op_line = field(lines.next()?, "op", 2)?;
-    let width: u32 = op_line.parse_dec()?;
-    let signed = match op_line.values[1] {
+    let op_line = field(lines.next()?, "op", 3)?;
+    let op: Operator = op_line.values[0].parse().ok()?;
+    let width: u32 = op_line.values[1].parse().ok()?;
+    let signed = match op_line.values[2] {
         "signed" => true,
         "unsigned" => false,
         _ => return None,
     };
-    if width == 0 || width > 16 {
+    if !op.supports_width(width) {
         return None;
     }
     let threshold = f64::from_bits(field(lines.next()?, "threshold", 1)?.parse_hex()?);
@@ -697,15 +715,16 @@ fn entry_from_text(text: &str, key: CacheKey) -> Option<ScannedEntry> {
     // truncation and trailing bytes itself.
     let rest: Vec<&str> = lines.collect();
     let chromosome = Chromosome::from_text(&rest.join("\n")).ok()?;
-    if chromosome.num_inputs() != 2 * width as usize {
+    if chromosome.num_inputs() != op.num_inputs(width) {
         return None; // the `op` line must agree with the genotype
     }
     let netlist = chromosome.decode_active();
     Some(ScannedEntry {
         key,
+        op,
         width,
         signed,
-        multiplier: EvolvedMultiplier {
+        circuit: EvolvedCircuit {
             name: String::new(), // re-stamped by the caller for its grid
             chromosome,
             netlist,
@@ -770,7 +789,7 @@ mod tests {
     /// A synthetic but structurally valid entry with every field driven
     /// from `seed`, including awkward float values (negative zero,
     /// subnormals, huge magnitudes).
-    fn synthetic_entry(seed: u64) -> EvolvedMultiplier {
+    fn synthetic_entry(seed: u64) -> EvolvedCircuit {
         let mut rng = Xoshiro256::from_seed(seed);
         let chromosome = Chromosome::random(6, 4, 20, &FunctionSet::extended(), &mut rng);
         let mut f = |i: usize| match i % 4 {
@@ -780,7 +799,7 @@ mod tests {
             _ => rng.f64(),
         };
         let netlist = chromosome.decode_active();
-        EvolvedMultiplier {
+        EvolvedCircuit {
             name: format!("D_t{}_r{}", seed % 7, seed % 3),
             chromosome,
             netlist,
@@ -805,7 +824,7 @@ mod tests {
         }
     }
 
-    fn assert_bit_identical(a: &EvolvedMultiplier, b: &EvolvedMultiplier) {
+    fn assert_bit_identical(a: &EvolvedCircuit, b: &EvolvedCircuit) {
         assert_eq!(a.chromosome, b.chromosome);
         assert_eq!(a.run, b.run);
         assert_eq!(a.evaluations, b.evaluations);
@@ -839,13 +858,15 @@ mod tests {
             let signed = seed % 2 == 0;
             let dir = scratch("prop");
             let cache = SweepCache::new(&dir);
-            cache.store(key, &entry, signed).expect("store");
+            cache.store(key, &entry, Operator::Mul, 3, signed).expect("store");
             let back = cache.load(key).expect("hit");
             assert_bit_identical(&entry, &back);
             // In-memory round trip agrees with the on-disk one, and the
             // `op` line round-trips the operand encoding.
-            let back2 = entry_from_text(&entry_to_text(&entry, key, signed), key).expect("parse");
-            assert_bit_identical(&entry, &back2.multiplier);
+            let back2 =
+                entry_from_text(&entry_to_text(&entry, key, Operator::Mul, 3, signed), key)
+                    .expect("parse");
+            assert_bit_identical(&entry, &back2.circuit);
             assert_eq!(back2.signed, signed);
             assert_eq!(back2.width as usize, entry.netlist.num_inputs() / 2);
             assert_eq!(back2.key, key);
@@ -862,7 +883,7 @@ mod tests {
     fn corrupt_and_truncated_entries_are_rejected_not_panicked() {
         let entry = synthetic_entry(42);
         let key = some_key(42);
-        let text = entry_to_text(&entry, key, false);
+        let text = entry_to_text(&entry, key, Operator::Mul, 3, false);
         assert!(entry_from_text(&text, key).is_some(), "sanity: intact entry loads");
 
         // Truncation at every line boundary (a killed non-atomic writer).
@@ -879,17 +900,27 @@ mod tests {
         assert!(entry_from_text(&format!("{text}trailing junk\n"), key).is_none());
         // Wrong magic or an entry stored under another key.
         assert!(entry_from_text(&text.replace(MAGIC, "apxsweep v1"), key).is_none());
+        assert!(entry_from_text(&text.replace(MAGIC, "apxsweep v2"), key).is_none());
         assert!(entry_from_text(&text, some_key(43)).is_none());
         // A tampered `op` line (bad encoding word, zero width, width that
         // contradicts the genotype) is a defect, not a guess.
-        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 3 sideways"), key).is_none());
-        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 0 unsigned"), key).is_none());
-        assert!(entry_from_text(&text.replace("op 3 unsigned", "op 4 unsigned"), key).is_none());
+        for bad in [
+            "op sideways 3 unsigned", // unknown operator token
+            "op mul 3 sideways",      // bad encoding word
+            "op mul 0 unsigned",      // zero width
+            "op mul 4 unsigned",      // width contradicting the genotype
+            "op 3 unsigned",          // v2 line shape (no operator)
+        ] {
+            assert!(
+                entry_from_text(&text.replace("op mul 3 unsigned", bad), key).is_none(),
+                "`{bad}` accepted"
+            );
+        }
 
         // End to end: a corrupt file on disk behaves as a miss.
         let dir = scratch("corrupt");
         let cache = SweepCache::new(&dir);
-        let path = cache.store(key, &entry, false).expect("store");
+        let path = cache.store(key, &entry, Operator::Mul, 3, false).expect("store");
         std::fs::write(&path, &text.as_bytes()[..40]).unwrap();
         assert!(cache.load(key).is_none());
     }
@@ -910,6 +941,7 @@ mod tests {
             task_key(&FlowConfig { mutations: 6, ..flow.clone() }, &pmf, 0.01, 0, 7),
             task_key(&FlowConfig { cols_slack: 61, ..flow.clone() }, &pmf, 0.01, 0, 7),
             task_key(&FlowConfig { signed: true, ..flow.clone() }, &pmf, 0.01, 0, 7),
+            task_key(&FlowConfig { operator: Operator::Add, ..flow.clone() }, &pmf, 0.01, 0, 7),
             task_key(&FlowConfig { activity_blocks: 47, ..flow.clone() }, &pmf, 0.01, 0, 7),
         ];
         let mut seen = std::collections::HashSet::from([base]);
@@ -928,9 +960,9 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = SweepCache::new(&dir);
         let key = some_key(9);
-        cache.store(key, &synthetic_entry(9), false).expect("store");
+        cache.store(key, &synthetic_entry(9), Operator::Mul, 3, false).expect("store");
         // Overwrite with different content: still one file, new content.
-        cache.store(key, &synthetic_entry(10), false).expect("overwrite");
+        cache.store(key, &synthetic_entry(10), Operator::Mul, 3, false).expect("overwrite");
         let names: Vec<String> = std::fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
@@ -958,10 +990,10 @@ mod tests {
         let cache = SweepCache::new(&dir);
         assert!(cache.scan().is_empty(), "missing directory scans as empty");
 
-        let mut stored: Vec<(CacheKey, EvolvedMultiplier, bool)> =
+        let mut stored: Vec<(CacheKey, EvolvedCircuit, bool)> =
             (0..5u64).map(|i| (some_key(i), synthetic_entry(100 + i), i % 2 == 0)).collect();
         for (key, entry, signed) in &stored {
-            cache.store(*key, entry, *signed).expect("store");
+            cache.store(*key, entry, Operator::Mul, 3, *signed).expect("store");
         }
         // Damage one entry, add a foreign file and a misnamed file: all
         // three must be skipped without failing the scan.
@@ -976,9 +1008,10 @@ mod tests {
         stored.sort_by_key(|(k, _, _)| (k.hi, k.lo));
         for (got, (key, entry, signed)) in scanned.iter().zip(&stored) {
             assert_eq!(got.key, *key);
+            assert_eq!(got.op, Operator::Mul);
             assert_eq!(got.signed, *signed);
             assert_eq!(got.width as usize, entry.netlist.num_inputs() / 2);
-            assert_bit_identical(&got.multiplier, entry);
+            assert_bit_identical(&got.circuit, entry);
         }
         let hexes: Vec<String> = scanned.iter().map(|e| e.key.hex()).collect();
         let mut sorted = hexes.clone();
@@ -992,14 +1025,17 @@ mod tests {
         assert_eq!(stats.corrupt, 2);
         assert!(stats.total_bytes > 0);
         assert_eq!(stats.per_op.values().sum::<usize>(), 4);
-        assert_eq!(stats.per_op.keys().map(|(w, _)| *w).collect::<Vec<_>>(), vec![3, 3]);
+        assert_eq!(
+            stats.per_op.keys().map(|&(op, w, _)| (op, w)).collect::<Vec<_>>(),
+            vec![(Operator::Mul, 3), (Operator::Mul, 3)]
+        );
         assert_eq!(cache_dir_stats(&scratch("scan_missing")), CacheDirStats::default());
     }
 
     /// A synthetic entry whose stored `(wmed, area)` point is pinned —
     /// the stored-stats fallback front of the GC is then fully
     /// controllable.
-    fn pinned_entry(seed: u64, wmed: f64, area: f64) -> EvolvedMultiplier {
+    fn pinned_entry(seed: u64, wmed: f64, area: f64) -> EvolvedCircuit {
         let mut m = synthetic_entry(seed);
         m.stats.wmed = wmed;
         m.estimate.area_um2 = area;
@@ -1051,7 +1087,7 @@ mod tests {
             (some_key(13), pinned_entry(13, 0.30, 9.0)),
         ];
         for (key, entry) in &population {
-            cache.store(*key, entry, false).unwrap();
+            cache.store(*key, entry, Operator::Mul, 3, false).unwrap();
         }
         let bytes_of = |key: CacheKey| std::fs::read(dir.join(format!("{}.sweep", key.hex()))).ok();
         let before: Vec<_> = population.iter().map(|(k, _)| bytes_of(*k)).collect();
@@ -1099,7 +1135,7 @@ mod tests {
             let mut rng = Xoshiro256::from_seed(9000 + i as u64);
             entry.chromosome = Chromosome::random(6, 6, 20, &FunctionSet::extended(), &mut rng);
             entry.netlist = entry.chromosome.decode_active();
-            cache.store(*key, &entry, false).unwrap();
+            cache.store(*key, &entry, Operator::Mul, 3, false).unwrap();
         }
         let pmf = Pmf::uniform(3);
         let cfg = GcConfig { distributions: vec![pmf.clone()], ..GcConfig::default() };
@@ -1113,7 +1149,7 @@ mod tests {
         // re-score what's left and check nobody dominates anybody.
         let mut lib = ComponentLibrary::new();
         assert_eq!(lib.scan_cache(&dir), report.kept_pareto);
-        let evaluator = MultEvaluator::new(3, false, &pmf).unwrap();
+        let evaluator = CircuitEvaluator::new(3, false, &pmf).unwrap();
         let rescored = lib.rescore(&evaluator, &TechLibrary::nangate45(), 1);
         assert_eq!(rescored.pareto().len(), rescored.candidates().len());
     }
@@ -1124,7 +1160,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = SweepCache::new(&dir);
         let key = some_key(77);
-        cache.store(key, &synthetic_entry(77), false).unwrap();
+        cache.store(key, &synthetic_entry(77), Operator::Mul, 3, false).unwrap();
         // Fabricate the orphan a writer killed between write and rename
         // leaves behind.
         let orphan = dir.join(format!(".{}.tmp.424242", some_key(78).hex()));

@@ -2,12 +2,14 @@
 
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::{ErrorMatrix, EvaluatorError, MultEvaluator};
+use apx_metrics::{CircuitEvaluator, ErrorMatrix, EvaluatorError};
 
 /// Evaluates one multiplier under several distributions: returns the WMED
 /// under each `pmf`, in order. This is how the paper shows that a
-/// multiplier evolved for `D1` is *not* competitive under `WMED_Du` and
-/// vice versa.
+/// circuit evolved for `D1` is *not* competitive under `WMED_Du` and
+/// vice versa. (Multiplier encoding; other operators cross-evaluate via
+/// their sweep's shared [`CircuitEvaluator::for_operator`] evaluators, as
+/// the `fig_adders` bin does.)
 ///
 /// # Errors
 ///
@@ -18,7 +20,7 @@ pub fn cross_wmed(
     signed: bool,
     pmfs: &[Pmf],
 ) -> Result<Vec<f64>, EvaluatorError> {
-    pmfs.iter().map(|pmf| Ok(MultEvaluator::new(width, signed, pmf)?.wmed(netlist))).collect()
+    pmfs.iter().map(|pmf| Ok(CircuitEvaluator::new(width, signed, pmf)?.wmed(netlist))).collect()
 }
 
 /// Per-input-pair error heat map of a multiplier (the data behind Fig. 4).
@@ -31,7 +33,7 @@ pub fn error_heatmap(
     width: u32,
     signed: bool,
 ) -> Result<ErrorMatrix, EvaluatorError> {
-    let eval = MultEvaluator::new(width, signed, &Pmf::uniform(width))?;
+    let eval = CircuitEvaluator::new(width, signed, &Pmf::uniform(width))?;
     Ok(eval.error_matrix(netlist))
 }
 

@@ -2,7 +2,7 @@
 
 use apx_cgp::{Chromosome, FitnessFn};
 use apx_dist::Pmf;
-use apx_metrics::{MultEvaluator, WmedState};
+use apx_metrics::{CircuitEvaluator, WmedState};
 use apx_techlib::{area_of, TechLibrary};
 use std::sync::{Arc, Mutex};
 
@@ -48,19 +48,19 @@ struct IncrSlot {
 ///
 /// # Incremental evaluation
 ///
-/// When the evaluator [supports it](MultEvaluator::supports_incremental),
+/// When the evaluator [supports it](CircuitEvaluator::supports_incremental),
 /// the [`FitnessFn`] implementation keeps a cached simulation state for
 /// the current CGP parent (installed by [`FitnessFn::rebase`], which
 /// `apx_cgp`'s evolution loop calls on every parent change). Offspring
 /// are then scored by re-simulating only the mutated nodes' fanout cones
-/// ([`MultEvaluator::wmed_bounded_delta`]), and mutations confined to
+/// ([`CircuitEvaluator::wmed_bounded_delta`]), and mutations confined to
 /// inactive genes short-circuit to the parent's fitness without touching
 /// the simulator at all. Every score is bit-identical to the stateless
 /// [`Eq1Fitness::of`], so search trajectories — and therefore sweep
 /// caches — do not depend on whether the shortcut was available.
 #[derive(Debug)]
 pub struct Eq1Fitness {
-    evaluator: Arc<MultEvaluator>,
+    evaluator: Arc<CircuitEvaluator>,
     tech: TechLibrary,
     threshold: f64,
     /// Incremental context; `None` until the first [`FitnessFn::rebase`].
@@ -82,7 +82,9 @@ impl Clone for Eq1Fitness {
 
 impl Eq1Fitness {
     /// Builds the fitness for a `width`-bit (optionally signed) multiplier
-    /// under distribution `pmf` with WMED budget `threshold`.
+    /// under distribution `pmf` with WMED budget `threshold`. For other
+    /// operators, build a [`CircuitEvaluator::for_operator`] evaluator and
+    /// use [`Eq1Fitness::with_evaluator`].
     ///
     /// # Errors
     ///
@@ -95,14 +97,18 @@ impl Eq1Fitness {
         tech: TechLibrary,
         threshold: f64,
     ) -> Result<Self, apx_metrics::EvaluatorError> {
-        Ok(Self::with_evaluator(Arc::new(MultEvaluator::new(width, signed, pmf)?), tech, threshold))
+        Ok(Self::with_evaluator(
+            Arc::new(CircuitEvaluator::new(width, signed, pmf)?),
+            tech,
+            threshold,
+        ))
     }
 
     /// Builds the fitness around an already-constructed, shared evaluator
     /// — infallible, and the constructor every sweep task uses.
     #[must_use]
     pub fn with_evaluator(
-        evaluator: Arc<MultEvaluator>,
+        evaluator: Arc<CircuitEvaluator>,
         tech: TechLibrary,
         threshold: f64,
     ) -> Self {
@@ -127,7 +133,7 @@ impl Eq1Fitness {
 
     /// The underlying WMED evaluator (for post-hoc statistics).
     #[must_use]
-    pub fn evaluator(&self) -> &MultEvaluator {
+    pub fn evaluator(&self) -> &CircuitEvaluator {
         &self.evaluator
     }
 

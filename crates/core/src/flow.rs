@@ -1,18 +1,20 @@
 //! The end-to-end approximation flow (paper §IV / §V-D).
 
 use crate::{CoreError, Eq1Fitness};
-use apx_arith::{array_multiplier, baugh_wooley_multiplier};
+use apx_arith::Operator;
 use apx_cgp::{evolve_seeded, Chromosome, EvolutionConfig, FunctionSet};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
 use std::sync::Arc;
 
-/// Configuration of a multiplier-approximation flow.
+/// Configuration of a circuit-approximation flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowConfig {
+    /// The arithmetic operator being approximated (multiplier by default).
+    pub operator: Operator,
     /// Operand width in bits (the paper uses 8).
     pub width: u32,
     /// Two's-complement operands (case study 2) or unsigned (case study 1).
@@ -41,6 +43,7 @@ pub struct FlowConfig {
 impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig {
+            operator: Operator::Mul,
             width: 8,
             signed: false,
             thresholds: default_thresholds(),
@@ -69,9 +72,9 @@ pub fn table1_thresholds() -> Vec<f64> {
     vec![0.0, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1]
 }
 
-/// One evolved approximate multiplier with its full evaluation.
+/// One evolved approximate circuit with its full evaluation.
 #[derive(Debug, Clone)]
-pub struct EvolvedMultiplier {
+pub struct EvolvedCircuit {
     /// `"t<threshold-index>_r<run>"`, stable across reruns.
     pub name: String,
     /// The genotype (serializable via [`Chromosome::to_text`]).
@@ -90,11 +93,11 @@ pub struct EvolvedMultiplier {
     pub evaluations: u64,
 }
 
-/// Result of [`evolve_multipliers`].
+/// Result of [`evolve_circuits`].
 #[derive(Debug, Clone)]
 pub struct FlowResult {
-    /// Every evolved multiplier (`thresholds × runs` entries).
-    pub multipliers: Vec<EvolvedMultiplier>,
+    /// Every evolved circuit (`thresholds × runs` entries).
+    pub circuits: Vec<EvolvedCircuit>,
     /// The exact seed's physical estimate (the 100 % reference).
     pub seed_estimate: CircuitEstimate,
     /// The exact seed netlist.
@@ -105,14 +108,14 @@ impl FlowResult {
     /// `(error, power)` pairs for Pareto plotting: WMED vs. power in mW.
     #[must_use]
     pub fn error_power_points(&self) -> Vec<(f64, f64)> {
-        self.multipliers.iter().map(|m| (m.stats.wmed, m.estimate.power_mw())).collect()
+        self.circuits.iter().map(|m| (m.stats.wmed, m.estimate.power_mw())).collect()
     }
 
-    /// The best (lowest-area) multiplier per threshold, in threshold order.
+    /// The best (lowest-area) circuit per threshold, in threshold order.
     #[must_use]
-    pub fn best_per_threshold(&self) -> Vec<&EvolvedMultiplier> {
-        let mut best: Vec<&EvolvedMultiplier> = Vec::new();
-        for m in &self.multipliers {
+    pub fn best_per_threshold(&self) -> Vec<&EvolvedCircuit> {
+        let mut best: Vec<&EvolvedCircuit> = Vec::new();
+        for m in &self.circuits {
             match best.iter_mut().find(|b| b.threshold == m.threshold) {
                 Some(b) => {
                     if m.estimate.area_um2 < b.estimate.area_um2 {
@@ -126,7 +129,7 @@ impl FlowResult {
     }
 }
 
-/// Validates the parts of a [`FlowConfig`] shared by [`evolve_multipliers`]
+/// Validates the parts of a [`FlowConfig`] shared by [`evolve_circuits`]
 /// and [`crate::run_sweep`].
 pub(crate) fn validate_config(pmf: &Pmf, cfg: &FlowConfig) -> Result<(), CoreError> {
     if cfg.thresholds.is_empty() {
@@ -134,6 +137,12 @@ pub(crate) fn validate_config(pmf: &Pmf, cfg: &FlowConfig) -> Result<(), CoreErr
     }
     if cfg.iterations == 0 {
         return Err(CoreError::BadConfig("iterations must be positive".into()));
+    }
+    if !cfg.operator.supports_width(cfg.width) {
+        return Err(CoreError::BadConfig(format!(
+            "operand width {} outside the {} operator's evaluable range",
+            cfg.width, cfg.operator
+        )));
     }
     if pmf.width() != cfg.width {
         return Err(CoreError::BadConfig(format!(
@@ -145,10 +154,10 @@ pub(crate) fn validate_config(pmf: &Pmf, cfg: &FlowConfig) -> Result<(), CoreErr
     Ok(())
 }
 
-/// Builds the exact seed multiplier and its CGP encoding for a flow.
+/// Builds the exact seed circuit of the flow's operator and its CGP
+/// encoding.
 pub(crate) fn seed_circuit(cfg: &FlowConfig) -> Result<(Netlist, Chromosome), CoreError> {
-    let seed_netlist =
-        if cfg.signed { baugh_wooley_multiplier(cfg.width) } else { array_multiplier(cfg.width) };
+    let seed_netlist = cfg.operator.seed_circuit(cfg.width, cfg.signed);
     let funcs = FunctionSet::extended();
     let seed_chrom = Chromosome::from_netlist(
         &seed_netlist,
@@ -186,7 +195,7 @@ pub(crate) fn task_seed(seed: u64, dist: usize, ti: usize, run: usize) -> u64 {
 
 /// Runs one `(threshold, run)` task: evolve under Eq. 1 (or keep the exact
 /// seed at threshold 0), then measure exhaustive error statistics and the
-/// physical estimate. The expensive [`MultEvaluator`] is shared, not
+/// physical estimate. The expensive [`CircuitEvaluator`] is shared, not
 /// rebuilt per task.
 ///
 /// `seeds` warm-starts the CGP run ([`apx_cgp::evolve_seeded`]): the
@@ -200,13 +209,13 @@ pub(crate) fn evolve_one(
     pmf: &Pmf,
     tech: &TechLibrary,
     seed_chrom: &Chromosome,
-    evaluator: &Arc<MultEvaluator>,
+    evaluator: &Arc<CircuitEvaluator>,
     ti: usize,
     run: usize,
     seed: u64,
     name: String,
     seeds: &[Chromosome],
-) -> (EvolvedMultiplier, Option<usize>) {
+) -> (EvolvedCircuit, Option<usize>) {
     let threshold = cfg.thresholds[ti];
     let (chromosome, evaluations, initial_seed) = if threshold == 0.0 {
         (seed_chrom.clone(), 0, None)
@@ -243,16 +252,7 @@ pub(crate) fn evolve_one(
         &mut est_rng,
     );
     (
-        EvolvedMultiplier {
-            name,
-            chromosome,
-            netlist,
-            threshold,
-            run,
-            stats,
-            estimate,
-            evaluations,
-        },
+        EvolvedCircuit { name, chromosome, netlist, threshold, run, stats, estimate, evaluations },
         initial_seed,
     )
 }
@@ -281,7 +281,8 @@ where
 }
 
 /// Runs the complete flow: for every threshold `E_i` and every run, evolve
-/// a multiplier minimizing area under `WMED_D ≤ E_i` (Eq. 1), then measure
+/// a circuit of the configured operator minimizing area under
+/// `WMED_D ≤ E_i` (Eq. 1), then measure
 /// its exhaustive error statistics and physical cost under `pmf`.
 ///
 /// Work items run on a shared [`apx_pool`] worker pool with per-slot
@@ -294,11 +295,12 @@ where
 /// Returns [`CoreError`] on invalid configuration (zero width, empty
 /// thresholds, PMF/width mismatch, …) and [`CoreError::WorkerPanic`] if a
 /// task panicked.
-pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, CoreError> {
+pub fn evolve_circuits(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, CoreError> {
     validate_config(pmf, cfg)?;
     let tech = TechLibrary::nangate45();
     let (seed_netlist, seed_chrom) = seed_circuit(cfg)?;
-    let evaluator = Arc::new(MultEvaluator::new(cfg.width, cfg.signed, pmf)?);
+    let evaluator =
+        Arc::new(CircuitEvaluator::for_operator(cfg.operator, cfg.width, cfg.signed, pmf)?);
 
     let tasks: Vec<(usize, usize)> = cfg
         .thresholds
@@ -307,7 +309,7 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         .flat_map(|(ti, _)| (0..cfg.runs_per_threshold).map(move |r| (ti, r)))
         .collect();
 
-    let multipliers = run_tasks(
+    let circuits = run_tasks(
         cfg.threads,
         tasks,
         |(ti, run)| format!("t{ti}_r{run}"),
@@ -337,7 +339,7 @@ pub fn evolve_multipliers(pmf: &Pmf, cfg: &FlowConfig) -> Result<FlowResult, Cor
         cfg.activity_blocks,
         &mut est_rng,
     );
-    Ok(FlowResult { multipliers, seed_estimate, seed_netlist })
+    Ok(FlowResult { circuits, seed_estimate, seed_netlist })
 }
 
 #[cfg(test)]
@@ -360,10 +362,10 @@ mod tests {
     #[test]
     fn flow_produces_constrained_smaller_circuits() {
         let pmf = Pmf::half_normal(4, 3.0);
-        let result = evolve_multipliers(&pmf, &tiny_cfg()).unwrap();
-        assert_eq!(result.multipliers.len(), 4);
+        let result = evolve_circuits(&pmf, &tiny_cfg()).unwrap();
+        assert_eq!(result.circuits.len(), 4);
         let seed_area = result.seed_estimate.area_um2;
-        for m in &result.multipliers {
+        for m in &result.circuits {
             assert!(
                 m.stats.wmed <= m.threshold + 1e-12,
                 "{}: wmed {} over budget {}",
@@ -374,7 +376,7 @@ mod tests {
             assert!(m.estimate.area_um2 <= seed_area + 1e-9, "{} grew", m.name);
         }
         // The relaxed-budget runs must actually shrink the circuit.
-        let relaxed: Vec<_> = result.multipliers.iter().filter(|m| m.threshold > 0.0).collect();
+        let relaxed: Vec<_> = result.circuits.iter().filter(|m| m.threshold > 0.0).collect();
         assert!(
             relaxed.iter().any(|m| m.estimate.area_um2 < seed_area * 0.9),
             "400 iterations should shave >10% area at WMED 2%"
@@ -389,13 +391,13 @@ mod tests {
         cfg.runs_per_threshold = 2;
         cfg.iterations = 150;
         cfg.threads = 4;
-        let a = evolve_multipliers(&pmf, &cfg).unwrap();
+        let a = evolve_circuits(&pmf, &cfg).unwrap();
         cfg.threads = 1;
-        let b = evolve_multipliers(&pmf, &cfg).unwrap();
-        assert_eq!(a.multipliers.len(), b.multipliers.len());
+        let b = evolve_circuits(&pmf, &cfg).unwrap();
+        assert_eq!(a.circuits.len(), b.circuits.len());
         // Bit-for-bit: chromosomes, exhaustive statistics and physical
         // estimates must not depend on the thread count.
-        for (x, y) in a.multipliers.iter().zip(&b.multipliers) {
+        for (x, y) in a.circuits.iter().zip(&b.circuits) {
             assert_eq!(x.name, y.name);
             assert_eq!(x.chromosome, y.chromosome, "{} differs", x.name);
             assert_eq!(x.stats, y.stats, "{} stats differ", x.name);
@@ -442,20 +444,20 @@ mod tests {
             activity_blocks: 4,
             ..Default::default()
         };
-        let result = evolve_multipliers(&pmf, &cfg).unwrap();
+        let result = evolve_circuits(&pmf, &cfg).unwrap();
         // Threshold 0 keeps the exact seed: zero error.
-        assert_eq!(result.multipliers[0].stats.max_abs_error, 0);
-        assert_eq!(result.multipliers[0].evaluations, 0);
+        assert_eq!(result.circuits[0].stats.max_abs_error, 0);
+        assert_eq!(result.circuits[0].evaluations, 0);
     }
 
     #[test]
     fn best_per_threshold_selects_minimum_area() {
         let pmf = Pmf::uniform(4);
-        let result = evolve_multipliers(&pmf, &tiny_cfg()).unwrap();
+        let result = evolve_circuits(&pmf, &tiny_cfg()).unwrap();
         let best = result.best_per_threshold();
         assert_eq!(best.len(), 2);
         for b in best {
-            for m in result.multipliers.iter().filter(|m| m.threshold == b.threshold) {
+            for m in result.circuits.iter().filter(|m| m.threshold == b.threshold) {
                 assert!(b.estimate.area_um2 <= m.estimate.area_um2);
             }
         }
@@ -493,10 +495,10 @@ mod tests {
     fn config_errors_are_reported() {
         let pmf = Pmf::uniform(8);
         let empty = FlowConfig { thresholds: vec![], ..Default::default() };
-        assert!(matches!(evolve_multipliers(&pmf, &empty), Err(CoreError::BadConfig(_))));
+        assert!(matches!(evolve_circuits(&pmf, &empty), Err(CoreError::BadConfig(_))));
         let mismatch = FlowConfig { width: 4, ..Default::default() };
-        assert!(matches!(evolve_multipliers(&pmf, &mismatch), Err(CoreError::BadConfig(_))));
+        assert!(matches!(evolve_circuits(&pmf, &mismatch), Err(CoreError::BadConfig(_))));
         let zero_iters = FlowConfig { iterations: 0, ..Default::default() };
-        assert!(evolve_multipliers(&Pmf::uniform(8), &zero_iters).is_err());
+        assert!(evolve_circuits(&Pmf::uniform(8), &zero_iters).is_err());
     }
 }

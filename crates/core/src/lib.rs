@@ -6,9 +6,10 @@
 //!
 //! * [`Eq1Fitness`] — the fitness function of Eq. 1: minimize circuit
 //!   area subject to `WMED_D ≤ E_i`, with early-abort WMED evaluation;
-//! * [`evolve_multipliers`] / [`FlowConfig`] — the full design flow:
-//!   seed CGP with an exact multiplier, sweep the 14 target error levels,
-//!   repeat runs, and return every evolved multiplier with its error
+//! * [`evolve_circuits`] / [`FlowConfig`] — the full design flow:
+//!   seed CGP with the configured operator's exact design (multiplier,
+//!   adder or MAC — [`apx_arith::Operator`]), sweep the 14 target error
+//!   levels, repeat runs, and return every evolved circuit with its error
 //!   statistics and physical estimate (Fig. 3 / Fig. 6 data);
 //! * [`run_sweep`] / [`SweepConfig`] — the Pareto sweep driver: the full
 //!   `(distribution × threshold × run)` grid on one persistent
@@ -18,7 +19,7 @@
 //!   every finished `(distribution, threshold, run)` task is checkpointed
 //!   under a digest of exactly what was computed, so re-runs, interrupted
 //!   overnight sweeps and multi-process [`Shard`] splits reuse evolved
-//!   multipliers instead of re-evolving them;
+//!   circuits instead of re-evolving them;
 //! * [`orchestrate`] — the local multi-process supervisor over that
 //!   cache: spawn `n` shard processes (`APX_SHARD=i/n` over one
 //!   `APX_CACHE_DIR`), poll the shared directory for progress, relaunch
@@ -63,8 +64,7 @@ pub use error::CoreError;
 pub use evaluate::{cross_wmed, error_heatmap};
 pub use fitness::Eq1Fitness;
 pub use flow::{
-    default_thresholds, evolve_multipliers, table1_thresholds, EvolvedMultiplier, FlowConfig,
-    FlowResult,
+    default_thresholds, evolve_circuits, table1_thresholds, EvolvedCircuit, FlowConfig, FlowResult,
 };
 pub use mac_report::{mac_metrics, MacMetrics};
 pub use orchestrate::{

@@ -1,10 +1,11 @@
 //! Component-library mode: autoAx-style reuse of already-built
-//! multipliers across design-space explorations.
+//! circuits across design-space explorations.
 //!
 //! A paper-scale sweep re-runs CGP from scratch for every `(distribution,
 //! threshold)` point, yet the expensive artifact — an approximate
-//! multiplier — does not care which distribution it was evolved under:
-//! its WMED under a *new* [`Pmf`] is one exhaustive [`MultEvaluator`]
+//! multiplier, adder or MAC — does not care which distribution it was
+//! evolved under:
+//! its WMED under a *new* [`Pmf`] is one exhaustive [`CircuitEvaluator`]
 //! pass, no evolution at all (this is exactly the cheap re-scoring that
 //! makes autoAx-style library reuse work; Mrazek et al., DAC'19). This
 //! module turns the per-task [`crate::cache`] into such a reusable
@@ -12,13 +13,14 @@
 //!
 //! * [`ComponentLibrary`] scans a cache directory
 //!   ([`SweepCache::scan`]), deduplicates harvested chromosomes by a
-//!   structural digest of their active netlist, ingests the
-//!   conventionally designed multipliers of [`apx_approxlib`] through
-//!   the same unified [`LibraryEntry`] form, and indexes everything by
-//!   `(width, signedness)`;
+//!   structural digest of their active netlist, ingests conventionally
+//!   designed circuits — the [`apx_approxlib`] multipliers and the
+//!   approximate adders of [`apx_arith::adders_approx`] — through the
+//!   same unified [`LibraryEntry`] form, and indexes everything by
+//!   `(operator, width, signedness)`;
 //! * [`ComponentLibrary::rescore`] re-prices every matching candidate
 //!   under the current sweep's distribution — full [`ErrorStats`] via
-//!   the batched evaluator ([`MultEvaluator::stats_batch`], fanned out
+//!   the batched evaluator ([`CircuitEvaluator::stats_batch`], fanned out
 //!   on `apx_pool`) plus the technology-library area — yielding a
 //!   [`RescoredLibrary`]: a deterministic ranking with a per-
 //!   distribution Pareto front of `(WMED, area)` that keeps each
@@ -28,7 +30,7 @@
 //!   meeting a task's threshold is taken directly (`library_hits`),
 //!   otherwise the best candidates seed the CGP population
 //!   ([`apx_cgp::evolve_seeded`], `seeded_evolutions`) instead of every
-//!   run starting from the exact multiplier.
+//!   run starting from the operator's exact seed circuit.
 //!
 //! Determinism is preserved end to end: scans are key-sorted (never
 //! filesystem order), re-scoring is bit-identical to the sweep's own
@@ -38,13 +40,14 @@
 //! were off.
 
 use crate::cache::{CacheKey, ScannedEntry, SweepCache};
-use crate::flow::EvolvedMultiplier;
+use crate::flow::EvolvedCircuit;
 use crate::pareto_indices;
 use apx_approxlib::{Family, MultiplierLibrary};
+use apx_arith::{lower_or_adder, ripple_carry_adder, truncated_adder, Operator};
 use apx_cgp::{Chromosome, FunctionSet};
 use apx_dist::{fnv1a64, FNV1A64_OFFSET};
 use apx_gates::Netlist;
-use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_techlib::{area_of, TechLibrary};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -60,9 +63,10 @@ pub enum Provenance {
         /// The content-addressed key the entry was stored under.
         source_key: CacheKey,
     },
-    /// A conventionally designed multiplier ingested from
-    /// [`apx_approxlib::MultiplierLibrary`] (truncated, broken-array,
-    /// zero-guarded, … — the paper's §IV baselines).
+    /// A conventionally designed circuit: an [`apx_approxlib`]
+    /// multiplier (truncated, broken-array, zero-guarded, … — the
+    /// paper's §IV baselines) or an [`apx_arith::adders_approx`] adder
+    /// (lower-OR, truncated).
     Conventional {
         /// The approxlib construction family.
         family: Family,
@@ -83,6 +87,8 @@ pub struct LibraryEntry {
     /// The active-cone phenotype (`chromosome.decode_active()`), the
     /// object every re-scoring pass evaluates.
     pub netlist: Netlist,
+    /// The arithmetic operator the candidate implements.
+    pub op: Operator,
     /// Operand width in bits.
     pub width: u32,
     /// Two's-complement operand encoding.
@@ -112,8 +118,9 @@ pub fn netlist_digest(netlist: &Netlist) -> u128 {
     (u128::from(hi) << 64) | u128::from(lo)
 }
 
-/// A deduplicated, `(width, signedness)`-indexed collection of candidate
-/// multipliers harvested from sweep caches and conventional libraries.
+/// A deduplicated, `(operator, width, signedness)`-indexed collection of
+/// candidate circuits harvested from sweep caches and conventional
+/// libraries.
 #[derive(Debug, Clone, Default)]
 pub struct ComponentLibrary {
     entries: Vec<LibraryEntry>,
@@ -121,7 +128,7 @@ pub struct ComponentLibrary {
     /// Full stored task results by cache key, for exact replay: when a
     /// sweep task's own key shows up here, the stored entry *is* what
     /// that task would compute, bit for bit.
-    exact: HashMap<CacheKey, (u32, bool, EvolvedMultiplier)>,
+    exact: HashMap<CacheKey, (Operator, u32, bool, EvolvedCircuit)>,
 }
 
 impl ComponentLibrary {
@@ -148,25 +155,34 @@ impl ComponentLibrary {
         self.entries.iter()
     }
 
-    /// The candidates matching one operand encoding, in deterministic
-    /// ingestion order — the `(width, signedness)` index a sweep draws
-    /// from.
-    pub fn candidates(&self, width: u32, signed: bool) -> impl Iterator<Item = &LibraryEntry> {
-        self.entries.iter().filter(move |e| e.width == width && e.signed == signed)
+    /// The candidates matching one component class, in deterministic
+    /// ingestion order — the `(operator, width, signedness)` index a
+    /// sweep draws from.
+    pub fn candidates(
+        &self,
+        op: Operator,
+        width: u32,
+        signed: bool,
+    ) -> impl Iterator<Item = &LibraryEntry> {
+        self.entries.iter().filter(move |e| e.op == op && e.width == width && e.signed == signed)
     }
 
     /// The stored task result for `key`, when this library harvested the
-    /// exact entry a `(width, signed)` sweep task would compute. Replaying
-    /// it is bit-identical to a cache hit (the key is content-addressed
-    /// over everything that shapes the result).
+    /// exact entry an `(op, width, signed)` sweep task would compute.
+    /// Replaying it is bit-identical to a cache hit (the key is
+    /// content-addressed over everything that shapes the result).
     #[must_use]
     pub fn exact_match(
         &self,
         key: CacheKey,
+        op: Operator,
         width: u32,
         signed: bool,
-    ) -> Option<&EvolvedMultiplier> {
-        self.exact.get(&key).filter(|(w, s, _)| *w == width && *s == signed).map(|(_, _, m)| m)
+    ) -> Option<&EvolvedCircuit> {
+        self.exact
+            .get(&key)
+            .filter(|(o, w, s, _)| *o == op && *w == width && *s == signed)
+            .map(|(_, _, _, m)| m)
     }
 
     /// Harvests every intact entry of the sweep cache at `dir`
@@ -198,15 +214,17 @@ impl ComponentLibrary {
         let name = format!("evo_{}", &scanned.key.hex()[..12]);
         let entry = LibraryEntry {
             name,
-            digest: netlist_digest(&scanned.multiplier.netlist),
-            chromosome: scanned.multiplier.chromosome.clone(),
-            netlist: scanned.multiplier.netlist.clone(),
+            digest: netlist_digest(&scanned.circuit.netlist),
+            chromosome: scanned.circuit.chromosome.clone(),
+            netlist: scanned.circuit.netlist.clone(),
+            op: scanned.op,
             width: scanned.width,
             signed: scanned.signed,
             provenance: Provenance::Evolved { source_key: scanned.key },
         };
         let added = self.insert(entry);
-        self.exact.insert(scanned.key, (scanned.width, scanned.signed, scanned.multiplier));
+        self.exact
+            .insert(scanned.key, (scanned.op, scanned.width, scanned.signed, scanned.circuit));
         added
     }
 
@@ -233,9 +251,55 @@ impl ComponentLibrary {
                 digest: netlist_digest(&netlist),
                 chromosome,
                 netlist,
+                op: Operator::Mul,
                 width: lib.width(),
                 signed: lib.is_signed(),
                 provenance: Provenance::Conventional { family: e.family },
+            };
+            if self.insert(entry) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Ingests the conventionally designed approximate adders of
+    /// [`apx_arith::adders_approx`] for one unsigned operand width: the
+    /// lower-OR family (`k` OR-approximated LSB columns), the truncated
+    /// family (`k` dropped LSB columns) and the exact ripple-carry
+    /// reference, all indexed under [`Operator::Add`]. Returns how many
+    /// new candidates were added (structural duplicates are skipped, as
+    /// with every other ingestion path).
+    pub fn ingest_conventional_adders(&mut self, width: u32) -> usize {
+        let funcs = FunctionSet::extended();
+        let mut designs: Vec<(String, Netlist, Family)> =
+            vec![("exact_ripple".into(), ripple_carry_adder(width), Family::Exact)];
+        for k in 1..=width {
+            designs.push((format!("loa_{k}"), lower_or_adder(width, k), Family::LowerOr { k }));
+        }
+        for k in 1..width {
+            designs.push((
+                format!("trunc_add_{k}"),
+                truncated_adder(width, k),
+                Family::Truncated { trunc_cols: k },
+            ));
+        }
+        let mut added = 0;
+        for (name, netlist, family) in designs {
+            let Ok(chromosome) = Chromosome::from_netlist(&netlist, &funcs, netlist.gate_count())
+            else {
+                continue;
+            };
+            let netlist = chromosome.decode_active();
+            let entry = LibraryEntry {
+                name,
+                digest: netlist_digest(&netlist),
+                chromosome,
+                netlist,
+                op: Operator::Add,
+                width,
+                signed: false,
+                provenance: Provenance::Conventional { family },
             };
             if self.insert(entry) {
                 added += 1;
@@ -253,8 +317,9 @@ impl ComponentLibrary {
         true
     }
 
-    /// Re-prices every candidate matching the evaluator's operand
-    /// encoding under the evaluator's distribution: one exhaustive
+    /// Re-prices every candidate matching the evaluator's component
+    /// class (operator, width, signedness) under the evaluator's
+    /// distribution: one exhaustive
     /// statistics pass per candidate (fanned out over `threads` pool
     /// workers, bit-identical to a sequential pass) plus the
     /// technology-library area. The returned ranking is a total order, so
@@ -262,12 +327,13 @@ impl ComponentLibrary {
     #[must_use]
     pub fn rescore(
         &self,
-        evaluator: &MultEvaluator,
+        evaluator: &CircuitEvaluator,
         tech: &TechLibrary,
         threads: usize,
     ) -> RescoredLibrary<'_> {
-        let matching: Vec<&LibraryEntry> =
-            self.candidates(evaluator.width(), evaluator.is_signed()).collect();
+        let matching: Vec<&LibraryEntry> = self
+            .candidates(evaluator.operator(), evaluator.width(), evaluator.is_signed())
+            .collect();
         let netlists: Vec<Netlist> = matching.iter().map(|e| e.netlist.clone()).collect();
         let stats = evaluator.stats_batch(&netlists, threads);
         let mut candidates: Vec<RescoredCandidate<'_>> = matching
@@ -381,14 +447,50 @@ mod tests {
         assert_eq!(lib.len(), n);
         // A different width lands in a different index slice.
         assert!(lib.ingest_conventional(&MultiplierLibrary::truncated_family(3)) > 0);
-        assert_eq!(lib.candidates(4, false).count(), n);
-        assert!(lib.candidates(3, false).count() > 0);
-        assert_eq!(lib.candidates(4, true).count(), 0, "signedness separates");
+        assert_eq!(lib.candidates(Operator::Mul, 4, false).count(), n);
+        assert!(lib.candidates(Operator::Mul, 3, false).count() > 0);
+        assert_eq!(lib.candidates(Operator::Mul, 4, true).count(), 0, "signedness separates");
         for e in lib.entries() {
             assert!(matches!(e.provenance, Provenance::Conventional { .. }));
             // The chromosome and phenotype agree by construction.
             assert_eq!(netlist_digest(&e.chromosome.decode_active()), e.digest);
         }
+    }
+
+    #[test]
+    fn conventional_adders_land_under_the_add_operator() {
+        let mut lib = evoapprox4();
+        let n_mul = lib.candidates(Operator::Mul, 4, false).count();
+        let added = lib.ingest_conventional_adders(4);
+        assert!(added > 4, "adder families should yield several candidates, got {added}");
+        // Re-ingesting adds nothing (structural dedup).
+        assert_eq!(lib.ingest_conventional_adders(4), 0);
+        // The operator axis separates: multipliers are untouched, adders
+        // only show up under `Operator::Add`.
+        assert_eq!(lib.candidates(Operator::Mul, 4, false).count(), n_mul);
+        assert_eq!(lib.candidates(Operator::Add, 4, false).count(), added);
+        assert_eq!(lib.candidates(Operator::Add, 4, true).count(), 0);
+        let mut saw_loa = false;
+        let mut saw_trunc = false;
+        for e in lib.candidates(Operator::Add, 4, false) {
+            assert_eq!(e.netlist.num_inputs(), 8);
+            assert_eq!(e.netlist.num_outputs(), 5);
+            match e.provenance {
+                Provenance::Conventional { family: Family::LowerOr { .. } } => saw_loa = true,
+                Provenance::Conventional { family: Family::Truncated { .. } } => saw_trunc = true,
+                _ => {}
+            }
+        }
+        assert!(saw_loa && saw_trunc);
+        // The exact ripple adder re-scores to zero WMED; approximations
+        // rank above it by error.
+        let eval =
+            CircuitEvaluator::for_operator(Operator::Add, 4, false, &Pmf::uniform(4)).unwrap();
+        let rescored = lib.rescore(&eval, &TechLibrary::nangate45(), 2);
+        assert_eq!(rescored.candidates().len(), added);
+        let exact = rescored.candidates().iter().find(|c| c.entry.name == "exact_ripple").unwrap();
+        assert_eq!(exact.stats.wmed, 0.0);
+        assert!(rescored.candidates().iter().any(|c| c.stats.wmed > 0.0));
     }
 
     #[test]
@@ -405,7 +507,7 @@ mod tests {
     fn rescoring_ranks_deterministically_and_fronts_are_nondominated() {
         let lib = evoapprox4();
         let pmf = Pmf::half_normal(4, 3.0);
-        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &pmf).unwrap();
         let tech = TechLibrary::nangate45();
         let a = lib.rescore(&eval, &tech, 1);
         let b = lib.rescore(&eval, &tech, 4);
@@ -443,7 +545,7 @@ mod tests {
     #[test]
     fn hit_and_seed_selection_respect_the_threshold() {
         let lib = evoapprox4();
-        let eval = MultEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
         let tech = TechLibrary::nangate45();
         let rescored = lib.rescore(&eval, &tech, 2);
         // A generous budget admits an approximate (cheaper-than-exact)

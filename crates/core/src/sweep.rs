@@ -4,13 +4,13 @@
 //! Every figure of the paper is some slice of this grid — Fig. 3 alone is
 //! 3 distributions × 14 WMED targets × `runs` independent CGP runs.
 //! Before this module each figure binary looped over distributions and
-//! called [`evolve_multipliers`](crate::evolve_multipliers) once per
+//! called [`evolve_circuits`](crate::evolve_circuits) once per
 //! distribution, which meant one pool tear-down per distribution and, far
-//! worse, one freshly built [`MultEvaluator`] per *task* (the evaluator's
+//! worse, one freshly built [`CircuitEvaluator`] per *task* (the evaluator's
 //! exhaustive enumeration dwarfs the cost of small CGP runs).
 //! [`run_sweep`] instead:
 //!
-//! * builds each [`MultEvaluator`] **once** per `(width, signed, pmf)` and
+//! * builds each [`CircuitEvaluator`] **once** per `(width, signed, pmf)` and
 //!   shares it across every threshold and run of that distribution via
 //!   [`Arc`] (both for the Eq. 1 fitness and the post-hoc statistics);
 //! * flattens the whole grid into one task list served by a single
@@ -26,15 +26,16 @@
 
 use crate::cache::{task_key, CacheKey, SweepCache};
 use crate::flow::{
-    evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedMultiplier, FlowConfig,
+    evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedCircuit, FlowConfig,
 };
 use crate::library::{ComponentLibrary, RescoredLibrary};
 use crate::CoreError;
 use apx_approxlib::MultiplierLibrary;
+use apx_arith::Operator;
 use apx_cgp::Chromosome;
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::{ErrorStats, MultEvaluator};
+use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_rng::Xoshiro256;
 use apx_techlib::{area_of, estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
 use std::path::PathBuf;
@@ -78,7 +79,7 @@ pub struct Shard {
 }
 
 /// Component-library mode of a sweep ([`crate::library`]): how
-/// [`run_sweep`] may reuse multipliers built by *other* explorations.
+/// [`run_sweep`] may reuse circuits built by *other* explorations.
 ///
 /// An empty library (no directory, nothing scanned, no conventional
 /// entries) is a guaranteed no-op: results are bit-identical to running
@@ -89,8 +90,12 @@ pub struct LibraryConfig {
     /// run's [`SweepConfig::cache_dir`], possibly populated under
     /// different distributions). `None` scans nothing.
     pub dir: Option<PathBuf>,
-    /// Also ingest the conventional [`apx_approxlib`] designs (truncated,
-    /// broken-array, zero-guarded) as candidates.
+    /// Also ingest the conventional designs for the sweep's operator as
+    /// candidates: the [`apx_approxlib`] multipliers (truncated,
+    /// broken-array, zero-guarded) for `Mul`, the approximate adders of
+    /// `apx_arith::adders_approx` (lower-OR, truncated) for unsigned
+    /// `Add`. Operators without a conventional family (MACs, signed
+    /// adders) ingest nothing.
     pub conventional: bool,
     /// Take a re-scored candidate directly when it already meets the
     /// task's threshold (counted as `library_hits`). With `false` the
@@ -125,7 +130,7 @@ pub struct SweepConfig {
     /// Restrict this run to one shard of the task grid. `None` runs every
     /// task.
     pub shard: Option<Shard>,
-    /// Component-library mode ([`crate::library`]): reuse multipliers
+    /// Component-library mode ([`crate::library`]): reuse circuits
     /// evolved by previous (differently-distributed) explorations, either
     /// directly or as CGP population seeds. `None` disables the library.
     pub library: Option<LibraryConfig>,
@@ -134,12 +139,12 @@ pub struct SweepConfig {
 /// One completed `(distribution, threshold, run)` task.
 #[derive(Debug, Clone)]
 pub struct SweepEntry {
-    /// Name of the distribution the multiplier was evolved under.
+    /// Name of the distribution the circuit was evolved under.
     pub dist: String,
     /// Index of that distribution in [`SweepConfig::distributions`].
     pub dist_index: usize,
-    /// The evolved multiplier with its full evaluation.
-    pub multiplier: EvolvedMultiplier,
+    /// The evolved circuit with its full evaluation.
+    pub circuit: EvolvedCircuit,
 }
 
 /// Throughput of a sweep — the numbers `results/BENCH_sweep.json` tracks.
@@ -175,8 +180,8 @@ pub struct SweepStats {
     /// already met the task's threshold ([`LibraryConfig::take_hits`]).
     pub library_hits: usize,
     /// Evolved tasks whose initial CGP parent came from the library (a
-    /// seed strictly beat the exact multiplier in the warm-start
-    /// selection of [`apx_cgp::evolve_seeded`]).
+    /// seed strictly beat the operator's exact seed circuit in the
+    /// warm-start selection of [`apx_cgp::evolve_seeded`]).
     pub seeded_evolutions: usize,
 }
 
@@ -200,7 +205,7 @@ pub struct SweepResult {
     /// The shared evaluators, one per distribution in configuration
     /// order — reuse them for cross-distribution evaluation (the
     /// off-diagonal panels of Fig. 3) instead of rebuilding.
-    pub evaluators: Vec<Arc<MultEvaluator>>,
+    pub evaluators: Vec<Arc<CircuitEvaluator>>,
     /// The exact seed's physical estimate under each distribution.
     pub seed_estimates: Vec<CircuitEstimate>,
     /// The exact seed netlist (the 100 % reference).
@@ -216,13 +221,13 @@ impl SweepResult {
         self.entries.iter().filter(move |e| e.dist_index == dist_index)
     }
 
-    /// The best (lowest-area) multiplier per threshold for one
+    /// The best (lowest-area) circuit per threshold for one
     /// distribution, in threshold order.
     #[must_use]
-    pub fn best_per_threshold(&self, dist_index: usize) -> Vec<&EvolvedMultiplier> {
-        let mut best: Vec<&EvolvedMultiplier> = Vec::new();
+    pub fn best_per_threshold(&self, dist_index: usize) -> Vec<&EvolvedCircuit> {
+        let mut best: Vec<&EvolvedCircuit> = Vec::new();
         for e in self.entries_for(dist_index) {
-            let m = &e.multiplier;
+            let m = &e.circuit;
             match best.iter_mut().find(|b| b.threshold == m.threshold) {
                 Some(b) => {
                     if m.estimate.area_um2 < b.estimate.area_um2 {
@@ -239,7 +244,7 @@ impl SweepResult {
 /// Runs the full `(distribution × threshold × run)` grid through one
 /// persistent worker pool.
 ///
-/// Each `MultEvaluator` is built once per distribution and shared (via
+/// Each `CircuitEvaluator` is built once per distribution and shared (via
 /// [`Arc`]) by the Eq. 1 fitness of every task and by the post-hoc
 /// statistics pass. Task names are `"<dist>_t<threshold>_r<run>"`.
 ///
@@ -286,10 +291,13 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
     let flow = &cfg.flow;
     let tech = TechLibrary::nangate45();
     let (seed_netlist, seed_chrom) = seed_circuit(flow)?;
-    let evaluators: Vec<Arc<MultEvaluator>> = cfg
+    let evaluators: Vec<Arc<CircuitEvaluator>> = cfg
         .distributions
         .iter()
-        .map(|d| MultEvaluator::new(flow.width, flow.signed, &d.pmf).map(Arc::new))
+        .map(|d| {
+            CircuitEvaluator::for_operator(flow.operator, flow.width, flow.signed, &d.pmf)
+                .map(Arc::new)
+        })
         .collect::<Result<_, _>>()?;
 
     let grid = flat_grid(cfg);
@@ -315,12 +323,26 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         if let Some(dir) = &lc.dir {
             lib.scan_cache(dir);
         }
-        if lc.conventional && flow.width >= 3 {
-            if flow.signed {
-                lib.ingest_conventional(&MultiplierLibrary::broken_family_signed(flow.width));
-                lib.ingest_conventional(&MultiplierLibrary::zero_guard_family_signed(flow.width));
-            } else {
-                lib.ingest_conventional(&MultiplierLibrary::evoapprox_like(flow.width));
+        if lc.conventional {
+            match flow.operator {
+                Operator::Mul if flow.width >= 3 => {
+                    if flow.signed {
+                        lib.ingest_conventional(&MultiplierLibrary::broken_family_signed(
+                            flow.width,
+                        ));
+                        lib.ingest_conventional(&MultiplierLibrary::zero_guard_family_signed(
+                            flow.width,
+                        ));
+                    } else {
+                        lib.ingest_conventional(&MultiplierLibrary::evoapprox_like(flow.width));
+                    }
+                }
+                Operator::Add if !flow.signed => {
+                    lib.ingest_conventional_adders(flow.width);
+                }
+                // No conventional family exists for the remaining
+                // operator/encoding combinations.
+                _ => {}
             }
         }
         lib
@@ -362,7 +384,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
     // Resolve cache hits and library replays up front (cheap
     // deserialization, no point going through the pool), leaving only the
     // tasks that truly need simulation or CGP time.
-    let mut slots: Vec<Option<EvolvedMultiplier>> = Vec::with_capacity(tasks.len());
+    let mut slots: Vec<Option<EvolvedCircuit>> = Vec::with_capacity(tasks.len());
     let mut to_compute: Vec<Pending> = Vec::new();
     let mut cache_hits = 0usize;
     let mut library_hits = 0usize;
@@ -388,7 +410,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
             hit = library
                 .as_ref()
                 .and_then(|lib| {
-                    key.and_then(|k| lib.exact_match(k, flow.width, flow.signed)).cloned()
+                    key.and_then(|k| lib.exact_match(k, flow.operator, flow.width, flow.signed))
+                        .cloned()
                 })
                 .inspect(|m| {
                     library_hits += 1;
@@ -398,7 +421,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                     // cache is contract-safe — and keeps the result if
                     // the donor directory is later GC'd or lost.
                     if let (Some(c), Some(k)) = (&cache, key) {
-                        let _ = c.store(k, m, flow.signed);
+                        let _ = c.store(k, m, flow.operator, flow.width, flow.signed);
                     }
                 });
         }
@@ -413,9 +436,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         let work = match rescored_for(di) {
             Some(r) if lc.is_some_and(|l| l.take_hits) => {
                 // A hit must beat the trivial feasible answer: the exact
-                // multiplier meets *every* threshold, so a candidate that
-                // is not strictly cheaper than the seed saves nothing and
-                // would only suppress a potentially better evolution.
+                // seed circuit meets *every* threshold, so a candidate
+                // that is not strictly cheaper than the seed saves
+                // nothing and would only suppress a potentially better
+                // evolution.
                 match r.best_meeting(flow.thresholds[ti]) {
                     Some(c) if c.area < seed_area => {
                         library_hits += 1;
@@ -473,7 +497,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                             // in-memory result stands.)
                             let mut plain = m.clone();
                             plain.evaluations -= seeds.len() as u64;
-                            let _ = c.store(k, &plain, flow.signed);
+                            let _ = c.store(k, &plain, flow.operator, flow.width, flow.signed);
                         }
                     }
                     (pos, m, initial_seed.is_some())
@@ -491,7 +515,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                         flow.activity_blocks,
                         &mut est_rng,
                     );
-                    let m = EvolvedMultiplier {
+                    let m = EvolvedCircuit {
                         name: name_of((di, ti, run)),
                         chromosome,
                         netlist,
@@ -521,10 +545,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         .map(|(m, &(di, _, _))| SweepEntry {
             dist: cfg.distributions[di].name.clone(),
             dist_index: di,
-            multiplier: m.expect("every task is either cached or computed"),
+            circuit: m.expect("every task is either cached or computed"),
         })
         .collect();
-    let total_evaluations: u64 = entries.iter().map(|e| e.multiplier.evaluations).sum();
+    let total_evaluations: u64 = entries.iter().map(|e| e.circuit.evaluations).sum();
 
     let compact_seed = seed_netlist.compact();
     let seed_estimates: Vec<CircuitEstimate> = cfg
@@ -662,7 +686,7 @@ mod tests {
         for (x, y) in a.entries.iter().zip(&b.entries) {
             assert_eq!(x.dist, y.dist);
             assert_eq!(x.dist_index, y.dist_index);
-            let (mx, my) = (&x.multiplier, &y.multiplier);
+            let (mx, my) = (&x.circuit, &y.circuit);
             assert_eq!(mx.name, my.name);
             assert_eq!(mx.chromosome, my.chromosome, "{} differs", mx.name);
             assert_eq!(mx.threshold.to_bits(), my.threshold.to_bits());
@@ -680,7 +704,7 @@ mod tests {
         assert_eq!(result.stats.tasks, 8);
         assert_eq!(result.evaluators.len(), 2);
         assert_eq!(result.seed_estimates.len(), 2);
-        let names: Vec<&str> = result.entries.iter().map(|e| e.multiplier.name.as_str()).collect();
+        let names: Vec<&str> = result.entries.iter().map(|e| e.circuit.name.as_str()).collect();
         assert_eq!(
             names,
             [
@@ -689,10 +713,10 @@ mod tests {
             ]
         );
         for e in &result.entries {
-            assert!(e.multiplier.stats.wmed <= e.multiplier.threshold + 1e-12);
+            assert!(e.circuit.stats.wmed <= e.circuit.threshold + 1e-12);
         }
         // Threshold-0 tasks keep the exact seed.
-        assert_eq!(result.entries[0].multiplier.stats.max_abs_error, 0);
+        assert_eq!(result.entries[0].circuit.stats.max_abs_error, 0);
         assert!(result.stats.total_evaluations > 0);
         assert!(result.stats.wall_seconds > 0.0);
     }
@@ -708,7 +732,7 @@ mod tests {
         assert_eq!(a.entries.len(), b.entries.len());
         for (x, y) in a.entries.iter().zip(&b.entries) {
             assert_eq!(x.dist, y.dist);
-            let (mx, my) = (&x.multiplier, &y.multiplier);
+            let (mx, my) = (&x.circuit, &y.circuit);
             assert_eq!(mx.name, my.name);
             assert_eq!(mx.chromosome, my.chromosome, "{} differs", mx.name);
             assert_eq!(mx.stats, my.stats, "{} stats differ", mx.name);
@@ -725,8 +749,8 @@ mod tests {
             assert_eq!(best.len(), 2);
             for b in best {
                 for e in result.entries_for(di) {
-                    if e.multiplier.threshold == b.threshold {
-                        assert!(b.estimate.area_um2 <= e.multiplier.estimate.area_um2);
+                    if e.circuit.threshold == b.threshold {
+                        assert!(b.estimate.area_um2 <= e.circuit.estimate.area_um2);
                     }
                 }
             }
@@ -843,6 +867,43 @@ mod tests {
         assert_eq!(run_sweep(&cfg).unwrap().stats.cache_hits, 8);
     }
 
+    /// Format-bump regression: pre-operator (`apxsweep v2`) entries must
+    /// be clean misses, never misread. Real v2 files additionally sit at
+    /// different filenames (the key preimage gained an operator line), so
+    /// this plants worst-case impostors — v2-shaped content at *live* v3
+    /// key paths — and the header guard alone must reject them.
+    #[test]
+    fn v2_format_entries_are_clean_misses_and_get_rewritten_as_v3() {
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let dir = fresh_cache_dir("v2_format");
+        cfg.cache_dir = Some(dir.clone());
+        let cold = run_sweep(&cfg).unwrap();
+        assert_eq!(cold.stats.cache_misses, 8);
+
+        let mut files: Vec<_> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(files.len(), 8);
+        files.sort();
+        for f in &files {
+            let text = std::fs::read_to_string(f).unwrap();
+            assert!(text.starts_with("apxsweep v3\n"), "entries are written as v3");
+            assert!(text.contains("\nop mul 4 unsigned\n"), "v3 headers carry the operator");
+            let downgraded =
+                text.replace("apxsweep v3", "apxsweep v2").replace("op mul 4 ", "op 4 ");
+            std::fs::write(f, downgraded).unwrap();
+        }
+
+        let rerun = run_sweep(&cfg).unwrap();
+        assert_eq!(rerun.stats.cache_hits, 0, "v2 entries must never be served");
+        assert_eq!(rerun.stats.cache_misses, 8, "every stale entry recomputes");
+        assert_entries_bit_identical(&cold, &rerun);
+        // The recompute rewrote every entry in v3 form: fully warm again.
+        let warm = run_sweep(&cfg).unwrap();
+        assert_eq!(warm.stats.cache_hits, 8);
+        assert_entries_bit_identical(&cold, &warm);
+    }
+
     #[test]
     fn sharded_runs_cover_the_grid_and_reassemble_to_the_unsharded_result() {
         let mut cfg = tiny_sweep();
@@ -864,10 +925,10 @@ mod tests {
             for (e, full) in
                 part.entries.iter().zip(unsharded.entries.iter().skip(index).step_by(n))
             {
-                assert_eq!(e.multiplier.name, full.multiplier.name);
-                assert_eq!(e.multiplier.chromosome, full.multiplier.chromosome);
-                assert_eq!(e.multiplier.stats, full.multiplier.stats);
-                assert_eq!(e.multiplier.estimate, full.multiplier.estimate);
+                assert_eq!(e.circuit.name, full.circuit.name);
+                assert_eq!(e.circuit.chromosome, full.circuit.chromosome);
+                assert_eq!(e.circuit.stats, full.circuit.stats);
+                assert_eq!(e.circuit.estimate, full.circuit.estimate);
             }
             covered += part.entries.len();
         }
@@ -974,15 +1035,15 @@ mod tests {
         // Library or not, every result obeys its threshold.
         for e in &reused.entries {
             assert!(
-                e.multiplier.stats.wmed <= e.multiplier.threshold + 1e-12,
+                e.circuit.stats.wmed <= e.circuit.threshold + 1e-12,
                 "{}: wmed {} over budget {}",
-                e.multiplier.name,
-                e.multiplier.stats.wmed,
-                e.multiplier.threshold
+                e.circuit.name,
+                e.circuit.stats.wmed,
+                e.circuit.threshold
             );
         }
         // Hits carry zero evaluations (no evolution happened for them).
-        assert!(reused.entries.iter().any(|e| e.multiplier.evaluations == 0));
+        assert!(reused.entries.iter().any(|e| e.circuit.evaluations == 0));
         // Determinism: thread count does not change library-mode results.
         cfg.flow.threads = 1;
         let single = run_sweep(&cfg).unwrap();
@@ -1021,7 +1082,7 @@ mod tests {
             seeded.stats
         );
         for (s, c) in seeded.entries.iter().zip(&cold.entries) {
-            let (sm, cm) = (&s.multiplier, &c.multiplier);
+            let (sm, cm) = (&s.circuit, &c.circuit);
             assert!(sm.stats.wmed <= sm.threshold + 1e-12, "{} over budget", sm.name);
             // Warm-started evolution can only match or improve the donor
             // candidate pool it started from (area is the Eq. 1 cost).
@@ -1073,9 +1134,9 @@ mod tests {
         // The library run itself matches the plain run except for the
         // honestly-reported warm-start evaluations.
         for (p, l) in plain.entries.iter().zip(&libbed.entries) {
-            assert_eq!(p.multiplier.chromosome, l.multiplier.chromosome);
-            assert_eq!(p.multiplier.stats, l.multiplier.stats);
-            assert!(l.multiplier.evaluations >= p.multiplier.evaluations);
+            assert_eq!(p.circuit.chromosome, l.circuit.chromosome);
+            assert_eq!(p.circuit.stats, l.circuit.stats);
+            assert!(l.circuit.evaluations >= p.circuit.evaluations);
         }
         // The replayed checkpoints are indistinguishable from plain work.
         cfg.library = None;
@@ -1105,7 +1166,7 @@ mod tests {
             for threads in [1, 4] {
                 let rescored = lib.rescore(evaluator, &tech, threads);
                 for source in cold.entries_for(di).chain(warm.entries_for(di)) {
-                    let digest = netlist_digest(&source.multiplier.netlist);
+                    let digest = netlist_digest(&source.circuit.netlist);
                     let candidate = rescored
                         .candidates()
                         .iter()
@@ -1113,12 +1174,12 @@ mod tests {
                         .expect("every swept chromosome was harvested");
                     assert_eq!(
                         candidate.stats.wmed.to_bits(),
-                        source.multiplier.stats.wmed.to_bits(),
+                        source.circuit.stats.wmed.to_bits(),
                         "{} rescored wmed differs ({} threads)",
-                        source.multiplier.name,
+                        source.circuit.name,
                         threads
                     );
-                    assert_eq!(candidate.stats, source.multiplier.stats);
+                    assert_eq!(candidate.stats, source.circuit.stats);
                 }
             }
         }
@@ -1202,20 +1263,20 @@ mod tests {
         let after = run_sweep(&consumer).unwrap();
         assert_eq!(after.stats.library_hits, before.stats.library_hits);
         for (b, a) in before.entries.iter().zip(&after.entries) {
-            assert!(a.multiplier.stats.wmed <= a.multiplier.threshold + 1e-12);
-            if b.multiplier.evaluations == 0 {
+            assert!(a.circuit.stats.wmed <= a.circuit.threshold + 1e-12);
+            if b.circuit.evaluations == 0 {
                 // A pre-GC hit is on the surviving front: same candidate,
                 // same estimate, bit for bit.
-                assert_eq!(b.multiplier.chromosome, a.multiplier.chromosome);
-                assert_eq!(b.multiplier.stats, a.multiplier.stats);
-                assert_eq!(b.multiplier.estimate, a.multiplier.estimate);
+                assert_eq!(b.circuit.chromosome, a.circuit.chromosome);
+                assert_eq!(b.circuit.stats, a.circuit.stats);
+                assert_eq!(b.circuit.estimate, a.circuit.estimate);
             }
         }
     }
 
     #[test]
     fn single_distribution_sweep_matches_the_flow() {
-        // The sweep generalizes `evolve_multipliers`: with one distribution
+        // The sweep generalizes `evolve_circuits`: with one distribution
         // the task seeds and estimate streams coincide, so results must be
         // bit-for-bit identical (only the task names differ).
         let pmf = Pmf::uniform(4);
@@ -1233,12 +1294,12 @@ mod tests {
             ..SweepConfig::default()
         };
         let sweep = run_sweep(&cfg).unwrap();
-        let flow = crate::evolve_multipliers(&pmf, &cfg.flow).unwrap();
-        assert_eq!(sweep.entries.len(), flow.multipliers.len());
-        for (e, m) in sweep.entries.iter().zip(&flow.multipliers) {
-            assert_eq!(e.multiplier.chromosome, m.chromosome);
-            assert_eq!(e.multiplier.stats, m.stats);
-            assert_eq!(e.multiplier.estimate, m.estimate);
+        let flow = crate::evolve_circuits(&pmf, &cfg.flow).unwrap();
+        assert_eq!(sweep.entries.len(), flow.circuits.len());
+        for (e, m) in sweep.entries.iter().zip(&flow.circuits) {
+            assert_eq!(e.circuit.chromosome, m.chromosome);
+            assert_eq!(e.circuit.stats, m.stats);
+            assert_eq!(e.circuit.estimate, m.estimate);
         }
         assert_eq!(sweep.seed_estimates[0], flow.seed_estimate);
     }

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-/// Which simulation engine a [`crate::MultEvaluator`] runs on.
+/// Which simulation engine a [`crate::CircuitEvaluator`] runs on.
 ///
 /// Both backends produce **bit-identical** results — every per-block error
 /// sum is an exact integer and the floating-point accumulation order is
@@ -23,11 +23,11 @@ use std::str::FromStr;
 ///
 /// ```
 /// use apx_dist::Pmf;
-/// use apx_metrics::{EvalBackend, MultEvaluator};
+/// use apx_metrics::{EvalBackend, CircuitEvaluator};
 ///
 /// let pmf = Pmf::uniform(4);
-/// let fast = MultEvaluator::with_backend(4, false, &pmf, EvalBackend::BitParallel)?;
-/// let reference = MultEvaluator::with_backend(4, false, &pmf, EvalBackend::Scalar)?;
+/// let fast = CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::BitParallel)?;
+/// let reference = CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::Scalar)?;
 /// assert_eq!(fast.backend(), EvalBackend::BitParallel);
 /// assert_eq!(reference.backend(), EvalBackend::Scalar);
 /// # Ok::<(), apx_metrics::EvaluatorError>(())

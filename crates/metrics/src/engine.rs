@@ -1,4 +1,4 @@
-//! The simulation engines behind [`crate::MultEvaluator`].
+//! The simulation engines behind [`crate::CircuitEvaluator`].
 //!
 //! Three evaluation strategies live here, all producing bit-identical
 //! numbers (every per-block error sum is an exact `u64`, and callers share
@@ -20,6 +20,7 @@
 //! pair at a time and exists so property tests and the CI smoke run can
 //! cross-check the fast paths against an independent implementation.
 
+use apx_arith::Operator;
 use apx_gates::{fanout_cone, unpack_lanes, BlockSim, Exhaustive, Netlist};
 use apx_gates::{GateKind, SignalId};
 
@@ -306,14 +307,19 @@ fn tile_terms_dyn(
 /// Borrowed from the evaluator's fields for the duration of one call; keeps
 /// the engine functions at a sane arity.
 pub(crate) struct EngineCtx<'a> {
-    /// Operand width in bits (≥ 6 for all `EngineCtx` paths).
+    /// The arithmetic operator whose reference function errors are
+    /// measured against.
+    pub op: Operator,
+    /// Operand width in bits.
     pub width: u32,
     /// Two's-complement interpretation of operands and outputs.
     pub signed: bool,
+    /// Netlist output bits (`op.num_outputs(width)`).
+    pub out_bits: u32,
     /// `(block, weight)` in decreasing weight order, zero weights removed.
     pub ordered: &'a [(u32, f64)],
     /// `exact_planes[block·planes + k]`: bit-plane `k` of the exact
-    /// products of `block`'s 64 lanes.
+    /// outputs of `block`'s 64 lanes.
     pub exact_planes: &'a [u64],
     /// Tile-major exact planes in weighted-position order
     /// (`exact_tiles[(tile·planes + k)·TILE + t]`).
@@ -321,7 +327,7 @@ pub(crate) struct EngineCtx<'a> {
     /// `input_rows[i·n_pos + pos]`: input `i`'s word at block position
     /// `pos` (position-ordered, like the cached state rows).
     pub input_rows: &'a [u64],
-    /// Error-kernel planes: `2·width + 1`.
+    /// Error-kernel planes: `out_bits + 1`.
     pub planes: usize,
 }
 
@@ -337,8 +343,8 @@ impl EngineCtx<'_> {
         for (g, o) in got.iter_mut().zip(outs) {
             *g = read(o.index());
         }
-        // Sign-extension plane: bit 2w of a signed output replicates bit
-        // 2w−1; unsigned outputs are zero-extended.
+        // Sign-extension plane: one bit above a signed output replicates
+        // its top bit; unsigned outputs are zero-extended.
         got[self.planes - 1] = if self.signed { got[self.planes - 2] } else { 0 };
     }
 
@@ -402,7 +408,6 @@ impl EngineCtx<'_> {
     /// Bit-parallel bounded WMED: raw weighted error over `ordered`, or
     /// `None` once the running total exceeds `raw_limit`.
     pub(crate) fn wmed_raw_bitpar(&self, nl: &Netlist, raw_limit: f64) -> Option<f64> {
-        let w = self.width as usize;
         let ni = nl.num_inputs();
         let outs = nl.outputs();
         let mut vals = vec![0u64; nl.num_signals() * TILE];
@@ -412,7 +417,7 @@ impl EngineCtx<'_> {
         let n_pos = self.ordered.len();
         while pos < n_pos {
             let tcount = TILE.min(n_pos - pos);
-            for i in 0..2 * w {
+            for i in 0..ni {
                 vals[i * TILE..][..tcount]
                     .copy_from_slice(&self.input_rows[i * n_pos + pos..][..tcount]);
             }
@@ -436,20 +441,17 @@ impl EngineCtx<'_> {
     }
 
     /// Scalar reference bounded WMED: same block order, same accumulation,
-    /// one operand pair at a time.
+    /// one operand vector at a time.
     pub(crate) fn wmed_raw_scalar(&self, nl: &Netlist, raw_limit: f64) -> Option<f64> {
-        let w = self.width;
-        let mask = (1u64 << w) - 1;
         let mut sim = ScalarSim::default();
         let mut total = 0.0f64;
         for &(block, weight) in self.ordered {
             let mut err = 0u64;
             for lane in 0..64u64 {
                 let v = u64::from(block) * 64 + lane;
-                let x = interpret(self.signed, v >> w, w);
-                let y = interpret(self.signed, v & mask, w);
-                let got = interpret(self.signed, sim.run_packed(nl, w, v), 2 * w);
-                err += (x * y - got).unsigned_abs();
+                let exact = self.op.exact_value(self.width, self.signed, v);
+                let got = interpret(self.signed, sim.run_packed(nl, self.width, v), self.out_bits);
+                err += (exact - got).unsigned_abs();
             }
             total += weight * err as f64;
             if total > raw_limit {
@@ -870,10 +872,10 @@ fn interpret(signed: bool, raw: u64, bits: u32) -> i64 {
 
 /// Cached full-grid simulation state for incremental WMED re-evaluation.
 ///
-/// Created by [`crate::MultEvaluator::new_state`] for a *base* netlist;
-/// [`crate::MultEvaluator::wmed_bounded_delta`] scores single-mutation
+/// Created by [`crate::CircuitEvaluator::new_state`] for a *base* netlist;
+/// [`crate::CircuitEvaluator::wmed_bounded_delta`] scores single-mutation
 /// children against it without touching the cache, and
-/// [`crate::MultEvaluator::commit_state`] rebases it when a child is
+/// [`crate::CircuitEvaluator::commit_state`] rebases it when a child is
 /// promoted. The contract: the state always holds, for every signal of the
 /// base netlist and every weighted block, the exact simulation word — so a
 /// delta only ever recomputes the changed nodes' fanout cone.
@@ -938,17 +940,19 @@ pub(crate) struct ScalarSim {
 }
 
 impl ScalarSim {
-    /// Packed `2w`-bit output of `nl` on enumeration vector `v` (netlist
-    /// input `i < w` reads enumeration bit `w + i`, input `w + i` reads bit
-    /// `i` — the same high/low operand split the bit-parallel path uses).
+    /// Packed output of `nl` on enumeration vector `v` (netlist input
+    /// `i < w` — the weighted operand — reads enumeration bit `free + i`
+    /// where `free = ni − w`; every later input `i ≥ w` reads bit `i − w`
+    /// — the same top/bottom operand split the bit-parallel path uses).
     pub(crate) fn run_packed(&mut self, nl: &Netlist, width: u32, v: u64) -> u64 {
         let w = width as usize;
         let ni = nl.num_inputs();
+        let free = ni - w;
         self.vals.clear();
         self.vals.resize(nl.num_signals(), false);
-        for i in 0..w {
-            self.vals[i] = (v >> (w + i)) & 1 == 1;
-            self.vals[w + i] = (v >> i) & 1 == 1;
+        for i in 0..ni {
+            let ebit = if i < w { free + i } else { i - w };
+            self.vals[i] = (v >> ebit) & 1 == 1;
         }
         for (k, node) in nl.nodes().iter().enumerate() {
             let a = self.vals[node.a.index()];
@@ -992,12 +996,14 @@ impl LaneReader {
         lane_buf: &mut [u64],
     ) {
         let w = width as usize;
+        let ni = nl.num_inputs();
+        let free = ni - w;
         let lanes = ex.lanes_per_block();
         match self.backend {
             EvalBackend::BitParallel => {
-                for i in 0..w {
-                    self.inputs[i] = ex.input_word(w + i, block);
-                    self.inputs[w + i] = ex.input_word(i, block);
+                for i in 0..ni {
+                    let ebit = if i < w { free + i } else { i - w };
+                    self.inputs[i] = ex.input_word(ebit, block);
                 }
                 let out_words = self.sim.run(nl, &self.inputs);
                 unpack_lanes(out_words, lanes, lane_buf);

@@ -1,4 +1,5 @@
-//! The CGP hot path: exhaustive WMED evaluation of multiplier netlists.
+//! The CGP hot path: exhaustive WMED evaluation of arithmetic netlists
+//! (multipliers, adders, MACs — any [`Operator`]).
 //!
 //! Evaluation is organized around the engines in [`crate::engine`]: a
 //! levelized bit-parallel simulator that processes 64 operand pairs per gate
@@ -13,16 +14,22 @@ use crate::backend::EvalBackend;
 pub use crate::engine::WmedState;
 use crate::engine::{EngineCtx, LaneReader, MAX_PLANES};
 use crate::stats::ErrorStats;
-use apx_arith::sign_extend;
+use apx_arith::{sign_extend, Operator};
 use apx_dist::Pmf;
 use apx_gates::{Exhaustive, Netlist};
 use std::fmt;
 
-/// Error constructing a [`MultEvaluator`].
+/// Error constructing a [`CircuitEvaluator`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvaluatorError {
-    /// Operand width outside the supported range `1..=10`.
-    BadWidth(u32),
+    /// Operand width outside the operator's exhaustively evaluable range
+    /// (`1..=10` for `mul`/`add`, `1..=4` for `mac`).
+    BadWidth {
+        /// The operator whose budget was exceeded.
+        op: Operator,
+        /// The rejected operand width.
+        width: u32,
+    },
     /// The PMF is defined over a different operand width.
     PmfWidthMismatch {
         /// Evaluator operand width.
@@ -35,7 +42,9 @@ pub enum EvaluatorError {
 impl fmt::Display for EvaluatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EvaluatorError::BadWidth(w) => write!(f, "operand width {w} outside 1..=10"),
+            EvaluatorError::BadWidth { op, width } => {
+                write!(f, "operand width {width} outside the {op} operator's evaluable range")
+            }
             EvaluatorError::PmfWidthMismatch { width, pmf_width } => {
                 write!(f, "pmf width {pmf_width} does not match operand width {width}")
             }
@@ -45,26 +54,32 @@ impl fmt::Display for EvaluatorError {
 
 impl std::error::Error for EvaluatorError {}
 
-/// Exhaustive error evaluator for `width`-bit multiplier netlists under a
-/// data distribution `D` on the first operand.
+/// Exhaustive error evaluator for `width`-bit arithmetic netlists —
+/// multipliers by default, any [`Operator`] via
+/// [`CircuitEvaluator::for_operator`] — under a data distribution `D` on
+/// the first operand.
 ///
-/// Built once per (width, signedness, distribution) and reused for every
-/// candidate circuit of a CGP run. The evaluator
+/// Built once per (operator, width, signedness, distribution) and reused
+/// for every candidate circuit of a CGP run. The evaluator
 ///
+/// * scores candidates against the operator's reference function
+///   ([`Operator::exact_value`] — `x·y` for `mul`, `x+y` for `add`, the
+///   wrap-around `acc + x·y` for `mac`);
 /// * enumerates input vectors with the distribution operand in the **high**
-///   bits, so for `width >= 6` each 64-lane simulation block has a single
-///   `x` value and a single weight `D(x)`;
+///   bits, so whenever the remaining ("free") operand bits fill a 64-lane
+///   simulation block (`free >= 6` — `width >= 6` for multipliers) each
+///   block has a single `x` value and a single weight `D(x)`;
 /// * pre-sorts blocks by decreasing weight and skips zero-weight blocks;
 /// * simulates on one of two [`EvalBackend`]s — the default bit-parallel
 ///   engine (tiled 64-lane simulation plus a bit-sliced error kernel that
 ///   never unpacks lanes) or the scalar reference interpreter — chosen via
-///   [`MultEvaluator::with_backend`] or the `APX_EVAL_BACKEND` environment
+///   [`CircuitEvaluator::with_backend`] or the `APX_EVAL_BACKEND` environment
 ///   variable (see [`EvalBackend::from_env`]). Both produce bit-identical
 ///   results;
-/// * offers [`MultEvaluator::wmed_bounded`], which abandons a candidate as
+/// * offers [`CircuitEvaluator::wmed_bounded`], which abandons a candidate as
 ///   soon as its running weighted error exceeds the fitness threshold
 ///   (Eq. 1 only needs the comparison, not the exact value), and an
-///   incremental variant ([`MultEvaluator::wmed_bounded_delta`]) that
+///   incremental variant ([`CircuitEvaluator::wmed_bounded_delta`]) that
 ///   re-simulates only a mutation's fanout cone against a cached
 ///   [`WmedState`].
 ///
@@ -77,6 +92,11 @@ impl std::error::Error for EvaluatorError {}
 /// WMED_D(M̃) = Σ_x D(x) · Σ_y |x·y − M̃(x,y)|  /  (2^w · 2^(2w))
 /// ```
 ///
+/// For a general operator the shape is the same with `y` ranging over all
+/// *free* (non-distribution) input bits and the normalizer being
+/// `2^free · 2^out_bits` — the metric stays in `[0, 1)` for every
+/// operator, so thresholds compose across component classes.
+///
 /// The engine accumulates the inner sum per 64-lane block as an exact
 /// integer and applies `D(x)` once per block, so the only floating-point
 /// operations are one multiply-add per block — in a fixed (weight-sorted)
@@ -87,26 +107,35 @@ impl std::error::Error for EvaluatorError {}
 /// ```
 /// use apx_arith::{array_multiplier, truncated_multiplier};
 /// use apx_dist::Pmf;
-/// use apx_metrics::MultEvaluator;
+/// use apx_metrics::CircuitEvaluator;
 ///
-/// let eval = MultEvaluator::new(8, false, &Pmf::half_normal(8, 48.0))?;
+/// let eval = CircuitEvaluator::new(8, false, &Pmf::half_normal(8, 48.0))?;
 /// assert_eq!(eval.wmed(&array_multiplier(8)), 0.0);
 /// assert!(eval.wmed(&truncated_multiplier(8, 8)) > 0.0);
 /// # Ok::<(), apx_metrics::EvaluatorError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct MultEvaluator {
+pub struct CircuitEvaluator {
+    op: Operator,
     width: u32,
     signed: bool,
+    /// Total netlist input bits: `op.num_inputs(width)`.
+    ni: usize,
+    /// Netlist output bits: `op.num_outputs(width)`.
+    out_bits: u32,
+    /// Input bits below the distribution operand (`ni - width`): the part
+    /// of the enumeration a single `D(x)` weight spans.
+    free: u32,
     weights: Vec<f64>,
     ex: Exhaustive,
     backend: EvalBackend,
     /// `(block index, weight of the block's x value)`, zero-weight blocks
-    /// removed, sorted by decreasing weight. Empty for `width < 6` (the
+    /// removed, sorted by decreasing weight. Empty for `free < 6` (the
     /// whole domain fits one block; weights are applied per lane instead).
     ordered_blocks: Vec<(u32, f64)>,
-    /// Error-kernel planes: `2·width + 1` (difference of a product and a
-    /// sign-extended output always fits that many two's-complement bits).
+    /// Error-kernel planes: `out_bits + 1` (difference of an exact value
+    /// and a sign-extended output always fits that many two's-complement
+    /// bits).
     planes: usize,
     /// `exact_planes[block·planes + k]`: bit-plane `k` of the exact products
     /// of `block`'s 64 lanes. Precomputed only for the bit-parallel backend
@@ -120,11 +149,11 @@ pub struct MultEvaluator {
     /// weighted block position `pos` — hoists the per-tile `input_word`
     /// lookups out of the hot loop. Built alongside `exact_planes`.
     input_rows: Vec<u64>,
-    /// Normalizer `1 / (2^w · 2^(2w))`.
+    /// Normalizer `1 / (2^free · 2^out_bits)`.
     norm: f64,
 }
 
-impl MultEvaluator {
+impl CircuitEvaluator {
     /// Creates an evaluator for `width`-bit (optionally signed) multipliers
     /// weighted by `pmf` on the first operand.
     ///
@@ -144,6 +173,41 @@ impl MultEvaluator {
         Self::with_backend(width, signed, pmf, EvalBackend::from_env())
     }
 
+    /// Creates an evaluator for `width`-bit circuits of an arbitrary
+    /// [`Operator`], backend read from `APX_EVAL_BACKEND` like
+    /// [`CircuitEvaluator::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluatorError`] on a width outside the operator's
+    /// evaluable range or a PMF of the wrong width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `APX_EVAL_BACKEND` is set to a malformed value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use apx_arith::{lower_or_adder, Operator};
+    /// use apx_dist::Pmf;
+    /// use apx_metrics::CircuitEvaluator;
+    ///
+    /// let eval =
+    ///     CircuitEvaluator::for_operator(Operator::Add, 8, false, &Pmf::half_normal(8, 48.0))?;
+    /// assert_eq!(eval.wmed(&lower_or_adder(8, 0)), 0.0);
+    /// assert!(eval.wmed(&lower_or_adder(8, 4)) > 0.0);
+    /// # Ok::<(), apx_metrics::EvaluatorError>(())
+    /// ```
+    pub fn for_operator(
+        op: Operator,
+        width: u32,
+        signed: bool,
+        pmf: &Pmf,
+    ) -> Result<Self, EvaluatorError> {
+        Self::for_operator_with_backend(op, width, signed, pmf, EvalBackend::from_env())
+    }
+
     /// Creates an evaluator on an explicitly chosen [`EvalBackend`].
     ///
     /// # Errors
@@ -158,11 +222,11 @@ impl MultEvaluator {
     /// ```
     /// use apx_arith::truncated_multiplier;
     /// use apx_dist::Pmf;
-    /// use apx_metrics::{EvalBackend, MultEvaluator};
+    /// use apx_metrics::{EvalBackend, CircuitEvaluator};
     ///
     /// let pmf = Pmf::half_normal(6, 12.0);
-    /// let fast = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
-    /// let slow = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar)?;
+    /// let fast = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
+    /// let slow = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar)?;
     /// let nl = truncated_multiplier(6, 5);
     /// assert_eq!(fast.wmed(&nl).to_bits(), slow.wmed(&nl).to_bits());
     /// # Ok::<(), apx_metrics::EvaluatorError>(())
@@ -173,17 +237,37 @@ impl MultEvaluator {
         pmf: &Pmf,
         backend: EvalBackend,
     ) -> Result<Self, EvaluatorError> {
-        if width == 0 || width > 10 {
-            return Err(EvaluatorError::BadWidth(width));
+        Self::for_operator_with_backend(Operator::Mul, width, signed, pmf, backend)
+    }
+
+    /// Creates an operator-aware evaluator on an explicitly chosen
+    /// [`EvalBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvaluatorError`] on a width outside the operator's
+    /// evaluable range or a PMF of the wrong width.
+    pub fn for_operator_with_backend(
+        op: Operator,
+        width: u32,
+        signed: bool,
+        pmf: &Pmf,
+        backend: EvalBackend,
+    ) -> Result<Self, EvaluatorError> {
+        if !op.supports_width(width) {
+            return Err(EvaluatorError::BadWidth { op, width });
         }
         if pmf.width() != width {
             return Err(EvaluatorError::PmfWidthMismatch { width, pmf_width: pmf.width() });
         }
-        let ex = Exhaustive::new(2 * width as usize);
+        let ni = op.num_inputs(width);
+        let out_bits = op.num_outputs(width) as u32;
+        let free = (ni - width as usize) as u32;
+        let ex = Exhaustive::new(ni);
         let weights: Vec<f64> = pmf.iter().collect();
         let mut ordered_blocks = Vec::new();
-        if width >= 6 {
-            let blocks_per_x = 1u32 << (width - 6);
+        if free >= 6 {
+            let blocks_per_x = 1u32 << (free - 6);
             for block in 0..ex.num_blocks() as u32 {
                 let x_raw = (block / blocks_per_x) as usize;
                 let w = weights[x_raw];
@@ -193,12 +277,16 @@ impl MultEvaluator {
             }
             ordered_blocks.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
-        let planes = (2 * width + 1) as usize;
+        let planes = out_bits as usize + 1;
         debug_assert!(planes <= MAX_PLANES);
-        let norm = 1.0 / ((1u64 << width) as f64 * (1u64 << (2 * width)) as f64);
-        let mut eval = MultEvaluator {
+        let norm = 1.0 / ((1u64 << free) as f64 * (1u64 << out_bits) as f64);
+        let mut eval = CircuitEvaluator {
+            op,
             width,
             signed,
+            ni,
+            out_bits,
+            free,
             weights,
             ex,
             backend,
@@ -209,7 +297,7 @@ impl MultEvaluator {
             input_rows: Vec::new(),
             norm,
         };
-        if width >= 6 && backend == EvalBackend::BitParallel {
+        if free >= 6 && backend == EvalBackend::BitParallel {
             eval.exact_planes = eval.build_exact_planes();
             eval.exact_tiles = eval.build_exact_tiles();
             eval.input_rows = eval.build_input_rows();
@@ -235,12 +323,17 @@ impl MultEvaluator {
     }
 
     /// Position-ordered input simulation words (see `input_rows`).
+    ///
+    /// Netlist input `i` maps to enumeration bit `free + i` for the
+    /// distribution operand (`i < width`) and `i - width` for everything
+    /// below it — which puts `a` in the top `width` enumeration bits for
+    /// every operator (the [`Operator::exact_value`] layout).
     fn build_input_rows(&self) -> Vec<u64> {
         let w = self.width as usize;
         let n_pos = self.ordered_blocks.len();
-        let mut rows = vec![0u64; 2 * w * n_pos];
-        for i in 0..2 * w {
-            let ebit = if i < w { w + i } else { i - w };
+        let mut rows = vec![0u64; self.ni * n_pos];
+        for i in 0..self.ni {
+            let ebit = if i < w { self.free as usize + i } else { i - w };
             for (pos, &(block, _)) in self.ordered_blocks.iter().enumerate() {
                 rows[i * n_pos + pos] = self.ex.input_word(ebit, block as usize);
             }
@@ -248,23 +341,26 @@ impl MultEvaluator {
         rows
     }
 
-    /// Bit-sliced exact products for every block (see `exact_planes`).
+    /// Bit-sliced exact (reference) values for every block (see
+    /// `exact_planes`).
     fn build_exact_planes(&self) -> Vec<u64> {
-        let w = self.width;
-        let mask = (1u64 << w) - 1;
         let mut planes = vec![0u64; self.ex.num_blocks() * self.planes];
         for (block, chunk) in planes.chunks_exact_mut(self.planes).enumerate() {
             for lane in 0..64u64 {
                 let v = (block as u64) * 64 + lane;
-                let x = self.interpret(v >> w, w);
-                let y = self.interpret(v & mask, w);
-                let p = (x * y) as u64;
+                let p = self.op.exact_value(self.width, self.signed, v) as u64;
                 for (k, word) in chunk.iter_mut().enumerate() {
                     *word |= ((p >> k) & 1) << lane;
                 }
             }
         }
         planes
+    }
+
+    /// The operator this evaluator scores candidates against.
+    #[must_use]
+    pub fn operator(&self) -> Operator {
+        self.op
     }
 
     /// Operand width in bits.
@@ -288,20 +384,28 @@ impl MultEvaluator {
     fn check_arity(&self, netlist: &Netlist) {
         assert_eq!(
             netlist.num_inputs(),
-            2 * self.width as usize,
-            "multiplier must have 2*width inputs"
+            self.ni,
+            "a width-{} {} netlist must have {} inputs",
+            self.width,
+            self.op,
+            self.ni
         );
         assert_eq!(
             netlist.num_outputs(),
-            2 * self.width as usize,
-            "multiplier must have 2*width outputs"
+            self.out_bits as usize,
+            "a width-{} {} netlist must have {} outputs",
+            self.width,
+            self.op,
+            self.out_bits
         );
     }
 
     fn ctx(&self) -> EngineCtx<'_> {
         EngineCtx {
+            op: self.op,
             width: self.width,
             signed: self.signed,
+            out_bits: self.out_bits,
             ordered: &self.ordered_blocks,
             exact_planes: &self.exact_planes,
             exact_tiles: &self.exact_tiles,
@@ -323,7 +427,7 @@ impl MultEvaluator {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    /// Panics if the netlist does not have the operator’s input/output arity.
     #[must_use]
     pub fn wmed(&self, netlist: &Netlist) -> f64 {
         self.wmed_impl(netlist, f64::INFINITY).expect("unbounded evaluation always completes")
@@ -337,7 +441,7 @@ impl MultEvaluator {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    /// Panics if the netlist does not have the operator’s input/output arity.
     #[must_use]
     pub fn wmed_bounded(&self, netlist: &Netlist, limit: f64) -> Option<f64> {
         self.wmed_impl(netlist, limit)
@@ -347,7 +451,7 @@ impl MultEvaluator {
         self.check_arity(netlist);
         // `limit` in normalized units -> raw weighted-error budget.
         let raw_limit = if limit.is_finite() { limit / self.norm } else { f64::INFINITY };
-        if self.width >= 6 {
+        if self.free >= 6 {
             let ctx = self.ctx();
             let total = match self.backend {
                 EvalBackend::BitParallel => ctx.wmed_raw_bitpar(netlist, raw_limit)?,
@@ -357,43 +461,40 @@ impl MultEvaluator {
         }
         // Small domain: weights vary per lane inside the block(s); both
         // backends feed the same per-lane loop via `LaneReader`.
-        let w = self.width;
-        let mask = (1u64 << w) - 1;
         let lanes = self.ex.lanes_per_block();
         let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
         let mut total = 0.0f64;
         for block in 0..self.ex.num_blocks() {
-            reader.read_block(netlist, &self.ex, w, block, &mut lane_buf);
+            reader.read_block(netlist, &self.ex, self.width, block, &mut lane_buf);
             let base = (block * 64) as u64;
             for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
                 let v = base + lane as u64;
-                let x_raw = v >> w;
+                let x_raw = v >> self.free;
                 let weight = self.weights[x_raw as usize];
                 if weight == 0.0 {
                     continue;
                 }
-                let x = self.interpret(x_raw, w);
-                let y = self.interpret(v & mask, w);
-                let got = self.interpret(out_raw, 2 * w);
-                total += weight * (x * y - got).unsigned_abs() as f64;
+                let exact = self.op.exact_value(self.width, self.signed, v);
+                let got = self.interpret(out_raw, self.out_bits);
+                total += weight * (exact - got).unsigned_abs() as f64;
             }
             if total > raw_limit {
                 return None;
             }
         }
-        // total = Σ_x D(x) Σ_y |err|; WMED = total / (2^w · 2^(2w)) = total·norm.
+        // total = Σ_x D(x) Σ_free |err|; WMED = total / (2^free · 2^out) = total·norm.
         Some(total * self.norm)
     }
 
     /// Whether this evaluator can run the incremental (delta) protocol.
     ///
-    /// Incremental re-evaluation needs the bit-parallel backend and the
-    /// block-granular weighting of `width >= 6` (below that, the whole
+    /// Incremental re-evaluation needs the bit-parallel backend and
+    /// block-granular weighting (`free >= 6` — below that, the whole
     /// domain is one block and a full pass is already trivial).
     #[must_use]
     pub fn supports_incremental(&self) -> bool {
-        self.width >= 6 && self.backend == EvalBackend::BitParallel
+        self.free >= 6 && self.backend == EvalBackend::BitParallel
     }
 
     /// Heap footprint a [`WmedState`] for `netlist` would need, in bytes.
@@ -413,7 +514,7 @@ impl MultEvaluator {
     /// # Panics
     ///
     /// Panics if the evaluator does not
-    /// [support incremental evaluation](MultEvaluator::supports_incremental)
+    /// [support incremental evaluation](CircuitEvaluator::supports_incremental)
     /// or on netlist arity mismatch.
     #[must_use]
     pub fn new_state(&self, base: &Netlist) -> WmedState {
@@ -428,11 +529,11 @@ impl MultEvaluator {
     /// state's base netlist (`child` must have the same shape). Only the
     /// needed part of the changed nodes' fanout cone is re-simulated; the
     /// cached rows are not modified, so the state keeps describing the base
-    /// (call [`MultEvaluator::commit_state`] to rebase). An empty `changed`
+    /// (call [`CircuitEvaluator::commit_state`] to rebase). An empty `changed`
     /// re-scores the base itself straight from the cache.
     ///
     /// The result — including the abort decision — is bit-identical to
-    /// [`MultEvaluator::wmed_bounded`] on `child`.
+    /// [`CircuitEvaluator::wmed_bounded`] on `child`.
     ///
     /// # Panics
     ///
@@ -444,10 +545,10 @@ impl MultEvaluator {
     /// ```
     /// use apx_arith::truncated_multiplier;
     /// use apx_dist::Pmf;
-    /// use apx_metrics::{EvalBackend, MultEvaluator};
+    /// use apx_metrics::{EvalBackend, CircuitEvaluator};
     ///
     /// let pmf = Pmf::half_normal(6, 12.0);
-    /// let eval = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
+    /// let eval = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::BitParallel)?;
     /// let base = truncated_multiplier(6, 4);
     /// let mut state = eval.new_state(&base);
     /// let cached = eval.wmed_bounded_delta(&mut state, &base, &[], f64::INFINITY);
@@ -486,13 +587,11 @@ impl MultEvaluator {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    /// Panics if the netlist does not have the operator’s input/output arity.
     #[must_use]
     pub fn stats(&self, netlist: &Netlist) -> ErrorStats {
         self.check_arity(netlist);
-        let w = self.width;
-        let mask = (1u64 << w) - 1;
-        let range = (1u64 << (2 * w)) as f64;
+        let range = (1u64 << self.out_bits) as f64;
         let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
         let lanes = self.ex.lanes_per_block();
@@ -502,15 +601,13 @@ impl MultEvaluator {
         let mut nonzero = 0u64;
         let mut max_abs = 0i64;
         for block in 0..self.ex.num_blocks() {
-            reader.read_block(netlist, &self.ex, w, block, &mut lane_buf);
+            reader.read_block(netlist, &self.ex, self.width, block, &mut lane_buf);
             let base = (block * 64) as u64;
             for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
                 let v = base + lane as u64;
-                let x_raw = v >> w;
-                let x = self.interpret(x_raw, w);
-                let y = self.interpret(v & mask, w);
-                let exact = x * y;
-                let got = self.interpret(out_raw, 2 * w);
+                let x_raw = v >> self.free;
+                let exact = self.op.exact_value(self.width, self.signed, v);
+                let got = self.interpret(out_raw, self.out_bits);
                 let err = (exact - got).abs();
                 if err != 0 {
                     nonzero += 1;
@@ -523,7 +620,7 @@ impl MultEvaluator {
             }
         }
         let total = self.ex.num_vectors() as f64;
-        let n = (1u64 << w) as f64;
+        let n = (1u64 << self.free) as f64;
         ErrorStats {
             med: sum_abs / total / range,
             wmed: sum_weighted / n / range,
@@ -534,7 +631,7 @@ impl MultEvaluator {
         }
     }
 
-    /// Batch re-scoring: full [`MultEvaluator::stats`] for every netlist,
+    /// Batch re-scoring: full [`CircuitEvaluator::stats`] for every netlist,
     /// fanned out over an [`apx_pool`] worker pool.
     ///
     /// This is the component-library primitive: re-pricing a whole library
@@ -542,12 +639,12 @@ impl MultEvaluator {
     /// exhaustive pass per candidate and no evolution at all, so a sweep
     /// can consult hundreds of prior designs for less than the cost of a
     /// single CGP run. Results come back in input order and each slot is
-    /// bit-identical to a sequential [`MultEvaluator::stats`] call — the
+    /// bit-identical to a sequential [`CircuitEvaluator::stats`] call — the
     /// thread count can never change a reported WMED.
     ///
     /// # Panics
     ///
-    /// Panics if any netlist does not have `2·width` inputs and outputs
+    /// Panics if any netlist does not have the operator’s input/output arity
     /// (re-raising the worker's panic message).
     #[must_use]
     pub fn stats_batch(&self, netlists: &[Netlist], threads: usize) -> Vec<ErrorStats> {
@@ -556,18 +653,24 @@ impl MultEvaluator {
             .unwrap_or_else(|p| panic!("stats_batch candidate {}: {}", p.index, p.message))
     }
 
-    /// Per-input-pair normalized absolute error (Fig. 4's heat-map data).
+    /// Per-operand-pair normalized absolute error (Fig. 4's heat-map
+    /// data). For operators with extra inputs beyond `(x, y)` (the MAC's
+    /// accumulator) each cell is the mean over those inputs.
     ///
     /// # Panics
     ///
-    /// Panics if the netlist does not have `2·width` inputs and outputs.
+    /// Panics if the netlist does not have the operator's input/output
+    /// arity.
     #[must_use]
     pub fn error_matrix(&self, netlist: &Netlist) -> crate::ErrorMatrix {
         self.check_arity(netlist);
         let w = self.width;
         let mask = (1u64 << w) - 1;
         let n = 1usize << w;
-        let range = (1u64 << (2 * w)) as f64;
+        let range = (1u64 << self.out_bits) as f64;
+        // Vectors sharing one (x, y) cell: the enumeration of the inputs
+        // between `y` and `x` (1 for mul/add — plain assignment there).
+        let multiplicity = (1u64 << (self.free - w)) as f64;
         let mut data = vec![0.0f64; n * n];
         let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
@@ -577,13 +680,17 @@ impl MultEvaluator {
             let base = (block * 64) as u64;
             for (lane, &out_raw) in lane_buf.iter().enumerate().take(lanes) {
                 let v = base + lane as u64;
-                let x_raw = v >> w;
+                let x_raw = v >> self.free;
                 let y_raw = v & mask;
-                let x = self.interpret(x_raw, w);
-                let y = self.interpret(y_raw, w);
-                let got = self.interpret(out_raw, 2 * w);
+                let exact = self.op.exact_value(self.width, self.signed, v);
+                let got = self.interpret(out_raw, self.out_bits);
                 // Matrix is indexed (row = x encoding, col = y encoding).
-                data[(x_raw as usize) * n + y_raw as usize] = (x * y - got).abs() as f64 / range;
+                data[(x_raw as usize) * n + y_raw as usize] += (exact - got).abs() as f64 / range;
+            }
+        }
+        if multiplicity > 1.0 {
+            for cell in &mut data {
+                *cell /= multiplicity;
             }
         }
         crate::ErrorMatrix::new(w, data)
@@ -602,7 +709,7 @@ mod tests {
     #[test]
     fn evaluator_matches_table_stats_unsigned() {
         let pmf = Pmf::half_normal(4, 3.0);
-        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &pmf).unwrap();
         let exact = OpTable::exact_mul(4, false);
         for nl in
             [truncated_multiplier(4, 3), broken_array_multiplier(4, 3, 2), array_multiplier(4)]
@@ -621,7 +728,7 @@ mod tests {
     #[test]
     fn evaluator_matches_table_stats_signed() {
         let pmf = Pmf::signed_normal(4, 0.0, 3.0);
-        let eval = MultEvaluator::new(4, true, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, true, &pmf).unwrap();
         let exact = OpTable::exact_mul(4, true);
         for nl in [baugh_wooley_multiplier(4), baugh_wooley_broken(4, 3, 2)] {
             let table = OpTable::from_netlist(&nl, 4, true).unwrap();
@@ -634,7 +741,7 @@ mod tests {
     #[test]
     fn eight_bit_fast_path_matches_table() {
         let pmf = Pmf::normal(8, 127.0, 32.0);
-        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(8, false, &pmf).unwrap();
         let nl = broken_array_multiplier(8, 6, 5);
         let table = OpTable::from_netlist(&nl, 8, false).unwrap();
         let exact = OpTable::exact_mul(8, false);
@@ -644,14 +751,14 @@ mod tests {
 
     #[test]
     fn exact_multiplier_has_zero_wmed() {
-        let eval = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+        let eval = CircuitEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
         assert_eq!(eval.wmed(&array_multiplier(8)), 0.0);
     }
 
     #[test]
     fn bounded_eval_aborts_above_limit() {
         let pmf = Pmf::uniform(8);
-        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(8, false, &pmf).unwrap();
         let bad = truncated_multiplier(8, 12);
         let true_wmed = eval.wmed(&bad);
         assert!(true_wmed > 1e-4);
@@ -667,7 +774,7 @@ mod tests {
         let mut weights = vec![0.0; 256];
         weights[3] = 1.0;
         let pmf = Pmf::from_weights(8, weights).unwrap();
-        let eval = MultEvaluator::new(8, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(8, false, &pmf).unwrap();
         assert_eq!(eval.ordered_blocks.len(), 4, "only x=3's four blocks remain");
         let nl = truncated_multiplier(8, 6);
         let table = OpTable::from_netlist(&nl, 8, false).unwrap();
@@ -683,7 +790,7 @@ mod tests {
     #[test]
     fn error_matrix_diagonal_structure() {
         let pmf = Pmf::uniform(4);
-        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &pmf).unwrap();
         let nl = truncated_multiplier(4, 4);
         let m = eval.error_matrix(&nl);
         // x = 0 row: product is 0, truncation errors are 0.
@@ -698,7 +805,7 @@ mod tests {
     #[test]
     fn stats_batch_matches_sequential_stats_bit_for_bit() {
         let pmf = Pmf::half_normal(4, 3.0);
-        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &pmf).unwrap();
         let netlists = vec![
             array_multiplier(4),
             truncated_multiplier(4, 3),
@@ -721,18 +828,22 @@ mod tests {
     #[test]
     fn constructor_errors() {
         assert!(matches!(
-            MultEvaluator::new(0, false, &Pmf::uniform(1)),
-            Err(EvaluatorError::BadWidth(0))
+            CircuitEvaluator::new(0, false, &Pmf::uniform(1)),
+            Err(EvaluatorError::BadWidth { op: Operator::Mul, width: 0 })
         ));
-        let err = MultEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
+        assert!(matches!(
+            CircuitEvaluator::for_operator(Operator::Mac, 5, false, &Pmf::uniform(5)),
+            Err(EvaluatorError::BadWidth { op: Operator::Mac, width: 5 })
+        ));
+        let err = CircuitEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
         assert!(matches!(err, EvaluatorError::PmfWidthMismatch { .. }));
         assert!(!err.to_string().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "2*width inputs")]
+    #[should_panic(expected = "netlist must have 16 inputs")]
     fn arity_mismatch_panics() {
-        let eval = MultEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
+        let eval = CircuitEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
         let _ = eval.wmed(&array_multiplier(4));
     }
 
@@ -745,9 +856,10 @@ mod tests {
                 Pmf::half_normal(width, 9.0)
             };
             let fast =
-                MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel).unwrap();
+                CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel)
+                    .unwrap();
             let slow =
-                MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
+                CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
             let nl = if signed {
                 baugh_wooley_broken(width, 4, 3)
             } else {
@@ -761,7 +873,7 @@ mod tests {
     #[test]
     fn delta_with_empty_changes_matches_full_eval() {
         let pmf = Pmf::half_normal(6, 12.0);
-        let eval = MultEvaluator::new(6, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(6, false, &pmf).unwrap();
         assert!(eval.supports_incremental());
         let base = broken_array_multiplier(6, 4, 3);
         assert!(eval.state_bytes(&base) > 0);
@@ -779,7 +891,7 @@ mod tests {
     #[test]
     fn scalar_backend_reports_no_incremental_support() {
         let pmf = Pmf::uniform(6);
-        let eval = MultEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar).unwrap();
+        let eval = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar).unwrap();
         assert!(!eval.supports_incremental());
     }
 }

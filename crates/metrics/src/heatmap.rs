@@ -7,7 +7,7 @@ use std::fmt;
 /// Row index is the raw encoding of the distribution operand `x`, column
 /// index the raw encoding of the free operand `y`; values are
 /// `|exact − approx| / 2^(2w)`. Produced by
-/// [`crate::MultEvaluator::error_matrix`].
+/// [`crate::CircuitEvaluator::error_matrix`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ErrorMatrix {
     width: u32,

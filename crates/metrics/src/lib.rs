@@ -1,9 +1,11 @@
 //! Error metrics for approximate arithmetic circuits.
 //!
 //! The paper's contribution is **WMED**, the weighted mean error distance
-//! (§III-A): the mean absolute error of an approximate multiplier where the
+//! (§III-A): the mean absolute error of an approximate circuit where the
 //! distribution operand `x` is weighted by an application-measured
-//! probability mass function `D` and the free operand `y` is uniform:
+//! probability mass function `D` and the free inputs `y` are uniform
+//! (shown here for a multiplier; any [`apx_arith::Operator`] substitutes
+//! its reference function and output range):
 //!
 //! ```text
 //! WMED_D(M̃) = E_{x∼D, y∼U}[ |x·y − M̃(x,y)| ] / 2^(2w)   ∈ [0, 1)
@@ -19,10 +21,10 @@
 //!
 //! * [`table_stats`] — metrics over functional [`apx_arith::OpTable`]s
 //!   (library multipliers, quick experiments);
-//! * [`MultEvaluator`] — the CGP hot path: evaluates a gate-level
+//! * [`CircuitEvaluator`] — the CGP hot path: evaluates a gate-level
 //!   [`apx_gates::Netlist`] exhaustively, skips zero-probability operand
 //!   blocks, visits blocks in decreasing weight order and aborts as soon
-//!   as a WMED budget is exceeded ([`MultEvaluator::wmed_bounded`]).
+//!   as a WMED budget is exceeded ([`CircuitEvaluator::wmed_bounded`]).
 //!
 //! The evaluator runs on one of two interchangeable [`EvalBackend`]s:
 //! the default **bit-parallel** engine (tiled 64-lane simulation plus a
@@ -32,7 +34,7 @@
 //! per-block error sums are exact integers and the floating-point
 //! accumulation order is shared — so the scalar path serves as the
 //! independent oracle for property tests and CI cross-checks. Select a
-//! backend with [`MultEvaluator::with_backend`] or the `APX_EVAL_BACKEND`
+//! backend with [`CircuitEvaluator::with_backend`] or the `APX_EVAL_BACKEND`
 //! environment variable.
 
 #![forbid(unsafe_code)]
@@ -45,7 +47,7 @@ mod heatmap;
 mod stats;
 
 pub use backend::EvalBackend;
-pub use evaluator::{EvaluatorError, MultEvaluator, WmedState};
+pub use evaluator::{CircuitEvaluator, EvaluatorError, WmedState};
 pub use heatmap::ErrorMatrix;
 pub use stats::{joint_wmed, table_stats, ErrorStats};
 

@@ -3,7 +3,7 @@
 use apx_arith::OpTable;
 use apx_dist::Pmf;
 use apx_gates::{GateKind, Netlist, Node, SignalId};
-use apx_metrics::{table_stats, ErrorStats, EvalBackend, MultEvaluator};
+use apx_metrics::{table_stats, CircuitEvaluator, ErrorStats, EvalBackend};
 use apx_rng::Xoshiro256;
 use proptest::prelude::*;
 
@@ -109,7 +109,7 @@ proptest! {
     fn netlist_evaluator_agrees_with_tables(trunc in 0u32..8) {
         let nl = apx_arith::truncated_multiplier(4, trunc);
         let pmf = Pmf::half_normal(4, 3.0);
-        let eval = MultEvaluator::new(4, false, &pmf).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &pmf).unwrap();
         let approx = OpTable::from_netlist(&nl, 4, false).unwrap();
         let exact = OpTable::exact_mul(4, false);
         let expect = table_stats(&approx, &exact, &pmf);
@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn bounded_evaluation_never_lies(trunc in 1u32..8, limit_scale in 0.1f64..3.0) {
         let nl = apx_arith::truncated_multiplier(4, trunc);
-        let eval = MultEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
+        let eval = CircuitEvaluator::new(4, false, &Pmf::uniform(4)).unwrap();
         let truth = eval.wmed(&nl);
         let limit = truth * limit_scale;
         match eval.wmed_bounded(&nl, limit) {
@@ -149,8 +149,8 @@ proptest! {
         let nl = random_netlist(width, gates, seed);
         let pmf = Pmf::half_normal(width, f64::from(1u32 << (width - 1)));
         let fast =
-            MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel).unwrap();
-        let slow = MultEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
+            CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel).unwrap();
+        let slow = CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::Scalar).unwrap();
         assert_stats_identical(&fast.stats(&nl), &slow.stats(&nl))?;
         // Bounded verdicts (feasible value and abort decision alike).
         let limit = limit_scale * fast.stats(&nl).wmed;
@@ -175,7 +175,7 @@ proptest! {
         let ni = 2 * w as usize;
         let pmf = Pmf::half_normal(w, 16.0);
         let eval =
-            MultEvaluator::with_backend(w, signed, &pmf, EvalBackend::BitParallel).unwrap();
+            CircuitEvaluator::with_backend(w, signed, &pmf, EvalBackend::BitParallel).unwrap();
         let mut base = apx_arith::truncated_multiplier(w, trunc);
         let mut state = eval.new_state(&base);
         let mut rng = Xoshiro256::from_seed(seed);

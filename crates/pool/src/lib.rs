@@ -7,7 +7,7 @@
 //! threshold × run)` tasks. Before this crate each level hand-rolled its
 //! own scheme — `apx_cgp::evolve` spawned and joined λ fresh OS threads
 //! *every generation* (millions of spawns per run), while
-//! `apx_core::evolve_multipliers` guarded its whole result vector with a
+//! `apx_core::evolve_circuits` guarded its whole result vector with a
 //! single `Mutex` that serialized every worker and, on a panicking task,
 //! poisoned the lock so the caller saw a poisoning panic instead of the
 //! real error. [`Pool::scope`] replaces both:

@@ -33,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 7,
             ..FlowConfig::default()
         };
-        let result = evolve_multipliers(pmf, &cfg)?;
-        let m = result.multipliers.into_iter().next().expect("one run");
+        let result = evolve_circuits(pmf, &cfg)?;
+        let m = result.circuits.into_iter().next().expect("one run");
         println!(
             "  evolved for {name:<18} area {:7.1} um2, {} gates",
             m.estimate.area_um2,

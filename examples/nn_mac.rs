@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
         ..FlowConfig::default()
     };
-    let evolved = evolve_multipliers(&case.weight_pmf, &cfg)?;
-    let evolved_m = &evolved.multipliers[0];
+    let evolved = evolve_circuits(&case.weight_pmf, &cfg)?;
+    let evolved_m = &evolved.circuits[0];
     let _ = Eq1Fitness::new(8, true, &case.weight_pmf, TechLibrary::nangate45(), budget)?;
 
     let exact = baugh_wooley_multiplier(8);

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({} CGP generations per WMED budget)...\n",
         cfg.iterations
     );
-    let result = evolve_multipliers(&pmf, &cfg)?;
+    let result = evolve_circuits(&pmf, &cfg)?;
 
     let mut table = TextTable::new(vec![
         "WMED budget",
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("{seed_area:.1}"),
         format!("{:.4}", result.seed_estimate.power_mw()),
     ]);
-    for m in &result.multipliers {
+    for m in &result.circuits {
         table.row(vec![
             percent(m.threshold),
             percent(m.stats.wmed),

@@ -29,8 +29,8 @@
 //!     activity_blocks: 8,
 //!     ..FlowConfig::default()
 //! };
-//! let result = evolve_multipliers(&pmf, &cfg)?;
-//! let best = &result.multipliers[0];
+//! let result = evolve_circuits(&pmf, &cfg)?;
+//! let best = &result.circuits[0];
 //! assert!(best.stats.wmed <= 0.01);
 //! # Ok::<(), distapprox::core::CoreError>(())
 //! ```
@@ -86,13 +86,13 @@ pub mod prelude {
     };
     pub use apx_cgp::{Chromosome, EvolutionConfig, FunctionSet};
     pub use apx_core::{
-        cross_wmed, default_thresholds, error_heatmap, evolve_multipliers, mac_metrics,
-        pareto_indices, run_sweep, table1_thresholds, Eq1Fitness, EvolvedMultiplier, FlowConfig,
+        cross_wmed, default_thresholds, error_heatmap, evolve_circuits, mac_metrics,
+        pareto_indices, run_sweep, table1_thresholds, Eq1Fitness, EvolvedCircuit, FlowConfig,
         FlowResult, Shard, SweepConfig, SweepDist, SweepResult,
     };
     pub use apx_dist::Pmf;
     pub use apx_gates::{Netlist, NetlistBuilder};
-    pub use apx_metrics::{table_stats, ErrorStats, MultEvaluator};
+    pub use apx_metrics::{table_stats, CircuitEvaluator, ErrorStats};
     pub use apx_rng::Xoshiro256;
     pub use apx_techlib::{area_of, delay_of, estimate_under_pmf, TechLibrary};
 }

@@ -3,7 +3,7 @@
 
 use distapprox::prelude::*;
 
-fn flow(width: u32, pmf: &Pmf, budget: f64, iterations: u64, seed: u64) -> EvolvedMultiplier {
+fn flow(width: u32, pmf: &Pmf, budget: f64, iterations: u64, seed: u64) -> EvolvedCircuit {
     let cfg = FlowConfig {
         width,
         thresholds: vec![budget],
@@ -13,9 +13,9 @@ fn flow(width: u32, pmf: &Pmf, budget: f64, iterations: u64, seed: u64) -> Evolv
         activity_blocks: 8,
         ..FlowConfig::default()
     };
-    evolve_multipliers(pmf, &cfg)
+    evolve_circuits(pmf, &cfg)
         .expect("flow runs")
-        .multipliers
+        .circuits
         .into_iter()
         .next()
         .expect("one multiplier")
@@ -104,8 +104,8 @@ fn zero_threshold_reproduces_exact_seed() {
         activity_blocks: 4,
         ..FlowConfig::default()
     };
-    let result = evolve_multipliers(&pmf, &cfg).unwrap();
-    let m = &result.multipliers[0];
+    let result = evolve_circuits(&pmf, &cfg).unwrap();
+    let m = &result.circuits[0];
     assert_eq!(m.stats.max_abs_error, 0);
     assert_eq!(m.stats.error_rate, 0.0);
 }

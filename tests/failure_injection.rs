@@ -76,7 +76,7 @@ fn flow_configuration_errors_are_structured() {
         FlowConfig { width: 6, ..FlowConfig::default() }, // pmf width mismatch
     ];
     for cfg in bad_cfgs {
-        match evolve_multipliers(&pmf, &cfg) {
+        match evolve_circuits(&pmf, &cfg) {
             Err(CoreError::BadConfig(msg)) => assert!(!msg.is_empty()),
             other => panic!("expected BadConfig, got {other:?}"),
         }
@@ -85,7 +85,7 @@ fn flow_configuration_errors_are_structured() {
 
 #[test]
 fn evaluator_rejects_mismatched_widths_cleanly() {
-    let err = MultEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
+    let err = CircuitEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains('4') && msg.contains('8'), "unhelpful message: {msg}");
 }

@@ -34,8 +34,8 @@ fn weight_distribution_drives_a_working_wmed_search() {
         seed: 4,
         ..FlowConfig::default()
     };
-    let result = evolve_multipliers(&case.weight_pmf, &cfg).unwrap();
-    let m = &result.multipliers[0];
+    let result = evolve_circuits(&case.weight_pmf, &cfg).unwrap();
+    let m = &result.circuits[0];
     assert!(m.stats.wmed <= 5e-4);
 
     // Integrate it into the classifier: accuracy should stay close to the
