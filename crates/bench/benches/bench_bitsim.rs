@@ -15,10 +15,10 @@ fn bench_bitsim(c: &mut Criterion) {
     let ex = Exhaustive::new(16);
 
     group.bench_function("exhaustive_8bit_array_multiplier", |b| {
-        b.iter(|| black_box(ex.output_table(black_box(&array))))
+        b.iter(|| black_box(ex.output_table(black_box(&array))));
     });
     group.bench_function("exhaustive_8bit_wallace_multiplier", |b| {
-        b.iter(|| black_box(ex.output_table(black_box(&wallace))))
+        b.iter(|| black_box(ex.output_table(black_box(&wallace))));
     });
     group.bench_function("single_block_64_vectors", |b| {
         let mut sim = BlockSim::new(&array);
@@ -27,7 +27,7 @@ fn bench_bitsim(c: &mut Criterion) {
         b.iter(|| {
             let out = sim.run(black_box(&array), black_box(&inputs));
             black_box(out[0])
-        })
+        });
     });
     group.finish();
 }

@@ -24,15 +24,15 @@ fn bench_cgp(c: &mut Criterion) {
         b.iter(|| {
             mutate(&mut chrom, 5, &mut rng);
             black_box(chrom.len())
-        })
+        });
     });
     group.bench_function("decode_active_8bit_multiplier", |b| {
-        b.iter(|| black_box(seed.decode_active()))
+        b.iter(|| black_box(seed.decode_active()));
     });
     group.bench_function("eq1_fitness_accepting_candidate", |b| {
         let fitness =
             Eq1Fitness::new(8, false, &Pmf::uniform(8), TechLibrary::nangate45(), 0.5).unwrap();
-        b.iter(|| black_box(fitness.of(black_box(&seed))))
+        b.iter(|| black_box(fitness.of(black_box(&seed))));
     });
     group.bench_function("eq1_fitness_rejecting_candidate", |b| {
         // Tight budget + mutated candidate: exercises the early abort.
@@ -43,7 +43,7 @@ fn bench_cgp(c: &mut Criterion) {
         for _ in 0..50 {
             mutate(&mut chrom, 5, &mut rng);
         }
-        b.iter(|| black_box(fitness.of(black_box(&chrom))))
+        b.iter(|| black_box(fitness.of(black_box(&chrom))));
     });
     group.finish();
 }

@@ -14,21 +14,21 @@ fn bench_filter(c: &mut Criterion) {
     let table = OpTable::from_netlist(&truncated_multiplier(8, 6), 8, false).unwrap();
 
     group.bench_function("convolve3x3_table_64x64", |b| {
-        b.iter(|| black_box(convolve3x3(black_box(&img), &kernel, &table)))
+        b.iter(|| black_box(convolve3x3(black_box(&img), &kernel, &table)));
     });
     group.bench_function("convolve3x3_exact_64x64", |b| {
-        b.iter(|| black_box(convolve3x3_exact(black_box(&img), &kernel)))
+        b.iter(|| black_box(convolve3x3_exact(black_box(&img), &kernel)));
     });
     group.bench_function("psnr_64x64", |b| {
         let filtered = convolve3x3_exact(&img, &kernel);
-        b.iter(|| black_box(psnr(black_box(&img), black_box(&filtered))))
+        b.iter(|| black_box(psnr(black_box(&img), black_box(&filtered))));
     });
     group.bench_function("scene_synthesis_64x64", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
             black_box(synth::test_images(1, 64, 64, seed))
-        })
+        });
     });
     group.finish();
 }

@@ -23,20 +23,20 @@ fn bench_nn(c: &mut Criterion) {
     let img = data.image(0).to_vec();
 
     group.bench_function("float_forward_mlp_784_48_10", |b| {
-        b.iter(|| black_box(net.forward(black_box(&img))))
+        b.iter(|| black_box(net.forward(black_box(&img))));
     });
     group.bench_function("quantized_forward_with_table", |b| {
-        b.iter(|| black_box(qnet.forward_with(black_box(&img), &exact)))
+        b.iter(|| black_box(qnet.forward_with(black_box(&img), &exact)));
     });
     group.bench_function("quantize_network", |b| {
-        b.iter(|| black_box(QuantizedNetwork::quantize(black_box(&net), &calib)))
+        b.iter(|| black_box(QuantizedNetwork::quantize(black_box(&net), &calib)));
     });
     group.bench_function("dataset_synthesis_32_images", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
             black_box(mnist_like(32, seed))
-        })
+        });
     });
     group.finish();
 }

@@ -33,11 +33,11 @@ fn bench_sweep(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("grid_2x2_width4_threads1", |b| {
         let cfg = small_grid(1);
-        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()))
+        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()));
     });
     group.bench_function("grid_2x2_width4_threads4", |b| {
         let cfg = small_grid(4);
-        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()))
+        b.iter(|| black_box(run_sweep(&cfg).expect("sweep").entries.len()));
     });
     group.finish();
 }

@@ -16,12 +16,12 @@ fn bench_wmed(c: &mut Criterion) {
     let uniform = CircuitEvaluator::new(8, false, &Pmf::uniform(8)).unwrap();
 
     group.bench_function("full_pass_uniform", |b| {
-        b.iter(|| black_box(uniform.wmed(black_box(&exact))))
+        b.iter(|| black_box(uniform.wmed(black_box(&exact))));
     });
     group.bench_function("early_abort_rejects_violator", |b| {
         // The common CGP case: the offspring violates the budget and is
         // rejected after a handful of blocks.
-        b.iter(|| black_box(uniform.wmed_bounded(black_box(&bad), 1e-6)))
+        b.iter(|| black_box(uniform.wmed_bounded(black_box(&bad), 1e-6)));
     });
 
     // Concentrated distribution (like NN weights): most operand blocks
@@ -34,10 +34,10 @@ fn bench_wmed(c: &mut Criterion) {
     let concentrated = Pmf::from_weights(8, weights).unwrap();
     let sparse = CircuitEvaluator::new(8, false, &concentrated).unwrap();
     group.bench_function("sparse_support_skips_blocks", |b| {
-        b.iter(|| black_box(sparse.wmed(black_box(&exact))))
+        b.iter(|| black_box(sparse.wmed(black_box(&exact))));
     });
     group.bench_function("full_stats_pass", |b| {
-        b.iter(|| black_box(uniform.stats(black_box(&exact))))
+        b.iter(|| black_box(uniform.stats(black_box(&exact))));
     });
     group.finish();
 }

@@ -11,11 +11,18 @@
 //! Usage: `cache_stats [dir]` — the directory argument falls back to
 //! `APX_CACHE_DIR`, then to the default `results/cache`.
 //!
+//! With `APX_VERIFY=on` every intact entry is additionally run through
+//! the `apx_verify` static lint and the per-diagnostic counts are
+//! printed — the audit view of the same gate `ComponentLibrary` ingest
+//! applies (a `netlist_lint` run over the directory gives the same
+//! verdict with per-entry detail).
+//!
 //! Full `APX_*` knob reference: `crates/bench/README.md`.
 
-use apx_bench::{cache_dir, results_dir};
-use apx_core::cache::cache_dir_stats;
+use apx_bench::{cache_dir, results_dir, verify_enabled};
+use apx_core::cache::{cache_dir_stats, SweepCache};
 use apx_core::report::TextTable;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 fn main() {
@@ -46,6 +53,31 @@ fn main() {
         ]);
     }
     println!("{}", table.to_text());
+    if verify_enabled() {
+        // Per-diagnostic counts over every intact entry, keyed by the
+        // stable diagnostic names (`output-arity`, `stuck-output`, ...).
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut dirty = 0usize;
+        let mut audited = 0usize;
+        for entry in SweepCache::new(&dir).scan() {
+            audited += 1;
+            let diags = apx_verify::lint_component(&entry.circuit.netlist, entry.op, entry.width);
+            if !diags.is_empty() {
+                dirty += 1;
+            }
+            for d in diags {
+                *counts.entry(d.name()).or_default() += 1;
+            }
+        }
+        println!("verify: {audited} entries audited, {dirty} with diagnostics");
+        if !counts.is_empty() {
+            let mut table = TextTable::new(vec!["diagnostic", "count"]);
+            for (name, count) in &counts {
+                table.row(vec![(*name).to_owned(), format!("{count}")]);
+            }
+            println!("{}", table.to_text());
+        }
+    }
     if stats.corrupt > 0 {
         println!(
             "note: corrupt/stale files are treated as misses by sweeps and \

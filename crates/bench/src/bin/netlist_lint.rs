@@ -1,0 +1,71 @@
+//! Static audit of a sweep cache / component-library directory.
+//!
+//! Runs every intact entry through the `apx_verify` component lint —
+//! the same gate `ComponentLibrary` ingest applies — and reports each
+//! finding with its cache key, severity and named diagnostic, so an
+//! operator can audit a directory *before* pointing a library-mode
+//! sweep at it (and CI can assert the published smoke caches stay
+//! clean). The view is strictly read-only.
+//!
+//! Usage: `netlist_lint [dir]` — the directory argument falls back to
+//! `APX_CACHE_DIR`, then to the default `results/cache`. The exit
+//! status is 1 when any error-severity diagnostic fired, 0 otherwise
+//! (warnings — stuck outputs, dead nodes — are reported but do not
+//! fail the audit: they are legal, if wasteful, circuits).
+//!
+//! Full `APX_*` knob reference: `crates/bench/README.md`.
+
+use apx_bench::{cache_dir, results_dir};
+use apx_core::cache::SweepCache;
+use apx_core::report::TextTable;
+use apx_verify::Severity;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(cache_dir)
+        .unwrap_or_else(|| results_dir().join("cache"));
+    println!("=== netlist_lint: {} ===\n", dir.display());
+
+    let mut entries = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut table = TextTable::new(vec!["key", "component", "severity", "diagnostic"]);
+    for entry in SweepCache::new(&dir).scan() {
+        entries += 1;
+        for d in apx_verify::lint_component(&entry.circuit.netlist, entry.op, entry.width) {
+            match d.severity() {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            *counts.entry(d.name()).or_default() += 1;
+            table.row(vec![
+                entry.key.hex(),
+                format!(
+                    "{} w{} {}",
+                    entry.op,
+                    entry.width,
+                    if entry.signed { "signed" } else { "unsigned" }
+                ),
+                format!("{:?}", d.severity()).to_lowercase(),
+                d.to_string(),
+            ]);
+        }
+    }
+    if !counts.is_empty() {
+        let mut summary = TextTable::new(vec!["diagnostic", "count"]);
+        for (name, count) in &counts {
+            summary.row(vec![(*name).to_owned(), format!("{count}")]);
+        }
+        println!("{}", summary.to_text());
+        println!("{}", table.to_text());
+    }
+    println!("lint: {errors} errors, {warnings} warnings across {entries} entries");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -190,6 +190,65 @@ pub fn parse_library(spec: &str, cache_dir: Option<PathBuf>) -> Option<LibraryCo
 #[must_use]
 pub fn library_config() -> Option<LibraryConfig> {
     parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), cache_dir())
+        .map(|lc| LibraryConfig { prune: prune_enabled(), ..lc })
+}
+
+/// Parses an `APX_PRUNE`-style switch: empty or `on` enables the
+/// bound-based library pruning (the default — it is provably invisible
+/// to sweep results), `off` disables it.
+///
+/// # Errors
+///
+/// Describes the accepted values on anything unrecognized.
+pub fn parse_prune(spec: &str) -> Result<bool, String> {
+    match spec {
+        "" | "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("`{other}`: expected `on` or `off`")),
+    }
+}
+
+/// Whether library re-scoring may skip provably hopeless candidates
+/// (`APX_PRUNE`, default on). The `off` escape hatch exists to measure
+/// the pruning itself and to rule it out when chasing a discrepancy.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value (the strict-knob rationale of
+/// [`env_u64`]).
+#[must_use]
+pub fn prune_enabled() -> bool {
+    parse_prune(std::env::var("APX_PRUNE").unwrap_or_default().trim())
+        .unwrap_or_else(|e| panic!("APX_PRUNE {e}"))
+}
+
+/// Parses an `APX_VERIFY`-style switch: empty or `off` keeps
+/// `cache_stats` in its plain listing mode, `on` adds the static-lint
+/// audit pass.
+///
+/// # Errors
+///
+/// Describes the accepted values on anything unrecognized.
+pub fn parse_verify(spec: &str) -> Result<bool, String> {
+    match spec {
+        "" | "off" => Ok(false),
+        "on" => Ok(true),
+        other => Err(format!("`{other}`: expected `on` or `off`")),
+    }
+}
+
+/// Whether `cache_stats` should run the `apx_verify` lint over every
+/// entry it lists (`APX_VERIFY`, default off — the audit re-decodes
+/// every netlist, which is not free on big caches).
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a typo silently skipping a
+/// requested audit would report a cache as unexamined-but-assumed-clean.
+#[must_use]
+pub fn verify_enabled() -> bool {
+    parse_verify(std::env::var("APX_VERIFY").unwrap_or_default().trim())
+        .unwrap_or_else(|e| panic!("APX_VERIFY {e}"))
 }
 
 /// Number of local shard processes the `orchestrate` binary spawns
@@ -382,8 +441,8 @@ pub fn print_sweep_counters(cfg: &apx_core::SweepConfig, stats: &SweepStats) {
     }
     if cfg.library.is_some() {
         println!(
-            "library: {} hits, {} seeded evolutions",
-            stats.library_hits, stats.seeded_evolutions
+            "library: {} hits, {} seeded evolutions, {} pruned",
+            stats.library_hits, stats.seeded_evolutions, stats.library_pruned
         );
     }
 }
@@ -402,7 +461,7 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
         "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
          \"computed_evaluations\": {}, \"evaluations_per_second\": {:.1}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"shard_skipped\": {}, \"library_hits\": {}, \
-         \"seeded_evolutions\": {}}}",
+         \"seeded_evolutions\": {}, \"library_pruned\": {}}}",
         s.threads,
         s.wall_seconds,
         s.total_evaluations,
@@ -412,7 +471,8 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
         s.cache_misses,
         s.shard_skipped,
         s.library_hits,
-        s.seeded_evolutions
+        s.seeded_evolutions,
+        s.library_pruned
     )
 }
 
@@ -639,6 +699,7 @@ mod tests {
         assert_eq!(on.dir, cache);
         assert!(!on.conventional);
         assert!(on.take_hits);
+        assert!(on.prune, "bound pruning defaults on (it is provably invisible)");
         let full = parse_library("full", cache.clone()).unwrap();
         assert_eq!(full.dir, cache);
         assert!(full.conventional);
@@ -648,6 +709,36 @@ mod tests {
         // `on` with caching disabled scans nothing (still a valid mode:
         // bit-identical to off, by the library-mode contract).
         assert_eq!(parse_library("on", None).unwrap().dir, None);
+    }
+
+    #[test]
+    fn verify_and_prune_switches_parse_or_explain() {
+        assert_eq!(parse_verify(""), Ok(false));
+        assert_eq!(parse_verify("off"), Ok(false));
+        assert_eq!(parse_verify("on"), Ok(true));
+        let err = parse_verify("yes").unwrap_err();
+        assert!(err.contains("`yes`") && err.contains("off"), "{err}");
+
+        assert_eq!(parse_prune(""), Ok(true), "pruning is on by default");
+        assert_eq!(parse_prune("on"), Ok(true));
+        assert_eq!(parse_prune("off"), Ok(false));
+        assert!(parse_prune("maybe").is_err());
+
+        let _guard = env_lock();
+        std::env::set_var("APX_VERIFY", "sure");
+        let msg = panic_message_of(|| {
+            let _ = verify_enabled();
+        })
+        .expect("unknown APX_VERIFY value must panic, never fall back");
+        std::env::remove_var("APX_VERIFY");
+        assert!(msg.contains("APX_VERIFY"), "missing knob name: {msg}");
+        std::env::set_var("APX_PRUNE", "sometimes");
+        let msg = panic_message_of(|| {
+            let _ = prune_enabled();
+        })
+        .expect("unknown APX_PRUNE value must panic, never fall back");
+        std::env::remove_var("APX_PRUNE");
+        assert!(msg.contains("APX_PRUNE"), "missing knob name: {msg}");
     }
 
     #[test]

@@ -160,6 +160,7 @@ fn stats(wall_seconds: f64, total_evaluations: u64) -> SweepStats {
         shard_skipped: 1,
         library_hits: 2,
         seeded_evolutions: 1,
+        library_pruned: 3,
     }
 }
 
@@ -187,6 +188,7 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
         // The component-library counters are part of the tracked schema.
         assert!(obj.contains("\"library_hits\": 2"), "missing library_hits: {obj}");
         assert!(obj.contains("\"seeded_evolutions\": 1"), "missing seeded_evolutions: {obj}");
+        assert!(obj.contains("\"library_pruned\": 3"), "missing library_pruned: {obj}");
         let grid = BenchGrid { distributions: 3, thresholds: 14, runs_per_threshold: 1 };
         let doc =
             bench_sweep_json(grid, 50, 4, "bitpar", Operator::Add, &s, &stats(wall * 2.0, evals));
@@ -203,9 +205,14 @@ fn committed_bench_sweep_json_parses() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_sweep.json");
     let text = std::fs::read_to_string(path).expect("results/BENCH_sweep.json is committed");
     json::validate(&text).unwrap_or_else(|e| panic!("committed BENCH_sweep.json invalid: {e}"));
-    for key in
-        ["\"library_hits\"", "\"seeded_evolutions\"", "\"cache_hits\"", "\"backend\"", "\"op\""]
-    {
+    for key in [
+        "\"library_hits\"",
+        "\"seeded_evolutions\"",
+        "\"library_pruned\"",
+        "\"cache_hits\"",
+        "\"backend\"",
+        "\"op\"",
+    ] {
         assert!(text.contains(key), "committed BENCH_sweep.json lacks {key}");
     }
 }

@@ -1,0 +1,110 @@
+//! The `APX_*` knob registry must stay in lockstep with the code.
+//!
+//! Every knob the workspace reads is user-facing configuration, and
+//! `crates/bench/README.md` is its single reference table. This test
+//! greps the workspace source for `APX_*` tokens and fails when a knob
+//! is read but undocumented (a silent feature) or documented but no
+//! longer read (a lie in the manual). Test-only variables — fixtures
+//! like `APX_TEST_BAD_KNOB` that exist to exercise the knob parsers
+//! themselves — are allowlisted by prefix.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// All `APX_[A-Z0-9_]+` tokens in `text`.
+fn apx_tokens(text: &str) -> BTreeSet<String> {
+    let mut tokens = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(rel) = text[i..].find("APX_") {
+        let start = i + rel;
+        let mut end = start + 4;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if end > start + 4 {
+            tokens.insert(text[start..end].to_owned());
+        }
+        i = end;
+    }
+    tokens
+}
+
+/// `APX_*` tokens read anywhere in the workspace's Rust source.
+fn tokens_in_code() -> BTreeSet<String> {
+    let mut tokens = BTreeSet::new();
+    let mut stack = vec![workspace_root().join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                // Build artifacts are not source.
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                tokens.extend(apx_tokens(&std::fs::read_to_string(&path).unwrap()));
+            }
+        }
+    }
+    tokens
+}
+
+/// The knob names documented in the README's reference table — the
+/// first `APX_*` token of each `| \`APX_...\` |` row (rows may mention
+/// other knobs in their description column).
+fn documented_knobs() -> BTreeSet<String> {
+    let readme = workspace_root().join("crates/bench/README.md");
+    std::fs::read_to_string(readme)
+        .unwrap()
+        .lines()
+        .filter(|line| line.starts_with("| `APX_"))
+        .filter_map(|line| apx_tokens(line).into_iter().next())
+        .collect()
+}
+
+/// Variables that legitimately live outside the registry: fixtures the
+/// knob-parser tests set to prove strictness, and a deliberately-unset
+/// probe. (`APX_TEST_N` is a real, documented knob that happens to share
+/// the prefix — the subset checks below keep it honest regardless.)
+fn is_test_only(name: &str) -> bool {
+    name.starts_with("APX_TEST_") || name == "APX_DEFINITELY_UNSET_VAR"
+}
+
+#[test]
+fn every_knob_in_code_is_documented_and_vice_versa() {
+    let code = tokens_in_code();
+    let documented = documented_knobs();
+    assert!(code.len() > 15, "token scan looks broken: {code:?}");
+    assert!(documented.len() > 15, "README table parse looks broken: {documented:?}");
+
+    let undocumented: Vec<&String> =
+        code.iter().filter(|t| !documented.contains(*t) && !is_test_only(t)).collect();
+    assert!(
+        undocumented.is_empty(),
+        "knobs read in code but missing from crates/bench/README.md: {undocumented:?}"
+    );
+
+    let phantom: Vec<&String> = documented.iter().filter(|t| !code.contains(*t)).collect();
+    assert!(
+        phantom.is_empty(),
+        "knobs documented in crates/bench/README.md but never read in code: {phantom:?}"
+    );
+}
+
+#[test]
+fn token_extraction_is_exact() {
+    let text = "reads `APX_ITERS` and APX_GC_TMP_TTL_SECS, ignores APX_ alone and apx_lower";
+    let tokens = apx_tokens(text);
+    assert_eq!(tokens.into_iter().collect::<Vec<_>>(), ["APX_GC_TMP_TTL_SECS", "APX_ITERS"]);
+}

@@ -19,7 +19,7 @@ impl Chromosome {
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "cgp {} {} {}", self.num_inputs(), self.num_outputs(), self.cols());
-        let names: Vec<&str> = self.function_set().iter().map(|k| k.name()).collect();
+        let names: Vec<&str> = self.function_set().iter().map(apx_gates::GateKind::name).collect();
         let _ = writeln!(s, "funcs {}", names.join(" "));
         let genes: Vec<String> = self.genes().iter().map(u32::to_string).collect();
         let _ = writeln!(s, "genes {}", genes.join(" "));

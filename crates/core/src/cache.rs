@@ -236,7 +236,23 @@ impl SweepCache {
     #[must_use]
     pub fn load(&self, key: CacheKey) -> Option<EvolvedCircuit> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        entry_from_text(&text, key).map(|e| e.circuit)
+        entry_from_text(&text, key).map(|e| {
+            // Debug builds statically lint every loaded netlist: a parseable
+            // entry whose netlist still violates its declared component
+            // contract means a poisoned cache directory (or a codec bug) and
+            // should fail loudly where tests can see it, not deep inside an
+            // evaluator assert.
+            debug_assert!(
+                !apx_verify::has_errors(&apx_verify::lint_component(
+                    &e.circuit.netlist,
+                    e.op,
+                    e.width
+                )),
+                "cache entry {key} fails the static netlist lint: {:?}",
+                apx_verify::lint_component(&e.circuit.netlist, e.op, e.width)
+            );
+            e.circuit
+        })
     }
 
     /// Atomically stores `entry` under `key`: the bytes are written to a
@@ -788,10 +804,12 @@ mod tests {
 
     /// A synthetic but structurally valid entry with every field driven
     /// from `seed`, including awkward float values (negative zero,
-    /// subnormals, huge magnitudes).
+    /// subnormals, huge magnitudes). Multiplier-shaped (3-bit operands,
+    /// `2w` inputs and outputs) so entries stored as `(Mul, 3)` satisfy
+    /// the component contract the static lint enforces at load/ingest.
     fn synthetic_entry(seed: u64) -> EvolvedCircuit {
         let mut rng = Xoshiro256::from_seed(seed);
-        let chromosome = Chromosome::random(6, 4, 20, &FunctionSet::extended(), &mut rng);
+        let chromosome = Chromosome::random(6, 6, 20, &FunctionSet::extended(), &mut rng);
         let mut f = |i: usize| match i % 4 {
             0 => -0.0,
             1 => f64::from_bits(1), // smallest subnormal

@@ -49,6 +49,7 @@ use apx_dist::{fnv1a64, FNV1A64_OFFSET};
 use apx_gates::Netlist;
 use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_techlib::{area_of, TechLibrary};
+use apx_verify::{has_errors, lint_component, wmed_bounds_weighted, Diagnostic};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -129,6 +130,9 @@ pub struct ComponentLibrary {
     /// sweep task's own key shows up here, the stored entry *is* what
     /// that task would compute, bit for bit.
     exact: HashMap<CacheKey, (Operator, u32, bool, EvolvedCircuit)>,
+    /// Scanned entries the `apx_verify` ingest gate refused, with the
+    /// diagnoses — named findings instead of silently orphaned entries.
+    rejected: Vec<(CacheKey, Vec<Diagnostic>)>,
 }
 
 impl ComponentLibrary {
@@ -165,6 +169,13 @@ impl ComponentLibrary {
         signed: bool,
     ) -> impl Iterator<Item = &LibraryEntry> {
         self.entries.iter().filter(move |e| e.op == op && e.width == width && e.signed == signed)
+    }
+
+    /// Scanned entries the static ingest gate refused, in scan order,
+    /// each with the full list of named diagnostics that disqualified it.
+    #[must_use]
+    pub fn rejected(&self) -> &[(CacheKey, Vec<Diagnostic>)] {
+        &self.rejected
     }
 
     /// The stored task result for `key`, when this library harvested the
@@ -210,7 +221,17 @@ impl ComponentLibrary {
     /// structurally identical netlists, the first ingested key becomes
     /// the candidate's `source_key`, exactly as in a (key-sorted)
     /// directory scan.
+    ///
+    /// Every entry passes the `apx_verify` static gate first: a netlist
+    /// violating its structural or declared-component contract is
+    /// recorded under [`rejected`](Self::rejected) with its named
+    /// diagnostics and ingested as neither candidate nor exact replay.
     pub fn ingest_scanned(&mut self, scanned: ScannedEntry) -> bool {
+        let diags = lint_component(&scanned.circuit.netlist, scanned.op, scanned.width);
+        if has_errors(&diags) {
+            self.rejected.push((scanned.key, diags));
+            return false;
+        }
         let name = format!("evo_{}", &scanned.key.hex()[..12]);
         let entry = LibraryEntry {
             name,
@@ -331,9 +352,75 @@ impl ComponentLibrary {
         tech: &TechLibrary,
         threads: usize,
     ) -> RescoredLibrary<'_> {
-        let matching: Vec<&LibraryEntry> = self
+        self.rescore_pruned(evaluator, tech, threads, None)
+    }
+
+    /// [`rescore`](Self::rescore) with an optional `apx_verify`
+    /// bound-analysis pre-pass: before paying the batched exhaustive
+    /// statistics, each candidate gets a provable WMED bracket
+    /// ([`wmed_bounds_weighted`]), and a candidate is dropped when it
+    /// provably cannot influence any selection the sweep makes under
+    /// `policy` — its *lower* bound exceeds every configured threshold
+    /// (so it can never be a [`best_meeting`](RescoredLibrary::best_meeting)
+    /// hit) **and** at least [`max_seeds`](PrunePolicy::max_seeds) other
+    /// candidates are provably strictly better (upper bound below its
+    /// lower bound, so it can never be ranked as a
+    /// [`seed`](RescoredLibrary::seeds) either). Survivors are re-scored
+    /// exactly as [`rescore`](Self::rescore) would — per-candidate
+    /// statistics are independent, so pruning provably never changes a
+    /// sweep or library result, only skips work.
+    ///
+    /// The guarantee covers exactly the selections the policy describes —
+    /// [`best_meeting`](RescoredLibrary::best_meeting) up to
+    /// `max_threshold` and [`seeds`](RescoredLibrary::seeds) up to
+    /// `max_seeds`. A [`pareto`](RescoredLibrary::pareto) view over a
+    /// pruned ranking may omit small-area/high-error front members;
+    /// consumers that need the full front (the cache GC) use the unpruned
+    /// [`rescore`](Self::rescore).
+    #[must_use]
+    pub fn rescore_pruned(
+        &self,
+        evaluator: &CircuitEvaluator,
+        tech: &TechLibrary,
+        threads: usize,
+        policy: Option<&PrunePolicy>,
+    ) -> RescoredLibrary<'_> {
+        let mut matching: Vec<&LibraryEntry> = self
             .candidates(evaluator.operator(), evaluator.width(), evaluator.is_signed())
             .collect();
+        let mut pruned = 0;
+        if let Some(policy) = policy {
+            // With `max_seeds` or fewer candidates nothing can ever be
+            // dropped, so skip the bound pass entirely.
+            if matching.len() > policy.max_seeds {
+                let bounds: Vec<_> = matching
+                    .iter()
+                    .map(|e| {
+                        wmed_bounds_weighted(
+                            &e.netlist,
+                            evaluator.operator(),
+                            evaluator.width(),
+                            evaluator.is_signed(),
+                            evaluator.weights(),
+                        )
+                    })
+                    .collect();
+                let keep: Vec<bool> = bounds
+                    .iter()
+                    .map(|b| {
+                        if b.wmed_lo <= policy.max_threshold {
+                            return true;
+                        }
+                        let provably_better =
+                            bounds.iter().filter(|o| o.wmed_hi < b.wmed_lo).count();
+                        provably_better < policy.max_seeds
+                    })
+                    .collect();
+                let mut it = keep.iter();
+                matching.retain(|_| *it.next().expect("one keep flag per candidate"));
+                pruned = keep.iter().filter(|&&k| !k).count();
+            }
+        }
         let netlists: Vec<Netlist> = matching.iter().map(|e| e.netlist.clone()).collect();
         let stats = evaluator.stats_batch(&netlists, threads);
         let mut candidates: Vec<RescoredCandidate<'_>> = matching
@@ -351,8 +438,22 @@ impl ComponentLibrary {
                 .then_with(|| a.stats.wmed.total_cmp(&b.stats.wmed))
                 .then_with(|| a.entry.name.cmp(&b.entry.name))
         });
-        RescoredLibrary { candidates }
+        RescoredLibrary { candidates, pruned }
     }
+}
+
+/// What a sweep will ever ask of a re-scored library — the facts that
+/// make bound-based pruning ([`ComponentLibrary::rescore_pruned`]) safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunePolicy {
+    /// The loosest threshold any task of the sweep runs under: a
+    /// candidate whose provable WMED lower bound exceeds this can never
+    /// be taken as a hit.
+    pub max_threshold: f64,
+    /// [`LibraryConfig::max_seeds`](crate::LibraryConfig::max_seeds): a
+    /// candidate with this many provably strictly-better alternatives
+    /// can never be offered as a seed.
+    pub max_seeds: usize,
 }
 
 /// One candidate re-priced under a specific distribution.
@@ -374,6 +475,7 @@ pub struct RescoredCandidate<'a> {
 #[derive(Debug, Clone)]
 pub struct RescoredLibrary<'a> {
     candidates: Vec<RescoredCandidate<'a>>,
+    pruned: usize,
 }
 
 impl<'a> RescoredLibrary<'a> {
@@ -381,6 +483,14 @@ impl<'a> RescoredLibrary<'a> {
     #[must_use]
     pub fn candidates(&self) -> &[RescoredCandidate<'a>] {
         &self.candidates
+    }
+
+    /// How many candidates the bound-analysis pre-pass of
+    /// [`ComponentLibrary::rescore_pruned`] dropped before the batched
+    /// statistics (always 0 for a plain [`ComponentLibrary::rescore`]).
+    #[must_use]
+    pub fn pruned(&self) -> usize {
+        self.pruned
     }
 
     /// The cheapest candidate whose re-scored WMED meets `threshold` —
@@ -572,5 +682,178 @@ mod tests {
             seeded.iter().position(|c| c.stats.wmed > mid).unwrap_or(seeded.len());
         assert!(seeded[..first_infeasible].iter().all(|c| c.stats.wmed <= mid));
         assert!(seeded[first_infeasible..].iter().all(|c| c.stats.wmed > mid));
+    }
+
+    /// A scanned entry whose netlist drives every output to a fixed bit
+    /// of `pattern` — analytically predictable WMED, tight verify bounds.
+    fn constant_scanned(op: Operator, width: u32, pattern: u64, salt: u64) -> ScannedEntry {
+        let mut b = apx_gates::NetlistBuilder::new(op.num_inputs(width));
+        let zero = b.const0();
+        let one = b.const1();
+        let outs: Vec<_> = (0..op.num_outputs(width))
+            .map(|k| if (pattern >> k) & 1 == 1 { one } else { zero })
+            .collect();
+        b.outputs(&outs);
+        let netlist = b.finish().unwrap();
+        let mut entry = scanned_from(op, width, netlist, salt);
+        entry.circuit.name = format!("const_{pattern}");
+        entry
+    }
+
+    fn scanned_from(op: Operator, width: u32, netlist: Netlist, salt: u64) -> ScannedEntry {
+        let funcs = FunctionSet::extended();
+        let chromosome = Chromosome::from_netlist(&netlist, &funcs, netlist.gate_count()).unwrap();
+        let netlist = chromosome.decode_active();
+        ScannedEntry {
+            key: crate::cache::task_key(
+                &crate::flow::FlowConfig::default(),
+                &Pmf::uniform(8),
+                0.25,
+                0,
+                salt,
+            ),
+            op,
+            width,
+            signed: false,
+            circuit: EvolvedCircuit {
+                name: format!("scan_{salt}"),
+                chromosome,
+                netlist,
+                threshold: 0.25,
+                run: 0,
+                stats: ErrorStats {
+                    med: 0.0,
+                    wmed: 0.0,
+                    wce: 0.0,
+                    error_rate: 0.0,
+                    mred: 0.0,
+                    max_abs_error: 0,
+                },
+                estimate: apx_techlib::CircuitEstimate {
+                    area_um2: 0.0,
+                    delay_ns: 0.0,
+                    leakage_uw: 0.0,
+                    dynamic_uw: 0.0,
+                    clock_mhz: 0.0,
+                },
+                evaluations: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn ingest_gate_rejects_invalid_netlists_with_named_diagnostics() {
+        // A (Mul, 3) entry must have 6 outputs; hand it a 4-output
+        // netlist and the static gate must refuse it with a *named*
+        // diagnosis — no candidate, no exact-replay index entry.
+        let mut b = apx_gates::NetlistBuilder::new(6);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.and(x, y);
+        b.outputs(&[g, x, y, g]);
+        let bad = scanned_from(Operator::Mul, 3, b.finish().unwrap(), 1);
+        let bad_key = bad.key;
+
+        let mut lib = ComponentLibrary::new();
+        assert!(!lib.ingest_scanned(bad));
+        assert!(lib.is_empty(), "a rejected entry must not become a candidate");
+        assert!(
+            lib.exact_match(bad_key, Operator::Mul, 3, false).is_none(),
+            "a rejected entry must not be replayable either"
+        );
+        assert_eq!(lib.rejected().len(), 1);
+        let (key, diags) = &lib.rejected()[0];
+        assert_eq!(*key, bad_key);
+        assert!(
+            diags.iter().any(|d| d.name() == "output-arity"),
+            "the rejection names its diagnosis: {diags:?}"
+        );
+
+        // A contract-clean entry sails through the same gate.
+        let good = constant_scanned(Operator::Mul, 3, 0, 2);
+        let good_key = good.key;
+        assert!(lib.ingest_scanned(good));
+        assert_eq!(lib.len(), 1);
+        assert!(lib.exact_match(good_key, Operator::Mul, 3, false).is_some());
+        assert_eq!(lib.rejected().len(), 1, "accepting an entry does not grow the reject log");
+    }
+
+    #[test]
+    fn structural_hash_matches_the_library_digest() {
+        // The verify crate's canonical hash and the library's dedup
+        // digest must agree bit for bit — otherwise an audit and the
+        // dedup would disagree about circuit identity.
+        let mut rng = apx_rng::Xoshiro256::from_seed(77);
+        let samples = [
+            apx_arith::array_multiplier(4),
+            apx_arith::truncated_multiplier(4, 2),
+            ripple_carry_adder(5),
+            lower_or_adder(4, 2),
+            Chromosome::random(6, 4, 25, &FunctionSet::extended(), &mut rng).decode_active(),
+        ];
+        for nl in &samples {
+            assert_eq!(apx_verify::structural_hash(nl), netlist_digest(nl));
+        }
+    }
+
+    #[test]
+    fn bound_pruning_drops_provably_useless_candidates_without_changing_selections() {
+        // Constant "multipliers" over 3-bit operands: WMED of pattern c
+        // is E|a*b - c| / 2^6, so the all-ones pattern (~0.79) towers
+        // over the low patterns (~0.2) — and the verify bounds on
+        // constant circuits are tight, so the all-ones candidate is
+        // provably hopeless for a 0.02-threshold sweep with 2 seeds.
+        let mut lib = ComponentLibrary::new();
+        for (i, pattern) in [63u64, 0, 1, 2, 3, 4, 5].into_iter().enumerate() {
+            assert!(lib.ingest_scanned(constant_scanned(Operator::Mul, 3, pattern, 10 + i as u64)));
+        }
+        let eval =
+            CircuitEvaluator::for_operator(Operator::Mul, 3, false, &Pmf::uniform(3)).unwrap();
+        let tech = TechLibrary::nangate45();
+        let policy = PrunePolicy { max_threshold: 0.02, max_seeds: 2 };
+
+        let full = lib.rescore(&eval, &tech, 2);
+        let pruned = lib.rescore_pruned(&eval, &tech, 2, Some(&policy));
+        assert_eq!(full.pruned(), 0);
+        assert!(pruned.pruned() >= 1, "the all-ones candidate must be pruned");
+        assert_eq!(pruned.candidates().len() + pruned.pruned(), full.candidates().len());
+        assert!(
+            pruned.candidates().iter().all(|c| c.entry.name != "const_63"),
+            "const_63 is the provably hopeless candidate"
+        );
+
+        // Every selection the policy covers is identical, bit for bit.
+        for threshold in [0.0, 0.01, 0.02] {
+            match (full.best_meeting(threshold), pruned.best_meeting(threshold)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.entry.name, b.entry.name);
+                    assert_eq!(a.stats.wmed.to_bits(), b.stats.wmed.to_bits());
+                }
+                (a, b) => panic!("hit divergence at {threshold}: {a:?} vs {b:?}"),
+            }
+            let (fs, ps) = (full.seeds(threshold, 2), pruned.seeds(threshold, 2));
+            assert_eq!(fs.len(), ps.len());
+            for (a, b) in fs.iter().zip(&ps) {
+                assert_eq!(a.entry.name, b.entry.name, "seed divergence at {threshold}");
+                assert_eq!(a.stats, b.stats);
+                assert_eq!(a.area.to_bits(), b.area.to_bits());
+            }
+        }
+
+        // Survivor statistics are bit-identical to the unpruned pass
+        // (per-candidate evaluation is independent of batch membership).
+        for p in pruned.candidates() {
+            let f = full
+                .candidates()
+                .iter()
+                .find(|c| c.entry.name == p.entry.name)
+                .expect("survivors are a subset");
+            assert_eq!(f.stats, p.stats);
+        }
+
+        // A policy that cannot prune (enough seeds wanted) is a no-op.
+        let lax = PrunePolicy { max_threshold: 0.02, max_seeds: lib.len() };
+        assert_eq!(lib.rescore_pruned(&eval, &tech, 2, Some(&lax)).pruned(), 0);
     }
 }

@@ -59,7 +59,7 @@ impl TextTable {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                let _ = write!(out, "{cell:>w$}", w = w);
+                let _ = write!(out, "{cell:>w$}");
             }
             out.push('\n');
         };

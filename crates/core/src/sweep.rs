@@ -28,7 +28,7 @@ use crate::cache::{task_key, CacheKey, SweepCache};
 use crate::flow::{
     evolve_one, run_tasks, seed_circuit, task_seed, validate_config, EvolvedCircuit, FlowConfig,
 };
-use crate::library::{ComponentLibrary, RescoredLibrary};
+use crate::library::{ComponentLibrary, PrunePolicy, RescoredLibrary};
 use crate::CoreError;
 use apx_approxlib::MultiplierLibrary;
 use apx_arith::Operator;
@@ -105,13 +105,20 @@ pub struct LibraryConfig {
     pub take_hits: bool,
     /// Maximum library candidates offered as seeds to one evolution.
     pub max_seeds: usize,
+    /// Skip re-scoring candidates that `apx_verify`'s static bound
+    /// analysis proves irrelevant to this sweep — provably unable to meet
+    /// the loosest threshold *and* provably out-ranked by at least
+    /// `max_seeds` alternatives ([`ComponentLibrary::rescore_pruned`]).
+    /// Results are bit-identical either way; pruning only saves
+    /// exhaustive statistics passes on large libraries.
+    pub prune: bool,
 }
 
 impl Default for LibraryConfig {
     /// Hits taken, up to 4 seeds (one per default-λ offspring lineage),
-    /// no directory, no conventional entries.
+    /// bound-based pruning on, no directory, no conventional entries.
     fn default() -> Self {
-        LibraryConfig { dir: None, conventional: false, take_hits: true, max_seeds: 4 }
+        LibraryConfig { dir: None, conventional: false, take_hits: true, max_seeds: 4, prune: true }
     }
 }
 
@@ -183,6 +190,10 @@ pub struct SweepStats {
     /// seed strictly beat the operator's exact seed circuit in the
     /// warm-start selection of [`apx_cgp::evolve_seeded`]).
     pub seeded_evolutions: usize,
+    /// Library candidates the static bound analysis pruned before
+    /// re-scoring ([`LibraryConfig::prune`]), summed over the
+    /// distributions whose rankings this run actually consulted.
+    pub library_pruned: usize,
 }
 
 impl SweepStats {
@@ -350,13 +361,22 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
     // Re-scoring is lazy per distribution: an all-replay warm run (every
     // task an exact key match) never pays the batched evaluator passes
     // for rankings nobody consults.
+    //
+    // The prune policy describes everything this sweep will ever ask of a
+    // ranking (loosest threshold, seed cap), which is exactly what makes
+    // the bound-based pre-pass result-invariant.
+    let prune_policy: Option<PrunePolicy> =
+        cfg.library.as_ref().filter(|l| l.prune).map(|l| PrunePolicy {
+            max_threshold: flow.thresholds.iter().fold(f64::NEG_INFINITY, |m, &t| m.max(t)),
+            max_seeds: l.max_seeds,
+        });
     let rescored: Vec<std::cell::OnceCell<RescoredLibrary<'_>>> =
         cfg.distributions.iter().map(|_| std::cell::OnceCell::new()).collect();
     let rescored_for = |di: usize| -> Option<&RescoredLibrary<'_>> {
         match &library {
-            Some(lib) if !lib.is_empty() => {
-                Some(rescored[di].get_or_init(|| lib.rescore(&evaluators[di], &tech, threads)))
-            }
+            Some(lib) if !lib.is_empty() => Some(rescored[di].get_or_init(|| {
+                lib.rescore_pruned(&evaluators[di], &tech, threads, prune_policy.as_ref())
+            })),
             _ => None,
         }
     };
@@ -531,6 +551,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
         },
     )?;
     let wall_seconds = started.elapsed().as_secs_f64();
+    let library_pruned: usize =
+        rescored.iter().filter_map(|c| c.get()).map(super::library::RescoredLibrary::pruned).sum();
 
     let mut computed_evaluations = 0u64;
     let mut seeded_evolutions = 0usize;
@@ -589,6 +611,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
             shard_skipped,
             library_hits,
             seeded_evolutions,
+            library_pruned,
         },
     })
 }
@@ -1302,5 +1325,89 @@ mod tests {
             assert_eq!(e.circuit.estimate, m.estimate);
         }
         assert_eq!(sweep.seed_estimates[0], flow.seed_estimate);
+    }
+
+    /// Stores a donor entry whose netlist pins every output to a bit of
+    /// `pattern` — the verify bounds on such circuits are tight, so a
+    /// hopeless pattern is provably prunable.
+    fn store_constant_donor(cache: &SweepCache, flow: &FlowConfig, pattern: u64, run: usize) {
+        let op = flow.operator;
+        let mut b = apx_gates::NetlistBuilder::new(op.num_inputs(flow.width));
+        let zero = b.const0();
+        let one = b.const1();
+        let outs: Vec<_> = (0..op.num_outputs(flow.width))
+            .map(|k| if (pattern >> k) & 1 == 1 { one } else { zero })
+            .collect();
+        b.outputs(&outs);
+        let netlist = b.finish().unwrap();
+        let chromosome = Chromosome::from_netlist(
+            &netlist,
+            &apx_cgp::FunctionSet::extended(),
+            netlist.gate_count(),
+        )
+        .unwrap();
+        let circuit = EvolvedCircuit {
+            name: format!("const_{pattern}"),
+            netlist: chromosome.decode_active(),
+            chromosome,
+            threshold: 0.9,
+            run,
+            stats: ErrorStats {
+                med: 0.0,
+                wmed: 0.0,
+                wce: 0.0,
+                error_rate: 0.0,
+                mred: 0.0,
+                max_abs_error: 0,
+            },
+            estimate: CircuitEstimate {
+                area_um2: 0.0,
+                delay_ns: 0.0,
+                leakage_uw: 0.0,
+                dynamic_uw: 0.0,
+                clock_mhz: DEFAULT_CLOCK_MHZ,
+            },
+            evaluations: 1,
+        };
+        let key = task_key(flow, &Pmf::uniform(flow.width), 0.9, run, 0xD0_0D + run as u64);
+        cache.store(key, &circuit, op, flow.width, false).unwrap();
+    }
+
+    #[test]
+    fn bound_pruning_is_invisible_to_sweep_results() {
+        // Acceptance contract: with `LibraryConfig::prune` on, a sweep
+        // must produce bit-identical entries to the same sweep with
+        // pruning off — the bound pre-pass may only discard candidates
+        // that provably cannot be hit or seed. The donor library mixes
+        // low constant circuits (near-misses that become seeds) with the
+        // all-ones constant (provably hopeless at every threshold).
+        let donor_dir = fresh_cache_dir("prune_donor");
+        let mut cfg = tiny_sweep();
+        cfg.flow.iterations = 120;
+        let donor_flow = FlowConfig { seed: 0xBAD_5EED, ..cfg.flow.clone() };
+        let donor = SweepCache::new(&donor_dir);
+        for (i, pattern) in [255u64, 0, 1, 2, 3, 4, 5].into_iter().enumerate() {
+            store_constant_donor(&donor, &donor_flow, pattern, i);
+        }
+
+        cfg.library = Some(LibraryConfig {
+            dir: Some(donor_dir),
+            take_hits: false, // constants can't hit 0.02; force the seed path
+            prune: false,
+            ..LibraryConfig::default()
+        });
+        let unpruned = run_sweep(&cfg).unwrap();
+        assert_eq!(unpruned.stats.library_pruned, 0);
+
+        cfg.library.as_mut().unwrap().prune = true;
+        let pruned = run_sweep(&cfg).unwrap();
+        assert!(
+            pruned.stats.library_pruned > 0,
+            "the all-ones constant must be pruned in each consulted ranking"
+        );
+        assert_entries_bit_identical(&unpruned, &pruned);
+        assert_eq!(unpruned.stats.seeded_evolutions, pruned.stats.seeded_evolutions);
+        assert_eq!(unpruned.stats.library_hits, pruned.stats.library_hits);
+        assert_eq!(unpruned.stats.total_evaluations, pruned.stats.total_evaluations);
     }
 }

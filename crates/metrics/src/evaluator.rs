@@ -381,6 +381,15 @@ impl CircuitEvaluator {
         self.backend
     }
 
+    /// The distribution weights, one per raw weighted-operand encoding —
+    /// exactly the table the WMED summation applies, so static analyses
+    /// (e.g. `apx_verify`'s bound brackets) can reason about the same
+    /// numbers this evaluator will report.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     fn check_arity(&self, netlist: &Netlist) {
         assert_eq!(
             netlist.num_inputs(),

@@ -296,7 +296,7 @@ pub fn estimate_under_pmf(
             }
         }
         // Everything else: uniform random.
-        for word in inputs[w..].iter_mut() {
+        for word in &mut inputs[w..] {
             *word = rng.next_u64();
         }
     });
