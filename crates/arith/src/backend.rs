@@ -1,13 +1,21 @@
-//! The evaluator backend seam: exhaustive-scalar vs bit-parallel.
+//! The evaluator backend seam: exhaustive-scalar, bit-parallel, symbolic.
+//!
+//! The enum lives here (rather than in `apx_metrics`, which implements
+//! the engines) because the *evaluable width range* of an
+//! [`crate::Operator`] depends on the backend: enumeration-based
+//! backends are capped by the `2^inputs` state space, the symbolic
+//! backend is not. `apx_metrics` re-exports the type, so downstream
+//! code keeps importing `apx_metrics::EvalBackend`.
 
 use std::fmt;
 use std::str::FromStr;
 
-/// Which simulation engine a [`crate::CircuitEvaluator`] runs on.
+/// Which simulation engine a `CircuitEvaluator` runs on.
 ///
-/// Both backends produce **bit-identical** results — every per-block error
-/// sum is an exact integer and the floating-point accumulation order is
-/// shared — so the backend is purely a speed/reference trade-off:
+/// All backends produce **bit-identical** results at the widths they
+/// share — every per-block error sum is an exact integer and the
+/// floating-point accumulation order is shared — so the backend is
+/// purely a speed/reach trade-off:
 ///
 /// * [`EvalBackend::BitParallel`] (the default) levelizes the netlist into
 ///   an ASAP schedule and simulates 64 operand pairs per gate operation on
@@ -15,34 +23,26 @@ use std::str::FromStr;
 /// * [`EvalBackend::Scalar`] interprets the netlist one operand pair at a
 ///   time. It is orders of magnitude slower and exists as the independent
 ///   reference implementation that property tests (and the CI smoke run)
-///   cross-check the fast engine against.
+///   cross-check the fast engine against;
+/// * [`EvalBackend::Symbolic`] never enumerates operand pairs: it builds
+///   reduced ordered BDDs of the approximate-vs-exact output difference
+///   per weighted operand value and model-counts them, which makes wide
+///   operands (12×12/16×16 multipliers, 8-bit MACs) evaluable at all —
+///   the enumeration backends' `2^(2w)` state space is unreachable there.
 ///
 /// # Examples
 ///
-/// Selecting a backend explicitly:
+/// Selecting a backend via the `APX_EVAL_BACKEND` environment variable
+/// (each doctest runs in its own process, so mutating the environment
+/// here is safe):
 ///
 /// ```
-/// use apx_dist::Pmf;
-/// use apx_metrics::{EvalBackend, CircuitEvaluator};
-///
-/// let pmf = Pmf::uniform(4);
-/// let fast = CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::BitParallel)?;
-/// let reference = CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::Scalar)?;
-/// assert_eq!(fast.backend(), EvalBackend::BitParallel);
-/// assert_eq!(reference.backend(), EvalBackend::Scalar);
-/// # Ok::<(), apx_metrics::EvaluatorError>(())
-/// ```
-///
-/// Or via the `APX_EVAL_BACKEND` environment variable (each doctest runs
-/// in its own process, so mutating the environment here is safe):
-///
-/// ```
-/// use apx_metrics::EvalBackend;
+/// use apx_arith::EvalBackend;
 ///
 /// std::env::remove_var("APX_EVAL_BACKEND");
 /// assert_eq!(EvalBackend::from_env(), EvalBackend::BitParallel);
-/// std::env::set_var("APX_EVAL_BACKEND", "scalar");
-/// assert_eq!(EvalBackend::from_env(), EvalBackend::Scalar);
+/// std::env::set_var("APX_EVAL_BACKEND", "symbolic");
+/// assert_eq!(EvalBackend::from_env(), EvalBackend::Symbolic);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvalBackend {
@@ -51,11 +51,17 @@ pub enum EvalBackend {
     /// 64 operand pairs per gate op on bit-sliced words (default).
     #[default]
     BitParallel,
+    /// ROBDD model counting; no operand-pair enumeration (wide widths).
+    Symbolic,
 }
 
 impl EvalBackend {
     /// The environment variable consulted by [`EvalBackend::from_env`].
     pub const ENV_VAR: &'static str = "APX_EVAL_BACKEND";
+
+    /// Every backend, in `name()` order.
+    pub const ALL: [EvalBackend; 3] =
+        [EvalBackend::Scalar, EvalBackend::BitParallel, EvalBackend::Symbolic];
 
     /// Reads the backend from `APX_EVAL_BACKEND`.
     ///
@@ -77,7 +83,10 @@ impl EvalBackend {
                     EvalBackend::default()
                 } else {
                     v.parse().unwrap_or_else(|_| {
-                        panic!("{} must be 'scalar' or 'bitpar', got '{raw}'", Self::ENV_VAR)
+                        panic!(
+                            "{} must be 'scalar', 'bitpar' or 'symbolic', got '{raw}'",
+                            Self::ENV_VAR
+                        )
                     })
                 }
             }
@@ -85,13 +94,24 @@ impl EvalBackend {
         }
     }
 
-    /// Canonical lowercase name (`"scalar"` / `"bitpar"`), the spelling
-    /// `APX_EVAL_BACKEND` accepts and reports record.
+    /// Canonical lowercase name (`"scalar"` / `"bitpar"` / `"symbolic"`),
+    /// the spelling `APX_EVAL_BACKEND` accepts and reports record.
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             EvalBackend::Scalar => "scalar",
             EvalBackend::BitParallel => "bitpar",
+            EvalBackend::Symbolic => "symbolic",
+        }
+    }
+
+    /// Whether this backend enumerates the full `2^inputs` vector space
+    /// (and is therefore subject to the exhaustive width cap).
+    #[must_use]
+    pub fn is_exhaustive(self) -> bool {
+        match self {
+            EvalBackend::Scalar | EvalBackend::BitParallel => true,
+            EvalBackend::Symbolic => false,
         }
     }
 }
@@ -109,6 +129,7 @@ impl FromStr for EvalBackend {
         match s {
             "scalar" => Ok(EvalBackend::Scalar),
             "bitpar" => Ok(EvalBackend::BitParallel),
+            "symbolic" => Ok(EvalBackend::Symbolic),
             other => Err(format!("unknown evaluator backend '{other}'")),
         }
     }
@@ -120,11 +141,12 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for b in [EvalBackend::Scalar, EvalBackend::BitParallel] {
+        for b in EvalBackend::ALL {
             assert_eq!(b.name().parse::<EvalBackend>().unwrap(), b);
             assert_eq!(b.to_string(), b.name());
         }
         assert!("Bitpar".parse::<EvalBackend>().is_err());
+        assert!("Symbolic".parse::<EvalBackend>().is_err());
         assert!("".parse::<EvalBackend>().is_err());
     }
 

@@ -27,6 +27,7 @@
 mod adders;
 pub mod adders_approx;
 mod approx;
+mod backend;
 mod columns;
 pub mod golden;
 pub mod mac;
@@ -37,6 +38,7 @@ mod optable;
 pub use adders::{add_ripple, ripple_carry_adder, ripple_carry_adder_wrap, signed_ripple_adder};
 pub use adders_approx::{lower_or_adder, truncated_adder};
 pub use approx::{baugh_wooley_broken, broken_array_multiplier, truncated_multiplier};
+pub use backend::EvalBackend;
 pub use columns::{reduce_columns_sequential, reduce_columns_wallace};
 pub use multipliers::{array_multiplier, baugh_wooley_multiplier, wallace_multiplier};
 pub use operator::Operator;

@@ -21,13 +21,22 @@
 
 use crate::mac::{accumulator_width, mac_unit};
 use crate::{
-    array_multiplier, baugh_wooley_multiplier, ripple_carry_adder, sign_extend, signed_ripple_adder,
+    array_multiplier, baugh_wooley_multiplier, ripple_carry_adder, sign_extend,
+    signed_ripple_adder, EvalBackend,
 };
 use apx_gates::Netlist;
 
 /// Exhaustive enumeration is capped at this many input bits — the same
-/// practical bound the evaluator's `2^(2w)` multiplier grids obey.
+/// practical bound the evaluator's `2^(2w)` multiplier grids obey. Only
+/// the enumeration backends (`scalar`, `bitpar`) are subject to it.
 const MAX_INPUT_BITS: u32 = 20;
+
+/// The symbolic (BDD model-counting) backend never enumerates input
+/// vectors, so its cap is set by representation limits instead: packed
+/// error sums must stay inside `u64` and per-operand weight tables stay
+/// small. 33 input bits admits 16×16 multipliers/adders and the 8-bit
+/// MAC (`4w + 1 = 33`).
+const MAX_SYMBOLIC_INPUT_BITS: u32 = 33;
 
 /// The products a MAC accumulates per output in the default sizing rule
 /// (`n = 2w + 1` guard bit — one wrap-free accumulation step).
@@ -94,13 +103,33 @@ impl Operator {
         }
     }
 
-    /// Whether `width` is evaluable for this operator: positive, and the
-    /// full enumeration fits the exhaustive-simulation budget
+    /// Whether `width` is evaluable by *exhaustive enumeration*: positive,
+    /// and the full `2^inputs` vector space fits the simulation budget
     /// (`1..=10` for `Mul`/`Add`, `1..=4` for `Mac` whose instances carry
     /// the extra accumulator operand).
     #[must_use]
-    pub fn supports_width(self, width: u32) -> bool {
+    pub fn supports_exhaustive_width(self, width: u32) -> bool {
         width >= 1 && self.num_inputs(width) <= MAX_INPUT_BITS as usize
+    }
+
+    /// Whether `width` is evaluable for this operator *on the given
+    /// backend*. The enumeration backends are capped by
+    /// [`Operator::supports_exhaustive_width`]; the symbolic backend
+    /// reaches `1..=16` for `Mul`/`Add` and `1..=8` for `Mac`.
+    #[must_use]
+    pub fn supports_width(self, width: u32, backend: EvalBackend) -> bool {
+        let cap = if backend.is_exhaustive() { MAX_INPUT_BITS } else { MAX_SYMBOLIC_INPUT_BITS };
+        width >= 1 && self.num_inputs(width) <= cap as usize
+    }
+
+    /// The widest operand this operator can be evaluated at on `backend`.
+    #[must_use]
+    pub fn max_width(self, backend: EvalBackend) -> u32 {
+        let mut w = 1;
+        while self.supports_width(w + 1, backend) {
+            w += 1;
+        }
+        w
     }
 
     /// The exact (reference) output for one enumeration vector `v` of a
@@ -140,11 +169,12 @@ impl Operator {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is not supported ([`Operator::supports_width`]).
+    /// Panics if `width` is not supported by any backend
+    /// ([`Operator::supports_width`] with the widest, symbolic, range).
     #[must_use]
     pub fn seed_circuit(self, width: u32, signed: bool) -> Netlist {
         assert!(
-            self.supports_width(width),
+            self.supports_width(width, EvalBackend::Symbolic),
             "operand width {width} outside the {} operator's evaluable range",
             self.name()
         );
@@ -218,11 +248,35 @@ mod tests {
         assert_eq!(Operator::Mac.num_inputs(4), 17);
         assert_eq!(Operator::Mac.num_outputs(4), 9);
         for op in [Operator::Mul, Operator::Add] {
-            assert!(op.supports_width(1) && op.supports_width(10));
-            assert!(!op.supports_width(0) && !op.supports_width(11));
+            assert!(op.supports_exhaustive_width(1) && op.supports_exhaustive_width(10));
+            assert!(!op.supports_exhaustive_width(0) && !op.supports_exhaustive_width(11));
         }
-        assert!(Operator::Mac.supports_width(4));
-        assert!(!Operator::Mac.supports_width(5), "4w+1 input bits exceed the budget");
+        assert!(Operator::Mac.supports_exhaustive_width(4));
+        assert!(!Operator::Mac.supports_exhaustive_width(5), "4w+1 input bits exceed the budget");
+    }
+
+    #[test]
+    fn backend_width_ranges() {
+        for b in [EvalBackend::Scalar, EvalBackend::BitParallel] {
+            // Enumeration backends track the exhaustive cap exactly.
+            for op in Operator::ALL {
+                for w in 0..=20 {
+                    assert_eq!(op.supports_width(w, b), op.supports_exhaustive_width(w));
+                }
+            }
+            assert_eq!(Operator::Mul.max_width(b), 10);
+            assert_eq!(Operator::Mac.max_width(b), 4);
+        }
+        let sym = EvalBackend::Symbolic;
+        for op in [Operator::Mul, Operator::Add] {
+            assert!(op.supports_width(16, sym));
+            assert!(!op.supports_width(17, sym));
+            assert_eq!(op.max_width(sym), 16);
+        }
+        assert!(Operator::Mac.supports_width(8, sym));
+        assert!(!Operator::Mac.supports_width(9, sym));
+        assert_eq!(Operator::Mac.max_width(sym), 8);
+        assert!(!Operator::Mul.supports_width(0, sym), "zero width is never evaluable");
     }
 
     /// Every operator's seed circuit reproduces its reference function on

@@ -408,6 +408,44 @@ pub fn smoke_sweep_grid() -> SweepConfig {
     }
 }
 
+/// The width-12 multiplier grid of the `sweep_wide` binary: one
+/// measured-lumpy distribution × 2 thresholds × 1 run at a width no
+/// enumeration backend can evaluate (24 netlist inputs, past the
+/// enumeration engines' 20-input cap). It exists so CI can prove the symbolic
+/// engine carries the *whole* sweep pipeline — seeded evolution, bounded
+/// scoring, activity-based power estimation — past the exhaustive-width
+/// wall, not just isolated WMED calls. Running it under an enumeration
+/// backend fails loud at config validation, which is the point: this
+/// grid is only executable with `APX_EVAL_BACKEND=symbolic`.
+#[must_use]
+pub fn wide_sweep_grid() -> SweepConfig {
+    // A deterministic "measured" histogram: six spikes of random integer
+    // mass. Few weighted values keep the symbolic evaluations fast (its
+    // cost scales with the weighted support, never with `2^width`).
+    let mut rng = apx_rng::Xoshiro256::from_seed(0x51DE);
+    let mut weights = vec![0.0f64; 1 << 12];
+    for _ in 0..6 {
+        weights[rng.gen_range(1 << 12)] += 1.0 + rng.gen_range(15) as f64;
+    }
+    SweepConfig {
+        distributions: vec![apx_core::SweepDist::new(
+            "Dlumpy12",
+            Pmf::from_weights(12, weights).expect("spikes guarantee positive mass"),
+        )],
+        flow: FlowConfig {
+            width: 12,
+            thresholds: vec![0.0, 1e-3],
+            iterations: env_u64("APX_ITERS", 10),
+            runs_per_threshold: 1,
+            cols_slack: 10,
+            activity_blocks: 4,
+            seed: 0x51DE,
+            ..FlowConfig::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
 /// The statically known sweep grid a worker binary serves, by binary
 /// name — `None` for binaries the orchestrator can run but whose grid it
 /// cannot reconstruct (`table1_finetune`'s cache keys depend on measured
@@ -518,6 +556,56 @@ pub fn bench_sweep_json(
         multi.tasks,
         sweep_stats_json(multi),
         sweep_stats_json(single),
+    )
+}
+
+/// One measured cell of the wide-width benchmark grid: a
+/// (operator, width, backend) combination and the wall time its
+/// candidate evaluations took.
+#[derive(Debug, Clone)]
+pub struct WideCell {
+    /// Arithmetic operator evaluated.
+    pub op: Operator,
+    /// Operand width in bits.
+    pub width: u32,
+    /// Backend name ([`apx_metrics::EvalBackend::name`]).
+    pub backend: &'static str,
+    /// Number of full WMED evaluations timed.
+    pub evaluations: u64,
+    /// Wall time of those evaluations, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Assembles the `results/BENCH_symbolic.json` document from the wide-width
+/// benchmark's measured cells.
+///
+/// `weighted_values` records how many operand encodings carried
+/// distribution mass (the symbolic engine's cost scales with that count,
+/// not with `2^width`, so the rate is meaningless without it). Rates go
+/// through [`SweepStats::rate`] for the same reason as
+/// [`sweep_stats_json`]: a sub-microsecond cell must not print `inf` into
+/// the perf history.
+#[must_use]
+pub fn bench_wide_json(weighted_values: usize, cells: &[WideCell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"op\": \"{}\", \"width\": {}, \"backend\": \"{}\", \"evaluations\": {}, \
+                 \"wall_seconds\": {:.6}, \"evaluations_per_second\": {:.3}}}",
+                c.op,
+                c.width,
+                c.backend,
+                c.evaluations,
+                c.wall_seconds,
+                SweepStats::rate(c.evaluations, c.wall_seconds)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"bench_wide\",\n  \"weighted_values\": {weighted_values},\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
     )
 }
 

@@ -11,7 +11,7 @@
 //! number grammar, not Rust's).
 
 use apx_arith::Operator;
-use apx_bench::{bench_sweep_json, sweep_stats_json, BenchGrid};
+use apx_bench::{bench_sweep_json, bench_wide_json, sweep_stats_json, BenchGrid, WideCell};
 use apx_core::SweepStats;
 
 /// A minimal strict JSON recognizer (grammar check only, no tree).
@@ -195,6 +195,64 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
         json::validate(&doc).unwrap_or_else(|e| panic!("invalid document ({e}): {doc}"));
         assert!(doc.contains("\"backend\": \"bitpar\""), "missing backend: {doc}");
         assert!(doc.contains("\"op\": \"add\""), "missing operator: {doc}");
+    }
+}
+
+#[test]
+fn bench_wide_json_stays_valid_for_degenerate_timings() {
+    // The same `inf` hazard as the sweep document: sub-microsecond cells
+    // (tiny adders finish 3 evaluations faster than the clock ticks).
+    let cells = [
+        WideCell {
+            op: Operator::Mul,
+            width: 12,
+            backend: "symbolic",
+            evaluations: 3,
+            wall_seconds: 0.0,
+        },
+        WideCell {
+            op: Operator::Add,
+            width: 6,
+            backend: "bitpar",
+            evaluations: u64::MAX,
+            wall_seconds: 1e-12,
+        },
+        WideCell {
+            op: Operator::Mac,
+            width: 8,
+            backend: "symbolic",
+            evaluations: 0,
+            wall_seconds: 3.5,
+        },
+    ];
+    let doc = bench_wide_json(64, &cells);
+    json::validate(&doc).unwrap_or_else(|e| panic!("invalid document ({e}): {doc}"));
+    assert!(doc.contains("\"bench\": \"bench_wide\""), "missing bench name: {doc}");
+    assert!(doc.contains("\"weighted_values\": 64"), "missing weighted_values: {doc}");
+    assert!(doc.contains("\"backend\": \"symbolic\""), "missing symbolic cell: {doc}");
+    assert!(doc.contains("\"backend\": \"bitpar\""), "missing bitpar cell: {doc}");
+    // Empty grids must still be a valid document.
+    json::validate(&bench_wide_json(0, &[])).expect("empty cell list");
+}
+
+#[test]
+fn committed_bench_symbolic_json_parses() {
+    // The tracked wide-width perf-history file must be valid JSON and
+    // cover the widths only the symbolic backend can reach.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_symbolic.json");
+    let text = std::fs::read_to_string(path).expect("results/BENCH_symbolic.json is committed");
+    json::validate(&text).unwrap_or_else(|e| panic!("committed BENCH_symbolic.json invalid: {e}"));
+    for key in [
+        "\"backend\": \"symbolic\"",
+        "\"backend\": \"bitpar\"",
+        "\"op\": \"mul\"",
+        "\"op\": \"add\"",
+        "\"op\": \"mac\"",
+        "\"width\": 12",
+        "\"width\": 16",
+        "\"weighted_values\"",
+    ] {
+        assert!(text.contains(key), "committed BENCH_symbolic.json lacks {key}");
     }
 }
 

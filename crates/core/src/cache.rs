@@ -108,7 +108,7 @@
 use crate::flow::{EvolvedCircuit, FlowConfig};
 use crate::library::{ComponentLibrary, Provenance};
 use crate::pareto_indices;
-use apx_arith::Operator;
+use apx_arith::{EvalBackend, Operator};
 use apx_cgp::Chromosome;
 use apx_dist::{fnv1a64, Pmf, FNV1A64_OFFSET};
 use apx_metrics::{CircuitEvaluator, ErrorStats};
@@ -700,7 +700,10 @@ fn entry_from_text(text: &str, key: CacheKey) -> Option<ScannedEntry> {
         "unsigned" => false,
         _ => return None,
     };
-    if !op.supports_width(width) {
+    // Accept any width some backend can evaluate (the symbolic range is
+    // the widest): wide-width sweep results must survive a cache round
+    // trip even when re-read under an enumeration backend.
+    if !op.supports_width(width, EvalBackend::Symbolic) {
         return None;
     }
     let threshold = f64::from_bits(field(lines.next()?, "threshold", 1)?.parse_hex()?);

@@ -5,7 +5,7 @@ use apx_arith::Operator;
 use apx_cgp::{evolve_seeded, Chromosome, EvolutionConfig, FunctionSet};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
-use apx_metrics::{CircuitEvaluator, ErrorStats};
+use apx_metrics::{CircuitEvaluator, ErrorStats, EvalBackend};
 use apx_rng::Xoshiro256;
 use apx_techlib::{estimate_under_pmf, CircuitEstimate, TechLibrary, DEFAULT_CLOCK_MHZ};
 use std::sync::Arc;
@@ -138,10 +138,14 @@ pub(crate) fn validate_config(pmf: &Pmf, cfg: &FlowConfig) -> Result<(), CoreErr
     if cfg.iterations == 0 {
         return Err(CoreError::BadConfig("iterations must be positive".into()));
     }
-    if !cfg.operator.supports_width(cfg.width) {
+    // Width validation is backend-aware: the evaluator the flow is about
+    // to construct honours `APX_EVAL_BACKEND`, and the symbolic backend
+    // evaluates widths the enumeration backends cannot reach.
+    let backend = EvalBackend::from_env();
+    if !cfg.operator.supports_width(cfg.width, backend) {
         return Err(CoreError::BadConfig(format!(
-            "operand width {} outside the {} operator's evaluable range",
-            cfg.width, cfg.operator
+            "operand width {} outside the {} operator's evaluable range on the {} backend",
+            cfg.width, cfg.operator, backend
         )));
     }
     if pmf.width() != cfg.width {

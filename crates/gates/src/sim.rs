@@ -102,12 +102,18 @@ pub struct Exhaustive {
 impl Exhaustive {
     /// Creates an enumerator for `num_inputs` primary inputs.
     ///
+    /// The struct itself is pure block/lane arithmetic, so the cap only
+    /// has to keep `2^n` inside `usize`; materializing the full table
+    /// ([`Exhaustive::output_table`]) has its own, tighter memory bound.
+    /// The 33-bit ceiling matches the widest symbolically evaluable
+    /// component (an 8-bit MAC has `4w + 1 = 33` input bits).
+    ///
     /// # Panics
     ///
-    /// Panics if `num_inputs > 30` (the full table would not fit in memory).
+    /// Panics if `num_inputs > 33`.
     #[must_use]
     pub fn new(num_inputs: usize) -> Self {
-        assert!(num_inputs <= 30, "exhaustive enumeration limited to 30 inputs");
+        assert!(num_inputs <= 33, "exhaustive enumeration limited to 33 inputs");
         Exhaustive { num_inputs }
     }
 
@@ -166,12 +172,14 @@ impl Exhaustive {
     ///
     /// # Panics
     ///
-    /// Panics if the netlist arity does not match or it has more than 64
-    /// outputs.
+    /// Panics if the netlist arity does not match, it has more than 64
+    /// outputs, or the circuit has more than 30 inputs (the full table
+    /// would not fit in memory).
     #[must_use]
     pub fn output_table(&self, netlist: &Netlist) -> Vec<u64> {
         assert_eq!(netlist.num_inputs(), self.num_inputs, "arity mismatch");
         assert!(netlist.num_outputs() <= 64, "more than 64 outputs");
+        assert!(self.num_inputs <= 30, "full output table limited to 30 inputs");
         let mut sim = BlockSim::new(netlist);
         let mut inputs = vec![0u64; self.num_inputs];
         let lanes = self.lanes_per_block();

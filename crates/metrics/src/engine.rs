@@ -20,11 +20,11 @@
 //! pair at a time and exists so property tests and the CI smoke run can
 //! cross-check the fast paths against an independent implementation.
 
-use apx_arith::Operator;
+use apx_arith::{EvalBackend, Operator};
 use apx_gates::{fanout_cone, unpack_lanes, BlockSim, Exhaustive, Netlist};
 use apx_gates::{GateKind, SignalId};
 
-use crate::backend::EvalBackend;
+use crate::symbolic::monolithic_planes;
 
 /// Simulation blocks processed per tile in the bounded-WMED hot path.
 ///
@@ -967,12 +967,18 @@ impl ScalarSim {
 /// paths (`stats`, `error_matrix`, the small-width WMED loop).
 ///
 /// Fills a lane buffer with the packed output value of every lane of a
-/// block; both backends produce identical buffers, which is what makes the
-/// statistics surfaces backend-agnostic bit for bit.
+/// block; all backends produce identical buffers, which is what makes the
+/// statistics surfaces backend-agnostic bit for bit. The symbolic backend
+/// contributes a monolithic-BDD lane oracle: the netlist is converted to
+/// output BDDs over its raw inputs once, then each lane is a constant-time
+/// descent — functionally just another interpreter here (these paths are
+/// exhaustive by definition), but exercising the same gate-to-BDD
+/// translation the wide-width engine relies on.
 pub(crate) struct LaneReader {
     backend: EvalBackend,
     sim: BlockSim,
     scalar: ScalarSim,
+    sym: Option<(apx_bdd::Bdd, Vec<apx_bdd::NodeId>)>,
     inputs: Vec<u64>,
 }
 
@@ -982,6 +988,7 @@ impl LaneReader {
             backend,
             sim: BlockSim::new(nl),
             scalar: ScalarSim::default(),
+            sym: (backend == EvalBackend::Symbolic).then(|| monolithic_planes(nl)),
             inputs: vec![0u64; nl.num_inputs()],
         }
     }
@@ -1012,6 +1019,24 @@ impl LaneReader {
                 for (lane, slot) in lane_buf.iter_mut().enumerate().take(lanes) {
                     let v = (block * 64 + lane) as u64;
                     *slot = self.scalar.run_packed(nl, width, v);
+                }
+            }
+            EvalBackend::Symbolic => {
+                let (bdd, planes) = self.sym.as_ref().expect("symbolic readers carry BDD planes");
+                for (lane, slot) in lane_buf.iter_mut().enumerate().take(lanes) {
+                    let v = (block * 64 + lane) as u64;
+                    // Netlist input i reads the same enumeration bit the
+                    // other backends assign it (see `ScalarSim::run_packed`).
+                    let assign = |i: u32| {
+                        let i = i as usize;
+                        let ebit = if i < w { free + i } else { i - w };
+                        (v >> ebit) & 1 == 1
+                    };
+                    *slot = planes
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &p)| u64::from(bdd.eval(p, assign)) << j)
+                        .sum();
                 }
             }
         }

@@ -7,14 +7,17 @@
 //! kernel that sums `|exact − got|` directly on output bit-planes, and an
 //! incremental mode that re-simulates only the fanout cone of a mutation
 //! against cached signal rows. A scalar one-pair-at-a-time reference
-//! interpreter sits behind the same API as [`EvalBackend::Scalar`]; both
-//! backends are bit-identical by construction.
+//! interpreter sits behind the same API as [`EvalBackend::Scalar`], and a
+//! symbolic ROBDD model-counting engine ([`crate::symbolic`]) behind
+//! [`EvalBackend::Symbolic`]; all backends are bit-identical by
+//! construction at the widths they share, and the symbolic one keeps
+//! going where exhaustive enumeration becomes infeasible.
 
-use crate::backend::EvalBackend;
 pub use crate::engine::WmedState;
 use crate::engine::{EngineCtx, LaneReader, MAX_PLANES};
 use crate::stats::ErrorStats;
-use apx_arith::{sign_extend, Operator};
+use crate::symbolic::SymbolicCtx;
+use apx_arith::{sign_extend, EvalBackend, Operator};
 use apx_dist::Pmf;
 use apx_gates::{Exhaustive, Netlist};
 use std::fmt;
@@ -22,13 +25,17 @@ use std::fmt;
 /// Error constructing a [`CircuitEvaluator`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvaluatorError {
-    /// Operand width outside the operator's exhaustively evaluable range
-    /// (`1..=10` for `mul`/`add`, `1..=4` for `mac`).
+    /// Operand width outside the operator's evaluable range *on the
+    /// requested backend* — `1..=10` for `mul`/`add` and `1..=4` for
+    /// `mac` on the enumeration backends, `1..=16` and `1..=8` on the
+    /// symbolic one (see [`Operator::supports_width`]).
     BadWidth {
         /// The operator whose budget was exceeded.
         op: Operator,
         /// The rejected operand width.
         width: u32,
+        /// The backend whose evaluable range was exceeded.
+        backend: EvalBackend,
     },
     /// The PMF is defined over a different operand width.
     PmfWidthMismatch {
@@ -42,8 +49,12 @@ pub enum EvaluatorError {
 impl fmt::Display for EvaluatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EvaluatorError::BadWidth { op, width } => {
-                write!(f, "operand width {width} outside the {op} operator's evaluable range")
+            EvaluatorError::BadWidth { op, width, backend } => {
+                write!(
+                    f,
+                    "operand width {width} outside the {op} operator's evaluable range \
+                     on the {backend} backend"
+                )
             }
             EvaluatorError::PmfWidthMismatch { width, pmf_width } => {
                 write!(f, "pmf width {pmf_width} does not match operand width {width}")
@@ -70,12 +81,15 @@ impl std::error::Error for EvaluatorError {}
 ///   simulation block (`free >= 6` — `width >= 6` for multipliers) each
 ///   block has a single `x` value and a single weight `D(x)`;
 /// * pre-sorts blocks by decreasing weight and skips zero-weight blocks;
-/// * simulates on one of two [`EvalBackend`]s — the default bit-parallel
+/// * simulates on one of three [`EvalBackend`]s — the default bit-parallel
 ///   engine (tiled 64-lane simulation plus a bit-sliced error kernel that
-///   never unpacks lanes) or the scalar reference interpreter — chosen via
+///   never unpacks lanes), the scalar reference interpreter, or the
+///   symbolic ROBDD model counter, which skips enumeration entirely and
+///   therefore also accepts operand widths the exhaustive backends reject
+///   (12×12/16×16 multipliers, 8-bit MACs) — chosen via
 ///   [`CircuitEvaluator::with_backend`] or the `APX_EVAL_BACKEND` environment
-///   variable (see [`EvalBackend::from_env`]). Both produce bit-identical
-///   results;
+///   variable (see [`EvalBackend::from_env`]). All produce bit-identical
+///   results at the widths they share;
 /// * offers [`CircuitEvaluator::wmed_bounded`], which abandons a candidate as
 ///   soon as its running weighted error exceeds the fitness threshold
 ///   (Eq. 1 only needs the comparison, not the exact value), and an
@@ -131,8 +145,20 @@ pub struct CircuitEvaluator {
     backend: EvalBackend,
     /// `(block index, weight of the block's x value)`, zero-weight blocks
     /// removed, sorted by decreasing weight. Empty for `free < 6` (the
-    /// whole domain fits one block; weights are applied per lane instead).
+    /// whole domain fits one block; weights are applied per lane instead)
+    /// and for the symbolic backend (which never materializes per-block
+    /// state — see `ordered_x`).
     ordered_blocks: Vec<(u32, f64)>,
+    /// The symbolic backend's per-`x` twin of `ordered_blocks`:
+    /// `(raw x encoding, weight)`, zero weights removed, stable-sorted by
+    /// decreasing weight. Visiting each `x`'s blocks in ascending order
+    /// flattens to exactly the `ordered_blocks` sequence, which is what
+    /// makes the backends' accumulation orders identical. Built only for
+    /// `free >= 6` on [`EvalBackend::Symbolic`].
+    ordered_x: Vec<(u32, f64)>,
+    /// The operator's exact seed circuit — the reference the symbolic
+    /// difference planes subtract. Built only alongside `ordered_x`.
+    seed: Option<Netlist>,
     /// Error-kernel planes: `out_bits + 1` (difference of an exact value
     /// and a sign-extended output always fits that many two's-complement
     /// bits).
@@ -217,7 +243,7 @@ impl CircuitEvaluator {
     ///
     /// # Examples
     ///
-    /// The two backends agree bit for bit:
+    /// The backends agree bit for bit:
     ///
     /// ```
     /// use apx_arith::truncated_multiplier;
@@ -254,8 +280,8 @@ impl CircuitEvaluator {
         pmf: &Pmf,
         backend: EvalBackend,
     ) -> Result<Self, EvaluatorError> {
-        if !op.supports_width(width) {
-            return Err(EvaluatorError::BadWidth { op, width });
+        if !op.supports_width(width, backend) {
+            return Err(EvaluatorError::BadWidth { op, width, backend });
         }
         if pmf.width() != width {
             return Err(EvaluatorError::PmfWidthMismatch { width, pmf_width: pmf.width() });
@@ -266,19 +292,37 @@ impl CircuitEvaluator {
         let ex = Exhaustive::new(ni);
         let weights: Vec<f64> = pmf.iter().collect();
         let mut ordered_blocks = Vec::new();
+        let mut ordered_x = Vec::new();
+        let mut seed = None;
         if free >= 6 {
-            let blocks_per_x = 1u32 << (free - 6);
-            for block in 0..ex.num_blocks() as u32 {
-                let x_raw = (block / blocks_per_x) as usize;
-                let w = weights[x_raw];
-                if w > 0.0 {
-                    ordered_blocks.push((block, w));
+            if backend == EvalBackend::Symbolic {
+                // Per-x ordering only: at wide widths the per-block list
+                // would be astronomically large, and the symbolic engine
+                // derives block sums from one BDD per x anyway.
+                ordered_x = weights
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w > 0.0)
+                    .map(|(x, &w)| (x as u32, w))
+                    .collect::<Vec<_>>();
+                ordered_x.sort_by(|a, b| b.1.total_cmp(&a.1));
+                seed = Some(op.seed_circuit(width, signed));
+            } else {
+                let blocks_per_x = 1u32 << (free - 6);
+                for block in 0..ex.num_blocks() as u32 {
+                    let x_raw = (block / blocks_per_x) as usize;
+                    let w = weights[x_raw];
+                    if w > 0.0 {
+                        ordered_blocks.push((block, w));
+                    }
                 }
+                ordered_blocks.sort_by(|a, b| b.1.total_cmp(&a.1));
             }
-            ordered_blocks.sort_by(|a, b| b.1.total_cmp(&a.1));
         }
         let planes = out_bits as usize + 1;
-        debug_assert!(planes <= MAX_PLANES);
+        // The bit-sliced error kernel caps its plane count; the symbolic
+        // engine has no such limit (a width-16 multiplier needs 33).
+        debug_assert!(backend == EvalBackend::Symbolic || planes <= MAX_PLANES);
         let norm = 1.0 / ((1u64 << free) as f64 * (1u64 << out_bits) as f64);
         let mut eval = CircuitEvaluator {
             op,
@@ -291,6 +335,8 @@ impl CircuitEvaluator {
             ex,
             backend,
             ordered_blocks,
+            ordered_x,
+            seed,
             planes,
             exact_planes: Vec::new(),
             exact_tiles: Vec::new(),
@@ -423,6 +469,20 @@ impl CircuitEvaluator {
         }
     }
 
+    fn sym_ctx(&self) -> SymbolicCtx<'_> {
+        SymbolicCtx {
+            width: self.width,
+            signed: self.signed,
+            out_bits: self.out_bits,
+            free: self.free,
+            planes: self.planes,
+            ordered_x: &self.ordered_x,
+            block_exact: self.op.supports_exhaustive_width(self.width),
+            weights: &self.weights,
+            seed: self.seed.as_ref().expect("symbolic evaluators always carry the seed circuit"),
+        }
+    }
+
     #[inline]
     fn interpret(&self, raw: u64, bits: u32) -> i64 {
         if self.signed {
@@ -461,10 +521,10 @@ impl CircuitEvaluator {
         // `limit` in normalized units -> raw weighted-error budget.
         let raw_limit = if limit.is_finite() { limit / self.norm } else { f64::INFINITY };
         if self.free >= 6 {
-            let ctx = self.ctx();
             let total = match self.backend {
-                EvalBackend::BitParallel => ctx.wmed_raw_bitpar(netlist, raw_limit)?,
-                EvalBackend::Scalar => ctx.wmed_raw_scalar(netlist, raw_limit)?,
+                EvalBackend::BitParallel => self.ctx().wmed_raw_bitpar(netlist, raw_limit)?,
+                EvalBackend::Scalar => self.ctx().wmed_raw_scalar(netlist, raw_limit)?,
+                EvalBackend::Symbolic => self.sym_ctx().wmed_raw(netlist, raw_limit)?,
             };
             return Some(total * self.norm);
         }
@@ -594,12 +654,21 @@ impl CircuitEvaluator {
 
     /// Full error statistics (one exhaustive pass, no skipping).
     ///
+    /// On [`EvalBackend::Symbolic`] at widths beyond the exhaustive cap
+    /// the pass is symbolic instead of enumerated; every statistic except
+    /// `mred` is still exact, and `mred` is reported as `NaN` there (the
+    /// mean *relative* error is not a weighted count over output
+    /// bit-planes — see [`ErrorStats::mred`]).
+    ///
     /// # Panics
     ///
     /// Panics if the netlist does not have the operator’s input/output arity.
     #[must_use]
     pub fn stats(&self, netlist: &Netlist) -> ErrorStats {
         self.check_arity(netlist);
+        if !self.op.supports_exhaustive_width(self.width) {
+            return self.sym_ctx().wide_stats(netlist);
+        }
         let range = (1u64 << self.out_bits) as f64;
         let mut reader = LaneReader::new(self.backend, netlist);
         let mut lane_buf = vec![0u64; 64];
@@ -669,10 +738,15 @@ impl CircuitEvaluator {
     /// # Panics
     ///
     /// Panics if the netlist does not have the operator's input/output
-    /// arity.
+    /// arity, or at widths beyond the exhaustive cap (the dense `2^w ×
+    /// 2^w` matrix itself is an enumeration artifact).
     #[must_use]
     pub fn error_matrix(&self, netlist: &Netlist) -> crate::ErrorMatrix {
         self.check_arity(netlist);
+        assert!(
+            self.op.supports_exhaustive_width(self.width),
+            "error_matrix requires an exhaustively enumerable width"
+        );
         let w = self.width;
         let mask = (1u64 << w) - 1;
         let n = 1usize << w;
@@ -838,12 +912,42 @@ mod tests {
     fn constructor_errors() {
         assert!(matches!(
             CircuitEvaluator::new(0, false, &Pmf::uniform(1)),
-            Err(EvaluatorError::BadWidth { op: Operator::Mul, width: 0 })
+            Err(EvaluatorError::BadWidth { op: Operator::Mul, width: 0, .. })
         ));
         assert!(matches!(
             CircuitEvaluator::for_operator(Operator::Mac, 5, false, &Pmf::uniform(5)),
-            Err(EvaluatorError::BadWidth { op: Operator::Mac, width: 5 })
+            Err(EvaluatorError::BadWidth {
+                op: Operator::Mac,
+                width: 5,
+                backend: EvalBackend::BitParallel
+            })
         ));
+        // The same width is fine symbolically; width 9 is not.
+        assert!(CircuitEvaluator::for_operator_with_backend(
+            Operator::Mac,
+            5,
+            false,
+            &Pmf::uniform(5),
+            EvalBackend::Symbolic
+        )
+        .is_ok());
+        let err = CircuitEvaluator::for_operator_with_backend(
+            Operator::Mac,
+            9,
+            false,
+            &Pmf::uniform(9),
+            EvalBackend::Symbolic,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EvaluatorError::BadWidth {
+                op: Operator::Mac,
+                width: 9,
+                backend: EvalBackend::Symbolic
+            }
+        ));
+        assert!(err.to_string().contains("symbolic"), "{err}");
         let err = CircuitEvaluator::new(8, false, &Pmf::uniform(4)).unwrap_err();
         assert!(matches!(err, EvaluatorError::PmfWidthMismatch { .. }));
         assert!(!err.to_string().is_empty());
@@ -902,5 +1006,67 @@ mod tests {
         let pmf = Pmf::uniform(6);
         let eval = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::Scalar).unwrap();
         assert!(!eval.supports_incremental());
+        let eval = CircuitEvaluator::with_backend(6, false, &pmf, EvalBackend::Symbolic).unwrap();
+        assert!(!eval.supports_incremental());
+    }
+
+    #[test]
+    fn symbolic_backend_matches_bit_parallel_wmed() {
+        for (width, signed) in [(6u32, false), (6, true), (7, false)] {
+            let pmf = if signed {
+                Pmf::signed_normal(width, 1.0, 6.0)
+            } else {
+                Pmf::half_normal(width, 9.0)
+            };
+            let fast =
+                CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::BitParallel)
+                    .unwrap();
+            let sym =
+                CircuitEvaluator::with_backend(width, signed, &pmf, EvalBackend::Symbolic).unwrap();
+            let nl = if signed {
+                baugh_wooley_broken(width, 4, 3)
+            } else {
+                broken_array_multiplier(width, 4, 3)
+            };
+            assert_eq!(fast.wmed(&nl).to_bits(), sym.wmed(&nl).to_bits(), "w={width}");
+            // Bounded aborts agree too (the running totals are identical).
+            let full = fast.wmed(&nl);
+            for limit in [full / 3.0, full * 2.0] {
+                let a = fast.wmed_bounded(&nl, limit);
+                let b = sym.wmed_bounded(&nl, limit);
+                assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits), "limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_small_domain_uses_lane_path() {
+        // free < 6: the per-lane loop serves all backends, symbolic via a
+        // monolithic BDD lane oracle.
+        let pmf = Pmf::half_normal(4, 3.0);
+        let fast =
+            CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::BitParallel).unwrap();
+        let sym = CircuitEvaluator::with_backend(4, false, &pmf, EvalBackend::Symbolic).unwrap();
+        let nl = broken_array_multiplier(4, 3, 2);
+        assert_eq!(fast.wmed(&nl).to_bits(), sym.wmed(&nl).to_bits());
+        assert_eq!(fast.stats(&nl), sym.stats(&nl));
+    }
+
+    #[test]
+    fn symbolic_wide_width_scores_exact_seed_as_zero() {
+        // Width 12 is far beyond the exhaustive backends (2^24-vector
+        // domain for mul) but cheap symbolically.
+        let op = Operator::Add;
+        let pmf = Pmf::uniform(12);
+        let eval =
+            CircuitEvaluator::for_operator_with_backend(op, 12, false, &pmf, EvalBackend::Symbolic)
+                .unwrap();
+        let seed = op.seed_circuit(12, false);
+        assert_eq!(eval.wmed(&seed), 0.0);
+        let stats = eval.stats(&seed);
+        assert_eq!(stats.wmed, 0.0);
+        assert_eq!(stats.max_abs_error, 0);
+        assert_eq!(stats.error_rate, 0.0);
+        assert!(stats.mred.is_nan(), "wide-width mred is NaN by contract");
     }
 }

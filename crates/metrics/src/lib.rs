@@ -26,27 +26,30 @@
 //!   blocks, visits blocks in decreasing weight order and aborts as soon
 //!   as a WMED budget is exceeded ([`CircuitEvaluator::wmed_bounded`]).
 //!
-//! The evaluator runs on one of two interchangeable [`EvalBackend`]s:
+//! The evaluator runs on one of three interchangeable [`EvalBackend`]s:
 //! the default **bit-parallel** engine (tiled 64-lane simulation plus a
 //! bit-sliced error kernel; supports incremental re-evaluation of mutated
-//! netlists via [`WmedState`]) and a **scalar** one-pair-at-a-time
-//! reference interpreter. The two are bit-identical by construction — the
-//! per-block error sums are exact integers and the floating-point
-//! accumulation order is shared — so the scalar path serves as the
-//! independent oracle for property tests and CI cross-checks. Select a
+//! netlists via [`WmedState`]), a **scalar** one-pair-at-a-time reference
+//! interpreter, and a **symbolic** ROBDD model-counting engine (built on
+//! `apx_bdd`) that never enumerates operand pairs and so reaches
+//! operand widths the exhaustive backends cannot (12×12/16×16
+//! multipliers, 8-bit MACs). All are bit-identical by construction at the
+//! widths they share — the per-block error sums are exact integers and the
+//! floating-point accumulation order is shared — so the slower paths serve
+//! as independent oracles for property tests and CI cross-checks. Select a
 //! backend with [`CircuitEvaluator::with_backend`] or the `APX_EVAL_BACKEND`
 //! environment variable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod backend;
 mod engine;
 mod evaluator;
 mod heatmap;
 mod stats;
+mod symbolic;
 
-pub use backend::EvalBackend;
+pub use apx_arith::EvalBackend;
 pub use evaluator::{CircuitEvaluator, EvaluatorError, WmedState};
 pub use heatmap::ErrorMatrix;
 pub use stats::{joint_wmed, table_stats, ErrorStats};

@@ -1,6 +1,6 @@
 //! Property-based tests on error-metric invariants.
 
-use apx_arith::OpTable;
+use apx_arith::{OpTable, Operator};
 use apx_dist::Pmf;
 use apx_gates::{GateKind, Netlist, Node, SignalId};
 use apx_metrics::{table_stats, CircuitEvaluator, ErrorStats, EvalBackend};
@@ -41,6 +41,58 @@ fn assert_stats_identical(a: &ErrorStats, b: &ErrorStats) -> Result<(), TestCase
     prop_assert_eq!(a.mred.to_bits(), b.mred.to_bits());
     prop_assert_eq!(a.max_abs_error, b.max_abs_error);
     Ok(())
+}
+
+/// Random netlist with `op`'s arity at `width` (same construction as
+/// [`random_netlist`], generalized beyond multipliers).
+fn random_op_netlist(op: Operator, width: u32, gates: usize, seed: u64) -> Netlist {
+    let mut rng = Xoshiro256::from_seed(seed);
+    let ni = op.num_inputs(width);
+    let no = op.num_outputs(width);
+    let mut nodes = Vec::with_capacity(gates);
+    for k in 0..gates {
+        nodes.push(random_node(ni + k, &mut rng));
+    }
+    let total = ni + gates;
+    let outputs = (0..no).map(|_| SignalId(rng.gen_range(total) as u32)).collect();
+    Netlist::new(ni, nodes, outputs).expect("operands always precede consumers")
+}
+
+/// A seed-circuit mutant: `mutations` random node rewrites applied to
+/// `op`'s exact circuit — the realistic CGP workload (mostly-correct
+/// arithmetic structure), as opposed to [`random_op_netlist`]'s garbage
+/// logic.
+fn mutated_seed(op: Operator, width: u32, signed: bool, mutations: usize, seed: u64) -> Netlist {
+    let mut rng = Xoshiro256::from_seed(seed);
+    let base = op.seed_circuit(width, signed);
+    let ni = base.num_inputs();
+    let mut nodes = base.nodes().to_vec();
+    for _ in 0..mutations {
+        let k = rng.gen_range(nodes.len());
+        nodes[k] = random_node(ni + k, &mut rng);
+    }
+    Netlist::new(ni, nodes, base.outputs().to_vec()).expect("mutation preserves topology")
+}
+
+/// The three PMF families the backend-equivalence contract is tested
+/// under: uniform, a discretized normal, and a "measured-lumpy" mass
+/// with a handful of spikes (the shape real application histograms
+/// take — most encodings never occur).
+fn pmf_flavor(width: u32, signed: bool, flavor: u8, salt: u64) -> Pmf {
+    let n = 1usize << width;
+    match flavor % 3 {
+        0 => Pmf::uniform(width),
+        1 if signed => Pmf::signed_normal(width, 1.0, f64::from(1u32 << (width - 1)) / 2.0),
+        1 => Pmf::normal(width, f64::from(1u32 << (width - 1)), f64::from(width)),
+        _ => {
+            let mut rng = Xoshiro256::from_seed(salt);
+            let mut weights = vec![0.0f64; n];
+            for _ in 0..4 {
+                weights[rng.gen_range(n)] += 1.0 + rng.gen_range(7) as f64;
+            }
+            Pmf::from_weights(width, weights).expect("spikes guarantee positive mass")
+        }
+    }
 }
 
 /// Random approximate 4-bit multiplier: exact product XOR a bounded
@@ -200,4 +252,153 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    // The symbolic cases build BDDs per weighted operand value; fewer,
+    // fatter cases keep the suite fast in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract of the symbolic backend: on every operator,
+    /// width, signedness and PMF family the exhaustive backends can reach,
+    /// the ROBDD model counter returns the same `ErrorStats`, the same
+    /// WMED and the same bounded verdict down to the last mantissa bit —
+    /// on garbage random netlists and realistic seed-circuit mutants
+    /// alike.
+    #[test]
+    fn symbolic_is_bit_identical_to_enumeration(
+        op_idx in 0usize..3,
+        width_raw in 2u32..=8,
+        signed in any::<bool>(),
+        gates in 1usize..40,
+        mutations in 1usize..6,
+        seed in any::<u64>(),
+        flavor in 0u8..3,
+        limit_scale in 0.0f64..2.0,
+    ) {
+        let op = [Operator::Mul, Operator::Add, Operator::Mac][op_idx];
+        // Clamp to the width range *all* backends support (mac: 2..=4).
+        let width = width_raw.min(op.max_width(EvalBackend::BitParallel));
+        let pmf = pmf_flavor(width, signed, flavor, seed);
+        let fast =
+            CircuitEvaluator::for_operator_with_backend(op, width, signed, &pmf, EvalBackend::BitParallel)
+                .unwrap();
+        let slow =
+            CircuitEvaluator::for_operator_with_backend(op, width, signed, &pmf, EvalBackend::Scalar)
+                .unwrap();
+        let sym =
+            CircuitEvaluator::for_operator_with_backend(op, width, signed, &pmf, EvalBackend::Symbolic)
+                .unwrap();
+        for nl in [
+            random_op_netlist(op, width, gates, seed),
+            mutated_seed(op, width, signed, mutations, seed),
+        ] {
+            let want = fast.wmed(&nl);
+            prop_assert_eq!(want.to_bits(), sym.wmed(&nl).to_bits(), "wmed {op} w{width}");
+            prop_assert_eq!(want.to_bits(), slow.wmed(&nl).to_bits(), "scalar {op} w{width}");
+            let limit = limit_scale * want;
+            prop_assert_eq!(
+                fast.wmed_bounded(&nl, limit).map(f64::to_bits),
+                sym.wmed_bounded(&nl, limit).map(f64::to_bits),
+                "bounded {op} w{width}"
+            );
+            assert_stats_identical(&fast.stats(&nl), &sym.stats(&nl))?;
+        }
+    }
+}
+
+/// Appends a `Const0` node and routes output bit 0 through it — the
+/// canonical one-bit truncation whose WMED has a closed form.
+fn zero_output_bit0(nl: &Netlist) -> Netlist {
+    let ni = nl.num_inputs();
+    let mut nodes = nl.nodes().to_vec();
+    let zero = SignalId((ni + nodes.len()) as u32);
+    nodes.push(Node { kind: GateKind::Const0, a: SignalId(0), b: SignalId(0) });
+    let mut outputs = nl.outputs().to_vec();
+    outputs[0] = zero;
+    Netlist::new(ni, nodes, outputs).expect("appending a node preserves validity")
+}
+
+/// Width-12 multipliers: far beyond the exhaustive backends (a 2^24-vector
+/// domain), exactly scored by the symbolic engine. The exact seed must
+/// come back 0.0; zeroing output bit 0 of the product loses exactly 1
+/// whenever `x0 ∧ y0`. With the distribution mass split evenly between
+/// `x = 1` (odd: bit-0 errors on the `2^11` odd `y`) and `x = 2` (even:
+/// never errs), the closed-form WMED is `0.5 · 2^11 / (2^12 · 2^24) =
+/// 2^-26` — dyadic, hence f64-exact. The two-spike PMF keeps this variant
+/// fast enough for debug builds (the engine only visits weighted rows);
+/// [`symbolic_wide_multiplier_uniform_full_pass`] covers the full domain.
+#[test]
+fn symbolic_wide_multiplier_matches_closed_form() {
+    let mut weights = vec![0.0f64; 1 << 12];
+    weights[1] = 1.0;
+    weights[2] = 1.0;
+    let pmf = Pmf::from_weights(12, weights).unwrap();
+    let eval = CircuitEvaluator::with_backend(12, false, &pmf, EvalBackend::Symbolic).unwrap();
+    let seed = Operator::Mul.seed_circuit(12, false);
+    assert_eq!(eval.wmed(&seed), 0.0);
+    let truncated = zero_output_bit0(&seed);
+    let expect = (0.25f64) / (1u64 << 24) as f64;
+    assert_eq!(eval.wmed(&truncated).to_bits(), expect.to_bits());
+    // The bounded analogue aborts below the closed form and completes
+    // above it.
+    assert_eq!(eval.wmed_bounded(&truncated, expect / 2.0), None);
+    assert_eq!(
+        eval.wmed_bounded(&truncated, expect * 2.0).map(f64::to_bits),
+        Some(expect.to_bits())
+    );
+}
+
+/// The full-domain version: uniform PMF (every one of the 4096 operand
+/// values weighted) and the complete wide-statistics pass. Runs in
+/// release only — a debug build spends minutes rebuilding the 12×12
+/// multiplier's BDDs 4096 times over.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; release CI covers it")]
+fn symbolic_wide_multiplier_uniform_full_pass() {
+    let pmf = Pmf::uniform(12);
+    let eval = CircuitEvaluator::with_backend(12, false, &pmf, EvalBackend::Symbolic).unwrap();
+    let truncated = zero_output_bit0(&Operator::Mul.seed_circuit(12, false));
+    let expect = (0.25f64) / (1u64 << 24) as f64;
+    assert_eq!(eval.wmed(&truncated).to_bits(), expect.to_bits());
+    let stats = eval.stats(&truncated);
+    assert_eq!(stats.wmed.to_bits(), expect.to_bits());
+    assert_eq!(stats.max_abs_error, 1);
+    assert_eq!(stats.error_rate, 0.25);
+    assert!(stats.mred.is_nan(), "mred is NaN on the wide-stats path");
+}
+
+/// Same closed form for the adder: output bit 0 of `x + y` is `x0 ⊕ y0`,
+/// set on half of all pairs, so zeroing it gives WMED `(1/2) / 2^13 =
+/// 2^-14` at width 12 under a uniform PMF.
+#[test]
+fn symbolic_wide_adder_matches_closed_form() {
+    let op = Operator::Add;
+    let pmf = Pmf::uniform(12);
+    let eval =
+        CircuitEvaluator::for_operator_with_backend(op, 12, false, &pmf, EvalBackend::Symbolic)
+            .unwrap();
+    let seed = op.seed_circuit(12, false);
+    assert_eq!(eval.wmed(&seed), 0.0);
+    let truncated = zero_output_bit0(&seed);
+    let expect = 0.5f64 / (1u64 << 13) as f64;
+    assert_eq!(eval.wmed(&truncated).to_bits(), expect.to_bits());
+    let stats = eval.stats(&truncated);
+    assert_eq!(stats.wmed.to_bits(), expect.to_bits());
+    assert_eq!(stats.max_abs_error, 1);
+    assert_eq!(stats.error_rate, 0.5);
+    assert!(stats.mred.is_nan(), "mred is NaN on the wide-stats path");
+}
+
+/// The 8-bit MAC (33 netlist inputs — the widest evaluable point of the
+/// whole system) scores its own seed as exactly zero error.
+#[test]
+fn symbolic_eight_bit_mac_seed_is_exact() {
+    let op = Operator::Mac;
+    let pmf = Pmf::half_normal(8, 48.0);
+    let eval =
+        CircuitEvaluator::for_operator_with_backend(op, 8, false, &pmf, EvalBackend::Symbolic)
+            .unwrap();
+    let seed = op.seed_circuit(8, false);
+    assert_eq!(eval.wmed(&seed), 0.0);
 }

@@ -37,7 +37,7 @@
 //!   just the ideal real number.
 
 use crate::propagate_constants;
-use apx_arith::Operator;
+use apx_arith::{EvalBackend, Operator};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
 
@@ -101,7 +101,12 @@ pub fn wmed_bounds_weighted(
     signed: bool,
     weights: &[f64],
 ) -> ErrorBounds {
-    assert!(op.supports_width(width), "operand width {width} outside {op}'s evaluable range");
+    // Interval propagation never enumerates the free operand space, so
+    // like the symbolic backend it accepts the widest evaluable range.
+    assert!(
+        op.supports_width(width, EvalBackend::Symbolic),
+        "operand width {width} outside {op}'s evaluable range"
+    );
     let ni = op.num_inputs(width);
     assert_eq!(netlist.num_inputs(), ni, "a width-{width} {op} netlist must have {ni} inputs");
     let out_bits = op.num_outputs(width) as u32;

@@ -38,7 +38,7 @@ mod bounds;
 
 pub use bounds::{wmed_bounds, wmed_bounds_weighted, ErrorBounds};
 
-use apx_arith::Operator;
+use apx_arith::{EvalBackend, Operator};
 use apx_dist::{fnv1a64, FNV1A64_OFFSET};
 use apx_gates::{Netlist, Node, SignalId};
 use std::fmt::{self, Write as _};
@@ -353,7 +353,9 @@ pub fn lint_netlist(netlist: &Netlist) -> Vec<Diagnostic> {
 #[must_use]
 pub fn lint_component(netlist: &Netlist, op: Operator, width: u32) -> Vec<Diagnostic> {
     let mut diags = lint_netlist(netlist);
-    if op.supports_width(width) {
+    // A width is lintable if *any* backend can evaluate it; the symbolic
+    // backend has the widest range.
+    if op.supports_width(width, EvalBackend::Symbolic) {
         let expected = op.num_inputs(width);
         if netlist.num_inputs() != expected {
             diags.push(Diagnostic::InputArity { op, width, expected, got: netlist.num_inputs() });
@@ -541,8 +543,18 @@ mod tests {
                 Diagnostic::OutputArity { op: Operator::Add, width: 3, expected: 4, got: 5 },
             ]
         );
+        // Width 11 is evaluable on the symbolic backend, so it lints for
+        // arity instead of being rejected; width 17 exceeds every backend.
         let diags = lint_component(&nl, Operator::Mul, 11);
-        assert_eq!(diags, vec![Diagnostic::UnsupportedWidth { op: Operator::Mul, width: 11 }]);
+        assert_eq!(
+            diags,
+            vec![
+                Diagnostic::InputArity { op: Operator::Mul, width: 11, expected: 22, got: 8 },
+                Diagnostic::OutputArity { op: Operator::Mul, width: 11, expected: 22, got: 5 },
+            ]
+        );
+        let diags = lint_component(&nl, Operator::Mul, 17);
+        assert_eq!(diags, vec![Diagnostic::UnsupportedWidth { op: Operator::Mul, width: 17 }]);
         assert!(has_errors(&diags));
     }
 

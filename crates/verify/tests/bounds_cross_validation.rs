@@ -53,7 +53,7 @@ fn candidates(op: Operator, width: u32, signed: bool) -> Vec<Netlist> {
 fn brackets_contain_the_exhaustive_wmed_across_the_grid() {
     for op in Operator::ALL {
         for width in 2..=6u32 {
-            if !op.supports_width(width) {
+            if !op.supports_exhaustive_width(width) {
                 continue;
             }
             for signed in [false, true] {

@@ -104,7 +104,7 @@ fn every_generator_netlist_is_component_clean() {
     for op in Operator::ALL {
         for signed in [false, true] {
             for width in 2..=4u32 {
-                if !op.supports_width(width) {
+                if !op.supports_exhaustive_width(width) {
                     continue;
                 }
                 let nl = op.seed_circuit(width, signed);
