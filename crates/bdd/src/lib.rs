@@ -358,6 +358,121 @@ impl Bdd {
         self.counts[f as usize] = c;
         c
     }
+
+    /// Canonical export of the subgraph reachable from `roots`.
+    ///
+    /// Decision nodes are renumbered by first visit of a deterministic
+    /// depth-first walk (roots in order, low child before high); the
+    /// terminals keep ids `0` and `1`. Returns the renumbered nodes as
+    /// `(var, lo, hi)` triples (index `k` holds new id `k + 2`) plus the
+    /// renumbered roots.
+    ///
+    /// Because ROBDDs are canonical per manager and the walk order
+    /// depends only on the reachable graph shape, two plane lists
+    /// representing the same function vector under the same variable
+    /// order export *identical* data — whatever order their nodes were
+    /// interned in. That makes the export a canonical function identity,
+    /// the substrate for `apx_verify`'s functional digest.
+    #[must_use]
+    pub fn export_planes(&self, roots: &[NodeId]) -> (Vec<(u32, NodeId, NodeId)>, Vec<NodeId>) {
+        const UNSEEN: NodeId = NodeId::MAX;
+        let mut remap: Vec<NodeId> = vec![UNSEEN; self.nodes.len()];
+        remap[FALSE as usize] = FALSE;
+        remap[TRUE as usize] = TRUE;
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &root in roots {
+            stack.push(root);
+            while let Some(n) = stack.pop() {
+                if remap[n as usize] != UNSEEN {
+                    continue;
+                }
+                remap[n as usize] = (2 + order.len()) as NodeId;
+                order.push(n);
+                let node = self.nodes[n as usize];
+                stack.push(node.hi);
+                stack.push(node.lo);
+            }
+        }
+        let triples = order
+            .iter()
+            .map(|&old| {
+                let node = self.nodes[old as usize];
+                (node.var, remap[node.lo as usize], remap[node.hi as usize])
+            })
+            .collect();
+        (triples, roots.iter().map(|&r| remap[r as usize]).collect())
+    }
+
+    /// Maximum of the little-endian plane vector (`planes[k]` is output
+    /// bit `k`) over *all* variable assignments: a greedy most-significant
+    /// -bit-first descent that keeps the satisfiable restriction — the
+    /// max-sat primitive behind `apx_verify`'s exact range pass.
+    ///
+    /// # Panics
+    /// If more than 64 planes are given.
+    pub fn max_value(&mut self, planes: &[NodeId]) -> u64 {
+        assert!(planes.len() <= 64, "plane vectors are u64-valued");
+        let mut reach = TRUE;
+        let mut val = 0u64;
+        for (k, &p) in planes.iter().enumerate().rev() {
+            let t = self.and(reach, p);
+            if t != FALSE {
+                val |= 1u64 << k;
+                reach = t;
+            }
+        }
+        val
+    }
+
+    /// Minimum of the little-endian plane vector over all assignments —
+    /// the dual of [`Bdd::max_value`] (greedily zero each bit instead).
+    ///
+    /// # Panics
+    /// If more than 64 planes are given.
+    pub fn min_value(&mut self, planes: &[NodeId]) -> u64 {
+        assert!(planes.len() <= 64, "plane vectors are u64-valued");
+        let mut reach = TRUE;
+        let mut val = 0u64;
+        for (k, &p) in planes.iter().enumerate().rev() {
+            let np = self.not(p);
+            let t = self.and(reach, np);
+            if t == FALSE {
+                // Every assignment consistent with the prefix has this
+                // bit set; `reach AND p` equals `reach`, already minimal.
+                val |= 1u64 << k;
+            } else {
+                reach = t;
+            }
+        }
+        val
+    }
+
+    /// One satisfying assignment of `f` (variables the chosen path does
+    /// not constrain default to `false`), or `None` for the constant-
+    /// false terminal.
+    ///
+    /// Reduction guarantees every decision node has a non-FALSE child
+    /// (`lo == hi` collapses in [`Bdd::mk`]), so greedily following the
+    /// first non-FALSE child always reaches TRUE.
+    #[must_use]
+    pub fn some_model(&self, f: NodeId) -> Option<Vec<bool>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut assign = vec![false; self.nvars as usize];
+        let mut n = f;
+        while n > 1 {
+            let node = self.nodes[n as usize];
+            if node.lo != FALSE {
+                n = node.lo;
+            } else {
+                assign[node.var as usize] = true;
+                n = node.hi;
+            }
+        }
+        Some(assign)
+    }
 }
 
 #[cfg(test)]
@@ -476,5 +591,78 @@ mod tests {
         let x = bdd.var(0);
         // x branches on var 0, which is above level 2.
         bdd.count_from(x, 2);
+    }
+
+    #[test]
+    fn extreme_values_match_enumeration() {
+        // Random 3-plane vectors over 6 variables against a brute-force
+        // min/max over all 64 assignments.
+        for seed in 0..20 {
+            let mut bdd = Bdd::new(6);
+            let mut planes = Vec::new();
+            let mut tables = Vec::new();
+            for k in 0..3 {
+                let (id, table) = random_pair(&mut bdd, 6, 25, 0xE57 + seed * 8 + k);
+                planes.push(id);
+                tables.push(table);
+            }
+            let values: Vec<u64> = (0..64)
+                .map(|x| tables.iter().enumerate().map(|(k, t)| u64::from(t[x]) << k).sum::<u64>())
+                .collect();
+            let want_max = *values.iter().max().unwrap();
+            let want_min = *values.iter().min().unwrap();
+            assert_eq!(bdd.max_value(&planes), want_max, "seed {seed}");
+            assert_eq!(bdd.min_value(&planes), want_min, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn some_model_satisfies_and_false_has_none() {
+        let mut bdd = Bdd::new(5);
+        assert_eq!(bdd.some_model(FALSE), None);
+        assert_eq!(bdd.some_model(TRUE), Some(vec![false; 5]));
+        for seed in 0..20 {
+            let (id, table) = random_pair(&mut bdd, 5, 30, 0x50DE + seed);
+            match bdd.some_model(id) {
+                None => assert_eq!(id, FALSE),
+                Some(assign) => {
+                    let x: usize =
+                        assign.iter().enumerate().map(|(v, &b)| usize::from(b) << v).sum();
+                    assert!(table[x], "seed {seed}: model {assign:?} does not satisfy");
+                }
+            }
+            bdd.clear();
+        }
+    }
+
+    #[test]
+    fn export_is_canonical_across_interning_orders() {
+        // Build the same two functions in managers that intern nodes in
+        // different orders: the exports must be identical.
+        let build = |flip: bool| {
+            let mut bdd = Bdd::new(4);
+            if flip {
+                // Intern unrelated clutter first to shift raw node ids.
+                let a = bdd.var(3);
+                let b = bdd.var(2);
+                let _ = bdd.xor(a, b);
+            }
+            let x = bdd.var(0);
+            let y = bdd.var(1);
+            let z = bdd.var(2);
+            let f = bdd.and(x, y);
+            let g = bdd.or(f, z);
+            bdd.export_planes(&[f, g])
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn export_remaps_terminals_and_roots_consistently() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0);
+        let (triples, roots) = bdd.export_planes(&[FALSE, x, TRUE, x]);
+        assert_eq!(roots, vec![FALSE, 2, TRUE, 2]);
+        assert_eq!(triples, vec![(0, FALSE, TRUE)]);
     }
 }

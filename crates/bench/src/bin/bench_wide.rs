@@ -100,6 +100,16 @@ fn main() {
                     backend: backend.name(),
                     evaluations,
                     wall_seconds: wall,
+                    // Untimed: the seed's mred, for the JSON record. Past
+                    // exhaustive widths it is `NaN` by the wide-width
+                    // stats contract (lands as JSON `null`) — asserted
+                    // rather than paid for, since the symbolic stats pass
+                    // costs minutes per wide cell.
+                    mred: if op.supports_exhaustive_width(width) {
+                        eval.stats(&candidates[0]).mred
+                    } else {
+                        f64::NAN
+                    },
                 });
             }
         }

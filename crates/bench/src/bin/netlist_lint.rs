@@ -7,64 +7,237 @@
 //! sweep at it (and CI can assert the published smoke caches stay
 //! clean). The view is strictly read-only.
 //!
-//! Usage: `netlist_lint [dir]` — the directory argument falls back to
-//! `APX_CACHE_DIR`, then to the default `results/cache`. The exit
-//! status is 1 when any error-severity diagnostic fired, 0 otherwise
-//! (warnings — stuck outputs, dead nodes — are reported but do not
-//! fail the audit: they are legal, if wasteful, circuits).
+//! Usage: `netlist_lint [--json] [dir]` — the directory argument falls
+//! back to `APX_CACHE_DIR`, then to the default `results/cache`. The
+//! exit status is 1 when any error-severity diagnostic fired, 0
+//! otherwise (warnings — stuck outputs, dead nodes — are reported but
+//! do not fail the audit: they are legal, if wasteful, circuits).
+//!
+//! `--json` swaps the human tables for one machine-readable JSON
+//! document: a `diagnostics` array (one object per finding), the
+//! per-diagnostic `counts`, and a summary (`entries`, `errors`,
+//! `warnings`). Unless `APX_EQUIV=off`, the document also carries the
+//! semantic equivalence-class census: `equivalence_classes` (distinct
+//! functions among the intact entries, by canonical BDD digest; entries
+//! past the node budget count as their own class) and
+//! `semantic_duplicates` (entries minus classes). The same census is
+//! printed as an `equivalence:` line in the human mode.
+//!
+//! `netlist_lint --seeds` ignores the directory and instead proves —
+//! by BDD equivalence checking, not sampling — that every
+//! [`Operator::seed_circuit`] computes its reference function at every
+//! width the symbolic backend supports, both signednesses. Exit status
+//! 1 on any disproof (with the counterexample input assignment) or
+//! budget exhaustion. This is the machine-checked form of the "exact
+//! seed has zero error" invariant the whole sweep stands on. Proof cost
+//! doubles per width bit (one pinned proof per weighted operand value);
+//! `APX_SEEDS_MAX_WIDTH` caps the ladder when minutes matter (CI uses
+//! 8), and the uncapped default is the complete audit.
 //!
 //! Full `APX_*` knob reference: `crates/bench/README.md`.
 
-use apx_bench::{cache_dir, results_dir};
+use apx_arith::{EvalBackend, Operator};
+use apx_bench::{cache_dir, equiv_enabled, results_dir, seeds_max_width};
 use apx_core::cache::SweepCache;
 use apx_core::report::TextTable;
-use apx_verify::Severity;
-use std::collections::BTreeMap;
+use apx_verify::{functional_digest, prove_seed, Equiv, Severity};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
-fn main() {
-    let dir: PathBuf = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .or_else(cache_dir)
-        .unwrap_or_else(|| results_dir().join("cache"));
-    println!("=== netlist_lint: {} ===\n", dir.display());
+/// One lint finding, flattened for both output modes.
+struct Finding {
+    key: String,
+    op: Operator,
+    width: u32,
+    signed: bool,
+    severity: Severity,
+    name: &'static str,
+    message: String,
+}
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Proves every seed circuit equivalent to its reference function at
+/// every symbolically supported width; returns the number of failures.
+fn seed_self_check() -> usize {
+    let mut failures = 0usize;
+    let mut proved = 0usize;
+    let cap = seeds_max_width();
+    for op in [Operator::Mul, Operator::Add, Operator::Mac] {
+        for signed in [false, true] {
+            for width in 1..=op.max_width(EvalBackend::Symbolic).min(cap) {
+                let operands = if signed { "signed" } else { "unsigned" };
+                match prove_seed(op, width, signed) {
+                    Equiv::Equal => {
+                        proved += 1;
+                        println!("seed {op} w{width} {operands}: proved equal");
+                    }
+                    Equiv::Differs { witness } => {
+                        failures += 1;
+                        let bits: String =
+                            witness.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                        println!("seed {op} w{width} {operands}: DIFFERS on inputs [{bits}]");
+                    }
+                    Equiv::Unknown { budget } => {
+                        failures += 1;
+                        println!(
+                            "seed {op} w{width} {operands}: UNPROVEN (node budget {budget} \
+                             exhausted)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    println!("seeds: {proved} proved, {failures} failed");
+    failures
+}
+
+fn main() {
+    let mut json = false;
+    let mut seeds = false;
+    let mut dir_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--seeds" => seeds = true,
+            other => dir_arg = Some(PathBuf::from(other)),
+        }
+    }
+    if seeds {
+        println!("=== netlist_lint --seeds ===\n");
+        if seed_self_check() > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let dir: PathBuf = dir_arg.or_else(cache_dir).unwrap_or_else(|| results_dir().join("cache"));
+    if !json {
+        println!("=== netlist_lint: {} ===\n", dir.display());
+    }
+
+    let census = equiv_enabled();
     let mut entries = 0usize;
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
-    let mut table = TextTable::new(vec!["key", "component", "severity", "diagnostic"]);
+    let mut findings: Vec<Finding> = Vec::new();
+    // Distinct functions among the intact entries: canonical digests per
+    // component class, with budget-capped entries as singleton classes.
+    let mut classes: HashSet<(Operator, u32, bool, u128)> = HashSet::new();
+    let mut unbudgeted = 0usize;
     for entry in SweepCache::new(&dir).scan() {
         entries += 1;
+        if census {
+            match functional_digest(&entry.circuit.netlist) {
+                Some(d) => {
+                    classes.insert((entry.op, entry.width, entry.signed, d));
+                }
+                None => unbudgeted += 1,
+            }
+        }
         for d in apx_verify::lint_component(&entry.circuit.netlist, entry.op, entry.width) {
             match d.severity() {
                 Severity::Error => errors += 1,
                 Severity::Warning => warnings += 1,
             }
             *counts.entry(d.name()).or_default() += 1;
-            table.row(vec![
-                entry.key.hex(),
+            findings.push(Finding {
+                key: entry.key.hex(),
+                op: entry.op,
+                width: entry.width,
+                signed: entry.signed,
+                severity: d.severity(),
+                name: d.name(),
+                message: d.to_string(),
+            });
+        }
+    }
+    let equivalence_classes = classes.len() + unbudgeted;
+
+    if json {
+        let rows: Vec<String> = findings
+            .iter()
+            .map(|f| {
                 format!(
-                    "{} w{} {}",
-                    entry.op,
-                    entry.width,
-                    if entry.signed { "signed" } else { "unsigned" }
-                ),
-                format!("{:?}", d.severity()).to_lowercase(),
-                d.to_string(),
-            ]);
+                    "    {{\"key\": \"{}\", \"op\": \"{}\", \"width\": {}, \"signed\": {}, \
+                     \"severity\": \"{}\", \"name\": \"{}\", \"message\": \"{}\"}}",
+                    f.key,
+                    f.op,
+                    f.width,
+                    f.signed,
+                    format!("{:?}", f.severity).to_lowercase(),
+                    f.name,
+                    json_escape(&f.message)
+                )
+            })
+            .collect();
+        let count_rows: Vec<String> =
+            counts.iter().map(|(name, n)| format!("\"{name}\": {n}")).collect();
+        let equiv_fields = if census {
+            format!(
+                ",\n  \"equivalence_classes\": {equivalence_classes},\n  \
+                 \"semantic_duplicates\": {}",
+                entries - equivalence_classes
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "{{\n  \"dir\": \"{}\",\n  \"entries\": {entries},\n  \"errors\": {errors},\n  \
+             \"warnings\": {warnings},\n  \"counts\": {{{}}},\n  \"diagnostics\": \
+             [\n{}\n  ]{equiv_fields}\n}}",
+            json_escape(&dir.display().to_string()),
+            count_rows.join(", "),
+            rows.join(",\n"),
+        );
+    } else {
+        if !findings.is_empty() {
+            let mut summary = TextTable::new(vec!["diagnostic", "count"]);
+            for (name, count) in &counts {
+                summary.row(vec![(*name).to_owned(), format!("{count}")]);
+            }
+            println!("{}", summary.to_text());
+            let mut table = TextTable::new(vec!["key", "component", "severity", "diagnostic"]);
+            for f in &findings {
+                table.row(vec![
+                    f.key.clone(),
+                    format!(
+                        "{} w{} {}",
+                        f.op,
+                        f.width,
+                        if f.signed { "signed" } else { "unsigned" }
+                    ),
+                    format!("{:?}", f.severity).to_lowercase(),
+                    f.message.clone(),
+                ]);
+            }
+            println!("{}", table.to_text());
+        }
+        println!("lint: {errors} errors, {warnings} warnings across {entries} entries");
+        if census {
+            println!(
+                "equivalence: {equivalence_classes} classes across {entries} entries, {} \
+                 semantic duplicates",
+                entries - equivalence_classes
+            );
         }
     }
-    if !counts.is_empty() {
-        let mut summary = TextTable::new(vec!["diagnostic", "count"]);
-        for (name, count) in &counts {
-            summary.row(vec![(*name).to_owned(), format!("{count}")]);
-        }
-        println!("{}", summary.to_text());
-        println!("{}", table.to_text());
-    }
-    println!("lint: {errors} errors, {warnings} warnings across {entries} entries");
     if errors > 0 {
         std::process::exit(1);
     }

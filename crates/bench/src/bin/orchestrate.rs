@@ -33,7 +33,8 @@
 //! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
-    cache_dir, gc_mode, gc_tmp_ttl, orch_bin, orch_relaunches, orch_shards, sweep_grid_of, GcMode,
+    cache_dir, equiv_enabled, gc_mode, gc_tmp_ttl, orch_bin, orch_relaunches, orch_shards,
+    sweep_grid_of, GcMode,
 };
 use apx_core::cache::{gc_cache_dir, GcConfig};
 use apx_core::grid_keys;
@@ -144,16 +145,18 @@ fn main() -> ExitCode {
             // Right after our own grid every writer has exited; a
             // standalone pass grants foreign writers the configured TTL.
             tmp_ttl: if mode == GcMode::After { Duration::ZERO } else { gc_tmp_ttl() },
+            collapse_equiv: equiv_enabled(),
         };
         match gc_cache_dir(&dir, &gc) {
             Ok(r) => println!(
-                "gc: kept {} of {} entries ({} live, {} pareto), evicted {}, removed {} \
-                 corrupt + {} temp litter, freed {} bytes",
+                "gc: kept {} of {} entries ({} live, {} pareto), evicted {} ({} equiv \
+                 duplicates), removed {} corrupt + {} temp litter, freed {} bytes",
                 r.kept(),
                 r.entries_before,
                 r.kept_live,
                 r.kept_pareto,
                 r.evicted,
+                r.collapsed,
                 r.corrupt_removed,
                 r.tmp_removed,
                 r.bytes_freed

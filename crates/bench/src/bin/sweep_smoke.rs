@@ -29,7 +29,8 @@
 //! Full `APX_*` knob reference: `crates/bench/README.md`.
 
 use apx_bench::{
-    cache_dir, library_config, print_sweep_counters, results_dir, shard, smoke_sweep_grid,
+    cache_dir, library_config, metric_cell, print_sweep_counters, results_dir, shard,
+    smoke_sweep_grid,
 };
 use apx_core::report::TextTable;
 use apx_core::run_sweep;
@@ -77,7 +78,8 @@ fn main() {
     let result = run_sweep(&cfg).expect("sweep");
     print_sweep_counters(&cfg, &result.stats);
 
-    let mut csv = TextTable::new(vec!["dist", "name", "threshold", "wmed", "area_um2", "power_mw"]);
+    let mut csv =
+        TextTable::new(vec!["dist", "name", "threshold", "wmed", "mred", "area_um2", "power_mw"]);
     for e in &result.entries {
         let m = &e.circuit;
         csv.row(vec![
@@ -85,6 +87,9 @@ fn main() {
             m.name.clone(),
             format!("{:e}", m.threshold),
             format!("{:.9e}", m.stats.wmed),
+            // Finite at smoke width; `n/a` past exhaustive widths (the
+            // wide-width stats contract, see `apx_bench::metric_cell`).
+            metric_cell(m.stats.mred),
             format!("{:.6}", m.estimate.area_um2),
             format!("{:.6}", m.estimate.power_mw()),
         ]);

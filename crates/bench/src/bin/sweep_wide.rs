@@ -16,14 +16,16 @@
 //!   engine proving the exact seed circuit exact at a width nothing else
 //!   can check, and
 //! * every reported WMED is finite (the wide-width stats contract leaves
-//!   only `mred` as `NaN`).
+//!   only `mred` as `NaN` — rendered in the CSV as the explicit `n/a`
+//!   marker via [`apx_bench::metric_cell`], never as a literal `NaN`
+//!   token, which this binary also asserts over the whole document).
 //!
 //! Knobs: `APX_ITERS` (default 10 — evolution is per-candidate BDD
 //! construction here, keep it tiny) and `APX_OUT_DIR` for the
 //! `sweep_wide.csv` mirror. Full `APX_*` knob reference:
 //! `crates/bench/README.md`.
 
-use apx_bench::{print_sweep_counters, results_dir, wide_sweep_grid};
+use apx_bench::{metric_cell, print_sweep_counters, results_dir, wide_sweep_grid};
 use apx_core::report::TextTable;
 use apx_core::run_sweep;
 use std::path::PathBuf;
@@ -41,7 +43,8 @@ fn main() {
         run_sweep(&cfg).expect("width-12 sweep (requires APX_EVAL_BACKEND=symbolic to validate)");
     print_sweep_counters(&cfg, &result.stats);
 
-    let mut csv = TextTable::new(vec!["dist", "name", "threshold", "wmed", "area_um2", "power_mw"]);
+    let mut csv =
+        TextTable::new(vec!["dist", "name", "threshold", "wmed", "mred", "area_um2", "power_mw"]);
     for e in &result.entries {
         let m = &e.circuit;
         assert!(m.stats.wmed.is_finite(), "{}: non-finite WMED from the symbolic backend", m.name);
@@ -57,10 +60,13 @@ fn main() {
             m.name.clone(),
             format!("{:e}", m.threshold),
             format!("{:.9e}", m.stats.wmed),
+            metric_cell(m.stats.mred),
             format!("{:.6}", m.estimate.area_um2),
             format!("{:.6}", m.estimate.power_mw()),
         ]);
     }
+    let text = csv.to_csv();
+    assert!(!text.contains("NaN"), "the CSV must render non-finite metrics as n/a, not NaN");
     let out: PathBuf = std::env::var("APX_OUT_DIR")
         .ok()
         .filter(|v| !v.is_empty())

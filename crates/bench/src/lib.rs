@@ -190,7 +190,7 @@ pub fn parse_library(spec: &str, cache_dir: Option<PathBuf>) -> Option<LibraryCo
 #[must_use]
 pub fn library_config() -> Option<LibraryConfig> {
     parse_library(&std::env::var("APX_LIBRARY").unwrap_or_default(), cache_dir())
-        .map(|lc| LibraryConfig { prune: prune_enabled(), ..lc })
+        .map(|lc| LibraryConfig { prune: prune_enabled(), semantic_dedup: equiv_enabled(), ..lc })
 }
 
 /// Parses an `APX_PRUNE`-style switch: empty or `on` enables the
@@ -249,6 +249,48 @@ pub fn parse_verify(spec: &str) -> Result<bool, String> {
 pub fn verify_enabled() -> bool {
     parse_verify(std::env::var("APX_VERIFY").unwrap_or_default().trim())
         .unwrap_or_else(|e| panic!("APX_VERIFY {e}"))
+}
+
+/// Parses an `APX_EQUIV`-style switch: empty or `on` enables the
+/// BDD-backed semantic passes (the default — equivalence-class dedup is
+/// provably invisible to sweep results), `off` disables them.
+///
+/// # Errors
+///
+/// Describes the accepted values on anything unrecognized.
+pub fn parse_equiv(spec: &str) -> Result<bool, String> {
+    match spec {
+        "" | "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("`{other}`: expected `on` or `off`")),
+    }
+}
+
+/// Whether the semantic verification layer is active (`APX_EQUIV`,
+/// default on): equivalence-class dedup in library mode, GC
+/// equivalence-class collapse, and the equivalence summaries of
+/// `cache_stats`/`netlist_lint`. The `off` escape hatch exists to
+/// measure the passes themselves and to rule them out when chasing a
+/// discrepancy — sweep results are identical either way.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value (the strict-knob rationale of
+/// [`env_u64`]).
+#[must_use]
+pub fn equiv_enabled() -> bool {
+    parse_equiv(std::env::var("APX_EQUIV").unwrap_or_default().trim())
+        .unwrap_or_else(|e| panic!("APX_EQUIV {e}"))
+}
+
+/// Width ceiling for `netlist_lint --seeds` (`APX_SEEDS_MAX_WIDTH`,
+/// default 16 — the symbolic backend's own cap, i.e. every supported
+/// width). The seed proofs pin one operand per weighted value, so their
+/// cost doubles per width bit; CI caps the ladder to stay fast while
+/// the uncapped default remains the complete audit.
+#[must_use]
+pub fn seeds_max_width() -> u32 {
+    env_u64("APX_SEEDS_MAX_WIDTH", 16) as u32
 }
 
 /// Number of local shard processes the `orchestrate` binary spawns
@@ -462,6 +504,38 @@ pub fn sweep_grid_of(bin: &str) -> Option<SweepConfig> {
     }
 }
 
+/// Renders one error-metric value for a CSV/table cell.
+///
+/// This is the report-surface half of the wide-width stats contract:
+/// past exhaustive widths the symbolic engine computes every metric
+/// except `mred` exactly, and `mred` is `NaN` by contract
+/// ([`apx_metrics::ErrorStats::mred`]). A raw `{:.e}` of that value
+/// would print the literal `NaN` into a CSV, which downstream parsers
+/// read as a string and plotting scripts silently drop — so finite
+/// values render in scientific notation and anything non-finite renders
+/// as the explicit `n/a` marker. No emitted CSV may ever carry a
+/// literal `NaN`/`inf` token (regression-tested in `bench_json.rs`).
+#[must_use]
+pub fn metric_cell(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9e}")
+    } else {
+        "n/a".to_owned()
+    }
+}
+
+/// The JSON form of the [`metric_cell`] contract: JSON has no `NaN`
+/// token at all (the grammar rejects it), so non-finite metric values
+/// render as `null` and finite ones as plain numbers.
+#[must_use]
+pub fn json_metric(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9e}")
+    } else {
+        "null".to_owned()
+    }
+}
+
 /// Prints the reuse counters of a sweep in the shared format every
 /// figure binary (and the CI smoke greps) rely on — one line per enabled
 /// mechanism, nothing when the sweep ran without cache and library.
@@ -479,8 +553,11 @@ pub fn print_sweep_counters(cfg: &apx_core::SweepConfig, stats: &SweepStats) {
     }
     if cfg.library.is_some() {
         println!(
-            "library: {} hits, {} seeded evolutions, {} pruned",
-            stats.library_hits, stats.seeded_evolutions, stats.library_pruned
+            "library: {} hits, {} seeded evolutions, {} pruned, {} semantic dups",
+            stats.library_hits,
+            stats.seeded_evolutions,
+            stats.library_pruned,
+            stats.library_semantic_dups
         );
     }
 }
@@ -499,7 +576,7 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
         "{{\"threads\": {}, \"wall_seconds\": {:.6}, \"total_evaluations\": {}, \
          \"computed_evaluations\": {}, \"evaluations_per_second\": {:.1}, \"cache_hits\": {}, \
          \"cache_misses\": {}, \"shard_skipped\": {}, \"library_hits\": {}, \
-         \"seeded_evolutions\": {}, \"library_pruned\": {}}}",
+         \"seeded_evolutions\": {}, \"library_pruned\": {}, \"library_semantic_dups\": {}}}",
         s.threads,
         s.wall_seconds,
         s.total_evaluations,
@@ -510,7 +587,8 @@ pub fn sweep_stats_json(s: &SweepStats) -> String {
         s.shard_skipped,
         s.library_hits,
         s.seeded_evolutions,
-        s.library_pruned
+        s.library_pruned,
+        s.library_semantic_dups
     )
 }
 
@@ -574,6 +652,10 @@ pub struct WideCell {
     pub evaluations: u64,
     /// Wall time of those evaluations, in seconds.
     pub wall_seconds: f64,
+    /// The seed circuit's mean relative error distance under the cell's
+    /// PMF — `NaN` past exhaustive widths (the wide-width stats
+    /// contract), rendered as JSON `null` via [`json_metric`].
+    pub mred: f64,
 }
 
 /// Assembles the `results/BENCH_symbolic.json` document from the wide-width
@@ -592,13 +674,14 @@ pub fn bench_wide_json(weighted_values: usize, cells: &[WideCell]) -> String {
         .map(|c| {
             format!(
                 "    {{\"op\": \"{}\", \"width\": {}, \"backend\": \"{}\", \"evaluations\": {}, \
-                 \"wall_seconds\": {:.6}, \"evaluations_per_second\": {:.3}}}",
+                 \"wall_seconds\": {:.6}, \"evaluations_per_second\": {:.3}, \"mred\": {}}}",
                 c.op,
                 c.width,
                 c.backend,
                 c.evaluations,
                 c.wall_seconds,
-                SweepStats::rate(c.evaluations, c.wall_seconds)
+                SweepStats::rate(c.evaluations, c.wall_seconds),
+                json_metric(c.mred)
             )
         })
         .collect();
@@ -788,6 +871,7 @@ mod tests {
         assert!(!on.conventional);
         assert!(on.take_hits);
         assert!(on.prune, "bound pruning defaults on (it is provably invisible)");
+        assert!(on.semantic_dedup, "semantic dedup defaults on (equally invisible)");
         let full = parse_library("full", cache.clone()).unwrap();
         assert_eq!(full.dir, cache);
         assert!(full.conventional);
@@ -812,6 +896,12 @@ mod tests {
         assert_eq!(parse_prune("off"), Ok(false));
         assert!(parse_prune("maybe").is_err());
 
+        assert_eq!(parse_equiv(""), Ok(true), "the semantic layer is on by default");
+        assert_eq!(parse_equiv("on"), Ok(true));
+        assert_eq!(parse_equiv("off"), Ok(false));
+        let err = parse_equiv("sure").unwrap_err();
+        assert!(err.contains("`sure`") && err.contains("off"), "{err}");
+
         let _guard = env_lock();
         std::env::set_var("APX_VERIFY", "sure");
         let msg = panic_message_of(|| {
@@ -827,6 +917,13 @@ mod tests {
         .expect("unknown APX_PRUNE value must panic, never fall back");
         std::env::remove_var("APX_PRUNE");
         assert!(msg.contains("APX_PRUNE"), "missing knob name: {msg}");
+        std::env::set_var("APX_EQUIV", "maybe");
+        let msg = panic_message_of(|| {
+            let _ = equiv_enabled();
+        })
+        .expect("unknown APX_EQUIV value must panic, never fall back");
+        std::env::remove_var("APX_EQUIV");
+        assert!(msg.contains("APX_EQUIV"), "missing knob name: {msg}");
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! number grammar, not Rust's).
 
 use apx_arith::Operator;
-use apx_bench::{bench_sweep_json, bench_wide_json, sweep_stats_json, BenchGrid, WideCell};
+use apx_bench::{
+    bench_sweep_json, bench_wide_json, json_metric, metric_cell, sweep_stats_json, BenchGrid,
+    WideCell,
+};
 use apx_core::SweepStats;
 
 /// A minimal strict JSON recognizer (grammar check only, no tree).
@@ -161,6 +164,7 @@ fn stats(wall_seconds: f64, total_evaluations: u64) -> SweepStats {
         library_hits: 2,
         seeded_evolutions: 1,
         library_pruned: 3,
+        library_semantic_dups: 4,
     }
 }
 
@@ -189,6 +193,10 @@ fn bench_sweep_json_stays_valid_for_degenerate_timings() {
         assert!(obj.contains("\"library_hits\": 2"), "missing library_hits: {obj}");
         assert!(obj.contains("\"seeded_evolutions\": 1"), "missing seeded_evolutions: {obj}");
         assert!(obj.contains("\"library_pruned\": 3"), "missing library_pruned: {obj}");
+        assert!(
+            obj.contains("\"library_semantic_dups\": 4"),
+            "missing library_semantic_dups: {obj}"
+        );
         let grid = BenchGrid { distributions: 3, thresholds: 14, runs_per_threshold: 1 };
         let doc =
             bench_sweep_json(grid, 50, 4, "bitpar", Operator::Add, &s, &stats(wall * 2.0, evals));
@@ -209,6 +217,9 @@ fn bench_wide_json_stays_valid_for_degenerate_timings() {
             backend: "symbolic",
             evaluations: 3,
             wall_seconds: 0.0,
+            // The wide-width stats contract: `mred` is `NaN` past
+            // exhaustive widths and must land as JSON `null`.
+            mred: f64::NAN,
         },
         WideCell {
             op: Operator::Add,
@@ -216,6 +227,7 @@ fn bench_wide_json_stays_valid_for_degenerate_timings() {
             backend: "bitpar",
             evaluations: u64::MAX,
             wall_seconds: 1e-12,
+            mred: 0.25,
         },
         WideCell {
             op: Operator::Mac,
@@ -223,6 +235,7 @@ fn bench_wide_json_stays_valid_for_degenerate_timings() {
             backend: "symbolic",
             evaluations: 0,
             wall_seconds: 3.5,
+            mred: f64::NAN,
         },
     ];
     let doc = bench_wide_json(64, &cells);
@@ -231,8 +244,46 @@ fn bench_wide_json_stays_valid_for_degenerate_timings() {
     assert!(doc.contains("\"weighted_values\": 64"), "missing weighted_values: {doc}");
     assert!(doc.contains("\"backend\": \"symbolic\""), "missing symbolic cell: {doc}");
     assert!(doc.contains("\"backend\": \"bitpar\""), "missing bitpar cell: {doc}");
+    assert!(doc.contains("\"mred\": null"), "NaN mred must render as null: {doc}");
+    assert!(doc.contains("\"mred\": 2.5"), "finite mred must stay a number: {doc}");
+    assert!(!doc.contains("NaN"), "no emitted JSON may carry a literal NaN: {doc}");
     // Empty grids must still be a valid document.
     json::validate(&bench_wide_json(0, &[])).expect("empty cell list");
+}
+
+#[test]
+fn metric_rendering_never_emits_nan_tokens() {
+    // The report-surface half of the wide-width stats contract: CSV
+    // cells render non-finite metrics as `n/a`, JSON fields as `null` —
+    // a literal `NaN` is a parse error in JSON and a silent data hole
+    // in most CSV consumers.
+    assert_eq!(metric_cell(f64::NAN), "n/a");
+    assert_eq!(metric_cell(f64::INFINITY), "n/a");
+    assert_eq!(metric_cell(f64::NEG_INFINITY), "n/a");
+    assert_eq!(metric_cell(0.25), "2.500000000e-1");
+    assert_eq!(json_metric(f64::NAN), "null");
+    assert_eq!(json_metric(0.25), "2.500000000e-1");
+}
+
+#[test]
+fn committed_results_files_contain_no_nan_tokens() {
+    // Blanket regression over every tracked report artifact: whatever a
+    // binary emitted under `results/`, the wide-width `mred = NaN`
+    // contract must have been rendered (`n/a`/`null`), never leaked.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    let mut scanned = 0usize;
+    for entry in std::fs::read_dir(dir).expect("results/ is committed") {
+        let path = entry.unwrap().path();
+        let is_report =
+            path.extension().is_some_and(|e| e == "csv" || e == "json") && path.is_file();
+        if !is_report {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("NaN"), "{} contains a literal NaN token", path.display());
+        scanned += 1;
+    }
+    assert!(scanned > 0, "results/ should hold committed CSV/JSON artifacts");
 }
 
 #[test]

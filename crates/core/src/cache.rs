@@ -113,7 +113,9 @@ use apx_cgp::Chromosome;
 use apx_dist::{fnv1a64, Pmf, FNV1A64_OFFSET};
 use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_techlib::{CircuitEstimate, TechLibrary};
-use std::collections::{BTreeSet, HashSet};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::fmt::Write as _;
 use std::io;
@@ -438,18 +440,29 @@ pub struct GcConfig {
     /// that just joined all of its shard processes can safely use
     /// [`Duration::ZERO`].
     pub tmp_ttl: Duration,
+    /// Collapse functional-equivalence classes among the *Pareto-kept*
+    /// survivors: entries proven (by `apx_verify`'s canonical functional
+    /// digest) to compute the same function are reduced to one survivor
+    /// per class — the selection-preferred member, smallest stored area
+    /// with ties broken by key. Live keys ([`GcConfig::keep`]) are never
+    /// collapsed, and survivors are still never rewritten; equivalence
+    /// only removes redundant files. Entries whose planes outgrow the
+    /// semantic node budget keep their own class.
+    pub collapse_equiv: bool,
 }
 
 impl Default for GcConfig {
     /// Keep nothing special, no re-scoring distributions (stored-stats
-    /// fronts), one thread, and a 15-minute temp-file grace period —
-    /// orders of magnitude longer than any write-to-rename window.
+    /// fronts), one thread, a 15-minute temp-file grace period — orders
+    /// of magnitude longer than any write-to-rename window — and
+    /// equivalence-class collapsing on.
     fn default() -> Self {
         GcConfig {
             keep: HashSet::new(),
             distributions: Vec::new(),
             threads: 1,
             tmp_ttl: Duration::from_secs(15 * 60),
+            collapse_equiv: true,
         }
     }
 }
@@ -470,6 +483,10 @@ pub struct GcReport {
     pub corrupt_removed: usize,
     /// Stale writer temp files deleted.
     pub tmp_removed: usize,
+    /// Pareto-kept entries dropped as functional-equivalence duplicates
+    /// of another survivor ([`GcConfig::collapse_equiv`]); these are
+    /// deleted and counted under [`evicted`](GcReport::evicted) as well.
+    pub collapsed: usize,
     /// Total bytes reclaimed.
     pub bytes_freed: u64,
 }
@@ -613,6 +630,46 @@ pub fn gc_cache_dir(dir: &Path, cfg: &GcConfig) -> io::Result<GcReport> {
                     .collect();
                 for i in pareto_indices(&points) {
                     survivors.insert(group[i].key);
+                }
+            }
+        }
+    }
+    if cfg.collapse_equiv {
+        // Equivalence-class collapse: among the *Pareto-kept* survivors
+        // of one (op, width, signed) group, entries with the same
+        // canonical functional digest compute the same function and
+        // would re-score identically under every distribution — one
+        // representative is enough. Keep the selection-preferred member
+        // (smallest stored area, ties by key, matching the library's
+        // `dedup_semantic` order) and drop the rest. Live keys are
+        // exempt, and digest failures (budget/width) keep their entry.
+        let mut best: HashMap<(Operator, u32, bool, u128), (f64, CacheKey)> = HashMap::new();
+        for e in &scanned {
+            if !survivors.contains(&e.key) || cfg.keep.contains(&e.key) {
+                continue;
+            }
+            let Some(digest) = apx_verify::functional_digest(&e.circuit.netlist) else {
+                continue;
+            };
+            let class = (e.op, e.width, e.signed, digest);
+            let candidate = (e.circuit.estimate.area_um2, e.key);
+            match best.entry(class) {
+                Entry::Vacant(slot) => {
+                    slot.insert(candidate);
+                }
+                Entry::Occupied(mut slot) => {
+                    let incumbent = *slot.get();
+                    let better = candidate.0.total_cmp(&incumbent.0).then_with(|| {
+                        (candidate.1.hi, candidate.1.lo).cmp(&(incumbent.1.hi, incumbent.1.lo))
+                    });
+                    let loser = if better == Ordering::Less {
+                        slot.insert(candidate);
+                        incumbent.1
+                    } else {
+                        candidate.1
+                    };
+                    survivors.remove(&loser);
+                    report.collapsed += 1;
                 }
             }
         }
@@ -1136,6 +1193,49 @@ mod tests {
         assert_eq!(again.evicted, 0);
         assert_eq!(again.entries_before, 3);
         assert_eq!(again.kept(), 3);
+    }
+
+    #[test]
+    fn gc_collapses_equivalence_classes_among_pareto_survivors() {
+        let dir = scratch("gc_collapse");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = SweepCache::new(&dir);
+        let proto = synthetic_entry(42);
+        let pin = |wmed: f64, area: f64| {
+            let mut e = proto.clone();
+            e.stats.wmed = wmed;
+            e.estimate.area_um2 = area;
+            e
+        };
+        // k1/k2 share one netlist (one function; both points are stored-
+        // front non-dominated), k3 is a different function, k4 repeats
+        // the shared function but is *live*.
+        let (k1, k2, k3, k4) = (some_key(101), some_key(102), some_key(103), some_key(104));
+        cache.store(k1, &pin(0.10, 5.0), Operator::Mul, 3, false).unwrap();
+        cache.store(k2, &pin(0.05, 6.0), Operator::Mul, 3, false).unwrap();
+        cache.store(k3, &pinned_entry(43, 0.01, 7.0), Operator::Mul, 3, false).unwrap();
+        cache.store(k4, &pin(0.90, 9.0), Operator::Mul, 3, false).unwrap();
+
+        let cfg = GcConfig { keep: HashSet::from([k4]), ..GcConfig::default() };
+        let report = gc_cache_dir(&dir, &cfg).unwrap();
+        assert_eq!(report.entries_before, 4);
+        assert_eq!(report.kept_live, 1);
+        assert_eq!(report.collapsed, 1, "one of the two equivalent front entries goes");
+        assert_eq!(report.kept_pareto, 2);
+        assert_eq!(report.evicted, 1);
+        let exists = |k: CacheKey| dir.join(format!("{}.sweep", k.hex())).exists();
+        assert!(exists(k1), "the smaller-area class representative survives");
+        assert!(!exists(k2), "its equivalent duplicate is collapsed");
+        assert!(exists(k3), "a distinct function is untouched");
+        assert!(exists(k4), "live keys are never collapsed, even as duplicates");
+
+        // The escape hatch keeps both duplicates on the front.
+        cache.store(k2, &pin(0.05, 6.0), Operator::Mul, 3, false).unwrap();
+        let off =
+            GcConfig { keep: HashSet::from([k4]), collapse_equiv: false, ..GcConfig::default() };
+        let report = gc_cache_dir(&dir, &off).unwrap();
+        assert_eq!(report.collapsed, 0);
+        assert_eq!(report.kept_pareto, 3);
     }
 
     #[test]

@@ -49,7 +49,7 @@ use apx_dist::{fnv1a64, FNV1A64_OFFSET};
 use apx_gates::Netlist;
 use apx_metrics::{CircuitEvaluator, ErrorStats};
 use apx_techlib::{area_of, TechLibrary};
-use apx_verify::{has_errors, lint_component, wmed_bounds_weighted, Diagnostic};
+use apx_verify::{functional_digest, has_errors, lint_component, wmed_bounds_weighted, Diagnostic};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -133,6 +133,9 @@ pub struct ComponentLibrary {
     /// Scanned entries the `apx_verify` ingest gate refused, with the
     /// diagnoses — named findings instead of silently orphaned entries.
     rejected: Vec<(CacheKey, Vec<Diagnostic>)>,
+    /// Running total of entries removed by
+    /// [`dedup_semantic`](Self::dedup_semantic).
+    semantic_dups: usize,
 }
 
 impl ComponentLibrary {
@@ -336,6 +339,71 @@ impl ComponentLibrary {
         self.by_digest.insert(entry.digest, self.entries.len());
         self.entries.push(entry);
         true
+    }
+
+    /// Collapses **semantic** duplicates: the stage after structural
+    /// dedup. Entries of one `(operator, width, signedness)` class whose
+    /// `apx_verify` functional digests agree compute the same function —
+    /// wiring permutations, dead nodes and gate-level restructurings of
+    /// one circuit — so they would occupy duplicate slots in every
+    /// re-scored ranking (identical error statistics under *any*
+    /// distribution). Each class is reduced to its selection-preferred
+    /// member: the entry the `(area, WMED, name)` ranking would list
+    /// first, i.e. minimal technology area under `tech` with ties broken
+    /// by name. [`RescoredLibrary::best_meeting`] is therefore provably
+    /// unchanged; only redundant seed slots are freed for functionally
+    /// distinct candidates.
+    ///
+    /// Entries whose planes outgrow the semantic node budget keep their
+    /// structural identity and are never merged. The exact-replay index
+    /// and the rejected list are untouched — key-addressed replays do
+    /// not depend on which candidate represents a function class.
+    ///
+    /// Returns how many entries this call removed; the running total is
+    /// [`semantic_dups`](Self::semantic_dups).
+    pub fn dedup_semantic(&mut self, tech: &TechLibrary) -> usize {
+        let mut classes: HashMap<(Operator, u32, bool, u128), usize> = HashMap::new();
+        let mut keep = vec![true; self.entries.len()];
+        for (i, entry) in self.entries.iter().enumerate() {
+            let Some(fd) = functional_digest(&entry.netlist) else {
+                continue; // budget-capped: keep under structural identity
+            };
+            let class = (entry.op, entry.width, entry.signed, fd);
+            match classes.entry(class) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let j = *o.get();
+                    let held = &self.entries[j];
+                    let (area_i, area_j) =
+                        (area_of(&entry.netlist, tech), area_of(&held.netlist, tech));
+                    let prefer_new =
+                        area_i.total_cmp(&area_j).then_with(|| entry.name.cmp(&held.name)).is_lt();
+                    if prefer_new {
+                        keep[j] = false;
+                        o.insert(i);
+                    } else {
+                        keep[i] = false;
+                    }
+                }
+            }
+        }
+        let removed = keep.iter().filter(|&&k| !k).count();
+        if removed > 0 {
+            let mut it = keep.iter();
+            self.entries.retain(|_| *it.next().expect("one keep flag per entry"));
+            self.by_digest = self.entries.iter().enumerate().map(|(i, e)| (e.digest, i)).collect();
+            self.semantic_dups += removed;
+        }
+        removed
+    }
+
+    /// Total entries removed by [`dedup_semantic`](Self::dedup_semantic)
+    /// over this library's lifetime.
+    #[must_use]
+    pub fn semantic_dups(&self) -> usize {
+        self.semantic_dups
     }
 
     /// Re-prices every candidate matching the evaluator's component

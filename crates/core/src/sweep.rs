@@ -112,13 +112,29 @@ pub struct LibraryConfig {
     /// Results are bit-identical either way; pruning only saves
     /// exhaustive statistics passes on large libraries.
     pub prune: bool,
+    /// Collapse semantically equivalent candidates after the structural
+    /// dedup ([`ComponentLibrary::dedup_semantic`]): entries proven (by
+    /// `apx_verify`'s canonical functional digest) to compute the same
+    /// function are reduced to the selection-preferred member, counted
+    /// as `library_semantic_dups`. Direct hits are provably unchanged
+    /// (equivalent candidates re-score identically); only redundant seed
+    /// slots are freed for functionally distinct candidates.
+    pub semantic_dedup: bool,
 }
 
 impl Default for LibraryConfig {
     /// Hits taken, up to 4 seeds (one per default-λ offspring lineage),
-    /// bound-based pruning on, no directory, no conventional entries.
+    /// bound-based pruning on, semantic dedup on, no directory, no
+    /// conventional entries.
     fn default() -> Self {
-        LibraryConfig { dir: None, conventional: false, take_hits: true, max_seeds: 4, prune: true }
+        LibraryConfig {
+            dir: None,
+            conventional: false,
+            take_hits: true,
+            max_seeds: 4,
+            prune: true,
+            semantic_dedup: true,
+        }
     }
 }
 
@@ -194,6 +210,10 @@ pub struct SweepStats {
     /// re-scoring ([`LibraryConfig::prune`]), summed over the
     /// distributions whose rankings this run actually consulted.
     pub library_pruned: usize,
+    /// Library candidates removed as semantic duplicates — structurally
+    /// distinct netlists proven to compute an already-present function
+    /// ([`LibraryConfig::semantic_dedup`]).
+    pub library_semantic_dups: usize,
 }
 
 impl SweepStats {
@@ -356,8 +376,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
                 _ => {}
             }
         }
+        if lc.semantic_dedup {
+            lib.dedup_semantic(&tech);
+        }
         lib
     });
+    let library_semantic_dups = library.as_ref().map_or(0, ComponentLibrary::semantic_dups);
     // Re-scoring is lazy per distribution: an all-replay warm run (every
     // task an exact key match) never pays the batched evaluator passes
     // for rankings nobody consults.
@@ -612,6 +636,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, CoreError> {
             library_hits,
             seeded_evolutions,
             library_pruned,
+            library_semantic_dups,
         },
     })
 }
@@ -1270,6 +1295,7 @@ mod tests {
                 .collect(),
             threads: 2,
             tmp_ttl: std::time::Duration::ZERO,
+            ..GcConfig::default()
         };
         let report = gc_cache_dir(&dir, &gc).unwrap();
         assert_eq!(report.entries_before, 16);

@@ -17,6 +17,19 @@
 //! `[lo, hi]` interval around the circuit's true WMED — without ever
 //! simulating the candidate netlist on the full enumeration.
 //!
+//! When the netlist fits the semantic analysis budget, the **exact range
+//! pass** ([`crate::output_ranges`]) sharpens both ends: it yields the
+//! exact achievable min/max biased output `[amin(x), amax(x)]` per
+//! weighted value, with both endpoints *achieved*. Since the achievable
+//! set `A(x)` satisfies `A(x) ⊆ S(x)` and `A(x) ⊆ [amin, amax]`, the
+//! larger of the ternary distance and the interval distance is still a
+//! valid lower term, and `max(|t − amin|, |t − amax|)` is the exact
+//! upper term over the hull — so the combined bracket is never wider
+//! than the ternary-only one ([`wmed_bounds_ternary`]), and strictly
+//! tighter whenever the exact range cuts into the ternary set. On budget
+//! exhaustion the pass returns nothing and the ternary bracket stands
+//! unchanged — the soundness contract below is identical either way.
+//!
 //! # Soundness contract
 //!
 //! Three facts make the bracket safe to prune with:
@@ -37,6 +50,7 @@
 //!   just the ideal real number.
 
 use crate::propagate_constants;
+use crate::semantic::output_ranges;
 use apx_arith::{EvalBackend, Operator};
 use apx_dist::Pmf;
 use apx_gates::Netlist;
@@ -46,6 +60,12 @@ use apx_gates::Netlist;
 /// exhaustive evaluator (each side's relative rounding error is below
 /// `2^-31 ≈ 5e-10`; see the module-level soundness contract).
 const WIDEN: f64 = 1e-9;
+
+/// Node budget for the exact range pass ([`crate::output_ranges`]):
+/// small enough that a candidate whose monolithic planes blow up (wide
+/// multipliers) falls back to ternary analysis quickly, large enough to
+/// admit every exhaustive-width component the re-scoring pass prunes.
+const EXACT_RANGE_BUDGET: usize = 1 << 18;
 
 /// A provable bracket on a circuit's WMED under one distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +121,46 @@ pub fn wmed_bounds_weighted(
     signed: bool,
     weights: &[f64],
 ) -> ErrorBounds {
+    // The exact range pass tightens both ends when the netlist fits the
+    // node budget; `None` (blown budget) keeps the pure ternary bracket.
+    let ranges = output_ranges(netlist, op, width, signed, EXACT_RANGE_BUDGET);
+    bounds_impl(netlist, op, width, signed, weights, ranges.as_deref())
+}
+
+/// The ternary-only bracket — [`wmed_bounds`] with the exact range pass
+/// disabled. This is the documented fallback the full analysis degrades
+/// to on budget exhaustion; it exists as a public entry point so the
+/// cross-validation suite can assert the exact pass never *widens* a
+/// bracket.
+///
+/// # Panics
+///
+/// Same contract as [`wmed_bounds`].
+#[must_use]
+pub fn wmed_bounds_ternary(
+    netlist: &Netlist,
+    op: Operator,
+    width: u32,
+    signed: bool,
+    pmf: &Pmf,
+) -> ErrorBounds {
+    assert_eq!(pmf.width(), width, "PMF width must match the operand width");
+    let weights: Vec<f64> = pmf.iter().collect();
+    bounds_impl(netlist, op, width, signed, &weights, None)
+}
+
+/// Shared bracket computation. `ranges` (when present) holds the exact
+/// biased `(min, max)` achievable output words per weighted-operand
+/// value; see the module docs for why combining them with the ternary
+/// candidate sets is sound and never wider.
+fn bounds_impl(
+    netlist: &Netlist,
+    op: Operator,
+    width: u32,
+    signed: bool,
+    weights: &[f64],
+    ranges: Option<&[(u64, u64)]>,
+) -> ErrorBounds {
     // Interval propagation never enumerates the free operand space, so
     // like the symbolic backend it accepts the widest evaluable range.
     assert!(
@@ -147,6 +207,7 @@ pub fn wmed_bounds_weighted(
         let bval = val ^ (top_bit & mask);
         let bmin = bval;
         let bmax = bval | (full & !mask);
+        let exact_range = ranges.map(|r| r[x]);
         let (mut lo_acc, mut hi_acc) = (0u64, 0u64);
         for f in 0..(1u64 << free) {
             let v = ((x as u64) << free) | f;
@@ -155,8 +216,21 @@ pub fn wmed_bounds_weighted(
             // the exact value of a supported operator always fits its
             // output word, so `t` lands in `0..2^out_bits`.
             let t = (exact + top_bit as i64) as u64;
-            lo_acc += min_dist(t, mask, bval, full);
-            hi_acc += t.abs_diff(bmin).max(t.abs_diff(bmax));
+            let mut lo_term = min_dist(t, mask, bval, full);
+            let mut hi_term = t.abs_diff(bmin).max(t.abs_diff(bmax));
+            if let Some((amin, amax)) = exact_range {
+                // The achievable set A(x) lies inside `[amin, amax]` and
+                // both extremes are achieved, so the distance to the
+                // interval lower-bounds `min |t - z|` and the farthest
+                // endpoint is *exactly* `max |t - z|` over the hull —
+                // never wider than either ternary term (A(x) ⊆ S(x)).
+                let below = amin.saturating_sub(t);
+                let above = t.saturating_sub(amax);
+                lo_term = lo_term.max(below.max(above));
+                hi_term = hi_term.min(t.abs_diff(amin).max(t.abs_diff(amax)));
+            }
+            lo_acc += lo_term;
+            hi_acc += hi_term;
         }
         lo_sum += weight * lo_acc as f64;
         hi_sum += weight * hi_acc as f64;

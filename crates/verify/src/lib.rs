@@ -35,8 +35,13 @@
 #![warn(missing_docs)]
 
 mod bounds;
+mod semantic;
 
-pub use bounds::{wmed_bounds, wmed_bounds_weighted, ErrorBounds};
+pub use bounds::{wmed_bounds, wmed_bounds_ternary, wmed_bounds_weighted, ErrorBounds};
+pub use semantic::{
+    functional_digest, functional_digest_with_budget, output_ranges, prove_equiv,
+    prove_equiv_with_budget, prove_seed, prove_seed_with_budget, Equiv, SEMANTIC_NODE_BUDGET,
+};
 
 use apx_arith::{EvalBackend, Operator};
 use apx_dist::{fnv1a64, FNV1A64_OFFSET};
@@ -431,6 +436,13 @@ pub fn structural_hash(netlist: &Netlist) -> u128 {
     for out in compact.outputs() {
         let _ = write!(canonical, " o{}", out.0);
     }
+    fnv_u128(&canonical)
+}
+
+/// The crate's canonical-string-to-128-bit hash: two independently
+/// seeded FNV-1a-64 streams over the same bytes (shared by the
+/// structural hash and the semantic functional digest).
+fn fnv_u128(canonical: &str) -> u128 {
     let hi = fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET);
     let lo = fnv1a64(canonical.as_bytes(), FNV1A64_OFFSET ^ 0x9E37_79B9_7F4A_7C15);
     (u128::from(hi) << 64) | u128::from(lo)

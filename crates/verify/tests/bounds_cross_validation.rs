@@ -10,7 +10,7 @@ use apx_dist::Pmf;
 use apx_gates::{Netlist, NetlistBuilder};
 use apx_metrics::CircuitEvaluator;
 use apx_rng::Xoshiro256;
-use apx_verify::wmed_bounds;
+use apx_verify::{wmed_bounds, wmed_bounds_ternary};
 
 /// A constant-zero netlist with the operator's exact arity.
 fn constant_zero(op: Operator, width: u32) -> Netlist {
@@ -92,6 +92,44 @@ fn brackets_contain_the_wmed_under_measured_distributions() {
         let bounds = wmed_bounds(&nl, op, 4, false, &pmf);
         assert!(bounds.contains(wmed), "wmed {wmed} outside {bounds:?}");
     }
+}
+
+#[test]
+fn exact_brackets_are_never_wider_than_ternary_and_sometimes_strictly_tighter() {
+    // The exact-range pass ([`apx_verify::output_ranges`]) may only
+    // *shrink* the ternary bracket: on every cell of the same grid as
+    // the containment test, the default bracket must be a sub-interval
+    // of the ternary-only one — and on at least one fixture it must be
+    // strictly tighter, or the pass is dead weight.
+    let mut strictly_tighter = 0usize;
+    for op in Operator::ALL {
+        for width in 2..=6u32 {
+            if !op.supports_exhaustive_width(width) {
+                continue;
+            }
+            for signed in [false, true] {
+                let pmfs = [Pmf::uniform(width), Pmf::half_normal(width, f64::from(width) * 1.5)];
+                for pmf in &pmfs {
+                    for (i, nl) in candidates(op, width, signed).iter().enumerate() {
+                        let exact = wmed_bounds(nl, op, width, signed, pmf);
+                        let ternary = wmed_bounds_ternary(nl, op, width, signed, pmf);
+                        assert!(
+                            exact.wmed_lo >= ternary.wmed_lo && exact.wmed_hi <= ternary.wmed_hi,
+                            "{op} w={width} signed={signed} cand={i}: exact bracket {exact:?} \
+                             escapes ternary {ternary:?}"
+                        );
+                        if exact.wmed_lo > ternary.wmed_lo || exact.wmed_hi < ternary.wmed_hi {
+                            strictly_tighter += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        strictly_tighter > 0,
+        "the exact range pass never improved a single bracket across the whole grid"
+    );
 }
 
 #[test]
